@@ -1,0 +1,76 @@
+//! Microbenchmarks of the discrete-event engine: event scheduling and
+//! packet forwarding throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dctcp_sim::{
+    Agent, Context, LinkSpec, Packet, QueueConfig, SimDuration, Simulator, TopologyBuilder,
+};
+
+#[derive(Debug)]
+struct Blaster {
+    peer: dctcp_sim::NodeId,
+    count: u32,
+}
+
+impl Agent for Blaster {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..self.count {
+            let mut p = Packet::data(dctcp_sim::FlowId(1), ctx.node(), self.peer, i as u64, 1460);
+            p.ecn = dctcp_sim::Ecn::Ect;
+            ctx.send(p);
+        }
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Context<'_>) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn build(count: u32) -> Simulator {
+    let mut b = TopologyBuilder::new();
+    let h1 = b.host(
+        "h1",
+        Box::new(Blaster {
+            peer: dctcp_sim::NodeId::from_index(1),
+            count,
+        }),
+    );
+    let h2 = b.host(
+        "h2",
+        Box::new(Blaster {
+            peer: dctcp_sim::NodeId::from_index(0),
+            count: 0,
+        }),
+    );
+    let s = b.switch("s");
+    let spec = LinkSpec::gbps(10.0, 10);
+    b.link(h1, s, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
+        .unwrap();
+    b.link(s, h2, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
+        .unwrap();
+    Simulator::new(b.build().unwrap())
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/forward");
+    const PKTS: u32 = 10_000;
+    g.throughput(Throughput::Elements(PKTS as u64));
+    g.bench_function("10k_packets_one_switch", |b| {
+        b.iter_batched(
+            || build(PKTS),
+            |mut sim| {
+                sim.run_for(SimDuration::from_millis(100));
+                assert!(sim.events_processed() > 3 * PKTS as u64);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the marking policies' per-packet decision cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dctcp_core::{MarkingScheme, QueueSnapshot};
+
+fn bench_policies(c: &mut Criterion) {
+    let schemes = [
+        ("droptail", MarkingScheme::DropTail),
+        ("dctcp", MarkingScheme::dctcp_packets(40)),
+        ("dt_dctcp", MarkingScheme::dt_dctcp_packets(30, 50)),
+        ("schmitt", MarkingScheme::schmitt_packets(30, 50)),
+        ("pie", MarkingScheme::pie_datacenter(10.0)),
+        (
+            "red",
+            MarkingScheme::Red {
+                min_th: dctcp_core::QueueLevel::Packets(30),
+                max_th: dctcp_core::QueueLevel::Packets(90),
+                max_p: 0.1,
+                ecn: true,
+            },
+        ),
+    ];
+    // A sawtooth occupancy trajectory exercising both hooks.
+    let traj: Vec<u32> = (0..128u32).map(|i| if i < 64 { i } else { 128 - i }).collect();
+
+    let mut g = c.benchmark_group("marking/decision");
+    g.throughput(Throughput::Elements(traj.len() as u64 * 2));
+    for (name, scheme) in schemes {
+        let mut policy = scheme.build().unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut marked = 0u32;
+                for &q in &traj {
+                    if policy.on_enqueue(&QueueSnapshot::packets(q)).is_marked() {
+                        marked += 1;
+                    }
+                    policy.on_dequeue(&QueueSnapshot::packets(q.saturating_sub(1)));
+                }
+                marked
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

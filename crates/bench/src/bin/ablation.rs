@@ -1,0 +1,139 @@
+//! Quality ablations of the design choices DESIGN.md calls out:
+//!
+//! * hysteresis width `K2 − K1` at a fixed midpoint vs queue stability;
+//! * EWMA gain `g` vs oscillation amplitude;
+//! * `RTO_min` vs the Incast collapse point;
+//! * threshold orientation (paper's lead hysteresis vs classic Schmitt).
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_core::MarkingScheme;
+use dctcp_sim::SimDuration;
+use dctcp_tcp::TcpConfig;
+use dctcp_workloads::{
+    run_query_rounds, LongLivedScenario, QueryWorkload, Scale, Table, TestbedConfig,
+};
+
+fn width_sweep(scale: Scale) -> Table {
+    let (warmup, duration) = match scale {
+        Scale::Quick => (0.03, 0.08),
+        Scale::Full => (0.1, 0.3),
+    };
+    let mut t = Table::new(
+        "Ablation — hysteresis width at fixed midpoint 40 pkts (N = 70, 300 us RTT)",
+        &["K1", "K2", "queue mean", "queue std"],
+    );
+    for half_width in [2u32, 5, 10, 15, 20] {
+        let scheme = MarkingScheme::dt_dctcp_packets(40 - half_width, 40 + half_width);
+        let r = LongLivedScenario::builder()
+            .flows(70)
+            .marking(scheme)
+            .rtt_us(300.0)
+            .warmup_secs(warmup)
+            .duration_secs(duration)
+            .build()
+            .unwrap()
+            .run();
+        t.row_owned(vec![
+            (40 - half_width).to_string(),
+            (40 + half_width).to_string(),
+            format!("{:.2}", r.queue.mean),
+            format!("{:.2}", r.queue.std),
+        ]);
+    }
+    t
+}
+
+fn gain_sweep(scale: Scale) -> Table {
+    let (warmup, duration) = match scale {
+        Scale::Quick => (0.03, 0.08),
+        Scale::Full => (0.1, 0.3),
+    };
+    let mut t = Table::new(
+        "Ablation — EWMA gain g (DCTCP, N = 70, 300 us RTT)",
+        &["g", "queue mean", "queue std", "alpha mean"],
+    );
+    for g in [1.0 / 64.0, 1.0 / 16.0, 1.0 / 4.0, 1.0] {
+        let r = LongLivedScenario::builder()
+            .flows(70)
+            .marking(MarkingScheme::dctcp_packets(40))
+            .tcp(TcpConfig::dctcp(g))
+            .rtt_us(300.0)
+            .warmup_secs(warmup)
+            .duration_secs(duration)
+            .build()
+            .unwrap()
+            .run();
+        t.row_owned(vec![
+            format!("{g:.4}"),
+            format!("{:.2}", r.queue.mean),
+            format!("{:.2}", r.queue.std),
+            format!("{:.3}", r.alpha.mean()),
+        ]);
+    }
+    t
+}
+
+fn rto_min_sweep(scale: Scale) -> Table {
+    let rounds = match scale {
+        Scale::Quick => 5,
+        Scale::Full => 30,
+    };
+    let mut t = Table::new(
+        "Ablation — RTO_min vs Incast goodput at n = 32 (DCTCP, K = 32 KB)",
+        &["rto_min [ms]", "goodput [Mbps]", "RTO rounds %"],
+    );
+    for rto_ms in [10u64, 50, 200] {
+        let mut cfg = TestbedConfig::paper(MarkingScheme::dctcp_bytes(32 * 1024));
+        cfg.tcp = cfg.tcp.with_rto_min(SimDuration::from_millis(rto_ms));
+        let rep = run_query_rounds(&cfg, &QueryWorkload::incast(32, rounds)).unwrap();
+        t.row_owned(vec![
+            rto_ms.to_string(),
+            format!("{:.1}", rep.mean_goodput_bps() / 1e6),
+            format!("{:.0}", rep.timeout_fraction() * 100.0),
+        ]);
+    }
+    t
+}
+
+fn orientation_sweep(scale: Scale) -> Table {
+    let (warmup, duration) = match scale {
+        Scale::Quick => (0.03, 0.08),
+        Scale::Full => (0.1, 0.3),
+    };
+    let mut t = Table::new(
+        "Ablation — threshold orientation (N = 70, 300 us RTT)",
+        &["scheme", "queue mean", "queue std"],
+    );
+    for scheme in [
+        MarkingScheme::dctcp_packets(40),
+        MarkingScheme::dt_dctcp_packets(30, 50),
+        MarkingScheme::schmitt_packets(30, 50),
+    ] {
+        let r = LongLivedScenario::builder()
+            .flows(70)
+            .marking(scheme)
+            .rtt_us(300.0)
+            .warmup_secs(warmup)
+            .duration_secs(duration)
+            .build()
+            .unwrap()
+            .run();
+        t.row_owned(vec![
+            scheme.to_string(),
+            format!("{:.2}", r.queue.mean),
+            format!("{:.2}", r.queue.std),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    let args = FigArgs::from_env();
+    emit(&width_sweep(args.scale), &args);
+    println!();
+    emit(&gain_sweep(args.scale), &FigArgs { csv: None, ..args.clone() });
+    println!();
+    emit(&rto_min_sweep(args.scale), &FigArgs { csv: None, ..args.clone() });
+    println!();
+    emit(&orientation_sweep(args.scale), &FigArgs { csv: None, ..args.clone() });
+}

@@ -1,0 +1,24 @@
+//! Runs every figure reproduction in sequence (the full evaluation
+//! regeneration pass used for EXPERIMENTS.md).
+
+use dctcp_bench::FigArgs;
+use dctcp_workloads::experiments::{
+    fig1, fig10_table, fig11_table, fig12_table, fig14, fig15, fig9, queue_sweep,
+};
+
+fn main() {
+    let args = FigArgs::from_env();
+    eprintln!("== Fig. 1 ==");
+    println!("{}", fig1(args.scale).table());
+    eprintln!("== Fig. 9 ==");
+    println!("{}", fig9(args.scale).table());
+    eprintln!("== Figs. 10-12 (shared sweep) ==");
+    let sweep = queue_sweep(args.scale);
+    println!("{}", fig10_table(&sweep));
+    println!("{}", fig11_table(&sweep));
+    println!("{}", fig12_table(&sweep));
+    eprintln!("== Fig. 14 ==");
+    println!("{}", fig14(args.scale).goodput_table());
+    eprintln!("== Fig. 15 ==");
+    println!("{}", fig15(args.scale).completion_table());
+}

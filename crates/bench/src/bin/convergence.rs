@@ -1,0 +1,47 @@
+//! Convergence dynamics: how fast a joining flow reaches its fair share
+//! under each marking scheme (the Alizadeh-style convergence question
+//! behind the paper's fluid model).
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_core::MarkingScheme;
+use dctcp_workloads::{run_convergence, ConvergenceConfig, Scale, Table};
+
+fn main() {
+    let args = FigArgs::from_env();
+    let established = match args.scale {
+        Scale::Quick => vec![3u32],
+        Scale::Full => vec![1, 3, 7, 15],
+    };
+    let mut t = Table::new(
+        "Convergence — a flow joining established flows (1 Gb/s bottleneck)",
+        &[
+            "established",
+            "scheme",
+            "t to 50% fair [ms]",
+            "t to 80% fair [ms]",
+            "final Jain",
+        ],
+    );
+    for &n in &established {
+        for scheme in [
+            MarkingScheme::dctcp_packets(20),
+            MarkingScheme::dt_dctcp_packets(15, 25),
+        ] {
+            let mut cfg = ConvergenceConfig::standard(scheme);
+            cfg.established = n;
+            let r = run_convergence(&cfg).expect("valid convergence config");
+            let fmt = |o: Option<f64>| {
+                o.map(|t| format!("{:.1}", t * 1e3))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row_owned(vec![
+                n.to_string(),
+                scheme.to_string(),
+                fmt(r.time_to_fraction(0.5)),
+                fmt(r.time_to_fraction(0.8)),
+                format!("{:.3}", r.final_fairness),
+            ]);
+        }
+    }
+    emit(&t, &args);
+}

@@ -1,0 +1,28 @@
+//! Reproduces Figure 1: bottleneck queue traces at N = 10 and N = 100.
+//!
+//! With `--csv PATH`, additionally writes the resampled traces (one
+//! column per scheme/N pair) for plotting.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::experiments::fig1;
+
+fn main() {
+    let args = FigArgs::from_env();
+    let result = fig1(args.scale);
+    emit(&result.table(), &args);
+
+    if args.csv.is_some() {
+        return; // the summary table was the CSV payload
+    }
+    // Render a coarse ASCII impression of the DCTCP traces so the
+    // oscillation is visible without plotting.
+    for tr in &result.traces {
+        println!("\n{} N={} (queue, packets):", tr.scheme, tr.flows);
+        let resampled = tr.trace.resample(tr.trace.times().last().copied().unwrap_or(1.0) / 60.0);
+        let max = resampled.summary().max.max(1.0);
+        for (t, v) in resampled.iter() {
+            let bar = "#".repeat((v / max * 50.0).round() as usize);
+            println!("{t:9.5}s | {v:7.1} {bar}");
+        }
+    }
+}

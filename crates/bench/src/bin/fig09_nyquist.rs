@@ -1,0 +1,11 @@
+//! Reproduces Figure 9: the describing-function/Nyquist stability sweep
+//! for DCTCP vs DT-DCTCP.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::experiments::fig9;
+
+fn main() {
+    let args = FigArgs::from_env();
+    let result = fig9(args.scale);
+    emit(&result.table(), &args);
+}

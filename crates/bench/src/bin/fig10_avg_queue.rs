@@ -1,0 +1,10 @@
+//! Reproduces Figure 10: normalized average queue length vs flow count.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::experiments::{fig10_table, queue_sweep};
+
+fn main() {
+    let args = FigArgs::from_env();
+    let sweep = queue_sweep(args.scale);
+    emit(&fig10_table(&sweep), &args);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 11: queue standard deviation vs flow count.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::experiments::{fig11_table, queue_sweep};
+
+fn main() {
+    let args = FigArgs::from_env();
+    let sweep = queue_sweep(args.scale);
+    emit(&fig11_table(&sweep), &args);
+}

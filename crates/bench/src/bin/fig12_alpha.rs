@@ -1,0 +1,11 @@
+//! Reproduces Figure 12: the steady-state DCTCP α estimate vs flow
+//! count.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::experiments::{fig12_table, queue_sweep};
+
+fn main() {
+    let args = FigArgs::from_env();
+    let sweep = queue_sweep(args.scale);
+    emit(&fig12_table(&sweep), &args);
+}

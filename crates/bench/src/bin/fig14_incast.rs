@@ -1,0 +1,10 @@
+//! Reproduces Figure 14: Incast goodput collapse on the Fig. 13 testbed.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::experiments::fig14;
+
+fn main() {
+    let args = FigArgs::from_env();
+    let result = fig14(args.scale);
+    emit(&result.goodput_table(), &args);
+}

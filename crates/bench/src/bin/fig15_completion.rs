@@ -1,0 +1,11 @@
+//! Reproduces Figure 15: partition-aggregate query completion time on
+//! the Fig. 13 testbed.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::experiments::fig15;
+
+fn main() {
+    let args = FigArgs::from_env();
+    let result = fig15(args.scale);
+    emit(&result.completion_table(), &args);
+}

@@ -1,0 +1,49 @@
+//! The queue-buildup microbenchmark (from the DCTCP paper's evaluation,
+//! cited in this paper's background): short-flow latency under a
+//! standing queue, for every marking scheme.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_core::{MarkingScheme, QueueLevel};
+use dctcp_workloads::{run_buildup, BuildupConfig, Scale, Table};
+
+fn main() {
+    let args = FigArgs::from_env();
+    let short_count = match args.scale {
+        Scale::Quick => 10,
+        Scale::Full => 50,
+    };
+    let mut t = Table::new(
+        "Queue buildup — short-flow completion vs marking scheme (2 long flows, 20 KB queries, 1 Gb/s)",
+        &["scheme", "queue mean [pkts]", "p50 [ms]", "p95 [ms]", "max [ms]", "long [Gbps]"],
+    );
+    for scheme in [
+        MarkingScheme::DropTail,
+        MarkingScheme::Red {
+            min_th: QueueLevel::Packets(10),
+            max_th: QueueLevel::Packets(60),
+            max_p: 0.1,
+            ecn: true,
+        },
+        MarkingScheme::dctcp_packets(20),
+        MarkingScheme::dt_dctcp_packets(15, 25),
+        MarkingScheme::schmitt_packets(15, 25),
+        MarkingScheme::codel_datacenter(),
+        MarkingScheme::pie_datacenter(1.0),
+    ] {
+        let report = run_buildup(&BuildupConfig {
+            short_count,
+            ..BuildupConfig::standard(scheme)
+        })
+        .expect("valid buildup config");
+        let mut q = report.completions();
+        t.row_owned(vec![
+            scheme.to_string(),
+            format!("{:.1}", report.queue_mean),
+            format!("{:.2}", q.median().unwrap_or(f64::NAN) * 1e3),
+            format!("{:.2}", q.quantile(0.95).unwrap_or(f64::NAN) * 1e3),
+            format!("{:.2}", q.max().unwrap_or(f64::NAN) * 1e3),
+            format!("{:.2}", report.long_goodput_bps / 1e9),
+        ]);
+    }
+    emit(&t, &args);
+}

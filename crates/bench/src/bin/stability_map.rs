@@ -1,0 +1,47 @@
+//! Extended analysis: a 2-D stability map over flow count N and EWMA
+//! gain g, reporting each scheme's loop-gain margin — the
+//! describing-function generalization of the paper's single-parameter
+//! Fig. 9 sweep.
+
+use dctcp_bench::{emit, FigArgs};
+use dctcp_workloads::control::{critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
+use dctcp_workloads::{Scale, Table};
+
+fn main() {
+    let args = FigArgs::from_env();
+    let (ns, gs): (Vec<f64>, Vec<f64>) = match args.scale {
+        Scale::Quick => (vec![10.0, 40.0, 70.0], vec![1.0 / 16.0, 0.25]),
+        Scale::Full => (
+            vec![10.0, 25.0, 40.0, 55.0, 70.0, 100.0, 130.0],
+            vec![1.0 / 64.0, 1.0 / 16.0, 1.0 / 4.0, 1.0],
+        ),
+    };
+    let grid = AnalysisGrid {
+        w_points: 1500,
+        x_points: 600,
+        ..AnalysisGrid::default()
+    };
+    let relay = RelayDf::new(40.0).expect("valid K");
+    let hyst = HysteresisDf::new(30.0, 50.0).expect("valid K1 < K2");
+
+    let mut t = Table::new(
+        "Stability map — loop-gain margin before self-oscillation (higher = more stable)",
+        &["g", "N", "DCTCP margin", "DT-DCTCP margin", "DT advantage"],
+    );
+    for &g in &gs {
+        for &n in &ns {
+            let mut plant = PlantParams::paper_defaults(n);
+            plant.g = g;
+            let m_dc = critical_gain(&plant, &relay, &grid).unwrap_or(f64::INFINITY);
+            let m_dt = critical_gain(&plant, &hyst, &grid).unwrap_or(f64::INFINITY);
+            t.row_owned(vec![
+                format!("{g:.4}"),
+                format!("{n:.0}"),
+                format!("{m_dc:.2}"),
+                format!("{m_dt:.2}"),
+                format!("{:+.0}%", (m_dt / m_dc - 1.0) * 100.0),
+            ]);
+        }
+    }
+    emit(&t, &args);
+}

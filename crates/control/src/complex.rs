@@ -1,0 +1,247 @@
+//! Minimal complex arithmetic for frequency-domain analysis.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number with `f64` parts.
+///
+/// The analysis crate needs only evaluation of rational transfer
+/// functions and delay terms; a small local type avoids an external
+/// dependency.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_control::Complex;
+///
+/// let j = Complex::I;
+/// assert_eq!(j * j, Complex::new(-1.0, 0.0));
+/// assert!((Complex::polar(2.0, std::f64::consts::PI / 2.0) - 2.0 * j).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates from polar form `r·e^{jθ}`.
+    pub fn polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Modulus `|z|`.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when inverting zero.
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n > 0.0, "inverting zero");
+        Complex::new(self.re / n, -self.im / n)
+    }
+
+    /// Whether both parts are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    fn add(self, rhs: f64) -> Complex {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Add<Complex> for f64 {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        rhs + self
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}j", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn field_axioms_hold_numerically() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.5, 3.0);
+        let c = Complex::new(2.0, 0.25);
+        assert!(((a + b) + c - (a + (b + c))).norm() < 1e-12);
+        assert!((a * b - b * a).norm() < 1e-12);
+        assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let a = Complex::new(3.0, -4.0);
+        assert!((a * a.inv() - Complex::ONE).norm() < 1e-12);
+        assert!((a / a - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn polar_matches_cartesian() {
+        let z = Complex::polar(5.0, 0.9273);
+        assert!((z.re - 3.0).abs() < 1e-3);
+        assert!((z.im - 4.0).abs() < 1e-3);
+        assert!((z.norm() - 5.0).abs() < 1e-12);
+        assert!((z.arg() - 0.9273).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_and_norms() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(z.conj(), Complex::new(1.0, -2.0));
+        assert!((z.norm_sqr() - 5.0).abs() < 1e-12);
+        assert!(((z * z.conj()).re - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_term_has_unit_magnitude() {
+        for k in 0..20 {
+            let w = 10f64.powi(k - 10);
+            let d = Complex::polar(1.0, -w * 1e-4);
+            assert!((d.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex::new(1.0, 1.0);
+        assert_eq!(z * 2.0, Complex::new(2.0, 2.0));
+        assert_eq!(2.0 * z, Complex::new(2.0, 2.0));
+        assert_eq!(z / 2.0, Complex::new(0.5, 0.5));
+        assert_eq!(z + 1.0, Complex::new(2.0, 1.0));
+        assert_eq!(1.0 + z, Complex::new(2.0, 1.0));
+        assert_eq!(-z, Complex::new(-1.0, -1.0));
+        assert_eq!(Complex::from(3.0), Complex::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1.000000+2.000000j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1.000000-2.000000j");
+    }
+
+    #[test]
+    fn rotation_by_pi_negates() {
+        let z = Complex::new(0.7, -0.3);
+        let r = z * Complex::polar(1.0, PI);
+        assert!((r + z).norm() < 1e-12);
+    }
+}

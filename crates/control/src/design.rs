@@ -1,0 +1,185 @@
+//! Threshold-design helper: choosing `(K1, K2)` from the DF analysis.
+//!
+//! The paper picks `(30, 50)` around `K = 40` by hand. This module turns
+//! Theorem 2 into a design procedure: for a given network and midpoint,
+//! sweep the hysteresis width and report the loop-gain margin of each
+//! candidate, picking the narrowest width that achieves a requested
+//! margin improvement over the single threshold — narrow widths keep the
+//! guaranteed limit-cycle amplitude (which is at least `K2`) small, so
+//! more width than necessary is pure queue-excursion cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
+
+/// One candidate from [`recommend_thresholds`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdCandidate {
+    /// Arming threshold `K1` (packets).
+    pub k1: f64,
+    /// Release threshold `K2` (packets).
+    pub k2: f64,
+    /// Loop-gain margin of the hysteresis at the worst sampled flow
+    /// count.
+    pub margin: f64,
+    /// Margin improvement over the single threshold at the midpoint
+    /// (`margin / relay_margin`).
+    pub improvement: f64,
+}
+
+/// The result of a threshold design sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdRecommendation {
+    /// The single-threshold baseline margin at the worst sampled N.
+    pub relay_margin: f64,
+    /// Every candidate evaluated, ordered by increasing width.
+    pub candidates: Vec<ThresholdCandidate>,
+    /// The narrowest candidate meeting the requested improvement, if
+    /// any.
+    pub recommended: Option<ThresholdCandidate>,
+}
+
+/// Sweeps hysteresis widths around `midpoint` and recommends the
+/// narrowest `(K1, K2)` whose worst-case loop-gain margin beats the
+/// single threshold's by at least `min_improvement` (e.g. `1.15` for
+/// +15 %).
+///
+/// The margin is evaluated at each flow count in `flows` and the
+/// minimum (worst case) is used, mirroring how an operator would
+/// provision for a range of loads.
+///
+/// # Panics
+///
+/// Panics if `midpoint` is not positive, `flows` is empty, or
+/// `min_improvement < 1`.
+pub fn recommend_thresholds(
+    base: &PlantParams,
+    midpoint: f64,
+    flows: &[f64],
+    min_improvement: f64,
+    grid: &AnalysisGrid,
+) -> ThresholdRecommendation {
+    assert!(midpoint > 1.0, "midpoint must exceed one packet");
+    assert!(!flows.is_empty(), "need at least one flow count");
+    assert!(min_improvement >= 1.0, "improvement must be >= 1");
+
+    let worst_margin = |df: &dyn crate::DescribingFunction| -> f64 {
+        flows
+            .iter()
+            .map(|&n| {
+                let plant = PlantParams { flows: n, ..*base };
+                critical_gain(&plant, df, grid).unwrap_or(f64::INFINITY)
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let relay = RelayDf::new(midpoint).expect("positive midpoint");
+    let relay_margin = worst_margin(&relay);
+
+    let max_half_width = (midpoint - 1.0).floor();
+    let mut candidates = Vec::new();
+    let mut recommended = None;
+    let mut half = 1.0;
+    while half <= max_half_width {
+        let (k1, k2) = (midpoint - half, midpoint + half);
+        let hyst = HysteresisDf::new(k1, k2).expect("0 < k1 < k2");
+        let margin = worst_margin(&hyst);
+        let cand = ThresholdCandidate {
+            k1,
+            k2,
+            margin,
+            improvement: margin / relay_margin,
+        };
+        candidates.push(cand);
+        if recommended.is_none() && cand.improvement >= min_improvement {
+            recommended = Some(cand);
+        }
+        half += 1.0;
+    }
+
+    ThresholdRecommendation {
+        relay_margin,
+        candidates,
+        recommended,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> AnalysisGrid {
+        AnalysisGrid {
+            w_points: 1000,
+            x_points: 400,
+            ..AnalysisGrid::default()
+        }
+    }
+
+    #[test]
+    fn margins_increase_with_width() {
+        let base = PlantParams::paper_defaults(1.0);
+        let rec = recommend_thresholds(&base, 40.0, &[55.0], 1.0, &grid());
+        assert!(!rec.candidates.is_empty());
+        for w in rec.candidates.windows(2) {
+            assert!(
+                w[1].margin >= w[0].margin - 1e-6,
+                "wider hysteresis must not lose margin: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Every candidate beats the relay.
+        for c in &rec.candidates {
+            assert!(c.improvement >= 1.0 - 1e-9, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn recommendation_is_narrowest_sufficient() {
+        let base = PlantParams::paper_defaults(1.0);
+        let rec = recommend_thresholds(&base, 40.0, &[55.0], 1.10, &grid());
+        let r = rec.recommended.expect("10% improvement is attainable");
+        // No narrower candidate attains the target.
+        for c in &rec.candidates {
+            if c.k2 - c.k1 < r.k2 - r.k1 {
+                assert!(c.improvement < 1.10);
+            }
+        }
+        assert!(r.improvement >= 1.10);
+    }
+
+    #[test]
+    fn paper_choice_is_in_the_reasonable_band() {
+        // The paper's (30, 50) pair: width 20 around midpoint 40. Its
+        // margin improvement over the relay should be in line with the
+        // sweep's candidates at that width.
+        let base = PlantParams::paper_defaults(1.0);
+        let rec = recommend_thresholds(&base, 40.0, &[55.0], 1.0, &grid());
+        let ten = rec
+            .candidates
+            .iter()
+            .find(|c| (c.k2 - c.k1 - 20.0).abs() < 1e-9)
+            .expect("width-20 candidate evaluated");
+        assert!(
+            ten.improvement > 1.1 && ten.improvement < 2.0,
+            "paper-width improvement {:.3} out of band",
+            ten.improvement
+        );
+    }
+
+    #[test]
+    fn unattainable_target_gives_no_recommendation() {
+        let base = PlantParams::paper_defaults(1.0);
+        let rec = recommend_thresholds(&base, 40.0, &[55.0], 100.0, &grid());
+        assert!(rec.recommended.is_none());
+        assert!(!rec.candidates.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "improvement must be >= 1")]
+    fn rejects_sub_unity_target() {
+        let base = PlantParams::paper_defaults(1.0);
+        let _ = recommend_thresholds(&base, 40.0, &[55.0], 0.5, &grid());
+    }
+}

@@ -1,0 +1,316 @@
+//! Describing functions of the marking nonlinearities (Section IV/V).
+
+use dctcp_core::ParamError;
+use serde::{Deserialize, Serialize};
+
+use crate::Complex;
+
+/// A describing function `N(X)` of a static nonlinearity, with the
+/// paper's "relative" normalization `N(X) = K0·N0(X)` (Eq. 8).
+pub trait DescribingFunction {
+    /// The describing function at input amplitude `x`, or `None` when the
+    /// amplitude is below the nonlinearity's validity bound
+    /// ([`DescribingFunction::min_amplitude`]).
+    fn df(&self, x: f64) -> Option<Complex>;
+
+    /// The characteristic gain `K0` (`1/K` for DCTCP, `1/K2` for
+    /// DT-DCTCP).
+    fn k0(&self) -> f64;
+
+    /// Smallest amplitude at which the DF is defined (`K`, resp. `K2`).
+    fn min_amplitude(&self) -> f64;
+
+    /// The relative DF `N0(X) = N(X)/K0`.
+    fn relative_df(&self, x: f64) -> Option<Complex> {
+        Some(self.df(x)? / self.k0())
+    }
+
+    /// The locus `−1/N0(X)` plotted against `K0·G(jω)` on the Nyquist
+    /// diagram (Eq. 9).
+    fn neg_recip_relative(&self, x: f64) -> Option<Complex> {
+        let n0 = self.relative_df(x)?;
+        if n0.norm_sqr() == 0.0 {
+            return None;
+        }
+        Some(-n0.inv())
+    }
+}
+
+/// DCTCP's single-threshold relay (Theorem 1):
+/// `N_dc(X) = (2/πX)·√(1 − (K/X)²)` for `X ≥ K`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelayDf {
+    k: f64,
+}
+
+impl RelayDf {
+    /// Creates the relay DF with threshold `k` (packets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `k > 0`.
+    pub fn new(k: f64) -> Result<Self, ParamError> {
+        if !(k > 0.0) {
+            return Err(ParamError::new(format!("relay threshold must be positive, got {k}")));
+        }
+        Ok(RelayDf { k })
+    }
+
+    /// The threshold `K`.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The supremum of `−1/N0(X)` along the real axis, reached at
+    /// `X = K√2`: `max(−1/N0) = −π`.
+    pub fn neg_recip_max(&self) -> f64 {
+        -std::f64::consts::PI
+    }
+}
+
+impl DescribingFunction for RelayDf {
+    fn df(&self, x: f64) -> Option<Complex> {
+        if x < self.k {
+            return None;
+        }
+        let r = self.k / x;
+        let b1 = (2.0 / (std::f64::consts::PI)) * (1.0 - r * r).sqrt();
+        Some(Complex::new(b1 / x, 0.0))
+    }
+
+    fn k0(&self) -> f64 {
+        1.0 / self.k
+    }
+
+    fn min_amplitude(&self) -> f64 {
+        self.k
+    }
+}
+
+/// DT-DCTCP's hysteresis (Theorem 2), for `X ≥ K2`:
+///
+/// ```text
+/// N_dt(X) = (1/πX)·[√(1 − (K1/X)²) + √(1 − (K2/X)²)] + j·(K2 − K1)/(πX²)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HysteresisDf {
+    k1: f64,
+    k2: f64,
+}
+
+impl HysteresisDf {
+    /// Creates the hysteresis DF with arming threshold `k1` and release
+    /// threshold `k2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `0 < k1 < k2`.
+    pub fn new(k1: f64, k2: f64) -> Result<Self, ParamError> {
+        if !(k1 > 0.0 && k2 > k1) {
+            return Err(ParamError::new(format!(
+                "hysteresis thresholds must satisfy 0 < K1 < K2, got {k1}, {k2}"
+            )));
+        }
+        Ok(HysteresisDf { k1, k2 })
+    }
+
+    /// The arming threshold `K1`.
+    pub fn k1(&self) -> f64 {
+        self.k1
+    }
+
+    /// The release threshold `K2`.
+    pub fn k2(&self) -> f64 {
+        self.k2
+    }
+}
+
+impl DescribingFunction for HysteresisDf {
+    fn df(&self, x: f64) -> Option<Complex> {
+        if x < self.k2 {
+            return None;
+        }
+        let pi = std::f64::consts::PI;
+        let r1 = self.k1 / x;
+        let r2 = self.k2 / x;
+        let b1 = ((1.0 - r1 * r1).sqrt() + (1.0 - r2 * r2).sqrt()) / pi;
+        let a1 = (self.k2 - self.k1) / (pi * x);
+        Some(Complex::new(b1 / x, a1 / x))
+    }
+
+    fn k0(&self) -> f64 {
+        1.0 / self.k2
+    }
+
+    fn min_amplitude(&self) -> f64 {
+        self.k2
+    }
+}
+
+/// Numerically computes the describing function of an arbitrary
+/// binary marking waveform by integrating the Fourier fundamental of the
+/// output over one period of `x(θ) = X·sin θ`.
+///
+/// `marking(θ, x)` returns whether the marker is on at phase `θ` given
+/// input value `x`. Used to cross-validate the closed forms against the
+/// actual switch-side state machines.
+pub fn numerical_df(x_amp: f64, steps: usize, mut marking: impl FnMut(f64, f64) -> bool) -> Complex {
+    let pi = std::f64::consts::PI;
+    let dt = 2.0 * pi / steps as f64;
+    let mut a1 = 0.0;
+    let mut b1 = 0.0;
+    // One warm-up period settles any hysteresis state.
+    for k in 0..steps {
+        let theta = k as f64 * dt;
+        let _ = marking(theta, x_amp * theta.sin());
+    }
+    for k in 0..steps {
+        let theta = k as f64 * dt;
+        let y = if marking(theta, x_amp * theta.sin()) {
+            1.0
+        } else {
+            0.0
+        };
+        a1 += y * theta.cos() * dt;
+        b1 += y * theta.sin() * dt;
+    }
+    a1 /= pi;
+    b1 /= pi;
+    Complex::new(b1 / x_amp, a1 / x_amp)
+}
+
+/// Reference implementation of the ideal relay for [`numerical_df`]:
+/// on whenever the input is at or above `k`.
+pub fn ideal_relay(k: f64) -> impl FnMut(f64, f64) -> bool {
+    move |_theta, x| x >= k
+}
+
+/// Reference implementation of the paper's hysteresis for
+/// [`numerical_df`]: arms when the input rises through `k1`, releases
+/// when it falls through `k2`.
+pub fn ideal_hysteresis(k1: f64, k2: f64) -> impl FnMut(f64, f64) -> bool {
+    let mut armed = false;
+    let mut prev = f64::NEG_INFINITY;
+    move |_theta, x| {
+        let rising = x > prev;
+        if x >= k2 {
+            armed = true;
+        } else if rising && prev < k1 && x >= k1 {
+            armed = true;
+        } else if !rising && prev >= k2 && x < k2 {
+            armed = false;
+        }
+        if x < k1 {
+            armed = false;
+        }
+        prev = x;
+        armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn relay_df_matches_paper_formula() {
+        let df = RelayDf::new(40.0).unwrap();
+        // At X = K√2 the relative DF peaks at 1/π.
+        let x = 40.0 * 2f64.sqrt();
+        let n0 = df.relative_df(x).unwrap();
+        assert!(n0.im.abs() < 1e-12);
+        assert!((n0.re - 1.0 / PI).abs() < 1e-12);
+        // And −1/N0 = −π there.
+        let nr = df.neg_recip_relative(x).unwrap();
+        assert!((nr.re + PI).abs() < 1e-9);
+        assert!(nr.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn relay_df_undefined_below_threshold() {
+        let df = RelayDf::new(40.0).unwrap();
+        assert!(df.df(39.9).is_none());
+        assert!(df.df(40.0).is_some());
+    }
+
+    #[test]
+    fn relay_df_vanishes_at_extremes() {
+        let df = RelayDf::new(10.0).unwrap();
+        assert!(df.df(10.0).unwrap().norm() < 1e-12);
+        assert!(df.df(1e9).unwrap().norm() < 1e-9);
+    }
+
+    #[test]
+    fn hysteresis_df_matches_paper_formula() {
+        let df = HysteresisDf::new(30.0, 50.0).unwrap();
+        let x = 100.0;
+        let n = df.df(x).unwrap();
+        let b1 = ((1.0 - 0.09f64).sqrt() + (1.0 - 0.25f64).sqrt()) / PI;
+        let a1 = 20.0 / (PI * 100.0);
+        assert!((n.re - b1 / 100.0).abs() < 1e-12);
+        assert!((n.im - a1 / 100.0).abs() < 1e-12);
+        // Relative DF imaginary part: K2²/(πX²)(1 − K1/K2).
+        let n0 = df.relative_df(x).unwrap();
+        let expected_im = 50.0f64.powi(2) / (PI * x * x) * (1.0 - 30.0 / 50.0);
+        assert!((n0.im - expected_im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hysteresis_neg_recip_has_positive_imag() {
+        // The paper's stability argument: −1/N0dt lies above the real
+        // axis, away from the G locus.
+        let df = HysteresisDf::new(30.0, 50.0).unwrap();
+        for x in [50.0, 60.0, 80.0, 120.0, 500.0] {
+            let nr = df.neg_recip_relative(x).unwrap();
+            assert!(nr.re < 0.0, "Re < 0 at X={x}");
+            assert!(nr.im > 0.0, "Im > 0 at X={x}, got {nr}");
+        }
+    }
+
+    #[test]
+    fn hysteresis_rejects_bad_thresholds() {
+        assert!(HysteresisDf::new(50.0, 30.0).is_err());
+        assert!(HysteresisDf::new(0.0, 30.0).is_err());
+        assert!(HysteresisDf::new(30.0, 30.0).is_err());
+    }
+
+    #[test]
+    fn numerical_relay_df_matches_closed_form() {
+        let k = 37.0;
+        let df = RelayDf::new(k).unwrap();
+        for x in [40.0, 55.0, 90.0, 200.0] {
+            let closed = df.df(x).unwrap();
+            let numeric = numerical_df(x, 200_000, ideal_relay(k));
+            assert!(
+                (closed - numeric).norm() < 2e-4 * closed.norm().max(1e-3),
+                "X={x}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn numerical_hysteresis_df_matches_closed_form() {
+        let (k1, k2) = (30.0, 50.0);
+        let df = HysteresisDf::new(k1, k2).unwrap();
+        for x in [55.0, 70.0, 120.0, 400.0] {
+            let closed = df.df(x).unwrap();
+            let numeric = numerical_df(x, 200_000, ideal_hysteresis(k1, k2));
+            assert!(
+                (closed - numeric).norm() < 2e-3 * closed.norm(),
+                "X={x}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_approaches_relay_as_thresholds_merge() {
+        let relay = RelayDf::new(40.0).unwrap();
+        let near = HysteresisDf::new(39.999, 40.001).unwrap();
+        for x in [60.0, 100.0] {
+            let a = relay.df(x).unwrap();
+            let b = near.df(x).unwrap();
+            assert!((a - b).norm() < 1e-4, "X={x}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! CoDel (Controlled Delay) — a delay-based AQM baseline.
+//!
+//! Unlike the occupancy-threshold policies the paper studies, CoDel
+//! tracks how long packets *sojourn* in the queue and marks/drops when
+//! the minimum sojourn over an interval exceeds a target, spacing
+//! signals by the inverse-square-root control law of Nichols & Jacobson
+//! (ACM Queue, 2012). Included as a modern contrast baseline for the
+//! oscillation experiments; see DESIGN.md for the justification.
+
+use crate::{ParamError, QueueSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// CoDel parameters, in nanoseconds of sojourn time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodelParams {
+    /// Sojourn-time target (classic default: 5 ms; data-center scale
+    /// wants tens of microseconds).
+    pub target_ns: u64,
+    /// Estimation interval (classic default: 100 ms).
+    pub interval_ns: u64,
+    /// Mark with ECN instead of dropping.
+    pub ecn: bool,
+}
+
+impl CodelParams {
+    /// Data-center defaults: 50 µs target, 200 µs interval (the
+    /// interval should sit at worst-case-RTT scale — ~100 µs fabrics —
+    /// for the control law to emit signals fast enough for
+    /// EWMA-averaging senders like DCTCP), ECN marking.
+    pub fn datacenter() -> Self {
+        CodelParams {
+            target_ns: 50_000,
+            interval_ns: 200_000,
+            ecn: true,
+        }
+    }
+
+    /// Validates positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when target or interval is zero.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.target_ns == 0 || self.interval_ns == 0 {
+            return Err(ParamError::new("codel target and interval must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// The CoDel state machine, driven at dequeue time with each departing
+/// packet's sojourn.
+///
+/// This is deliberately *not* a [`crate::MarkingPolicy`]: CoDel decides
+/// at dequeue (it needs sojourn times), so the queue integrates it via
+/// [`Codel::on_dequeue_sojourn`], which returns whether the departing
+/// packet should be marked (ECN mode) or would have been dropped.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{Codel, CodelParams};
+///
+/// let mut codel = Codel::new(CodelParams::datacenter())?;
+/// // Short sojourns never trigger.
+/// assert!(!codel.on_dequeue_sojourn(1_000, 10_000, &Default::default()));
+/// # Ok::<(), dctcp_core::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Codel {
+    params: CodelParams,
+    /// When the current above-target episode started (ns), if any.
+    first_above_at: Option<u64>,
+    /// Whether we are in the signalling (dropping/marking) state.
+    signalling: bool,
+    /// Signals issued in the current signalling episode.
+    count: u32,
+    /// Next scheduled signal time (ns).
+    next_signal_at: u64,
+}
+
+impl Codel {
+    /// Creates the state machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` fail validation.
+    pub fn new(params: CodelParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(Codel {
+            params,
+            first_above_at: None,
+            signalling: false,
+            count: 0,
+            next_signal_at: 0,
+        })
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> CodelParams {
+        self.params
+    }
+
+    /// Whether CoDel is currently in its signalling state.
+    pub fn is_signalling(&self) -> bool {
+        self.signalling
+    }
+
+    /// Control-law spacing: `interval / sqrt(count)`.
+    fn control_law(&self, from_ns: u64) -> u64 {
+        from_ns + (self.params.interval_ns as f64 / (self.count.max(1) as f64).sqrt()) as u64
+    }
+
+    /// Feeds one departing packet: `now_ns` is the dequeue instant,
+    /// `sojourn_ns` how long it sat in the queue, and `q` the occupancy
+    /// after its removal. Returns whether this packet should carry a
+    /// congestion signal (CE mark in ECN mode).
+    pub fn on_dequeue_sojourn(&mut self, now_ns: u64, sojourn_ns: u64, q: &QueueSnapshot) -> bool {
+        let below = sojourn_ns < self.params.target_ns || q.len_bytes <= 1500;
+        if below {
+            // Sojourn dipped below target: leave any episode.
+            self.first_above_at = None;
+            self.signalling = false;
+            return false;
+        }
+        match self.first_above_at {
+            None => {
+                // Start the observation window; no signal yet.
+                self.first_above_at = Some(now_ns + self.params.interval_ns);
+                false
+            }
+            Some(deadline) if !self.signalling => {
+                if now_ns >= deadline {
+                    // Above target for a whole interval: start signalling.
+                    self.signalling = true;
+                    // Resume the previous rate if the last episode was
+                    // recent (classic CoDel heuristic), else restart.
+                    self.count = if self.count > 2
+                        && now_ns.saturating_sub(self.next_signal_at) < self.params.interval_ns
+                    {
+                        self.count - 2
+                    } else {
+                        1
+                    };
+                    self.next_signal_at = self.control_law(now_ns);
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(_) => {
+                if now_ns >= self.next_signal_at {
+                    self.count += 1;
+                    self.next_signal_at = self.control_law(self.next_signal_at);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Returns the state machine to its initial state.
+    pub fn reset(&mut self) {
+        self.first_above_at = None;
+        self.signalling = false;
+        self.count = 0;
+        self.next_signal_at = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn q(pkts: u32) -> QueueSnapshot {
+        QueueSnapshot::packets(pkts)
+    }
+
+    #[test]
+    fn rejects_zero_params() {
+        assert!(Codel::new(CodelParams {
+            target_ns: 0,
+            interval_ns: MS,
+            ecn: true
+        })
+        .is_err());
+        assert!(Codel::new(CodelParams {
+            target_ns: 1,
+            interval_ns: 0,
+            ecn: true
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn below_target_never_signals() {
+        let mut c = Codel::new(CodelParams::datacenter()).unwrap();
+        for i in 0..1000 {
+            assert!(!c.on_dequeue_sojourn(i * 10_000, 10_000, &q(10)));
+        }
+        assert!(!c.is_signalling());
+    }
+
+    #[test]
+    fn sustained_delay_triggers_after_one_interval() {
+        let mut c = Codel::new(CodelParams::datacenter()).unwrap();
+        let mut first_signal = None;
+        for i in 0..500u64 {
+            let now = i * 10_000; // 10 us between departures
+            if c.on_dequeue_sojourn(now, 200_000, &q(50)) && first_signal.is_none() {
+                first_signal = Some(now);
+            }
+        }
+        let t = first_signal.expect("sustained delay must signal");
+        assert!(
+            t >= CodelParams::datacenter().interval_ns,
+            "signalled too early at {t}ns"
+        );
+        assert!(c.is_signalling());
+    }
+
+    #[test]
+    fn signal_rate_accelerates() {
+        let mut c = Codel::new(CodelParams::datacenter()).unwrap();
+        let mut signals = Vec::new();
+        for i in 0..4000u64 {
+            let now = i * 5_000;
+            if c.on_dequeue_sojourn(now, 300_000, &q(60)) {
+                signals.push(now);
+            }
+        }
+        assert!(signals.len() >= 4, "only {} signals", signals.len());
+        // Inter-signal gaps shrink (inverse-sqrt control law).
+        let first_gap = signals[1] - signals[0];
+        let last_gap = signals[signals.len() - 1] - signals[signals.len() - 2];
+        assert!(
+            last_gap < first_gap,
+            "gaps must shrink: {first_gap} -> {last_gap}"
+        );
+    }
+
+    #[test]
+    fn dip_below_target_ends_episode() {
+        let mut c = Codel::new(CodelParams::datacenter()).unwrap();
+        for i in 0..300u64 {
+            c.on_dequeue_sojourn(i * 10_000, 200_000, &q(50));
+        }
+        assert!(c.is_signalling());
+        assert!(!c.on_dequeue_sojourn(3_100_000, 1_000, &q(1)));
+        assert!(!c.is_signalling());
+        // And the next above-target packet starts a fresh observation
+        // window rather than signalling immediately.
+        assert!(!c.on_dequeue_sojourn(3_200_000, 200_000, &q(50)));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = Codel::new(CodelParams::datacenter()).unwrap();
+        for i in 0..300u64 {
+            c.on_dequeue_sojourn(i * 10_000, 200_000, &q(50));
+        }
+        c.reset();
+        assert!(!c.is_signalling());
+        assert!(!c.on_dequeue_sojourn(0, 200_000, &q(50)));
+    }
+}

@@ -1,0 +1,56 @@
+//! Parameter-validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when algorithm parameters are invalid.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{DoubleThreshold, QueueLevel};
+///
+/// // K1 must be strictly below K2.
+/// let err = DoubleThreshold::new(QueueLevel::Packets(50), QueueLevel::Packets(30));
+/// assert!(err.is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError {
+    message: String,
+}
+
+impl ParamError {
+    /// Creates a parameter error with the given message. Public so that
+    /// downstream crates validating their own configuration (e.g. the
+    /// transport crate's `TcpConfig`) can reuse the same error type.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_message() {
+        let e = ParamError::new("k1 must be below k2");
+        assert_eq!(e.to_string(), "k1 must be below k2");
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ParamError>();
+    }
+}

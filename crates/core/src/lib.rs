@@ -1,0 +1,56 @@
+//! DCTCP and DT-DCTCP algorithms — the contribution of *"Ease the Queue
+//! Oscillation: Analysis and Enhancement of DCTCP"* (ICDCS 2013).
+//!
+//! The paper observes that DCTCP's single-threshold ECN marking behaves as
+//! a *relay* nonlinearity in the congestion-control loop and causes
+//! queue-length self-oscillation as the number of flows grows. Its fix,
+//! **DT-DCTCP**, replaces the relay with a *hysteresis* element: marking
+//! starts when the queue rises past a lower threshold `K1` (earlier than
+//! DCTCP's `K`) and stops when the queue falls back below a higher
+//! threshold `K2` (also earlier, on the way down).
+//!
+//! This crate contains the switch-side and sender-side algorithms:
+//!
+//! * [`MarkingPolicy`] — the switch-side AQM interface, with
+//!   implementations [`SingleThreshold`] (DCTCP), [`DoubleThreshold`]
+//!   (DT-DCTCP), [`DropTail`], and [`Red`].
+//! * [`AlphaEstimator`] — the sender-side EWMA of the marked fraction
+//!   (`α ← (1−g)·α + g·F`, once per window of data).
+//! * [`dctcp_cut`] / [`reno_cut`] — window-reduction laws.
+//! * [`QueueLevel`] — thresholds expressed in packets or bytes.
+//!
+//! # Examples
+//!
+//! Drive the DT-DCTCP hysteresis by hand:
+//!
+//! ```
+//! use dctcp_core::{DoubleThreshold, MarkingPolicy, QueueLevel, QueueSnapshot};
+//!
+//! let mut dt = DoubleThreshold::new(QueueLevel::Packets(3), QueueLevel::Packets(5)).unwrap();
+//! // Rising through K1 = 3 packets arms marking.
+//! assert!(!dt.on_enqueue(&QueueSnapshot::packets(1)).is_marked());
+//! assert!(!dt.on_enqueue(&QueueSnapshot::packets(2)).is_marked());
+//! assert!(dt.on_enqueue(&QueueSnapshot::packets(3)).is_marked());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod codel;
+mod config;
+mod error;
+mod marking;
+mod pie;
+mod units;
+mod window;
+
+pub use codel::{Codel, CodelParams};
+pub use config::MarkingScheme;
+pub use pie::{Pie, PieParams};
+pub use error::ParamError;
+pub use marking::{
+    DoubleThreshold, DropTail, EnqueueDecision, MarkingPolicy, QueueSnapshot, Red, RedParams,
+    SchmittThreshold, SingleThreshold,
+};
+pub use units::QueueLevel;
+pub use window::{d2tcp_cut, dctcp_cut, reno_cut, AlphaEstimator, WindowSample};

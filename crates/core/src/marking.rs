@@ -1,0 +1,776 @@
+//! Switch-side marking policies.
+//!
+//! The queue implementation (in `dctcp-sim`) calls [`MarkingPolicy::on_enqueue`]
+//! for every arriving packet with the occupancy *at arrival* (excluding the
+//! arriving packet, matching the DCTCP paper's "buffer occupancy at that
+//! moment") and [`MarkingPolicy::on_dequeue`] after every departure with the
+//! occupancy *after* the departure. Policies decide marking and (for RED)
+//! early drops; buffer-overflow drops are the queue's own responsibility.
+
+use std::fmt;
+
+use crate::{ParamError, QueueLevel};
+
+/// The queue occupancy a policy sees at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QueueSnapshot {
+    /// Occupancy in bytes.
+    pub len_bytes: u64,
+    /// Occupancy in packets.
+    pub len_pkts: u32,
+}
+
+impl QueueSnapshot {
+    /// Creates a snapshot with explicit byte and packet occupancy.
+    pub fn new(len_bytes: u64, len_pkts: u32) -> Self {
+        Self {
+            len_bytes,
+            len_pkts,
+        }
+    }
+
+    /// Convenience snapshot for packet-denominated tests: `n` packets of
+    /// 1500 bytes.
+    pub fn packets(n: u32) -> Self {
+        Self {
+            len_bytes: n as u64 * 1500,
+            len_pkts: n,
+        }
+    }
+}
+
+/// A policy's verdict on an arriving packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnqueueDecision {
+    /// Accept the packet, optionally setting the ECN Congestion
+    /// Encountered codepoint.
+    Enqueue {
+        /// Whether to set CE on the packet.
+        mark: bool,
+    },
+    /// Drop the packet before enqueueing (RED early drop).
+    Drop,
+}
+
+impl EnqueueDecision {
+    /// Accept without marking.
+    pub fn accept() -> Self {
+        EnqueueDecision::Enqueue { mark: false }
+    }
+
+    /// Accept and mark CE.
+    pub fn mark() -> Self {
+        EnqueueDecision::Enqueue { mark: true }
+    }
+
+    /// Whether the packet is accepted with CE set.
+    pub fn is_marked(&self) -> bool {
+        matches!(self, EnqueueDecision::Enqueue { mark: true })
+    }
+
+    /// Whether the packet is dropped.
+    pub fn is_drop(&self) -> bool {
+        matches!(self, EnqueueDecision::Drop)
+    }
+}
+
+/// Switch-side AQM interface: decides marking (and early drops) from queue
+/// occupancy.
+///
+/// Implementations may keep state (the DT-DCTCP hysteresis, RED's average
+/// queue); [`MarkingPolicy::reset`] returns them to their initial state so
+/// a policy value can be reused across simulation runs.
+pub trait MarkingPolicy: fmt::Debug + Send {
+    /// Called for every arriving packet with the occupancy at arrival
+    /// (excluding the arriving packet). Returns the enqueue/mark/drop
+    /// verdict.
+    fn on_enqueue(&mut self, before: &QueueSnapshot) -> EnqueueDecision;
+
+    /// Called after every departure with the occupancy after the departed
+    /// packet was removed.
+    fn on_dequeue(&mut self, after: &QueueSnapshot) {
+        let _ = after;
+    }
+
+    /// Returns the policy to its initial state.
+    fn reset(&mut self) {}
+
+    /// Short human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain FIFO with no ECN marking (drops only on buffer overflow, which is
+/// handled by the queue itself).
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{DropTail, MarkingPolicy, QueueSnapshot};
+///
+/// let mut p = DropTail::new();
+/// assert!(!p.on_enqueue(&QueueSnapshot::packets(1_000)).is_marked());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropTail;
+
+impl DropTail {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        DropTail
+    }
+}
+
+impl MarkingPolicy for DropTail {
+    fn on_enqueue(&mut self, _before: &QueueSnapshot) -> EnqueueDecision {
+        EnqueueDecision::accept()
+    }
+
+    fn name(&self) -> &'static str {
+        "droptail"
+    }
+}
+
+/// DCTCP's single-threshold marking: mark the arriving packet iff the
+/// instantaneous occupancy at arrival is at least `K`.
+///
+/// In control-theoretic terms this is a *relay* nonlinearity; the paper
+/// identifies it as the root cause of queue self-oscillation (Section III).
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{MarkingPolicy, QueueLevel, QueueSnapshot, SingleThreshold};
+///
+/// let mut p = SingleThreshold::new(QueueLevel::Packets(40));
+/// assert!(!p.on_enqueue(&QueueSnapshot::packets(39)).is_marked());
+/// assert!(p.on_enqueue(&QueueSnapshot::packets(40)).is_marked());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleThreshold {
+    k: QueueLevel,
+}
+
+impl SingleThreshold {
+    /// Creates the policy with marking threshold `k`.
+    pub fn new(k: QueueLevel) -> Self {
+        Self { k }
+    }
+
+    /// The marking threshold.
+    pub fn k(&self) -> QueueLevel {
+        self.k
+    }
+}
+
+impl MarkingPolicy for SingleThreshold {
+    fn on_enqueue(&mut self, before: &QueueSnapshot) -> EnqueueDecision {
+        if self.k.is_reached(before) {
+            EnqueueDecision::mark()
+        } else {
+            EnqueueDecision::accept()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+}
+
+/// DT-DCTCP's double-threshold (hysteresis) marking.
+///
+/// Marking is *armed* when the occupancy rises to the lower threshold `K1`
+/// (or is at/above `K2` at an arrival) and *disarmed* when a departure
+/// takes the occupancy from at-or-above `K2` to below it — "start marking
+/// in advance, stop in advance" — or all the way below `K1`. While armed,
+/// every arriving packet is marked.
+///
+/// Relative to DCTCP's single `K`, the paper splits the threshold so the
+/// congestion signal both begins earlier on the way up (`K1 < K`) and ends
+/// earlier on the way down (`K2 > K` is crossed first when falling),
+/// turning the relay into a hysteresis loop and damping the oscillation.
+///
+/// The paper's parameter text for the testbed lists `K1 = 34KB, K2 = 28KB`,
+/// contradicting its own definition `K1 < K2`; constructors here enforce
+/// `K1 < K2` (see DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{DoubleThreshold, MarkingPolicy, QueueLevel, QueueSnapshot};
+///
+/// let mut p = DoubleThreshold::new(QueueLevel::Packets(30), QueueLevel::Packets(50)).unwrap();
+/// // Rising: arms at K1.
+/// assert!(!p.on_enqueue(&QueueSnapshot::packets(29)).is_marked());
+/// assert!(p.on_enqueue(&QueueSnapshot::packets(30)).is_marked());
+/// // Climbs above K2, still marking.
+/// assert!(p.on_enqueue(&QueueSnapshot::packets(55)).is_marked());
+/// // Falls below K2: disarms.
+/// p.on_dequeue(&QueueSnapshot::packets(49));
+/// assert!(!p.on_enqueue(&QueueSnapshot::packets(49)).is_marked());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoubleThreshold {
+    k1: QueueLevel,
+    k2: QueueLevel,
+    armed: bool,
+    prev: f64,
+}
+
+impl DoubleThreshold {
+    /// Creates the policy with arming threshold `k1` and release threshold
+    /// `k2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the thresholds use different units or if
+    /// `k1 >= k2`.
+    pub fn new(k1: QueueLevel, k2: QueueLevel) -> Result<Self, ParamError> {
+        if !k1.same_unit(&k2) {
+            return Err(ParamError::new(format!(
+                "thresholds must share a unit, got {k1} and {k2}"
+            )));
+        }
+        if k1.raw() >= k2.raw() {
+            return Err(ParamError::new(format!(
+                "K1 must be strictly below K2, got K1 = {k1}, K2 = {k2}"
+            )));
+        }
+        Ok(Self {
+            k1,
+            k2,
+            armed: false,
+            prev: 0.0,
+        })
+    }
+
+    /// The arming (lower) threshold `K1`.
+    pub fn k1(&self) -> QueueLevel {
+        self.k1
+    }
+
+    /// The release (upper) threshold `K2`.
+    pub fn k2(&self) -> QueueLevel {
+        self.k2
+    }
+
+    /// Whether marking is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+impl MarkingPolicy for DoubleThreshold {
+    fn on_enqueue(&mut self, before: &QueueSnapshot) -> EnqueueDecision {
+        let m = self.k1.measure(before);
+        let k1 = self.k1.raw();
+        let k2 = self.k2.raw();
+        if m >= k2 {
+            // At or above the release threshold the queue is unambiguously
+            // congested regardless of crossing history.
+            self.armed = true;
+        } else if self.prev < k1 && m >= k1 {
+            // Upward crossing of K1.
+            self.armed = true;
+        }
+        self.prev = m;
+        if self.armed {
+            EnqueueDecision::mark()
+        } else {
+            EnqueueDecision::accept()
+        }
+    }
+
+    fn on_dequeue(&mut self, after: &QueueSnapshot) {
+        let m = self.k1.measure(after);
+        let k1 = self.k1.raw();
+        let k2 = self.k2.raw();
+        if self.prev >= k2 && m < k2 {
+            // Downward crossing of K2: release the congestion signal early.
+            self.armed = false;
+        }
+        if m < k1 {
+            self.armed = false;
+        }
+        self.prev = m;
+    }
+
+    fn reset(&mut self) {
+        self.armed = false;
+        self.prev = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "dt-dctcp"
+    }
+}
+
+/// A classic Schmitt-trigger marking policy: marking turns on when the
+/// occupancy reaches the *upper* threshold and off when it drains to the
+/// *lower* threshold.
+///
+/// This is the orientation the paper's testbed parameter list implies
+/// (`K1 = 34 KB` on, `K2 = 28 KB` off) as opposed to the lead-hysteresis
+/// orientation its Section V analysis uses ([`DoubleThreshold`]); both
+/// are provided so the ambiguity can be explored empirically (see
+/// DESIGN.md and the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchmittThreshold {
+    lo: QueueLevel,
+    hi: QueueLevel,
+    armed: bool,
+}
+
+impl SchmittThreshold {
+    /// Creates the policy: mark from `hi` (rising) until `lo` (falling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the thresholds use different units or
+    /// `lo >= hi`.
+    pub fn new(lo: QueueLevel, hi: QueueLevel) -> Result<Self, ParamError> {
+        if !lo.same_unit(&hi) {
+            return Err(ParamError::new(format!(
+                "thresholds must share a unit, got {lo} and {hi}"
+            )));
+        }
+        if lo.raw() >= hi.raw() {
+            return Err(ParamError::new(format!(
+                "lower threshold must be strictly below upper, got {lo}, {hi}"
+            )));
+        }
+        Ok(Self {
+            lo,
+            hi,
+            armed: false,
+        })
+    }
+
+    /// The lower (release) threshold.
+    pub fn lo(&self) -> QueueLevel {
+        self.lo
+    }
+
+    /// The upper (arming) threshold.
+    pub fn hi(&self) -> QueueLevel {
+        self.hi
+    }
+
+    /// Whether marking is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+impl MarkingPolicy for SchmittThreshold {
+    fn on_enqueue(&mut self, before: &QueueSnapshot) -> EnqueueDecision {
+        if self.hi.is_reached(before) {
+            self.armed = true;
+        }
+        if self.armed {
+            EnqueueDecision::mark()
+        } else {
+            EnqueueDecision::accept()
+        }
+    }
+
+    fn on_dequeue(&mut self, after: &QueueSnapshot) {
+        if !self.lo.is_reached(after) {
+            self.armed = false;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.armed = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "schmitt"
+    }
+}
+
+/// Parameters for the [`Red`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedParams {
+    /// Lower average-queue threshold.
+    pub min_th: QueueLevel,
+    /// Upper average-queue threshold.
+    pub max_th: QueueLevel,
+    /// Maximum marking probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue.
+    pub weight: f64,
+    /// Mark with ECN instead of dropping.
+    pub ecn: bool,
+    /// Gentle RED: ramp probability from `max_p` to 1 between `max_th` and
+    /// `2 * max_th` instead of jumping to 1.
+    pub gentle: bool,
+    /// Seed for the internal pseudo-random number generator.
+    pub seed: u64,
+}
+
+impl Default for RedParams {
+    fn default() -> Self {
+        Self {
+            min_th: QueueLevel::Packets(5),
+            max_th: QueueLevel::Packets(15),
+            max_p: 0.1,
+            weight: 0.002,
+            ecn: true,
+            gentle: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Random Early Detection — the classical AQM baseline the paper contrasts
+/// (via [Floyd & Jacobson / the RED-control analysis of Hollot et al.])
+/// with DCTCP's instantaneous-queue marking.
+///
+/// Tracks an EWMA of the queue length and marks (or drops) arriving
+/// packets with probability ramping from 0 at `min_th` to `max_p` at
+/// `max_th`, with the standard inter-mark count spreading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Red {
+    params: RedParams,
+    avg: f64,
+    count: i64,
+    rng_state: u64,
+}
+
+impl Red {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if thresholds are mis-ordered or mixed-unit,
+    /// or if `max_p`/`weight` are outside `(0, 1]`.
+    pub fn new(params: RedParams) -> Result<Self, ParamError> {
+        if !params.min_th.same_unit(&params.max_th) {
+            return Err(ParamError::new("RED thresholds must share a unit"));
+        }
+        if params.min_th.raw() >= params.max_th.raw() {
+            return Err(ParamError::new(format!(
+                "RED min_th must be below max_th, got {} and {}",
+                params.min_th, params.max_th
+            )));
+        }
+        if !(params.max_p > 0.0 && params.max_p <= 1.0) {
+            return Err(ParamError::new("RED max_p must be in (0, 1]"));
+        }
+        if !(params.weight > 0.0 && params.weight <= 1.0) {
+            return Err(ParamError::new("RED weight must be in (0, 1]"));
+        }
+        Ok(Self {
+            params,
+            avg: 0.0,
+            count: -1,
+            rng_state: params.seed.max(1),
+        })
+    }
+
+    /// Current EWMA of the queue occupancy (in the threshold unit).
+    pub fn average(&self) -> f64 {
+        self.avg
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        // SplitMix64: small, deterministic, good enough for mark spreading.
+        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl MarkingPolicy for Red {
+    fn on_enqueue(&mut self, before: &QueueSnapshot) -> EnqueueDecision {
+        let q = self.params.min_th.measure(before);
+        let w = self.params.weight;
+        self.avg = (1.0 - w) * self.avg + w * q;
+
+        let min = self.params.min_th.raw();
+        let max = self.params.max_th.raw();
+        let congested = if self.avg < min {
+            self.count = -1;
+            return EnqueueDecision::accept();
+        } else if self.avg < max {
+            let pb = self.params.max_p * (self.avg - min) / (max - min);
+            self.count += 1;
+            let pa = (pb / (1.0 - self.count as f64 * pb).max(f64::MIN_POSITIVE)).clamp(0.0, 1.0);
+            self.next_uniform() < pa
+        } else if self.params.gentle && self.avg < 2.0 * max {
+            let pb =
+                self.params.max_p + (1.0 - self.params.max_p) * (self.avg - max) / max;
+            self.count += 1;
+            self.next_uniform() < pb.clamp(0.0, 1.0)
+        } else {
+            self.count += 1;
+            true
+        };
+
+        if congested {
+            self.count = 0;
+            if self.params.ecn {
+                EnqueueDecision::mark()
+            } else {
+                EnqueueDecision::Drop
+            }
+        } else {
+            EnqueueDecision::accept()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.avg = 0.0;
+        self.count = -1;
+        self.rng_state = self.params.seed.max(1);
+    }
+
+    fn name(&self) -> &'static str {
+        "red"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pk(n: u32) -> QueueSnapshot {
+        QueueSnapshot::packets(n)
+    }
+
+    #[test]
+    fn droptail_never_marks() {
+        let mut p = DropTail::new();
+        for n in [0, 1, 100, 10_000] {
+            assert_eq!(p.on_enqueue(&pk(n)), EnqueueDecision::accept());
+        }
+        assert_eq!(p.name(), "droptail");
+    }
+
+    #[test]
+    fn single_threshold_is_a_relay() {
+        let mut p = SingleThreshold::new(QueueLevel::Packets(40));
+        assert!(!p.on_enqueue(&pk(0)).is_marked());
+        assert!(!p.on_enqueue(&pk(39)).is_marked());
+        assert!(p.on_enqueue(&pk(40)).is_marked());
+        assert!(p.on_enqueue(&pk(41)).is_marked());
+        // Stateless: falling back below K immediately stops marking.
+        assert!(!p.on_enqueue(&pk(39)).is_marked());
+    }
+
+    #[test]
+    fn single_threshold_bytes_unit() {
+        let mut p = SingleThreshold::new(QueueLevel::kilobytes(32));
+        let below = QueueSnapshot::new(32 * 1024 - 1, 100);
+        let at = QueueSnapshot::new(32 * 1024, 1);
+        assert!(!p.on_enqueue(&below).is_marked());
+        assert!(p.on_enqueue(&at).is_marked());
+    }
+
+    #[test]
+    fn double_threshold_rejects_bad_params() {
+        assert!(DoubleThreshold::new(QueueLevel::Packets(50), QueueLevel::Packets(30)).is_err());
+        assert!(DoubleThreshold::new(QueueLevel::Packets(40), QueueLevel::Packets(40)).is_err());
+        assert!(DoubleThreshold::new(QueueLevel::Packets(30), QueueLevel::Bytes(50)).is_err());
+        assert!(DoubleThreshold::new(QueueLevel::Packets(30), QueueLevel::Packets(50)).is_ok());
+    }
+
+    fn dt(k1: u32, k2: u32) -> DoubleThreshold {
+        DoubleThreshold::new(QueueLevel::Packets(k1), QueueLevel::Packets(k2)).unwrap()
+    }
+
+    #[test]
+    fn hysteresis_marks_rising_from_k1_to_peak() {
+        let mut p = dt(30, 50);
+        for n in 0..30 {
+            assert!(!p.on_enqueue(&pk(n)).is_marked(), "unmarked below K1 (n={n})");
+        }
+        for n in 30..60 {
+            assert!(p.on_enqueue(&pk(n)).is_marked(), "marked at/above K1 rising (n={n})");
+        }
+    }
+
+    #[test]
+    fn hysteresis_releases_on_falling_k2_crossing() {
+        let mut p = dt(30, 50);
+        // Rise to 55.
+        for n in 0..=55 {
+            p.on_enqueue(&pk(n));
+        }
+        assert!(p.is_armed());
+        // Fall: dequeues down to 50 keep it armed.
+        for n in (50..55).rev() {
+            p.on_dequeue(&pk(n));
+        }
+        assert!(p.is_armed());
+        // Crossing below K2 = 50 disarms.
+        p.on_dequeue(&pk(49));
+        assert!(!p.is_armed());
+        // Arrivals between K1 and K2 on the falling phase stay unmarked.
+        assert!(!p.on_enqueue(&pk(45)).is_marked());
+        assert!(!p.on_enqueue(&pk(35)).is_marked());
+    }
+
+    #[test]
+    fn hysteresis_rearms_only_after_falling_below_k1() {
+        let mut p = dt(30, 50);
+        for n in 0..=55 {
+            p.on_enqueue(&pk(n));
+        }
+        for n in (35..=54).rev() {
+            p.on_dequeue(&pk(n));
+        }
+        assert!(!p.is_armed());
+        // Rising again from 35 (above K1, below K2): no fresh K1 crossing,
+        // stays disarmed until K2.
+        assert!(!p.on_enqueue(&pk(36)).is_marked());
+        assert!(!p.on_enqueue(&pk(49)).is_marked());
+        // Reaching K2 re-arms as a safety net.
+        assert!(p.on_enqueue(&pk(50)).is_marked());
+    }
+
+    #[test]
+    fn hysteresis_disarms_below_k1() {
+        let mut p = dt(30, 50);
+        for n in 0..=40 {
+            p.on_enqueue(&pk(n));
+        }
+        assert!(p.is_armed());
+        // Falls all the way below K1 without ever reaching K2.
+        for n in (0..40).rev() {
+            p.on_dequeue(&pk(n));
+        }
+        assert!(!p.is_armed());
+        assert!(!p.on_enqueue(&pk(10)).is_marked());
+    }
+
+    #[test]
+    fn hysteresis_reset_restores_initial_state() {
+        let mut p = dt(30, 50);
+        for n in 0..=40 {
+            p.on_enqueue(&pk(n));
+        }
+        assert!(p.is_armed());
+        p.reset();
+        assert!(!p.is_armed());
+        // After reset the policy behaves exactly like a fresh instance.
+        let mut fresh = dt(30, 50);
+        for n in [10, 29, 30, 45] {
+            assert_eq!(
+                p.on_enqueue(&pk(n)).is_marked(),
+                fresh.on_enqueue(&pk(n)).is_marked(),
+                "divergence at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_byte_thresholds() {
+        let mut p =
+            DoubleThreshold::new(QueueLevel::kilobytes(28), QueueLevel::kilobytes(34)).unwrap();
+        let b = |kb: u64| QueueSnapshot::new(kb * 1024, (kb * 1024 / 1500) as u32);
+        assert!(!p.on_enqueue(&b(27)).is_marked());
+        assert!(p.on_enqueue(&b(28)).is_marked());
+        assert!(p.on_enqueue(&b(35)).is_marked());
+        p.on_dequeue(&b(33));
+        assert!(!p.on_enqueue(&b(33)).is_marked());
+    }
+
+    #[test]
+    fn red_no_marks_when_average_below_min() {
+        let mut p = Red::new(RedParams::default()).unwrap();
+        for _ in 0..100 {
+            assert!(!p.on_enqueue(&pk(0)).is_marked());
+        }
+        assert_eq!(p.average(), 0.0);
+    }
+
+    #[test]
+    fn red_marks_under_sustained_congestion() {
+        let mut p = Red::new(RedParams {
+            weight: 0.2,
+            ..RedParams::default()
+        })
+        .unwrap();
+        let mut marked = 0;
+        for _ in 0..1000 {
+            if p.on_enqueue(&pk(30)).is_marked() {
+                marked += 1;
+            }
+        }
+        assert!(marked > 100, "RED should mark heavily at q = 2*max_th, got {marked}");
+        assert!(p.average() > 15.0);
+    }
+
+    #[test]
+    fn red_drop_mode_drops_instead_of_marking() {
+        let mut p = Red::new(RedParams {
+            ecn: false,
+            weight: 0.5,
+            ..RedParams::default()
+        })
+        .unwrap();
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if p.on_enqueue(&pk(40)).is_drop() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 100);
+    }
+
+    #[test]
+    fn red_is_deterministic_per_seed_and_reset() {
+        let params = RedParams {
+            weight: 0.1,
+            ..RedParams::default()
+        };
+        let run = |p: &mut Red| -> Vec<bool> {
+            (0..200).map(|_| p.on_enqueue(&pk(12)).is_marked()).collect()
+        };
+        let mut a = Red::new(params).unwrap();
+        let first = run(&mut a);
+        a.reset();
+        let second = run(&mut a);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn red_rejects_bad_params() {
+        let bad = RedParams {
+            min_th: QueueLevel::Packets(20),
+            max_th: QueueLevel::Packets(10),
+            ..RedParams::default()
+        };
+        assert!(Red::new(bad).is_err());
+        let bad = RedParams {
+            max_p: 0.0,
+            ..RedParams::default()
+        };
+        assert!(Red::new(bad).is_err());
+        let bad = RedParams {
+            weight: 1.5,
+            ..RedParams::default()
+        };
+        assert!(Red::new(bad).is_err());
+    }
+
+    #[test]
+    fn policies_are_object_safe() {
+        let mut policies: Vec<Box<dyn MarkingPolicy>> = vec![
+            Box::new(DropTail::new()),
+            Box::new(SingleThreshold::new(QueueLevel::Packets(40))),
+            Box::new(dt(30, 50)),
+            Box::new(Red::new(RedParams::default()).unwrap()),
+        ];
+        for p in &mut policies {
+            let _ = p.on_enqueue(&pk(10));
+            p.on_dequeue(&pk(9));
+            p.reset();
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! PIE (Proportional Integral controller Enhanced, RFC 8033) — a
+//! latency-based AQM baseline.
+//!
+//! PIE estimates the queueing delay from the occupancy and the measured
+//! departure rate, then drives the marking probability with a PI
+//! controller toward a delay target. Included, like CoDel, as a modern
+//! contrast baseline: it controls *delay* with a smooth probability
+//! rather than DCTCP's instantaneous-occupancy threshold, so it sits at
+//! the opposite end of the "smoothness" spectrum from the relay the
+//! paper analyzes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EnqueueDecision, MarkingPolicy, ParamError, QueueSnapshot};
+
+/// PIE parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PieParams {
+    /// Queueing-delay target in nanoseconds (RFC default 15 ms;
+    /// data-center scale wants tens of microseconds).
+    pub target_ns: u64,
+    /// Probability-update interval in nanoseconds (RFC default 15 ms).
+    pub update_ns: u64,
+    /// Proportional gain `α`, per second of delay error. RFC 8033's
+    /// defaults (0.125, 1.25) are tuned for ~15 ms targets; microsecond
+    /// targets need them scaled up by roughly the target ratio.
+    pub alpha: f64,
+    /// Integral gain `β`, per second of delay change.
+    pub beta: f64,
+    /// Assumed departure rate in bytes/second (a switch knows its line
+    /// rate; a full PIE measures it).
+    pub rate_bytes_per_sec: f64,
+    /// Mark with ECN instead of dropping.
+    pub ecn: bool,
+    /// RNG seed for probabilistic marking.
+    pub seed: u64,
+}
+
+impl PieParams {
+    /// Data-center defaults: 50 µs target, 200 µs update interval, RFC
+    /// gains, ECN marking, for a line rate in Gb/s.
+    pub fn datacenter(line_gbps: f64) -> Self {
+        PieParams {
+            target_ns: 50_000,
+            update_ns: 200_000,
+            alpha: 25.0,
+            beta: 250.0,
+            rate_bytes_per_sec: line_gbps * 1e9 / 8.0,
+            ecn: true,
+            seed: 0x9e1e,
+        }
+    }
+
+    /// Validates positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when any parameter is non-positive.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.target_ns == 0 || self.update_ns == 0 {
+            return Err(ParamError::new("pie target and update interval must be positive"));
+        }
+        if !(self.alpha > 0.0 && self.beta > 0.0) {
+            return Err(ParamError::new("pie gains must be positive"));
+        }
+        if !(self.rate_bytes_per_sec > 0.0) {
+            return Err(ParamError::new("pie departure rate must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// The PIE marking policy.
+///
+/// Because [`MarkingPolicy`] is clocked by queue events rather than wall
+/// time, the controller advances its probability whenever at least one
+/// update interval's worth of *estimated service time* has passed, using
+/// the packet count as its clock — accurate while the queue is busy,
+/// which is the only time PIE matters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pie {
+    params: PieParams,
+    /// Current marking probability.
+    prob: f64,
+    /// Delay estimate at the previous update (seconds).
+    old_delay: f64,
+    /// Estimated service time accumulated since the last update
+    /// (seconds).
+    since_update: f64,
+    rng_state: u64,
+}
+
+impl Pie {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` fail validation.
+    pub fn new(params: PieParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(Pie {
+            params,
+            prob: 0.0,
+            old_delay: 0.0,
+            since_update: 0.0,
+            rng_state: params.seed.max(1),
+        })
+    }
+
+    /// Current marking probability.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn update_probability(&mut self, delay: f64) {
+        let target = self.params.target_ns as f64 * 1e-9;
+        let mut delta =
+            self.params.alpha * (delay - target) + self.params.beta * (delay - self.old_delay);
+        // RFC 8033 auto-scaling: small probabilities move in small steps.
+        if self.prob < 0.01 {
+            delta /= 8.0;
+        } else if self.prob < 0.1 {
+            delta /= 2.0;
+        }
+        self.prob = (self.prob + delta).clamp(0.0, 1.0);
+        // Decay toward zero when the queue is idle-ish.
+        if delay < target / 2.0 && self.old_delay < target / 2.0 {
+            self.prob *= 0.98;
+        }
+        self.old_delay = delay;
+    }
+}
+
+impl MarkingPolicy for Pie {
+    fn on_enqueue(&mut self, before: &QueueSnapshot) -> EnqueueDecision {
+        // Little's-law delay estimate: backlog / departure rate.
+        let delay = before.len_bytes as f64 / self.params.rate_bytes_per_sec;
+
+        // Advance the controller clock by this packet's service time.
+        self.since_update += 1500.0 / self.params.rate_bytes_per_sec;
+        if self.since_update >= self.params.update_ns as f64 * 1e-9 {
+            self.since_update = 0.0;
+            self.update_probability(delay);
+        }
+
+        if self.prob > 0.0 && self.next_uniform() < self.prob {
+            if self.params.ecn {
+                EnqueueDecision::mark()
+            } else {
+                EnqueueDecision::Drop
+            }
+        } else {
+            EnqueueDecision::accept()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.prob = 0.0;
+        self.old_delay = 0.0;
+        self.since_update = 0.0;
+        self.rng_state = self.params.seed.max(1);
+    }
+
+    fn name(&self) -> &'static str {
+        "pie"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PieParams {
+        PieParams::datacenter(1.0)
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut p = params();
+        p.target_ns = 0;
+        assert!(Pie::new(p).is_err());
+        let mut p = params();
+        p.alpha = 0.0;
+        assert!(Pie::new(p).is_err());
+        let mut p = params();
+        p.rate_bytes_per_sec = 0.0;
+        assert!(Pie::new(p).is_err());
+    }
+
+    #[test]
+    fn empty_queue_never_marks() {
+        let mut pie = Pie::new(params()).unwrap();
+        for _ in 0..10_000 {
+            assert!(!pie.on_enqueue(&QueueSnapshot::new(0, 0)).is_marked());
+        }
+        assert_eq!(pie.probability(), 0.0);
+    }
+
+    #[test]
+    fn sustained_backlog_raises_probability() {
+        let mut pie = Pie::new(params()).unwrap();
+        // 60 packets of backlog at 1 Gb/s = 720 us delay >> 50 us target.
+        let q = QueueSnapshot::packets(60);
+        let mut marked = 0;
+        for _ in 0..20_000 {
+            if pie.on_enqueue(&q).is_marked() {
+                marked += 1;
+            }
+        }
+        assert!(pie.probability() > 0.05, "prob {}", pie.probability());
+        assert!(marked > 200, "marked {marked}");
+    }
+
+    #[test]
+    fn probability_decays_when_delay_clears() {
+        let mut pie = Pie::new(params()).unwrap();
+        for _ in 0..20_000 {
+            pie.on_enqueue(&QueueSnapshot::packets(60));
+        }
+        let high = pie.probability();
+        for _ in 0..50_000 {
+            pie.on_enqueue(&QueueSnapshot::new(0, 0));
+        }
+        assert!(
+            pie.probability() < high / 2.0,
+            "probability failed to decay: {} -> {}",
+            high,
+            pie.probability()
+        );
+    }
+
+    #[test]
+    fn drop_mode_drops() {
+        let mut p = params();
+        p.ecn = false;
+        let mut pie = Pie::new(p).unwrap();
+        let mut drops = 0;
+        for _ in 0..20_000 {
+            if pie.on_enqueue(&QueueSnapshot::packets(80)).is_drop() {
+                drops += 1;
+            }
+        }
+        assert!(drops > 100, "drops {drops}");
+    }
+
+    #[test]
+    fn reset_and_determinism() {
+        let run = |pie: &mut Pie| -> Vec<bool> {
+            (0..5_000)
+                .map(|_| pie.on_enqueue(&QueueSnapshot::packets(40)).is_marked())
+                .collect()
+        };
+        let mut pie = Pie::new(params()).unwrap();
+        let a = run(&mut pie);
+        pie.reset();
+        let b = run(&mut pie);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Threshold units.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::marking::QueueSnapshot;
+
+/// A queue-occupancy level expressed either in packets or in bytes.
+///
+/// The paper configures its ns-2 simulations in packets (`K = 40`
+/// packets) and its testbed in bytes (`K = 32 KB`); both forms are
+/// supported and compared against the corresponding occupancy measure of
+/// a [`QueueSnapshot`].
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{QueueLevel, QueueSnapshot};
+///
+/// let k = QueueLevel::Packets(40);
+/// assert!(!k.is_reached(&QueueSnapshot::packets(39)));
+/// assert!(k.is_reached(&QueueSnapshot::packets(40)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueLevel {
+    /// A threshold in whole packets.
+    Packets(u32),
+    /// A threshold in bytes.
+    Bytes(u64),
+}
+
+impl QueueLevel {
+    /// A level of `kb` kilobytes (1 KB = 1024 bytes).
+    pub fn kilobytes(kb: u64) -> Self {
+        QueueLevel::Bytes(kb * 1024)
+    }
+
+    /// Whether the snapshot's occupancy is at or above this level.
+    pub fn is_reached(&self, q: &QueueSnapshot) -> bool {
+        match *self {
+            QueueLevel::Packets(k) => q.len_pkts >= k,
+            QueueLevel::Bytes(k) => q.len_bytes >= k,
+        }
+    }
+
+    /// The occupancy measure of `q` that this level compares against
+    /// (packet count or byte count), as a float.
+    pub fn measure(&self, q: &QueueSnapshot) -> f64 {
+        match *self {
+            QueueLevel::Packets(_) => q.len_pkts as f64,
+            QueueLevel::Bytes(_) => q.len_bytes as f64,
+        }
+    }
+
+    /// The raw threshold value as a float (packets or bytes, matching the
+    /// unit).
+    pub fn raw(&self) -> f64 {
+        match *self {
+            QueueLevel::Packets(k) => k as f64,
+            QueueLevel::Bytes(k) => k as f64,
+        }
+    }
+
+    /// Whether both levels use the same unit.
+    pub fn same_unit(&self, other: &QueueLevel) -> bool {
+        matches!(
+            (self, other),
+            (QueueLevel::Packets(_), QueueLevel::Packets(_))
+                | (QueueLevel::Bytes(_), QueueLevel::Bytes(_))
+        )
+    }
+}
+
+impl fmt::Display for QueueLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QueueLevel::Packets(k) => write!(f, "{k} pkts"),
+            QueueLevel::Bytes(k) => write!(f, "{k} B"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_threshold_compares_packet_count() {
+        let k = QueueLevel::Packets(5);
+        assert!(!k.is_reached(&QueueSnapshot::packets(4)));
+        assert!(k.is_reached(&QueueSnapshot::packets(5)));
+        assert!(k.is_reached(&QueueSnapshot::packets(6)));
+    }
+
+    #[test]
+    fn byte_threshold_compares_bytes() {
+        let k = QueueLevel::kilobytes(32);
+        let q = QueueSnapshot::new(31 * 1024, 40);
+        assert!(!k.is_reached(&q));
+        let q = QueueSnapshot::new(32 * 1024, 10);
+        assert!(k.is_reached(&q));
+    }
+
+    #[test]
+    fn same_unit_discriminates() {
+        assert!(QueueLevel::Packets(1).same_unit(&QueueLevel::Packets(9)));
+        assert!(QueueLevel::Bytes(1).same_unit(&QueueLevel::Bytes(9)));
+        assert!(!QueueLevel::Packets(1).same_unit(&QueueLevel::Bytes(9)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(QueueLevel::Packets(40).to_string(), "40 pkts");
+        assert_eq!(QueueLevel::Bytes(32768).to_string(), "32768 B");
+    }
+}

@@ -1,0 +1,254 @@
+//! Sender-side congestion-window laws.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ParamError;
+
+/// One window (≈ one RTT) of acknowledgement accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// Bytes acknowledged in the window.
+    pub acked_bytes: u64,
+    /// Of those, bytes whose acknowledgements carried the ECN echo.
+    pub marked_bytes: u64,
+}
+
+impl WindowSample {
+    /// Fraction of acknowledged bytes that were marked (`F` in the paper),
+    /// `0.0` for an empty window.
+    pub fn marked_fraction(&self) -> f64 {
+        if self.acked_bytes == 0 {
+            0.0
+        } else {
+            (self.marked_bytes.min(self.acked_bytes)) as f64 / self.acked_bytes as f64
+        }
+    }
+}
+
+/// DCTCP's estimator of the marked fraction: `α ← (1−g)·α + g·F`, updated
+/// once per window of data (roughly one RTT).
+///
+/// `α` estimates the fraction of packets experiencing congestion and is
+/// the multi-bit congestion signal the sender derives from single-bit ECN
+/// feedback. `α` near 0 means a quiet network; near 1, heavy congestion
+/// (Fig. 12 of the paper compares the steady-state `α` of DCTCP and
+/// DT-DCTCP).
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{AlphaEstimator, WindowSample};
+///
+/// let mut est = AlphaEstimator::new(1.0 / 16.0)?;
+/// // A fully marked window nudges α up by g.
+/// let a = est.update(WindowSample { acked_bytes: 1000, marked_bytes: 1000 });
+/// assert!((a - 1.0 / 16.0).abs() < 1e-12);
+/// # Ok::<(), dctcp_core::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaEstimator {
+    g: f64,
+    alpha: f64,
+}
+
+impl AlphaEstimator {
+    /// Creates an estimator with EWMA gain `g` and `α = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `0 < g <= 1`.
+    pub fn new(g: f64) -> Result<Self, ParamError> {
+        if !(g > 0.0 && g <= 1.0) {
+            return Err(ParamError::new(format!("g must be in (0, 1], got {g}")));
+        }
+        Ok(Self { g, alpha: 0.0 })
+    }
+
+    /// The EWMA gain `g`.
+    pub fn g(&self) -> f64 {
+        self.g
+    }
+
+    /// Current estimate `α ∈ [0, 1]`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Folds one completed window of feedback into `α` and returns the new
+    /// value.
+    pub fn update(&mut self, sample: WindowSample) -> f64 {
+        let f = sample.marked_fraction();
+        self.alpha = (1.0 - self.g) * self.alpha + self.g * f;
+        self.alpha = self.alpha.clamp(0.0, 1.0);
+        self.alpha
+    }
+
+    /// Resets `α` to zero.
+    pub fn reset(&mut self) {
+        self.alpha = 0.0;
+    }
+}
+
+/// DCTCP's window reduction: `cwnd ← cwnd · (1 − α/2)`, applied at most
+/// once per window when any mark was seen, floored at `floor` (typically
+/// one segment).
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::dctcp_cut;
+///
+/// // Full congestion (α = 1) behaves like Reno's halving.
+/// assert_eq!(dctcp_cut(20.0, 1.0, 1.0), 10.0);
+/// // Light congestion barely reduces the window.
+/// assert!((dctcp_cut(20.0, 0.1, 1.0) - 19.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `alpha` is outside `[0, 1]`.
+pub fn dctcp_cut(cwnd: f64, alpha: f64, floor: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0, 1]");
+    (cwnd * (1.0 - alpha / 2.0)).max(floor)
+}
+
+/// Classic TCP/ECN (Reno-style) reduction: `cwnd ← cwnd / 2`, floored at
+/// `floor`.
+pub fn reno_cut(cwnd: f64, floor: f64) -> f64 {
+    (cwnd / 2.0).max(floor)
+}
+
+/// D²TCP's deadline-aware reduction (Vamanan et al., SIGCOMM 2012 — the
+/// DCTCP descendant this paper's introduction cites): the congestion
+/// penalty is gamma-corrected by the deadline urgency `d`,
+/// `cwnd ← cwnd · (1 − α^d / 2)`.
+///
+/// `d > 1` models a near-deadline flow (gentler cuts, keeps bandwidth);
+/// `d < 1` a far-deadline flow (harsher cuts, yields bandwidth); `d = 1`
+/// degenerates to DCTCP exactly.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_core::{d2tcp_cut, dctcp_cut};
+///
+/// // d = 1 is DCTCP.
+/// assert_eq!(d2tcp_cut(20.0, 0.5, 1.0, 1.0), dctcp_cut(20.0, 0.5, 1.0));
+/// // A near-deadline flow (d = 2) cuts less for the same congestion.
+/// assert!(d2tcp_cut(20.0, 0.5, 2.0, 1.0) > dctcp_cut(20.0, 0.5, 1.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `alpha` is outside `[0, 1]` or `d` is not
+/// positive.
+pub fn d2tcp_cut(cwnd: f64, alpha: f64, d: f64, floor: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0, 1]");
+    debug_assert!(d > 0.0, "deadline factor {d} must be positive");
+    let penalty = alpha.powf(d);
+    (cwnd * (1.0 - penalty / 2.0)).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marked_fraction_handles_empty_window() {
+        let s = WindowSample::default();
+        assert_eq!(s.marked_fraction(), 0.0);
+    }
+
+    #[test]
+    fn marked_fraction_clamps_overcount() {
+        // Retransmission bookkeeping can over-attribute marks; fraction
+        // must stay within [0, 1].
+        let s = WindowSample {
+            acked_bytes: 10,
+            marked_bytes: 25,
+        };
+        assert_eq!(s.marked_fraction(), 1.0);
+    }
+
+    #[test]
+    fn alpha_rejects_bad_gain() {
+        assert!(AlphaEstimator::new(0.0).is_err());
+        assert!(AlphaEstimator::new(1.5).is_err());
+        assert!(AlphaEstimator::new(-0.1).is_err());
+        assert!(AlphaEstimator::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn alpha_converges_to_steady_fraction() {
+        let mut est = AlphaEstimator::new(1.0 / 16.0).unwrap();
+        for _ in 0..1000 {
+            est.update(WindowSample {
+                acked_bytes: 100,
+                marked_bytes: 25,
+            });
+        }
+        assert!((est.alpha() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_geometric_decay_with_clean_windows() {
+        let g = 1.0 / 16.0;
+        let mut est = AlphaEstimator::new(g).unwrap();
+        est.update(WindowSample {
+            acked_bytes: 1,
+            marked_bytes: 1,
+        });
+        let a1 = est.alpha();
+        est.update(WindowSample {
+            acked_bytes: 1,
+            marked_bytes: 0,
+        });
+        assert!((est.alpha() - a1 * (1.0 - g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_reset() {
+        let mut est = AlphaEstimator::new(0.5).unwrap();
+        est.update(WindowSample {
+            acked_bytes: 1,
+            marked_bytes: 1,
+        });
+        assert!(est.alpha() > 0.0);
+        est.reset();
+        assert_eq!(est.alpha(), 0.0);
+    }
+
+    #[test]
+    fn dctcp_cut_interpolates_between_none_and_half() {
+        assert_eq!(dctcp_cut(100.0, 0.0, 1.0), 100.0);
+        assert_eq!(dctcp_cut(100.0, 1.0, 1.0), 50.0);
+        assert_eq!(dctcp_cut(100.0, 0.5, 1.0), 75.0);
+    }
+
+    #[test]
+    fn cuts_respect_floor() {
+        assert_eq!(dctcp_cut(1.2, 1.0, 1.0), 1.0);
+        assert_eq!(reno_cut(1.5, 1.0), 1.0);
+        assert_eq!(reno_cut(8.0, 1.0), 4.0);
+        assert_eq!(d2tcp_cut(1.2, 1.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn d2tcp_orders_cuts_by_urgency() {
+        let (cwnd, alpha) = (100.0, 0.4);
+        let far = d2tcp_cut(cwnd, alpha, 0.5, 1.0);
+        let neutral = d2tcp_cut(cwnd, alpha, 1.0, 1.0);
+        let near = d2tcp_cut(cwnd, alpha, 2.0, 1.0);
+        assert!(far < neutral, "far-deadline flows cut harder");
+        assert!(near > neutral, "near-deadline flows cut softer");
+        assert_eq!(neutral, dctcp_cut(cwnd, alpha, 1.0));
+    }
+
+    #[test]
+    fn d2tcp_full_congestion_always_halves() {
+        // alpha = 1 => alpha^d = 1 for every d: everyone halves.
+        for d in [0.5, 1.0, 2.0] {
+            assert_eq!(d2tcp_cut(50.0, 1.0, d, 1.0), 25.0);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Continuous-time marking nonlinearities for the fluid model.
+
+use dctcp_core::ParamError;
+use serde::{Deserialize, Serialize};
+
+/// The switch marking rule `p(q)` driving the fluid model's delayed
+/// input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FluidMarking {
+    /// DCTCP's relay: `p = 1{q > K}`.
+    Relay {
+        /// Marking threshold in packets.
+        k: f64,
+    },
+    /// DT-DCTCP's hysteresis: arms when `q` rises through `K1` (or sits
+    /// at/above `K2`), releases when `q` falls through `K2` or below
+    /// `K1`.
+    Hysteresis {
+        /// Arming threshold in packets.
+        k1: f64,
+        /// Release threshold in packets.
+        k2: f64,
+    },
+}
+
+impl FluidMarking {
+    /// Validates threshold ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for non-positive thresholds or `K1 >= K2`.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        match *self {
+            FluidMarking::Relay { k } if k > 0.0 => Ok(()),
+            FluidMarking::Relay { k } => {
+                Err(ParamError::new(format!("relay threshold must be positive, got {k}")))
+            }
+            FluidMarking::Hysteresis { k1, k2 } if k1 > 0.0 && k2 > k1 => Ok(()),
+            FluidMarking::Hysteresis { k1, k2 } => Err(ParamError::new(format!(
+                "hysteresis thresholds must satisfy 0 < K1 < K2, got {k1}, {k2}"
+            ))),
+        }
+    }
+}
+
+/// Stateful evaluation of `p(q(t))` along a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MarkingState {
+    rule: FluidMarking,
+    armed: bool,
+    prev_q: f64,
+}
+
+impl MarkingState {
+    pub(crate) fn new(rule: FluidMarking, q0: f64) -> Self {
+        let armed = match rule {
+            FluidMarking::Relay { k } => q0 > k,
+            FluidMarking::Hysteresis { k1, .. } => q0 >= k1,
+        };
+        MarkingState {
+            rule,
+            armed,
+            prev_q: q0,
+        }
+    }
+
+    /// Advances the marking state with the queue value at the next step
+    /// and returns `p ∈ {0, 1}`.
+    pub(crate) fn step(&mut self, q: f64) -> f64 {
+        match self.rule {
+            FluidMarking::Relay { k } => {
+                self.prev_q = q;
+                if q > k {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            FluidMarking::Hysteresis { k1, k2 } => {
+                if q >= k2 {
+                    self.armed = true;
+                } else if self.prev_q < k1 && q >= k1 {
+                    self.armed = true;
+                } else if self.prev_q >= k2 && q < k2 {
+                    self.armed = false;
+                }
+                if q < k1 {
+                    self.armed = false;
+                }
+                self.prev_q = q;
+                if self.armed {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_thresholds() {
+        assert!(FluidMarking::Relay { k: 40.0 }.validate().is_ok());
+        assert!(FluidMarking::Relay { k: 0.0 }.validate().is_err());
+        assert!(FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 }.validate().is_ok());
+        assert!(FluidMarking::Hysteresis { k1: 50.0, k2: 30.0 }.validate().is_err());
+        assert!(FluidMarking::Hysteresis { k1: 0.0, k2: 30.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn relay_is_memoryless() {
+        let mut m = MarkingState::new(FluidMarking::Relay { k: 40.0 }, 0.0);
+        assert_eq!(m.step(39.0), 0.0);
+        assert_eq!(m.step(41.0), 1.0);
+        assert_eq!(m.step(39.0), 0.0);
+        assert_eq!(m.step(41.0), 1.0);
+    }
+
+    #[test]
+    fn hysteresis_traces_the_loop() {
+        let mut m = MarkingState::new(FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 }, 0.0);
+        // Rising: off below K1, on at K1, on through K2.
+        assert_eq!(m.step(20.0), 0.0);
+        assert_eq!(m.step(29.9), 0.0);
+        assert_eq!(m.step(30.1), 1.0);
+        assert_eq!(m.step(45.0), 1.0);
+        assert_eq!(m.step(55.0), 1.0);
+        // Falling: stays on until K2 crossing, then off through the band.
+        assert_eq!(m.step(50.0), 1.0);
+        assert_eq!(m.step(49.0), 0.0);
+        assert_eq!(m.step(35.0), 0.0);
+        // Re-arms only after going below K1 and rising again.
+        assert_eq!(m.step(45.0), 0.0);
+        assert_eq!(m.step(25.0), 0.0);
+        assert_eq!(m.step(31.0), 1.0);
+    }
+
+    #[test]
+    fn initial_state_reflects_q0() {
+        let m = MarkingState::new(FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 }, 40.0);
+        assert!(m.armed);
+        let m = MarkingState::new(FluidMarking::Relay { k: 40.0 }, 50.0);
+        assert!(m.armed);
+    }
+}

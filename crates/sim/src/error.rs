@@ -1,0 +1,69 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+use dctcp_core::ParamError;
+
+/// Errors from building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The topology is malformed (disconnected hosts, self-links,
+    /// duplicate attachments, …).
+    InvalidTopology(String),
+    /// A queue or algorithm parameter is invalid.
+    Param(ParamError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            SimError::Param(e) => write!(f, "invalid parameter: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Param(e) => Some(e),
+            SimError::InvalidTopology(_) => None,
+        }
+    }
+}
+
+impl From<ParamError> for SimError {
+    fn from(e: ParamError) -> Self {
+        SimError::Param(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        let e = SimError::InvalidTopology("host h9 unreachable".into());
+        assert_eq!(e.to_string(), "invalid topology: host h9 unreachable");
+    }
+
+    #[test]
+    fn param_error_chains_source() {
+        let inner = dctcp_core::DoubleThreshold::new(
+            dctcp_core::QueueLevel::Packets(5),
+            dctcp_core::QueueLevel::Packets(5),
+        )
+        .unwrap_err();
+        let e = SimError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

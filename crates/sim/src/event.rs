@@ -1,0 +1,141 @@
+//! The event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{LinkId, NodeId, Packet, SimTime, TimerToken};
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum EventKind {
+    /// A transmitter finished serializing a packet and becomes free.
+    TxComplete {
+        link: LinkId,
+        /// Which end of the link was transmitting (0 or 1).
+        end: usize,
+    },
+    /// A packet fully arrived at a node (after serialization and
+    /// propagation).
+    Arrival { node: NodeId, packet: Packet },
+    /// An agent timer fires.
+    Timer { node: NodeId, token: TimerToken },
+}
+
+#[derive(Debug)]
+struct ScheduledEvent {
+    at: SimTime,
+    /// Monotone tie-breaker so same-instant events fire in scheduling
+    /// order (FIFO), keeping runs deterministic.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list: earliest deadline first, FIFO among
+/// equal deadlines.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.at, e.kind))
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId::from_index(node),
+            token: TimerToken(token),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), timer(0, 0));
+        q.schedule(SimTime::from_nanos(10), timer(0, 1));
+        q.schedule(SimTime::from_nanos(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_nanos())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_nanos(5), timer(0, i));
+        }
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_nanos(7), timer(0, 0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

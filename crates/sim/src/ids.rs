@@ -1,0 +1,105 @@
+//! Identifier newtypes for simulator entities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw index value.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw index. Intended for tests and
+            /// tools that re-create ids from reports; passing an index
+            /// that was never issued by the simulator yields an id that
+            /// fails lookups.
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node (host or switch) in the topology.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifies a full-duplex link in the topology.
+    LinkId,
+    "l"
+);
+
+/// Identifies one end-to-end transport flow. Allocated by the experiment
+/// harness; the simulator only uses it for dispatching packets to
+/// connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A handle to a pending timer, returned by
+/// [`Context::set_timer`](crate::Context::set_timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerToken(pub(crate) u64);
+
+impl TimerToken {
+    /// A token that never matches a scheduled timer; useful as an "unset"
+    /// placeholder in agent state.
+    pub const NONE: TimerToken = TimerToken(u64::MAX);
+
+    /// Fabricates a token from a raw value. Intended for test harnesses
+    /// (mock timer hosts) — tokens made this way are distinct from each
+    /// other but never match a simulator-issued token.
+    pub fn from_raw(raw: u64) -> TimerToken {
+        TimerToken(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(0).to_string(), "l0");
+        assert_eq!(FlowId(7).to_string(), "f7");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let n = NodeId::from_index(5);
+        assert_eq!(n.index(), 5);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(FlowId(1));
+        s.insert(FlowId(2));
+        assert!(s.contains(&FlowId(1)));
+        assert!(FlowId(1) < FlowId(2));
+    }
+}

@@ -1,0 +1,114 @@
+//! Full-duplex point-to-point links.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, OutputQueue, QueueConfig, SimDuration, SimTime};
+
+/// Rate and propagation delay of a full-duplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Line rate in bits per second (both directions).
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+}
+
+impl LinkSpec {
+    /// A link of `gbps` gigabits per second with the given one-way
+    /// propagation delay in microseconds.
+    pub fn gbps(gbps: f64, delay_us: u64) -> Self {
+        LinkSpec {
+            rate_bps: (gbps * 1e9) as u64,
+            delay: SimDuration::from_micros(delay_us),
+        }
+    }
+}
+
+/// One transmitting end of a link: the attached node, its output queue
+/// toward the other end, and the transmitter's busy flag.
+#[derive(Debug)]
+pub(crate) struct LinkEnd {
+    pub(crate) node: NodeId,
+    pub(crate) queue: OutputQueue,
+    pub(crate) busy: bool,
+    /// Accumulated transmitter busy time since the last stats reset.
+    pub(crate) busy_time: SimDuration,
+    /// Start of the current utilization window.
+    pub(crate) window_start: SimTime,
+    /// Bytes put on the wire since the last stats reset.
+    pub(crate) bytes_sent: u64,
+}
+
+/// A full-duplex link between two nodes with independent per-direction
+/// queues and transmitters.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub(crate) spec: LinkSpec,
+    pub(crate) ends: [LinkEnd; 2],
+}
+
+impl Link {
+    pub(crate) fn new(
+        spec: LinkSpec,
+        a: NodeId,
+        queue_a: &QueueConfig,
+        b: NodeId,
+        queue_b: &QueueConfig,
+    ) -> Result<Self, dctcp_core::ParamError> {
+        Ok(Link {
+            spec,
+            ends: [
+                LinkEnd {
+                    node: a,
+                    queue: OutputQueue::new(queue_a)?,
+                    busy: false,
+                    busy_time: SimDuration::ZERO,
+                    window_start: SimTime::ZERO,
+                    bytes_sent: 0,
+                },
+                LinkEnd {
+                    node: b,
+                    queue: OutputQueue::new(queue_b)?,
+                    busy: false,
+                    busy_time: SimDuration::ZERO,
+                    window_start: SimTime::ZERO,
+                    bytes_sent: 0,
+                },
+            ],
+        })
+    }
+
+    /// Index of the end attached to `node`, if any.
+    pub(crate) fn end_of(&self, node: NodeId) -> Option<usize> {
+        self.ends.iter().position(|e| e.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_constructor() {
+        let s = LinkSpec::gbps(10.0, 25);
+        assert_eq!(s.rate_bps, 10_000_000_000);
+        assert_eq!(s.delay, SimDuration::from_micros(25));
+    }
+
+    #[test]
+    fn end_lookup() {
+        let a = NodeId::from_index(3);
+        let b = NodeId::from_index(7);
+        let l = Link::new(
+            LinkSpec::gbps(1.0, 1),
+            a,
+            &QueueConfig::host_nic(),
+            b,
+            &QueueConfig::host_nic(),
+        )
+        .unwrap();
+        assert_eq!(l.end_of(a), Some(0));
+        assert_eq!(l.end_of(b), Some(1));
+        assert_eq!(l.end_of(NodeId::from_index(9)), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! The packet model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FlowId, NodeId, SimTime};
+
+/// Protocol header overhead charged to every packet on the wire
+/// (IP + TCP without options), in bytes.
+pub const HEADER_BYTES: u32 = 40;
+
+/// The ECN codepoint carried in the IP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Ecn {
+    /// Not ECN-capable transport; a marking AQM cannot mark this packet.
+    #[default]
+    NotEct,
+    /// ECN-capable transport.
+    Ect,
+    /// Congestion Experienced — set by a switch whose marking policy
+    /// fired.
+    Ce,
+}
+
+impl Ecn {
+    /// Whether a switch may set CE on this packet.
+    pub fn is_capable(self) -> bool {
+        matches!(self, Ecn::Ect | Ecn::Ce)
+    }
+
+    /// Whether CE is set.
+    pub fn is_ce(self) -> bool {
+        matches!(self, Ecn::Ce)
+    }
+}
+
+/// Transport-level packet role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Carries `payload` bytes of flow data starting at `seq`.
+    Data,
+    /// Pure acknowledgement; `ack` is the cumulative ACK number.
+    Ack,
+    /// Application control message (e.g. an Incast query).
+    Control,
+}
+
+/// A simulated packet.
+///
+/// Fields are public: packets are plain data that agents construct and
+/// switches forward; there is no invariant beyond `wire_bytes()`
+/// consistency, which is derived rather than stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Role of the packet.
+    pub kind: PacketKind,
+    /// First payload byte's sequence number (Data) or opaque (otherwise).
+    pub seq: u64,
+    /// Cumulative acknowledgement number (Ack packets).
+    pub ack: u64,
+    /// Payload bytes carried (0 for pure ACKs and control packets).
+    pub payload: u32,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// ECN-Echo flag (meaningful on ACKs: echoes CE receipt to sender).
+    pub ece: bool,
+    /// When the packet was handed to the sender's NIC; used for RTT
+    /// sampling.
+    pub sent_at: SimTime,
+    /// On ACKs: the `sent_at` of the data packet that triggered this
+    /// acknowledgement, echoed back for RTT measurement.
+    pub ts_echo: Option<SimTime>,
+}
+
+impl Packet {
+    /// Creates a data packet of `payload` bytes at sequence `seq`.
+    pub fn data(flow: FlowId, src: NodeId, dst: NodeId, seq: u64, payload: u32) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Data,
+            seq,
+            ack: 0,
+            payload,
+            ecn: Ecn::NotEct,
+            ece: false,
+            sent_at: SimTime::ZERO,
+            ts_echo: None,
+        }
+    }
+
+    /// Creates a pure acknowledgement up to (excluding) `ack`.
+    pub fn ack(flow: FlowId, src: NodeId, dst: NodeId, ack: u64) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Ack,
+            seq: 0,
+            ack,
+            payload: 0,
+            ecn: Ecn::NotEct,
+            ece: false,
+            sent_at: SimTime::ZERO,
+            ts_echo: None,
+        }
+    }
+
+    /// Creates an application control packet (no payload accounting).
+    pub fn control(flow: FlowId, src: NodeId, dst: NodeId) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Control,
+            seq: 0,
+            ack: 0,
+            payload: 0,
+            ecn: Ecn::NotEct,
+            ece: false,
+            sent_at: SimTime::ZERO,
+            ts_echo: None,
+        }
+    }
+
+    /// Bytes the packet occupies on the wire (payload plus
+    /// [`HEADER_BYTES`]).
+    pub fn wire_bytes(&self) -> u32 {
+        self.payload + HEADER_BYTES
+    }
+
+    /// Sequence number one past the last payload byte.
+    pub fn end_seq(&self) -> u64 {
+        self.seq + self.payload as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (FlowId, NodeId, NodeId) {
+        (FlowId(1), NodeId::from_index(0), NodeId::from_index(1))
+    }
+
+    #[test]
+    fn data_packet_accounting() {
+        let (f, a, b) = ids();
+        let p = Packet::data(f, a, b, 1000, 1460);
+        assert_eq!(p.wire_bytes(), 1500);
+        assert_eq!(p.end_seq(), 2460);
+        assert_eq!(p.kind, PacketKind::Data);
+    }
+
+    #[test]
+    fn ack_packet_is_header_only() {
+        let (f, a, b) = ids();
+        let p = Packet::ack(f, b, a, 5000);
+        assert_eq!(p.wire_bytes(), HEADER_BYTES);
+        assert_eq!(p.payload, 0);
+        assert_eq!(p.ack, 5000);
+    }
+
+    #[test]
+    fn ecn_capability() {
+        assert!(!Ecn::NotEct.is_capable());
+        assert!(Ecn::Ect.is_capable());
+        assert!(Ecn::Ce.is_capable());
+        assert!(Ecn::Ce.is_ce());
+        assert!(!Ecn::Ect.is_ce());
+    }
+}

@@ -1,0 +1,599 @@
+//! The discrete-event simulation engine.
+
+use std::collections::HashSet;
+
+use crate::event::{EventKind, EventQueue};
+use crate::node::{Action, Node};
+use crate::queue::Offer;
+use crate::{
+    Agent, Context, LinkId, Network, NodeId, Packet, QueueReport, SimDuration, SimTime, TimerToken,
+};
+
+/// Drives a [`Network`] through time.
+///
+/// The engine is single-threaded and fully deterministic: events at equal
+/// instants fire in scheduling order, so two runs of the same scenario
+/// produce identical traces.
+///
+/// # Examples
+///
+/// See [`TopologyBuilder`](crate::TopologyBuilder) for building the
+/// network; a typical run is:
+///
+/// ```no_run
+/// # fn network() -> dctcp_sim::Network { unreachable!() }
+/// use dctcp_sim::{SimDuration, Simulator};
+///
+/// let mut sim = Simulator::new(network());
+/// sim.run_for(SimDuration::from_millis(100));
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    now: SimTime,
+    events: EventQueue,
+    nodes: Vec<Node>,
+    links: Vec<crate::link::Link>,
+    routes: Vec<Vec<Option<(LinkId, usize)>>>,
+    cancelled: HashSet<TimerToken>,
+    next_timer: u64,
+    actions: Vec<Action>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator over a validated network, positioned at time
+    /// zero. Agents' `on_start` callbacks run when time first advances.
+    pub fn new(network: Network) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            nodes: network.nodes,
+            links: network.links,
+            routes: network.routes,
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            actions: Vec::new(),
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Advances the simulation to time `until`, dispatching every event
+    /// scheduled at or before it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` is in the past.
+    pub fn run_until(&mut self, until: SimTime) {
+        assert!(until >= self.now, "cannot run backwards to {until}");
+        self.start_agents();
+        while let Some(at) = self.events.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, kind) = self.events.pop().expect("peeked event exists");
+            debug_assert!(at >= self.now, "event in the past");
+            self.now = at;
+            self.events_processed += 1;
+            self.dispatch(kind);
+        }
+        self.now = until;
+    }
+
+    /// Advances the simulation by `duration`.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.run_until(self.now + duration);
+    }
+
+    /// Whether any events remain scheduled.
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Number of events currently scheduled.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Occupancy/counters report for the queue on `link` transmitting
+    /// from `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `link`.
+    pub fn queue_report(&self, link: LinkId, from: NodeId) -> QueueReport {
+        let l = &self.links[link.index()];
+        let end = l
+            .end_of(from)
+            .unwrap_or_else(|| panic!("{from} is not an endpoint of {link}"));
+        l.ends[end].queue.report(self.now)
+    }
+
+    /// Restarts the statistics window of every queue and transmitter
+    /// (discarding warm-up transients).
+    pub fn reset_all_queue_stats(&mut self) {
+        let now = self.now;
+        for l in &mut self.links {
+            for e in &mut l.ends {
+                e.queue.reset_stats(now);
+                e.busy_time = SimDuration::ZERO;
+                e.bytes_sent = 0;
+                e.window_start = now;
+            }
+        }
+    }
+
+    /// Fraction of wall-clock the transmitter on `link` (from `from`)
+    /// spent serializing packets since the last stats reset — the link's
+    /// utilization. `0.0` before any time has passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `link`.
+    pub fn link_utilization(&self, link: LinkId, from: NodeId) -> f64 {
+        let l = &self.links[link.index()];
+        let end = l
+            .end_of(from)
+            .unwrap_or_else(|| panic!("{from} is not an endpoint of {link}"));
+        let e = &l.ends[end];
+        let elapsed = self.now.saturating_duration_since(e.window_start);
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            e.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Bytes the transmitter on `link` (from `from`) put on the wire
+    /// since the last stats reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `link`.
+    pub fn link_bytes_sent(&self, link: LinkId, from: NodeId) -> u64 {
+        let l = &self.links[link.index()];
+        let end = l
+            .end_of(from)
+            .unwrap_or_else(|| panic!("{from} is not an endpoint of {link}"));
+        l.ends[end].bytes_sent
+    }
+
+    /// Current queue occupancy in packets on `link` transmitting from
+    /// `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `link`.
+    pub fn queue_len_pkts(&self, link: LinkId, from: NodeId) -> u32 {
+        let l = &self.links[link.index()];
+        let end = l
+            .end_of(from)
+            .unwrap_or_else(|| panic!("{from} is not an endpoint of {link}"));
+        l.ends[end].queue.len_pkts()
+    }
+
+    /// Downcasts the agent at `node` to its concrete type.
+    ///
+    /// Returns `None` if `node` is a switch or hosts a different agent
+    /// type.
+    pub fn agent<T: Agent>(&self, node: NodeId) -> Option<&T> {
+        match &self.nodes[node.index()] {
+            Node::Host { agent, .. } => agent.as_any().downcast_ref::<T>(),
+            Node::Switch { .. } => None,
+        }
+    }
+
+    /// Mutable variant of [`Simulator::agent`].
+    pub fn agent_mut<T: Agent>(&mut self, node: NodeId) -> Option<&mut T> {
+        match &mut self.nodes[node.index()] {
+            Node::Host { agent, .. } => agent.as_any_mut().downcast_mut::<T>(),
+            Node::Switch { .. } => None,
+        }
+    }
+
+    /// The name given to a node at topology construction.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.nodes[node.index()].name()
+    }
+
+    fn start_agents(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            if self.nodes[i].is_host() {
+                self.with_agent(node, |agent, ctx| agent.on_start(ctx));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::TxComplete { link, end } => {
+                self.links[link.index()].ends[end].busy = false;
+                self.try_start_tx(link, end);
+            }
+            EventKind::Arrival { node, packet } => {
+                if self.nodes[node.index()].is_host() {
+                    self.with_agent(node, |agent, ctx| agent.on_packet(packet, ctx));
+                } else {
+                    self.forward(node, packet);
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if self.cancelled.remove(&token) {
+                    return;
+                }
+                self.with_agent(node, |agent, ctx| agent.on_timer(token, ctx));
+            }
+        }
+    }
+
+    /// Runs an agent callback and applies the actions it queued.
+    fn with_agent(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut Box<dyn Agent>, &mut Context<'_>),
+    ) {
+        debug_assert!(self.actions.is_empty());
+        let mut actions = std::mem::take(&mut self.actions);
+        {
+            let Node::Host { agent, .. } = &mut self.nodes[node.index()] else {
+                panic!("agent callback on switch {node}");
+            };
+            let mut ctx = Context::new(self.now, node, &mut actions, &mut self.next_timer);
+            f(agent, &mut ctx);
+        }
+        for action in actions.drain(..) {
+            match action {
+                Action::Send(mut pkt) => {
+                    pkt.sent_at = self.now;
+                    if pkt.dst == node {
+                        // Loopback: deliver on the next event round.
+                        self.events
+                            .schedule(self.now, EventKind::Arrival { node, packet: pkt });
+                    } else {
+                        self.forward(node, pkt);
+                    }
+                }
+                Action::SetTimer { at, token } => {
+                    self.events.schedule(at, EventKind::Timer { node, token });
+                }
+                Action::CancelTimer(token) => {
+                    self.cancelled.insert(token);
+                }
+            }
+        }
+        self.actions = actions;
+    }
+
+    /// Places a packet on `node`'s next-hop queue toward its destination.
+    fn forward(&mut self, node: NodeId, packet: Packet) {
+        let Some((link, end)) = self.routes[node.index()][packet.dst.index()] else {
+            // No route (packet addressed to a switch, or a partitioned
+            // topology admitted for switch-only destinations): drop.
+            debug_assert!(false, "no route from {node} to {}", packet.dst);
+            return;
+        };
+        let l = &mut self.links[link.index()];
+        let offer = l.ends[end].queue.offer(self.now, packet);
+        if offer == Offer::Enqueued {
+            self.try_start_tx(link, end);
+        }
+    }
+
+    /// Starts transmitting the queue head if the transmitter is idle.
+    fn try_start_tx(&mut self, link: LinkId, end: usize) {
+        let l = &mut self.links[link.index()];
+        if l.ends[end].busy {
+            return;
+        }
+        let Some(pkt) = l.ends[end].queue.pop(self.now) else {
+            return;
+        };
+        l.ends[end].busy = true;
+        let tx = SimDuration::transmission(pkt.wire_bytes() as u64, l.spec.rate_bps);
+        l.ends[end].busy_time += tx;
+        l.ends[end].bytes_sent += pkt.wire_bytes() as u64;
+        let other = l.ends[1 - end].node;
+        self.events
+            .schedule(self.now + tx, EventKind::TxComplete { link, end });
+        self.events.schedule(
+            self.now + tx + l.spec.delay,
+            EventKind::Arrival {
+                node: other,
+                packet: pkt,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkSpec, QueueConfig, TopologyBuilder};
+    use std::any::Any;
+
+    /// Sends `count` back-to-back packets to `peer` at start; records
+    /// ack arrival times.
+    #[derive(Debug)]
+    struct Pinger {
+        peer: NodeId,
+        count: u32,
+        ack_times: Vec<SimTime>,
+    }
+
+    impl Agent for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.count {
+                let mut p = Packet::data(crate::FlowId(1), ctx.node(), self.peer, i as u64, 960);
+                p.ecn = crate::Ecn::Ect;
+                ctx.send(p);
+            }
+        }
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Context<'_>) {
+            assert_eq!(pkt.kind, crate::PacketKind::Ack);
+            self.ack_times.push(ctx.now());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Acks every data packet immediately.
+    #[derive(Debug)]
+    struct Echo {
+        received: u32,
+    }
+
+    impl Agent for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Context<'_>) {
+            self.received += 1;
+            ctx.send(Packet::ack(pkt.flow, ctx.node(), pkt.src, pkt.end_seq()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// One ping through a switch; checks the exact end-to-end timing.
+    #[test]
+    fn single_packet_timing_is_exact() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(Pinger {
+                peer: NodeId::from_index(1),
+                count: 1,
+                ack_times: Vec::new(),
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let s = b.switch("s");
+        // 1 Gbps, 10 us one-way per hop.
+        let spec = LinkSpec::gbps(1.0, 10);
+        b.link(h1, s, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
+            .unwrap();
+        b.link(s, h2, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
+            .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.run_for(SimDuration::from_millis(1));
+
+        // Data: 1000 B wire = 8 us serialization per hop, 10 us prop per
+        // hop => h1->h2 = 8+10+8+10 = 36 us.
+        // Ack: 40 B = 0.32 us per hop => h2->h1 = 0.32+10+0.32+10 = 20.64 us.
+        // Total 56.64 us.
+        let pinger: &Pinger = sim.agent(h1).expect("agent type");
+        assert_eq!(pinger.ack_times.len(), 1);
+        assert_eq!(pinger.ack_times[0].as_nanos(), 56_640);
+        let echo: &Echo = sim.agent(h2).expect("agent type");
+        assert_eq!(echo.received, 1);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize_fifo() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(Pinger {
+                peer: NodeId::from_index(1),
+                count: 10,
+                ack_times: Vec::new(),
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let spec = LinkSpec::gbps(1.0, 10);
+        b.link(h1, h2, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
+            .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.run_for(SimDuration::from_millis(1));
+        let pinger: &Pinger = sim.agent(h1).unwrap();
+        assert_eq!(pinger.ack_times.len(), 10);
+        // Successive acks separated by exactly one data serialization
+        // time (8 us) once the pipe is full.
+        let deltas: Vec<u64> = pinger
+            .ack_times
+            .windows(2)
+            .map(|w| w[1].as_nanos() - w[0].as_nanos())
+            .collect();
+        for d in deltas {
+            assert_eq!(d, 8_000);
+        }
+    }
+
+    #[derive(Debug)]
+    struct TimerAgent {
+        fired: Vec<u64>,
+        cancel_me: TimerToken,
+    }
+
+    impl Agent for TimerAgent {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_micros(10));
+            let t = ctx.set_timer(SimDuration::from_micros(20));
+            ctx.set_timer(SimDuration::from_micros(30));
+            self.cancel_me = t;
+            ctx.cancel_timer(t);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Context<'_>) {}
+        fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_>) {
+            self.fired.push(ctx.now().as_nanos());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(TimerAgent {
+                fired: Vec::new(),
+                cancel_me: TimerToken::NONE,
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 1),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.run_for(SimDuration::from_millis(1));
+        let a: &TimerAgent = sim.agent(h1).unwrap();
+        assert_eq!(a.fired, vec![10_000, 30_000]);
+    }
+
+    #[test]
+    fn run_until_is_resumable_and_monotone() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(Pinger {
+                peer: NodeId::from_index(1),
+                count: 1,
+                ack_times: Vec::new(),
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 10),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.run_until(SimTime::from_nanos(1000));
+        assert_eq!(sim.now(), SimTime::from_nanos(1000));
+        // Packet (8 us + 10 us) not yet delivered.
+        let echo: &Echo = sim.agent(h2).unwrap();
+        assert_eq!(echo.received, 0);
+        sim.run_for(SimDuration::from_millis(1));
+        let echo: &Echo = sim.agent(h2).unwrap();
+        assert_eq!(echo.received, 1);
+        assert!(sim.events_processed() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run backwards")]
+    fn run_backwards_panics() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(Echo { received: 0 }));
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 1),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.run_until(SimTime::from_nanos(100));
+        sim.run_until(SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn link_utilization_reflects_busy_time() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(Pinger {
+                peer: NodeId::from_index(1),
+                count: 100,
+                ack_times: Vec::new(),
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let link = b
+            .link(
+                h1,
+                h2,
+                LinkSpec::gbps(1.0, 10),
+                QueueConfig::host_nic(),
+                QueueConfig::host_nic(),
+            )
+            .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        // 100 packets x 1000 B = 0.8 ms of serialization at 1 Gb/s.
+        sim.run_until(SimTime::from_nanos(1_000_000));
+        let util = sim.link_utilization(link, h1);
+        assert!((util - 0.8).abs() < 0.01, "utilization {util}");
+        assert_eq!(sim.link_bytes_sent(link, h1), 100 * 1000);
+        // Reverse direction carries only 40 B acks.
+        let back = sim.link_utilization(link, h2);
+        assert!(back < 0.05, "ack-path utilization {back}");
+        // Reset clears the window.
+        sim.reset_all_queue_stats();
+        sim.run_until(SimTime::from_nanos(2_000_000));
+        assert_eq!(sim.link_utilization(link, h1), 0.0);
+        assert_eq!(sim.link_bytes_sent(link, h1), 0);
+    }
+
+    #[test]
+    fn agent_downcast_mismatch_is_none() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(Echo { received: 0 }));
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 1),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let sim = Simulator::new(b.build().unwrap());
+        assert!(sim.agent::<Pinger>(h1).is_none());
+        assert!(sim.agent::<Echo>(h1).is_some());
+    }
+}

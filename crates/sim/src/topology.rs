@@ -1,0 +1,309 @@
+//! Topology construction and static routing.
+
+use std::collections::VecDeque;
+
+use crate::link::Link;
+use crate::node::Node;
+use crate::{Agent, LinkId, LinkSpec, NodeId, QueueConfig, SimError};
+
+/// Builds a network of hosts, switches and links, then computes static
+/// shortest-path routes.
+///
+/// # Examples
+///
+/// A two-host dumbbell through one switch:
+///
+/// ```
+/// use dctcp_sim::{LinkSpec, QueueConfig, TopologyBuilder};
+/// # use dctcp_sim::{Agent, Context, Packet};
+/// # #[derive(Debug)]
+/// # struct Nop;
+/// # impl Agent for Nop {
+/// #     fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+/// #     fn as_any(&self) -> &dyn std::any::Any { self }
+/// #     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// # }
+///
+/// let mut b = TopologyBuilder::new();
+/// let h1 = b.host("h1", Box::new(Nop));
+/// let h2 = b.host("h2", Box::new(Nop));
+/// let s = b.switch("s1");
+/// b.link(h1, s, LinkSpec::gbps(1.0, 10), QueueConfig::host_nic(), QueueConfig::host_nic())?;
+/// b.link(s, h2, LinkSpec::gbps(1.0, 10), QueueConfig::host_nic(), QueueConfig::host_nic())?;
+/// let network = b.build()?;
+/// # Ok::<(), dctcp_sim::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+/// A validated topology with routing tables, ready to simulate.
+#[derive(Debug)]
+pub struct Network {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+    /// `routes[src][dst]` = the link and transmitting end to use for the
+    /// next hop from `src` toward `dst`.
+    pub(crate) routes: Vec<Vec<Option<(LinkId, usize)>>>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host running the given agent.
+    pub fn host(&mut self, name: impl Into<String>, agent: Box<dyn Agent>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Host {
+            name: name.into(),
+            agent,
+        });
+        id
+    }
+
+    /// Adds a switch.
+    pub fn switch(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Switch { name: name.into() });
+        id
+    }
+
+    /// Connects `a` and `b` with a full-duplex link. `queue_ab` configures
+    /// the queue at `a` transmitting toward `b`; `queue_ba` the reverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for self-links, unknown nodes, or invalid
+    /// queue parameters.
+    pub fn link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        spec: LinkSpec,
+        queue_ab: QueueConfig,
+        queue_ba: QueueConfig,
+    ) -> Result<LinkId, SimError> {
+        if a == b {
+            return Err(SimError::InvalidTopology(format!("self-link at {a}")));
+        }
+        for n in [a, b] {
+            if n.index() >= self.nodes.len() {
+                return Err(SimError::InvalidTopology(format!("unknown node {n}")));
+            }
+        }
+        if spec.rate_bps == 0 {
+            return Err(SimError::InvalidTopology(format!(
+                "zero-rate link between {a} and {b}"
+            )));
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(spec, a, &queue_ab, b, &queue_ba)?);
+        Ok(id)
+    }
+
+    /// Validates the topology and computes shortest-path routes (BFS hop
+    /// count; ties broken by lowest link id, deterministically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any two hosts cannot reach each other.
+    pub fn build(self) -> Result<Network, SimError> {
+        let n = self.nodes.len();
+        // Adjacency: node -> [(neighbor, link, transmitting end)].
+        // adj[u] holds (v, link, end-at-v): the transmitting end v would
+        // use to send toward u over this link.
+        let mut adj: Vec<Vec<(usize, LinkId, usize)>> = vec![Vec::new(); n];
+        for (li, link) in self.links.iter().enumerate() {
+            let (a, b) = (link.ends[0].node, link.ends[1].node);
+            adj[a.index()].push((b.index(), LinkId(li as u32), 1));
+            adj[b.index()].push((a.index(), LinkId(li as u32), 0));
+        }
+
+        // BFS from every destination: routes[src][dst] = first hop.
+        let mut routes: Vec<Vec<Option<(LinkId, usize)>>> = vec![vec![None; n]; n];
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            let mut frontier = VecDeque::new();
+            dist[dst] = 0;
+            frontier.push_back(dst);
+            while let Some(u) = frontier.pop_front() {
+                // Deterministic neighbor order: as inserted (link id order).
+                for &(v, link, end_at_v_to_u) in &adj[u] {
+                    // Edge u <-> v; from v the transmitting end toward u.
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        routes[v][dst] = Some((link, end_at_v_to_u));
+                        frontier.push_back(v);
+                    }
+                }
+            }
+            for (src, node) in self.nodes.iter().enumerate() {
+                if src != dst
+                    && node.is_host()
+                    && self.nodes[dst].is_host()
+                    && routes[src][dst].is_none()
+                {
+                    return Err(SimError::InvalidTopology(format!(
+                        "host {} cannot reach host {}",
+                        self.nodes[src].name(),
+                        self.nodes[dst].name()
+                    )));
+                }
+            }
+        }
+
+        Ok(Network {
+            nodes: self.nodes,
+            links: self.links,
+            routes,
+        })
+    }
+}
+
+impl Network {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The name given to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this network.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.nodes[node.index()].name()
+    }
+
+    /// The next-hop link and transmitting end from `src` toward `dst`,
+    /// if a route exists.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<(LinkId, usize)> {
+        self.routes[src.index()][dst.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Context, Packet};
+    use std::any::Any;
+
+    #[derive(Debug)]
+    struct Nop;
+
+    impl Agent for Nop {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Context<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn nic() -> QueueConfig {
+        QueueConfig::host_nic()
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let mut b = TopologyBuilder::new();
+        let hub = b.switch("hub");
+        let hosts: Vec<NodeId> = (0..4)
+            .map(|i| b.host(format!("h{i}"), Box::new(Nop)))
+            .collect();
+        let mut links = Vec::new();
+        for &h in &hosts {
+            links.push(b.link(h, hub, LinkSpec::gbps(1.0, 5), nic(), nic()).unwrap());
+        }
+        let net = b.build().unwrap();
+        // h0 -> h3 goes via its own uplink first.
+        let (l, end) = net.route(hosts[0], hosts[3]).unwrap();
+        assert_eq!(l, links[0]);
+        assert_eq!(end, 0); // transmitting from the host side
+                            // hub -> h3 uses h3's access link, transmitting from the hub side.
+        let (l, end) = net.route(hub, hosts[3]).unwrap();
+        assert_eq!(l, links[3]);
+        assert_eq!(end, 1);
+    }
+
+    #[test]
+    fn disconnected_hosts_rejected() {
+        let mut b = TopologyBuilder::new();
+        let _h1 = b.host("h1", Box::new(Nop));
+        let _h2 = b.host("h2", Box::new(Nop));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let h = b.host("h", Box::new(Nop));
+        let err = b
+            .link(h, h, LinkSpec::gbps(1.0, 1), nic(), nic())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = TopologyBuilder::new();
+        let h = b.host("h", Box::new(Nop));
+        let ghost = NodeId::from_index(42);
+        assert!(b.link(h, ghost, LinkSpec::gbps(1.0, 1), nic(), nic()).is_err());
+    }
+
+    #[test]
+    fn zero_rate_rejected() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(Nop));
+        let h2 = b.host("h2", Box::new(Nop));
+        let spec = LinkSpec {
+            rate_bps: 0,
+            delay: crate::SimDuration::from_micros(1),
+        };
+        assert!(b.link(h1, h2, spec, nic(), nic()).is_err());
+    }
+
+    #[test]
+    fn multihop_chain_routes_hop_by_hop() {
+        // h1 - s1 - s2 - h2
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(Nop));
+        let s1 = b.switch("s1");
+        let s2 = b.switch("s2");
+        let h2 = b.host("h2", Box::new(Nop));
+        let l0 = b.link(h1, s1, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
+        let l1 = b.link(s1, s2, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
+        let l2 = b.link(s2, h2, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.route(h1, h2).unwrap().0, l0);
+        assert_eq!(net.route(s1, h2).unwrap().0, l1);
+        assert_eq!(net.route(s2, h2).unwrap().0, l2);
+        // And the reverse path.
+        assert_eq!(net.route(h2, h1).unwrap().0, l2);
+        assert_eq!(net.route(s2, h1).unwrap().0, l1);
+    }
+
+    #[test]
+    fn network_accessors() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("alpha", Box::new(Nop));
+        let h2 = b.host("beta", Box::new(Nop));
+        b.link(h1, h2, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_links(), 1);
+        assert_eq!(net.node_name(h1), "alpha");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the simulator substrate: conservation laws
+//! and timing invariants that must survive arbitrary traffic.
+
+use dctcp_core::MarkingScheme;
+use dctcp_sim::{
+    Capacity, Ecn, FlowId, NodeId, Offer, OutputQueue, Packet, QueueConfig, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Offer(u16),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![(1u16..2000).prop_map(Op::Offer), Just(Op::Pop)],
+        1..500,
+    )
+}
+
+fn pkt(payload: u16) -> Packet {
+    let mut p = Packet::data(
+        FlowId(1),
+        NodeId::from_index(0),
+        NodeId::from_index(1),
+        0,
+        payload as u32,
+    );
+    p.ecn = Ecn::Ect;
+    p
+}
+
+proptest! {
+    /// Packet and byte conservation: everything offered is either
+    /// enqueued, dropped, popped, or still resident — and byte
+    /// accounting matches exactly.
+    #[test]
+    fn queue_conserves_packets_and_bytes(ops in ops(), cap in 1u32..64) {
+        let cfg = QueueConfig::switch(Capacity::Packets(cap), MarkingScheme::dctcp_packets(5));
+        let mut q = OutputQueue::new(&cfg).unwrap();
+        let mut t = 0u64;
+        let mut resident_bytes: u64 = 0;
+        let mut resident: u32 = 0;
+        let mut popped = 0u64;
+        for op in &ops {
+            t += 1;
+            let now = SimTime::from_nanos(t * 1000);
+            match *op {
+                Op::Offer(payload) => {
+                    let p = pkt(payload);
+                    let wire = p.wire_bytes() as u64;
+                    match q.offer(now, p) {
+                        Offer::Enqueued => {
+                            resident += 1;
+                            resident_bytes += wire;
+                        }
+                        Offer::DroppedAqm | Offer::DroppedOverflow | Offer::DroppedRandom => {}
+                    }
+                }
+                Op::Pop => {
+                    if let Some(p) = q.pop(now) {
+                        popped += 1;
+                        resident -= 1;
+                        resident_bytes -= p.wire_bytes() as u64;
+                    }
+                }
+            }
+            prop_assert_eq!(q.len_pkts(), resident);
+            prop_assert_eq!(q.len_bytes(), resident_bytes);
+            prop_assert!(q.len_pkts() <= cap, "capacity violated");
+        }
+        let c = q.counters();
+        prop_assert_eq!(c.enqueued, resident as u64 + popped);
+        prop_assert_eq!(c.dequeued, popped);
+        let total_offered = ops.iter().filter(|o| matches!(o, Op::Offer(_))).count() as u64;
+        prop_assert_eq!(c.enqueued + c.dropped(), total_offered);
+    }
+
+    /// FIFO order: packets come out in the order they were accepted.
+    #[test]
+    fn queue_is_fifo(ops in ops()) {
+        let cfg = QueueConfig::switch(Capacity::Packets(1_000), MarkingScheme::DropTail);
+        let mut q = OutputQueue::new(&cfg).unwrap();
+        let mut next_seq = 0u64;
+        let mut expected_out = 0u64;
+        let mut t = 0u64;
+        for op in &ops {
+            t += 1;
+            let now = SimTime::from_nanos(t * 1000);
+            match *op {
+                Op::Offer(payload) => {
+                    let mut p = pkt(payload);
+                    p.seq = next_seq;
+                    next_seq += 1;
+                    prop_assert_eq!(q.offer(now, p), Offer::Enqueued);
+                }
+                Op::Pop => {
+                    if let Some(p) = q.pop(now) {
+                        prop_assert_eq!(p.seq, expected_out);
+                        expected_out += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transmission time is additive and monotone in bytes and rate.
+    #[test]
+    fn transmission_time_is_monotone(
+        a in 1u64..100_000,
+        b in 1u64..100_000,
+        rate in 1_000_000u64..100_000_000_000,
+    ) {
+        let ta = SimDuration::transmission(a, rate);
+        let tb = SimDuration::transmission(b, rate);
+        let tab = SimDuration::transmission(a + b, rate);
+        // Ceil rounding makes sums over-estimate by at most 1 ns each.
+        prop_assert!(tab <= ta + tb);
+        prop_assert!(tab + SimDuration::from_nanos(2) >= ta + tb);
+        if a < b {
+            prop_assert!(ta <= tb);
+        }
+        // Faster link, shorter time.
+        let t2 = SimDuration::transmission(a, rate * 2);
+        prop_assert!(t2 <= ta);
+    }
+
+    /// Marked packets are exactly the ECT arrivals the policy marked —
+    /// never NotEct ones.
+    #[test]
+    fn non_ect_packets_are_never_marked(ops in ops()) {
+        let cfg = QueueConfig::switch(
+            Capacity::Packets(1_000),
+            MarkingScheme::dctcp_packets(0), // marks every eligible arrival
+        );
+        let mut q = OutputQueue::new(&cfg).unwrap();
+        let mut t = 0u64;
+        let mut offered_ect = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            t += 1;
+            let now = SimTime::from_nanos(t * 1000);
+            match *op {
+                Op::Offer(payload) => {
+                    let mut p = pkt(payload);
+                    if i % 2 == 0 {
+                        p.ecn = Ecn::NotEct;
+                    } else {
+                        offered_ect += 1;
+                    }
+                    q.offer(now, p);
+                }
+                Op::Pop => {
+                    if let Some(p) = q.pop(now) {
+                        if p.ecn.is_ce() {
+                            prop_assert!(p.payload > 0); // CE only on our data packets
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(q.counters().marked, offered_ect);
+    }
+}

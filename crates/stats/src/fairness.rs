@@ -1,0 +1,83 @@
+//! Allocation-fairness metrics.
+
+/// Jain's fairness index over per-flow allocations:
+/// `J = (Σxᵢ)² / (n · Σxᵢ²)`, ranging from `1/n` (one flow takes all)
+/// to `1` (perfectly equal shares).
+///
+/// Negative allocations are invalid and non-finite allocations are
+/// ignored; an empty (or all-zero) input yields `None`.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_stats::jain_fairness_index;
+///
+/// assert_eq!(jain_fairness_index(&[5.0, 5.0, 5.0]), Some(1.0));
+/// let j = jain_fairness_index(&[10.0, 0.0, 0.0]).unwrap();
+/// assert!((j - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any allocation is negative.
+pub fn jain_fairness_index(allocations: &[f64]) -> Option<f64> {
+    let xs: Vec<f64> = allocations
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .collect();
+    assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "allocations must be non-negative"
+    );
+    if xs.is_empty() {
+        return None;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (xs.len() as f64 * sum_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert_eq!(jain_fairness_index(&[3.0; 10]), Some(1.0));
+    }
+
+    #[test]
+    fn single_hog_gives_one_over_n() {
+        let j = jain_fairness_index(&[7.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jain_fairness_index(&[1.0, 2.0, 3.0]).unwrap();
+        let b = jain_fairness_index(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_are_none() {
+        assert_eq!(jain_fairness_index(&[]), None);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let j = jain_fairness_index(&[5.0, f64::NAN, 5.0]).unwrap();
+        assert_eq!(j, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_allocation_panics() {
+        let _ = jain_fairness_index(&[-1.0, 2.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Streaming and time-weighted statistics for network simulation.
+//!
+//! This crate is the metrics substrate of the DT-DCTCP reproduction. It
+//! provides the estimators the experiment harness relies on:
+//!
+//! * [`Welford`] — numerically stable online mean/variance over samples.
+//! * [`TimeWeighted`] — *time-weighted* moments of a piecewise-constant
+//!   signal such as a queue length, integrated exactly between updates.
+//! * [`TimeSeries`] — a `(time, value)` trace with resampling and windowing.
+//! * [`Quantiles`] / [`P2Quantile`] — exact and streaming quantile
+//!   estimation for completion-time tails.
+//! * [`Histogram`] — fixed-width binning.
+//! * [`ThroughputMeter`] — byte counters over an observation window.
+//!
+//! # Examples
+//!
+//! Track the time-weighted mean of a queue that holds 10 packets for one
+//! second and 30 packets for three seconds:
+//!
+//! ```
+//! use dctcp_stats::TimeWeighted;
+//!
+//! let mut q = TimeWeighted::new(0.0);
+//! q.update(0.0, 10.0);
+//! q.update(1.0, 30.0);
+//! let summary = q.finish(4.0);
+//! assert!((summary.mean - 25.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod fairness;
+mod histogram;
+mod quantile;
+mod series;
+mod throughput;
+mod time_weighted;
+mod welford;
+
+pub use fairness::jain_fairness_index;
+pub use histogram::Histogram;
+pub use quantile::{P2Quantile, Quantiles};
+pub use series::{SeriesSummary, TimeSeries};
+pub use throughput::ThroughputMeter;
+pub use time_weighted::{TimeWeighted, TimeWeightedSummary};
+pub use welford::Welford;

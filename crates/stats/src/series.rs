@@ -1,0 +1,234 @@
+//! Time-series capture and manipulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Welford;
+
+/// A `(time, value)` trace recorded during a simulation.
+///
+/// Times must be pushed in non-decreasing order. The series supports
+/// slicing to an observation window (to discard warm-up transients),
+/// resampling onto a uniform grid (for plotting or export), and summary
+/// statistics.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_stats::TimeSeries;
+///
+/// let mut ts = TimeSeries::new();
+/// for i in 0..10 {
+///     ts.push(i as f64, (i * i) as f64);
+/// }
+/// assert_eq!(ts.len(), 10);
+/// let w = ts.window(2.0, 5.0);
+/// assert_eq!(w.len(), 4); // t = 2, 3, 4, 5
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+/// Summary statistics of a [`TimeSeries`], treating samples as equally
+/// weighted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty series with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            times: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is smaller than the last pushed time.
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "time went backwards: {time} < {last}");
+        }
+        self.times.push(time);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Returns the sub-series with `from <= time <= to`.
+    pub fn window(&self, from: f64, to: f64) -> TimeSeries {
+        let start = self.times.partition_point(|&t| t < from);
+        let end = self.times.partition_point(|&t| t <= to);
+        TimeSeries {
+            times: self.times[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Resamples the series onto a uniform grid with spacing `dt` using
+    /// zero-order hold (the value is held constant between samples), which
+    /// matches the semantics of piecewise-constant signals such as queue
+    /// lengths. Returns an empty series when `self` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn resample(&self, dt: f64) -> TimeSeries {
+        assert!(dt > 0.0, "resample interval must be positive, got {dt}");
+        let mut out = TimeSeries::new();
+        let (Some(&t0), Some(&t1)) = (self.times.first(), self.times.last()) else {
+            return out;
+        };
+        let mut idx = 0;
+        let steps = ((t1 - t0) / dt).floor() as usize;
+        for k in 0..=steps {
+            let t = t0 + k as f64 * dt;
+            while idx + 1 < self.times.len() && self.times[idx + 1] <= t {
+                idx += 1;
+            }
+            out.push(t, self.values[idx]);
+        }
+        out
+    }
+
+    /// Equal-weight summary statistics over the samples.
+    pub fn summary(&self) -> SeriesSummary {
+        let w: Welford = self.values.iter().copied().collect();
+        SeriesSummary {
+            count: w.count(),
+            mean: w.mean(),
+            std: w.population_std(),
+            min: if w.count() == 0 { 0.0 } else { w.min() },
+            max: if w.count() == 0 { 0.0 } else { w.max() },
+        }
+    }
+
+    /// Last value in the series, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+}
+
+impl Extend<(f64, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = (f64, f64)>>(iter: T) -> Self {
+        let mut ts = TimeSeries::new();
+        ts.extend(iter);
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> TimeSeries {
+        (0..n).map(|i| (i as f64, i as f64)).collect()
+    }
+
+    #[test]
+    fn window_selects_inclusive_range() {
+        let ts = ramp(10);
+        let w = ts.window(2.0, 5.0);
+        assert_eq!(w.times(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn window_outside_range_is_empty() {
+        let ts = ramp(5);
+        assert!(ts.window(100.0, 200.0).is_empty());
+        assert!(ts.window(3.0, 2.0).is_empty());
+    }
+
+    #[test]
+    fn resample_zero_order_hold() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, 1.0);
+        ts.push(1.0, 2.0);
+        ts.push(3.0, 5.0);
+        let r = ts.resample(0.5);
+        assert_eq!(r.times(), &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(r.values(), &[1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn resample_empty_is_empty() {
+        assert!(TimeSeries::new().resample(1.0).is_empty());
+    }
+
+    #[test]
+    fn summary_matches_welford() {
+        let ts = ramp(11);
+        let s = ts.summary();
+        assert_eq!(s.count, 11);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn push_rejects_decreasing_time() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 0.0);
+        ts.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn push_allows_equal_times() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 0.0);
+        ts.push(1.0, 1.0);
+        assert_eq!(ts.len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Byte-count throughput metering.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates byte deliveries and reports throughput over the observed
+/// window.
+///
+/// The meter records its first and last delivery times, so a warm-up gap
+/// before the first byte does not deflate the rate unless the caller asks
+/// for the rate over an explicit window.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_stats::ThroughputMeter;
+///
+/// let mut m = ThroughputMeter::new();
+/// m.record(1.0, 1_000_000);
+/// m.record(2.0, 1_000_000);
+/// // 2 MB delivered between t=1 and t=2 over an explicit 2 s window:
+/// assert_eq!(m.bits_per_second_over(0.0, 2.0), 8_000_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    first: Option<f64>,
+    last: Option<f64>,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` delivered at time `now` (seconds).
+    pub fn record(&mut self, now: f64, bytes: u64) {
+        self.bytes += bytes;
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = Some(now);
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Time of the first delivery, if any.
+    pub fn first_delivery(&self) -> Option<f64> {
+        self.first
+    }
+
+    /// Time of the last delivery, if any.
+    pub fn last_delivery(&self) -> Option<f64> {
+        self.last
+    }
+
+    /// Average rate in bits/s over an explicit `[from, to]` window.
+    ///
+    /// Returns `0.0` for an empty or zero-length window.
+    pub fn bits_per_second_over(&self, from: f64, to: f64) -> f64 {
+        let dt = to - from;
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / dt
+        }
+    }
+
+    /// Average rate in bits/s between first and last delivery. `None` when
+    /// fewer than two distinct delivery instants were seen.
+    pub fn bits_per_second(&self) -> Option<f64> {
+        let (f, l) = (self.first?, self.last?);
+        if l > f {
+            Some(self.bytes as f64 * 8.0 / (l - f))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_window_rate() {
+        let mut m = ThroughputMeter::new();
+        m.record(0.5, 500);
+        m.record(1.0, 500);
+        assert_eq!(m.total_bytes(), 1000);
+        assert_eq!(m.bits_per_second_over(0.0, 1.0), 8000.0);
+    }
+
+    #[test]
+    fn empty_meter() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.bits_per_second(), None);
+        assert_eq!(m.bits_per_second_over(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn single_instant_has_no_intrinsic_rate() {
+        let mut m = ThroughputMeter::new();
+        m.record(1.0, 100);
+        assert_eq!(m.bits_per_second(), None);
+        assert_eq!(m.first_delivery(), Some(1.0));
+        assert_eq!(m.last_delivery(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_window_is_zero() {
+        let mut m = ThroughputMeter::new();
+        m.record(1.0, 100);
+        assert_eq!(m.bits_per_second_over(1.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Time-weighted moments of a piecewise-constant signal.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact time-weighted statistics of a piecewise-constant signal, such as
+/// an instantaneous queue length.
+///
+/// A sampled estimator (take the queue length every T microseconds) biases
+/// the mean and misses short excursions; a queue changes value only at
+/// enqueue/dequeue instants, so integrating the signal *between changes* is
+/// both exact and cheaper. [`TimeWeighted::update`] is called with the
+/// current time whenever the value changes; the value is held constant
+/// until the next update.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_stats::TimeWeighted;
+///
+/// // 10 packets for 1 s, then 30 packets for 3 s.
+/// let mut q = TimeWeighted::new(0.0);
+/// q.update(0.0, 10.0);
+/// q.update(1.0, 30.0);
+/// let s = q.finish(4.0);
+/// assert!((s.mean - 25.0).abs() < 1e-12);
+/// // E[x^2] = (100*1 + 900*3)/4 = 700; var = 700 - 625 = 75.
+/// assert!((s.variance - 75.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: f64,
+    last_time: f64,
+    value: f64,
+    integral: f64,
+    integral_sq: f64,
+    min: f64,
+    max: f64,
+    changes: u64,
+}
+
+/// Summary produced by [`TimeWeighted::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeightedSummary {
+    /// Time-weighted mean of the signal.
+    pub mean: f64,
+    /// Time-weighted population variance.
+    pub variance: f64,
+    /// Time-weighted population standard deviation.
+    pub std: f64,
+    /// Smallest value the signal took.
+    pub min: f64,
+    /// Largest value the signal took.
+    pub max: f64,
+    /// Total observation time.
+    pub duration: f64,
+    /// Number of value changes observed.
+    pub changes: u64,
+}
+
+impl TimeWeighted {
+    /// Starts observing at time `start` with an initial value of zero.
+    pub fn new(start: f64) -> Self {
+        Self::with_initial(start, 0.0)
+    }
+
+    /// Starts observing at time `start` with the given initial value.
+    pub fn with_initial(start: f64, value: f64) -> Self {
+        Self {
+            start,
+            last_time: start,
+            value,
+            integral: 0.0,
+            integral_sq: 0.0,
+            min: value,
+            max: value,
+            changes: 0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update (time must be
+    /// monotone).
+    pub fn update(&mut self, now: f64, value: f64) {
+        assert!(
+            now >= self.last_time,
+            "time went backwards: {now} < {}",
+            self.last_time
+        );
+        self.accumulate(now);
+        self.value = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.changes += 1;
+    }
+
+    /// The current value of the signal.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Closes the observation window at time `end` and returns the
+    /// summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last update.
+    pub fn finish(mut self, end: f64) -> TimeWeightedSummary {
+        assert!(
+            end >= self.last_time,
+            "end {end} precedes last update {}",
+            self.last_time
+        );
+        self.accumulate(end);
+        let duration = end - self.start;
+        let (mean, variance) = if duration > 0.0 {
+            let mean = self.integral / duration;
+            let var = (self.integral_sq / duration - mean * mean).max(0.0);
+            (mean, var)
+        } else {
+            (self.value, 0.0)
+        };
+        TimeWeightedSummary {
+            mean,
+            variance,
+            std: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+            duration,
+            changes: self.changes,
+        }
+    }
+
+    fn accumulate(&mut self, now: f64) {
+        let dt = now - self.last_time;
+        self.integral += self.value * dt;
+        self.integral_sq += self.value * self.value * dt;
+        self.last_time = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let mut q = TimeWeighted::with_initial(0.0, 7.0);
+        q.update(2.0, 7.0);
+        let s = q.finish(10.0);
+        assert!((s.mean - 7.0).abs() < 1e-12);
+        assert!(s.variance.abs() < 1e-12);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.duration, 10.0);
+    }
+
+    #[test]
+    fn two_level_signal() {
+        let mut q = TimeWeighted::new(0.0);
+        q.update(0.0, 10.0);
+        q.update(1.0, 30.0);
+        let s = q.finish(4.0);
+        assert!((s.mean - 25.0).abs() < 1e-12);
+        assert!((s.variance - 75.0).abs() < 1e-12);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 30.0);
+    }
+
+    #[test]
+    fn zero_duration_window() {
+        let q = TimeWeighted::with_initial(5.0, 3.0);
+        let s = q.finish(5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.duration, 0.0);
+    }
+
+    #[test]
+    fn square_wave_matches_analytic() {
+        // 50% duty cycle between 0 and 1: mean 0.5, variance 0.25.
+        let mut q = TimeWeighted::new(0.0);
+        for i in 0..100 {
+            q.update(i as f64, (i % 2) as f64);
+        }
+        let s = q.finish(100.0);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        assert!((s.variance - 0.25).abs() < 1e-12);
+        assert_eq!(s.changes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn non_monotone_time_panics() {
+        let mut q = TimeWeighted::new(0.0);
+        q.update(5.0, 1.0);
+        q.update(4.0, 2.0);
+    }
+
+    #[test]
+    fn ignores_time_before_start_window_correctly() {
+        // Updates exactly at the start time contribute no weight.
+        let mut q = TimeWeighted::new(1.0);
+        q.update(1.0, 100.0);
+        q.update(1.0, 50.0);
+        let s = q.finish(2.0);
+        assert!((s.mean - 50.0).abs() < 1e-12);
+    }
+}

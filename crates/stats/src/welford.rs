@@ -1,0 +1,211 @@
+//! Online mean/variance via Welford's algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online estimator of mean, variance, min and max.
+///
+/// Uses Welford's recurrence, so it is safe for millions of samples whose
+/// magnitudes differ widely (queue lengths in packets vs. times in seconds).
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 8);
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (dividing by `n`), or `0.0` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (dividing by `n - 1`), or `0.0` for fewer
+    /// than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest sample seen, or `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen, or `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another estimator into this one (parallel Welford / Chan's
+    /// formula). The result is identical (up to rounding) to pushing all
+    /// samples into one estimator.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut w = Welford::new();
+        w.push(3.5);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.min(), 3.5);
+        assert_eq!(w.max(), 3.5);
+    }
+
+    #[test]
+    fn known_variance() {
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.population_variance() - 4.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: Welford = xs.iter().copied().collect();
+        let mut left: Welford = xs[..37].iter().copied().collect();
+        let right: Welford = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w: Welford = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_variance() {
+        let w: Welford = std::iter::repeat(42.0).take(1000).collect();
+        assert!(w.population_variance().abs() < 1e-9);
+        assert_eq!(w.min(), 42.0);
+        assert_eq!(w.max(), 42.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Transport configuration.
+
+use dctcp_core::ParamError;
+use dctcp_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The congestion-control algorithm run by a sender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CongestionControl {
+    /// Classic TCP: halve the window on ECN echo or loss.
+    Reno,
+    /// DCTCP: estimate the marked fraction `α` with EWMA gain `g` and cut
+    /// the window by `α/2` (at most once per window of data).
+    Dctcp {
+        /// EWMA gain for the `α` estimator (the paper uses `1/16`).
+        g: f64,
+    },
+    /// D²TCP: DCTCP with a deadline-urgency gamma correction of the cut,
+    /// `cwnd ← cwnd · (1 − α^d / 2)` (Vamanan et al., SIGCOMM 2012).
+    ///
+    /// This implementation takes a static urgency `d` per connection (a
+    /// full D²TCP would derive `d` from the remaining deadline each
+    /// RTT).
+    D2tcp {
+        /// EWMA gain for the `α` estimator.
+        g: f64,
+        /// Deadline urgency: `> 1` near-deadline (gentler cuts), `< 1`
+        /// far-deadline (harsher cuts), `1` = plain DCTCP.
+        d: f64,
+    },
+}
+
+/// Configuration of one TCP connection (or a host's default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size — payload bytes per data packet.
+    pub mss: u32,
+    /// Initial congestion window, in segments.
+    pub init_cwnd: f64,
+    /// Window floor, in segments.
+    pub min_cwnd: f64,
+    /// Window cap, in segments.
+    pub max_cwnd: f64,
+    /// Negotiate ECN (set ECT on data, respond to ECE).
+    pub ecn: bool,
+    /// Congestion-control algorithm.
+    pub cc: CongestionControl,
+    /// Minimum retransmission timeout (Linux default 200 ms; data-center
+    /// tunings use 10 ms).
+    pub rto_min: SimDuration,
+    /// Maximum retransmission timeout.
+    pub rto_max: SimDuration,
+    /// Acknowledge every `delayed_ack`-th data packet (1 = every packet,
+    /// 2 = standard delayed ACKs with the DCTCP CE-echo state machine).
+    pub delayed_ack: u32,
+    /// Deadline for a delayed acknowledgement.
+    pub delack_timeout: SimDuration,
+}
+
+impl TcpConfig {
+    /// DCTCP with EWMA gain `g` (paper default `1/16`), ECN on,
+    /// delayed ACKs of 2.
+    pub fn dctcp(g: f64) -> Self {
+        TcpConfig {
+            ecn: true,
+            cc: CongestionControl::Dctcp { g },
+            ..TcpConfig::default()
+        }
+    }
+
+    /// D²TCP with EWMA gain `g` and deadline urgency `d`.
+    pub fn d2tcp(g: f64, d: f64) -> Self {
+        TcpConfig {
+            ecn: true,
+            cc: CongestionControl::D2tcp { g, d },
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Classic ECN-enabled TCP (halve on echo).
+    pub fn reno_ecn() -> Self {
+        TcpConfig {
+            ecn: true,
+            cc: CongestionControl::Reno,
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Plain loss-based TCP (no ECN).
+    pub fn reno() -> Self {
+        TcpConfig {
+            ecn: false,
+            cc: CongestionControl::Reno,
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Overrides the minimum RTO.
+    pub fn with_rto_min(mut self, rto_min: SimDuration) -> Self {
+        self.rto_min = rto_min;
+        self
+    }
+
+    /// Overrides the initial window.
+    pub fn with_init_cwnd(mut self, cwnd: f64) -> Self {
+        self.init_cwnd = cwnd;
+        self
+    }
+
+    /// Overrides the delayed-ACK factor (1 = ack every packet).
+    pub fn with_delayed_ack(mut self, every: u32) -> Self {
+        self.delayed_ack = every;
+        self
+    }
+
+    /// Checks the configuration for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for zero MSS, mis-ordered window bounds, a
+    /// zero delayed-ACK factor, an out-of-range DCTCP gain, or
+    /// `rto_min > rto_max`.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        fn err(msg: String) -> Result<(), ParamError> {
+            Err(ParamError::new(msg))
+        }
+        if self.mss == 0 {
+            return err("mss must be positive".into());
+        }
+        if !(self.min_cwnd >= 1.0) {
+            return err(format!("min_cwnd must be >= 1, got {}", self.min_cwnd));
+        }
+        if !(self.init_cwnd >= self.min_cwnd && self.init_cwnd <= self.max_cwnd) {
+            return err(format!(
+                "init_cwnd {} outside [{}, {}]",
+                self.init_cwnd, self.min_cwnd, self.max_cwnd
+            ));
+        }
+        if self.delayed_ack == 0 {
+            return err("delayed_ack must be >= 1".into());
+        }
+        if self.rto_min > self.rto_max {
+            return err("rto_min exceeds rto_max".into());
+        }
+        match self.cc {
+            CongestionControl::Dctcp { g } => {
+                if !(g > 0.0 && g <= 1.0) {
+                    return err(format!("dctcp g must be in (0, 1], got {g}"));
+                }
+            }
+            CongestionControl::D2tcp { g, d } => {
+                if !(g > 0.0 && g <= 1.0) {
+                    return err(format!("d2tcp g must be in (0, 1], got {g}"));
+                }
+                if !(d > 0.0 && d <= 4.0) {
+                    return err(format!("d2tcp urgency must be in (0, 4], got {d}"));
+                }
+            }
+            CongestionControl::Reno => {}
+        }
+        Ok(())
+    }
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            init_cwnd: 2.0,
+            min_cwnd: 1.0,
+            max_cwnd: 1e6,
+            ecn: false,
+            cc: CongestionControl::Reno,
+            rto_min: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(60),
+            delayed_ack: 2,
+            delack_timeout: SimDuration::from_micros(500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        TcpConfig::default().validate().unwrap();
+        TcpConfig::dctcp(1.0 / 16.0).validate().unwrap();
+        TcpConfig::d2tcp(1.0 / 16.0, 1.5).validate().unwrap();
+        TcpConfig::reno_ecn().validate().unwrap();
+        TcpConfig::reno().validate().unwrap();
+    }
+
+    #[test]
+    fn d2tcp_urgency_validated() {
+        assert!(TcpConfig::d2tcp(1.0 / 16.0, 0.0).validate().is_err());
+        assert!(TcpConfig::d2tcp(1.0 / 16.0, 9.0).validate().is_err());
+    }
+
+    #[test]
+    fn dctcp_constructor_enables_ecn() {
+        let c = TcpConfig::dctcp(0.0625);
+        assert!(c.ecn);
+        assert!(matches!(c.cc, CongestionControl::Dctcp { g } if g == 0.0625));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = TcpConfig::default();
+        c.mss = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TcpConfig::default();
+        c.init_cwnd = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = TcpConfig::default();
+        c.delayed_ack = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TcpConfig::dctcp(2.0);
+        assert!(c.validate().is_err());
+        c = TcpConfig::dctcp(0.1);
+        c.rto_min = SimDuration::from_secs(100);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = TcpConfig::dctcp(0.0625)
+            .with_rto_min(SimDuration::from_millis(10))
+            .with_init_cwnd(10.0)
+            .with_delayed_ack(1);
+        assert_eq!(c.rto_min, SimDuration::from_millis(10));
+        assert_eq!(c.init_cwnd, 10.0);
+        assert_eq!(c.delayed_ack, 1);
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,308 @@
+//! The transport host agent: multiplexes connections onto a simulator
+//! host.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use dctcp_sim::{
+    Agent, Context, FlowId, NodeId, Packet, PacketKind, SimDuration, SimTime, TimerToken,
+};
+
+use crate::{Receiver, Sender, TcpConfig, TimerKind, Wire};
+
+/// A flow to start at a given time, registered before the simulation
+/// begins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFlow {
+    /// Flow identifier (must be unique per sender/receiver pair).
+    pub flow: FlowId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Bytes to transfer; `None` for a long-lived flow.
+    pub bytes: Option<u64>,
+    /// Start time.
+    pub at: SimTime,
+    /// Connection configuration.
+    pub cfg: TcpConfig,
+}
+
+#[derive(Debug)]
+enum TimerEvent {
+    FlowStart(usize),
+    QuerySend(usize),
+    Conn(FlowId, TimerKind),
+}
+
+/// The [`Agent`] that runs TCP connections on a host: it dispatches
+/// arriving packets to per-flow [`Sender`]s and [`Receiver`]s, creates
+/// receivers on demand for incoming flows, and routes timers.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_sim::{FlowId, NodeId, SimTime};
+/// use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
+///
+/// let mut host = TransportHost::new(TcpConfig::dctcp(1.0 / 16.0));
+/// host.schedule(ScheduledFlow {
+///     flow: FlowId(1),
+///     dst: NodeId::from_index(2),
+///     bytes: Some(64 * 1024),
+///     at: SimTime::ZERO,
+///     cfg: TcpConfig::dctcp(1.0 / 16.0),
+/// });
+/// ```
+#[derive(Debug)]
+pub struct TransportHost {
+    default_cfg: TcpConfig,
+    senders: HashMap<FlowId, Sender>,
+    receivers: HashMap<FlowId, Receiver>,
+    timers: HashMap<TimerToken, TimerEvent>,
+    scheduled: Vec<ScheduledFlow>,
+    trace_senders: bool,
+    /// When set, an incoming `Control` packet for flow `f` starts a
+    /// response flow of this many bytes back to the sender under the
+    /// same flow id (the worker side of a query/response workload).
+    respond_bytes: Option<u64>,
+    /// Query (`Control`) packets to emit: `(flow, destination, when)`.
+    queries: Vec<(FlowId, NodeId, SimTime)>,
+}
+
+impl TransportHost {
+    /// Creates a host whose auto-created receivers use `default_cfg`.
+    pub fn new(default_cfg: TcpConfig) -> Self {
+        default_cfg.validate().expect("invalid TcpConfig");
+        TransportHost {
+            default_cfg,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            timers: HashMap::new(),
+            scheduled: Vec::new(),
+            trace_senders: false,
+            respond_bytes: None,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Schedules a query (`Control`) packet for `flow` toward `dst` at
+    /// time `at`; a peer configured with
+    /// [`TransportHost::respond_to_queries`] will answer with a response
+    /// flow. Must be called before the simulation runs.
+    pub fn schedule_query(&mut self, flow: FlowId, dst: NodeId, at: SimTime) {
+        self.queries.push((flow, dst, at));
+    }
+
+    /// Makes this host answer every incoming `Control` (query) packet
+    /// with a `bytes`-long response flow to the querier, reusing the
+    /// query's flow id. Duplicate queries for an active flow are
+    /// ignored.
+    pub fn respond_to_queries(&mut self, bytes: u64) {
+        self.respond_bytes = Some(bytes);
+    }
+
+    /// Enables `(time, cwnd)` / `(time, alpha)` tracing on every sender
+    /// this host creates (call before the simulation starts).
+    pub fn trace_senders(&mut self) {
+        self.trace_senders = true;
+    }
+
+    /// Registers a flow to start during the simulation. Must be called
+    /// before the simulation runs.
+    pub fn schedule(&mut self, flow: ScheduledFlow) {
+        self.scheduled.push(flow);
+    }
+
+    /// The sender for `flow`, if this host originates it.
+    pub fn sender(&self, flow: FlowId) -> Option<&Sender> {
+        self.senders.get(&flow)
+    }
+
+    /// The receiver for `flow`, if this host has received data for it.
+    pub fn receiver(&self, flow: FlowId) -> Option<&Receiver> {
+        self.receivers.get(&flow)
+    }
+
+    /// Iterates over all senders on this host.
+    pub fn senders(&self) -> impl Iterator<Item = &Sender> {
+        self.senders.values()
+    }
+
+    /// Iterates over all receivers on this host.
+    pub fn receivers(&self) -> impl Iterator<Item = &Receiver> {
+        self.receivers.values()
+    }
+
+    /// Restarts statistics on every sender (used to discard warm-up).
+    pub fn reset_sender_stats(&mut self) {
+        for s in self.senders.values_mut() {
+            s.reset_stats();
+        }
+    }
+}
+
+/// Production [`Wire`]: forwards to the simulator context and records
+/// timer ownership in the host's dispatch table.
+struct CtxWire<'a, 'c> {
+    ctx: &'a mut Context<'c>,
+    timers: &'a mut HashMap<TimerToken, TimerEvent>,
+    flow: FlowId,
+}
+
+impl Wire for CtxWire<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn local(&self) -> NodeId {
+        self.ctx.node()
+    }
+
+    fn send(&mut self, pkt: Packet) {
+        self.ctx.send(pkt);
+    }
+
+    fn arm(&mut self, delay: SimDuration, kind: TimerKind) -> TimerToken {
+        let token = self.ctx.set_timer(delay);
+        self.timers.insert(token, TimerEvent::Conn(self.flow, kind));
+        token
+    }
+
+    fn cancel(&mut self, token: TimerToken) {
+        self.timers.remove(&token);
+        self.ctx.cancel_timer(token);
+    }
+}
+
+impl TransportHost {
+    fn start_scheduled(&mut self, index: usize, ctx: &mut Context<'_>) {
+        let sf = self.scheduled[index];
+        let mut sender = Sender::new(sf.flow, sf.dst, sf.bytes, sf.cfg);
+        if self.trace_senders {
+            sender.enable_tracing();
+        }
+        self.senders.insert(sf.flow, sender);
+        let mut wire = CtxWire {
+            ctx,
+            timers: &mut self.timers,
+            flow: sf.flow,
+        };
+        self.senders
+            .get_mut(&sf.flow)
+            .expect("just inserted")
+            .start(&mut wire);
+    }
+}
+
+impl Agent for TransportHost {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..self.scheduled.len() {
+            let at = self.scheduled[i].at;
+            if at <= ctx.now() {
+                self.start_scheduled(i, ctx);
+            } else {
+                let token = ctx.set_timer_at(at);
+                self.timers.insert(token, TimerEvent::FlowStart(i));
+            }
+        }
+        for i in 0..self.queries.len() {
+            let (flow, dst, at) = self.queries[i];
+            if at <= ctx.now() {
+                ctx.send(Packet::control(flow, ctx.node(), dst));
+            } else {
+                let token = ctx.set_timer_at(at);
+                self.timers.insert(token, TimerEvent::QuerySend(i));
+            }
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Context<'_>) {
+        match pkt.kind {
+            PacketKind::Ack => {
+                if let Some(sender) = self.senders.get_mut(&pkt.flow) {
+                    let mut wire = CtxWire {
+                        ctx,
+                        timers: &mut self.timers,
+                        flow: pkt.flow,
+                    };
+                    sender.on_ack(pkt, &mut wire);
+                }
+            }
+            PacketKind::Data => {
+                let receiver = self
+                    .receivers
+                    .entry(pkt.flow)
+                    .or_insert_with(|| Receiver::new(pkt.flow, pkt.src, self.default_cfg));
+                let mut wire = CtxWire {
+                    ctx,
+                    timers: &mut self.timers,
+                    flow: pkt.flow,
+                };
+                receiver.on_data(pkt, &mut wire);
+            }
+            PacketKind::Control => {
+                // Query/response support: spin up a response flow if
+                // configured, else ignore the application-level packet.
+                if let Some(bytes) = self.respond_bytes {
+                    if !self.senders.contains_key(&pkt.flow) {
+                        let mut sender =
+                            Sender::new(pkt.flow, pkt.src, Some(bytes), self.default_cfg);
+                        if self.trace_senders {
+                            sender.enable_tracing();
+                        }
+                        self.senders.insert(pkt.flow, sender);
+                        let mut wire = CtxWire {
+                            ctx,
+                            timers: &mut self.timers,
+                            flow: pkt.flow,
+                        };
+                        self.senders
+                            .get_mut(&pkt.flow)
+                            .expect("just inserted")
+                            .start(&mut wire);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_>) {
+        let Some(event) = self.timers.remove(&token) else {
+            return;
+        };
+        match event {
+            TimerEvent::FlowStart(i) => self.start_scheduled(i, ctx),
+            TimerEvent::QuerySend(i) => {
+                let (flow, dst, _) = self.queries[i];
+                ctx.send(Packet::control(flow, ctx.node(), dst));
+            }
+            TimerEvent::Conn(flow, TimerKind::Rto) => {
+                if let Some(sender) = self.senders.get_mut(&flow) {
+                    let mut wire = CtxWire {
+                        ctx,
+                        timers: &mut self.timers,
+                        flow,
+                    };
+                    sender.on_rto(&mut wire);
+                }
+            }
+            TimerEvent::Conn(flow, TimerKind::DelAck) => {
+                if let Some(receiver) = self.receivers.get_mut(&flow) {
+                    let mut wire = CtxWire {
+                        ctx,
+                        timers: &mut self.timers,
+                        flow,
+                    };
+                    receiver.on_delack(&mut wire);
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

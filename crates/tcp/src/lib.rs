@@ -1,0 +1,70 @@
+//! TCP transport state machines for the DT-DCTCP simulator.
+//!
+//! Implements the end-host side of the paper's experiments:
+//!
+//! * [`Sender`] — slow start, congestion avoidance, NewReno-style fast
+//!   retransmit/recovery, retransmission timeouts with exponential
+//!   backoff, and an ECN response that is either Reno (halve on echo) or
+//!   DCTCP (`α`-proportional cut, [`dctcp_core::dctcp_cut`]).
+//! * [`Receiver`] — cumulative ACKs, out-of-order reassembly
+//!   ([`SeqRanges`]), delayed ACKs, and the DCTCP CE-echo state machine
+//!   that keeps the sender's marked-fraction estimate faithful.
+//! * [`TransportHost`] — the simulator [`Agent`](dctcp_sim::Agent) that
+//!   multiplexes flows onto a host and routes packets and timers.
+//!
+//! The state machines are written against the [`Wire`] trait rather than
+//! the simulator directly, so they are unit-testable in isolation — see
+//! [`testing::MockWire`].
+//!
+//! # Examples
+//!
+//! Set up one 64 KB DCTCP flow between two hosts:
+//!
+//! ```
+//! use dctcp_sim::{FlowId, LinkSpec, NodeId, QueueConfig, SimDuration, SimTime, Simulator,
+//!                 TopologyBuilder};
+//! use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
+//!
+//! let cfg = TcpConfig::dctcp(1.0 / 16.0);
+//! let mut sender_host = TransportHost::new(cfg);
+//! sender_host.schedule(ScheduledFlow {
+//!     flow: FlowId(1),
+//!     dst: NodeId::from_index(1),
+//!     bytes: Some(64 * 1024),
+//!     at: SimTime::ZERO,
+//!     cfg,
+//! });
+//!
+//! let mut b = TopologyBuilder::new();
+//! let h1 = b.host("sender", Box::new(sender_host));
+//! let h2 = b.host("receiver", Box::new(TransportHost::new(cfg)));
+//! b.link(h1, h2, LinkSpec::gbps(1.0, 50), QueueConfig::host_nic(), QueueConfig::host_nic())?;
+//! let mut sim = Simulator::new(b.build()?);
+//! sim.run_for(SimDuration::from_millis(100));
+//!
+//! let host: &TransportHost = sim.agent(h1).unwrap();
+//! assert!(host.sender(FlowId(1)).unwrap().is_complete());
+//! # Ok::<(), dctcp_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+mod host;
+mod receiver;
+mod rtt;
+mod sender;
+mod seq;
+mod stats;
+pub mod testing;
+mod wire;
+
+pub use config::{CongestionControl, TcpConfig};
+pub use host::{ScheduledFlow, TransportHost};
+pub use receiver::Receiver;
+pub use rtt::RttEstimator;
+pub use sender::{Sender, SenderTrace};
+pub use seq::SeqRanges;
+pub use stats::{ReceiverStats, SenderStats};
+pub use wire::{TimerKind, Wire};

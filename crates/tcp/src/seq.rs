@@ -1,0 +1,187 @@
+//! Sequence-range bookkeeping for out-of-order reassembly.
+
+use std::collections::BTreeMap;
+
+/// A set of disjoint, half-open byte ranges `[start, end)` used by the
+/// receiver to track out-of-order data beyond the cumulative ACK point.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_tcp::SeqRanges;
+///
+/// let mut r = SeqRanges::new();
+/// r.insert(2000, 3000);
+/// r.insert(1000, 2000); // adjacent ranges merge
+/// assert_eq!(r.advance(1000), 3000);
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeqRanges {
+    /// start -> end, disjoint and non-adjacent.
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl SeqRanges {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no ranges are held.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of disjoint ranges held.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Inserts `[start, end)`, merging with overlapping or adjacent
+    /// ranges. Empty ranges are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+
+        // Merge with a predecessor that overlaps or touches.
+        if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
+            if e >= start {
+                new_start = s;
+                new_end = new_end.max(e);
+                self.ranges.remove(&s);
+            }
+        }
+        // Merge with successors that overlap or touch.
+        loop {
+            let Some((&s, &e)) = self.ranges.range(new_start..=new_end).next() else {
+                break;
+            };
+            new_end = new_end.max(e);
+            self.ranges.remove(&s);
+        }
+        self.ranges.insert(new_start, new_end);
+    }
+
+    /// Whether `[start, end)` is fully covered.
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        match self.ranges.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Consumes any range beginning at or before `point` and returns the
+    /// new contiguous frontier (the receiver's `rcv_nxt` after newly
+    /// arrived in-order data joins buffered out-of-order data).
+    pub fn advance(&mut self, point: u64) -> u64 {
+        match self.ranges.range(..=point).next_back() {
+            Some((&s, &e)) if e >= point => {
+                self.ranges.remove(&s);
+                e
+            }
+            _ => point,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_disjoint_keeps_separate() {
+        let mut r = SeqRanges::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.bytes(), 20);
+        assert!(r.contains(10, 20));
+        assert!(!r.contains(10, 31));
+    }
+
+    #[test]
+    fn insert_overlapping_merges() {
+        let mut r = SeqRanges::new();
+        r.insert(10, 20);
+        r.insert(15, 25);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(10, 25));
+    }
+
+    #[test]
+    fn insert_adjacent_merges() {
+        let mut r = SeqRanges::new();
+        r.insert(10, 20);
+        r.insert(20, 30);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(10, 30));
+    }
+
+    #[test]
+    fn insert_bridging_merges_many() {
+        let mut r = SeqRanges::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        r.insert(50, 60);
+        r.insert(15, 55);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(10, 60));
+        assert_eq!(r.bytes(), 50);
+    }
+
+    #[test]
+    fn empty_insert_ignored() {
+        let mut r = SeqRanges::new();
+        r.insert(10, 10);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn advance_through_gap_stops() {
+        let mut r = SeqRanges::new();
+        r.insert(20, 30);
+        // Frontier at 10 does not touch [20, 30).
+        assert_eq!(r.advance(10), 10);
+        assert_eq!(r.len(), 1);
+        // Frontier reaching 20 consumes it.
+        assert_eq!(r.advance(20), 30);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn advance_from_inside_range() {
+        let mut r = SeqRanges::new();
+        r.insert(20, 30);
+        assert_eq!(r.advance(25), 30);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn contains_empty_range_is_true() {
+        let r = SeqRanges::new();
+        assert!(r.contains(5, 5));
+        assert!(!r.contains(5, 6));
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let mut r = SeqRanges::new();
+        r.insert(10, 20);
+        r.insert(10, 20);
+        r.insert(12, 18);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.bytes(), 10);
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-connection statistics.
+
+use dctcp_sim::SimTime;
+use dctcp_stats::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Counters and estimators collected by a sender.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SenderStats {
+    /// When the first segment was sent.
+    pub started_at: Option<SimTime>,
+    /// When the last byte was cumulatively acknowledged (finite flows).
+    pub completed_at: Option<SimTime>,
+    /// Bytes cumulatively acknowledged.
+    pub bytes_acked: u64,
+    /// Data segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Fast retransmissions triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Windows in which an ECN echo caused a cut.
+    pub ecn_cuts: u64,
+    /// Online moments of the DCTCP `α` estimate, sampled at each
+    /// per-window update.
+    pub alpha: Welford,
+    /// Online moments of measured RTTs (seconds).
+    pub rtt: Welford,
+    /// Online moments of the congestion window (segments), sampled on
+    /// each cumulative ACK.
+    pub cwnd: Welford,
+}
+
+impl SenderStats {
+    /// Flow completion time, if the flow finished.
+    pub fn completion_time(&self) -> Option<f64> {
+        let (s, e) = (self.started_at?, self.completed_at?);
+        Some(e.duration_since(s).as_secs_f64())
+    }
+
+    /// Clears counters and estimators but keeps start/completion marks.
+    pub fn reset(&mut self) {
+        let started = self.started_at;
+        let completed = self.completed_at;
+        *self = SenderStats::default();
+        self.started_at = started;
+        self.completed_at = completed;
+    }
+}
+
+/// Counters collected by a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReceiverStats {
+    /// Contiguous bytes delivered to the application.
+    pub bytes_received: u64,
+    /// Data segments that arrived (including duplicates).
+    pub segments_received: u64,
+    /// Segments that arrived with CE set.
+    pub ce_segments: u64,
+    /// Duplicate segments (already acknowledged data).
+    pub duplicate_segments: u64,
+    /// Out-of-order segments buffered.
+    pub out_of_order_segments: u64,
+    /// ACK packets sent.
+    pub acks_sent: u64,
+    /// First data arrival.
+    pub first_arrival: Option<SimTime>,
+    /// Most recent data arrival.
+    pub last_arrival: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctcp_sim::SimDuration;
+
+    #[test]
+    fn completion_time_requires_both_marks() {
+        let mut s = SenderStats::default();
+        assert_eq!(s.completion_time(), None);
+        s.started_at = Some(SimTime::ZERO);
+        assert_eq!(s.completion_time(), None);
+        s.completed_at = Some(SimTime::ZERO + SimDuration::from_millis(10));
+        assert!((s.completion_time().unwrap() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_preserves_lifecycle_marks() {
+        let mut s = SenderStats::default();
+        s.started_at = Some(SimTime::from_nanos(5));
+        s.timeouts = 3;
+        s.alpha.push(0.5);
+        s.reset();
+        assert_eq!(s.started_at, Some(SimTime::from_nanos(5)));
+        assert_eq!(s.timeouts, 0);
+        assert_eq!(s.alpha.count(), 0);
+    }
+}

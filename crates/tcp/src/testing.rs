@@ -1,0 +1,95 @@
+//! Test support: a mock [`Wire`] that records connection actions.
+
+use dctcp_sim::{NodeId, Packet, SimDuration, SimTime, TimerToken};
+
+use crate::{TimerKind, Wire};
+
+/// A [`Wire`] that captures sent packets and armed timers so sender and
+/// receiver state machines can be unit-tested without a simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_sim::{NodeId, SimTime};
+/// use dctcp_tcp::testing::MockWire;
+///
+/// let mut wire = MockWire::new(NodeId::from_index(0));
+/// wire.set_now(SimTime::from_nanos(100));
+/// assert!(wire.sent.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct MockWire {
+    now: SimTime,
+    local: NodeId,
+    /// Packets sent, in order.
+    pub sent: Vec<Packet>,
+    /// Timers armed: `(token, fire-at, kind)`.
+    pub timers: Vec<(TimerToken, SimTime, TimerKind)>,
+    /// Tokens cancelled.
+    pub cancelled: Vec<TimerToken>,
+    next_token: u64,
+}
+
+impl MockWire {
+    /// Creates a wire bound to `local` at time zero.
+    pub fn new(local: NodeId) -> Self {
+        MockWire {
+            now: SimTime::ZERO,
+            local,
+            sent: Vec::new(),
+            timers: Vec::new(),
+            cancelled: Vec::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Sets the current time.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now = self.now + d;
+    }
+
+    /// Drains and returns packets sent since the last call.
+    pub fn take_sent(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.sent)
+    }
+
+    /// The most recently armed, not-cancelled timer of `kind`, if any.
+    pub fn pending_timer(&self, kind: TimerKind) -> Option<(TimerToken, SimTime)> {
+        self.timers
+            .iter()
+            .rev()
+            .find(|(tok, _, k)| *k == kind && !self.cancelled.contains(tok))
+            .map(|(tok, at, _)| (*tok, *at))
+    }
+}
+
+impl Wire for MockWire {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn local(&self) -> NodeId {
+        self.local
+    }
+
+    fn send(&mut self, mut pkt: Packet) {
+        pkt.sent_at = self.now;
+        self.sent.push(pkt);
+    }
+
+    fn arm(&mut self, delay: SimDuration, kind: TimerKind) -> TimerToken {
+        let token = TimerToken::from_raw(self.next_token);
+        self.next_token += 1;
+        self.timers.push((token, self.now + delay, kind));
+        token
+    }
+
+    fn cancel(&mut self, token: TimerToken) {
+        self.cancelled.push(token);
+    }
+}

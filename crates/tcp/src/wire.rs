@@ -1,0 +1,33 @@
+//! The interface connections use to reach the network and timers.
+
+use dctcp_sim::{NodeId, Packet, SimDuration, SimTime, TimerToken};
+
+/// Timers a connection can arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Retransmission timeout (sender).
+    Rto,
+    /// Delayed-acknowledgement deadline (receiver).
+    DelAck,
+}
+
+/// What a connection needs from its host: the clock, packet output, and
+/// timers. The production implementation wraps the simulator's
+/// [`Context`](dctcp_sim::Context); [`testing::MockWire`](crate::testing::MockWire)
+/// records actions for state-machine unit tests.
+pub trait Wire {
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+
+    /// The local host's node id.
+    fn local(&self) -> NodeId;
+
+    /// Transmits a packet from the local host.
+    fn send(&mut self, pkt: Packet);
+
+    /// Arms a timer of the given kind for this connection.
+    fn arm(&mut self, delay: SimDuration, kind: TimerKind) -> TimerToken;
+
+    /// Cancels a previously armed timer (no-op when already fired).
+    fn cancel(&mut self, token: TimerToken);
+}

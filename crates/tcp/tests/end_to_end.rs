@@ -1,0 +1,193 @@
+//! End-to-end transport tests over the packet simulator: DCTCP and
+//! DT-DCTCP flows through a marked bottleneck.
+
+use dctcp_core::MarkingScheme;
+use dctcp_sim::{
+    Capacity, FlowId, LinkId, LinkSpec, NodeId, QueueConfig, SimDuration, SimTime, Simulator,
+    TopologyBuilder,
+};
+use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
+
+/// Builds `n` senders -> switch -> one receiver with the bottleneck on
+/// the switch->receiver link. Returns (sim, sender node ids, receiver id,
+/// bottleneck link id, switch id).
+fn star(
+    n: usize,
+    scheme: MarkingScheme,
+    cfg: TcpConfig,
+    rate_gbps: f64,
+    buffer: Capacity,
+) -> (Simulator, Vec<NodeId>, NodeId, LinkId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let receiver = b.host("rx", Box::new(TransportHost::new(cfg)));
+    let sw = b.switch("sw");
+    let mut senders = Vec::new();
+    for i in 0..n {
+        let mut host = TransportHost::new(cfg);
+        host.schedule(ScheduledFlow {
+            flow: FlowId(i as u64 + 1),
+            dst: receiver,
+            bytes: None,
+            at: SimTime::ZERO,
+            cfg,
+        });
+        let h = b.host(format!("tx{i}"), Box::new(host));
+        b.link(
+            h,
+            sw,
+            LinkSpec::gbps(rate_gbps, 10),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        senders.push(h);
+    }
+    let bottleneck = b
+        .link(
+            sw,
+            receiver,
+            LinkSpec::gbps(rate_gbps, 10),
+            QueueConfig::switch(buffer, scheme),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+    let sim = Simulator::new(b.build().unwrap());
+    (sim, senders, receiver, bottleneck, sw)
+}
+
+#[test]
+fn dctcp_flows_fill_the_link_with_small_queue() {
+    let cfg = TcpConfig::dctcp(1.0 / 16.0);
+    let (mut sim, _senders, receiver, bottleneck, sw) = star(
+        4,
+        MarkingScheme::dctcp_packets(20),
+        cfg,
+        1.0,
+        Capacity::Packets(250),
+    );
+    // Warm up, then measure.
+    sim.run_for(SimDuration::from_millis(50));
+    sim.reset_all_queue_stats(); // fresh window
+    let start = sim.now();
+    sim.run_for(SimDuration::from_millis(100));
+
+    let report = sim.queue_report(bottleneck, sw);
+    // Marks must be happening.
+    assert!(report.counters.marked > 0, "no ECN marks at the bottleneck");
+    // Queue sits near (below ~2x) the threshold and never overflows.
+    assert!(
+        report.occupancy_pkts.mean > 1.0 && report.occupancy_pkts.mean < 60.0,
+        "queue mean {} out of band",
+        report.occupancy_pkts.mean
+    );
+    assert_eq!(report.counters.dropped(), 0, "DCTCP should not drop here");
+
+    // Receiver-side goodput close to line rate (>85%).
+    let host: &TransportHost = sim.agent(receiver).expect("transport host");
+    let bytes: u64 = host.receivers().map(|r| r.stats().bytes_received).sum();
+    let elapsed = sim.now().duration_since(start).as_secs_f64();
+    let goodput = bytes as f64 * 8.0 / elapsed;
+    assert!(
+        goodput > 0.85e9,
+        "goodput {goodput:.3e} bps too low for a 1 Gbps bottleneck"
+    );
+}
+
+#[test]
+fn dt_dctcp_flows_also_saturate_and_mark() {
+    let cfg = TcpConfig::dctcp(1.0 / 16.0);
+    let (mut sim, _senders, receiver, bottleneck, sw) = star(
+        4,
+        MarkingScheme::dt_dctcp_packets(15, 25),
+        cfg,
+        1.0,
+        Capacity::Packets(250),
+    );
+    sim.run_for(SimDuration::from_millis(50));
+    sim.reset_all_queue_stats();
+    let start = sim.now();
+    sim.run_for(SimDuration::from_millis(100));
+
+    let report = sim.queue_report(bottleneck, sw);
+    assert!(report.counters.marked > 0);
+    assert_eq!(report.counters.dropped(), 0);
+    assert!(
+        report.occupancy_pkts.mean > 1.0 && report.occupancy_pkts.mean < 60.0,
+        "queue mean {} out of band",
+        report.occupancy_pkts.mean
+    );
+
+    let host: &TransportHost = sim.agent(receiver).expect("transport host");
+    let bytes: u64 = host.receivers().map(|r| r.stats().bytes_received).sum();
+    let elapsed = sim.now().duration_since(start).as_secs_f64();
+    assert!(bytes as f64 * 8.0 / elapsed > 0.85e9);
+}
+
+#[test]
+fn droptail_reno_recovers_from_losses() {
+    let cfg = TcpConfig::reno();
+    let (mut sim, senders, receiver, bottleneck, sw) = star(
+        4,
+        MarkingScheme::DropTail,
+        cfg,
+        1.0,
+        Capacity::Packets(30),
+    );
+    sim.run_for(SimDuration::from_millis(200));
+    let report = sim.queue_report(bottleneck, sw);
+    assert!(
+        report.counters.dropped_overflow > 0,
+        "a 30-packet droptail buffer must overflow under 4 Reno flows"
+    );
+    // Despite losses, data keeps flowing end to end.
+    let host: &TransportHost = sim.agent(receiver).expect("transport host");
+    let bytes: u64 = host.receivers().map(|r| r.stats().bytes_received).sum();
+    assert!(bytes > 10_000_000, "only {bytes} bytes delivered");
+    // Senders saw the losses.
+    let loss_signals: u64 = senders
+        .iter()
+        .map(|&h| {
+            let host: &TransportHost = sim.agent(h).expect("host");
+            host.senders()
+                .map(|s| s.stats().fast_retransmits + s.stats().timeouts)
+                .sum::<u64>()
+        })
+        .sum();
+    assert!(loss_signals > 0);
+}
+
+#[test]
+fn finite_flows_complete_and_report_times() {
+    let cfg = TcpConfig::dctcp(1.0 / 16.0);
+    let mut b = TopologyBuilder::new();
+    let rx = b.host("rx", Box::new(TransportHost::new(cfg)));
+    let mut host = TransportHost::new(cfg);
+    for i in 0..3u64 {
+        host.schedule(ScheduledFlow {
+            flow: FlowId(i + 1),
+            dst: rx,
+            bytes: Some(100_000),
+            at: SimTime::ZERO + SimDuration::from_millis(i),
+            cfg,
+        });
+    }
+    let tx = b.host("tx", Box::new(host));
+    b.link(
+        tx,
+        rx,
+        LinkSpec::gbps(1.0, 10),
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )
+    .unwrap();
+    let mut sim = Simulator::new(b.build().unwrap());
+    sim.run_for(SimDuration::from_millis(100));
+    let host: &TransportHost = sim.agent(tx).expect("host");
+    for i in 0..3u64 {
+        let s = host.sender(FlowId(i + 1)).expect("sender exists");
+        assert!(s.is_complete(), "flow {} incomplete", i + 1);
+        let ct = s.stats().completion_time().expect("completed");
+        assert!(ct > 0.0 && ct < 0.1, "completion {ct}s out of range");
+        assert_eq!(s.stats().bytes_acked, 100_000);
+    }
+}

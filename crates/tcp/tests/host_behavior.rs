@@ -1,0 +1,115 @@
+//! Behavioural tests of `TransportHost`: flow scheduling, multiplexing,
+//! and statistics plumbing on a live simulator.
+
+use dctcp_core::MarkingScheme;
+use dctcp_sim::{
+    Capacity, FlowId, LinkSpec, QueueConfig, SimDuration, SimTime, Simulator, TopologyBuilder,
+};
+use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
+
+fn two_hosts(
+    schedule: Vec<ScheduledFlow>,
+) -> (Simulator, dctcp_sim::NodeId, dctcp_sim::NodeId) {
+    let cfg = TcpConfig::dctcp(1.0 / 16.0);
+    let mut b = TopologyBuilder::new();
+    let rx = b.host("rx", Box::new(TransportHost::new(cfg)));
+    let mut host = TransportHost::new(cfg);
+    for f in schedule {
+        host.schedule(f);
+    }
+    let tx = b.host("tx", Box::new(host));
+    b.link(
+        tx,
+        rx,
+        LinkSpec::gbps(1.0, 20),
+        QueueConfig::switch(Capacity::Packets(100), MarkingScheme::dctcp_packets(20)),
+        QueueConfig::host_nic(),
+    )
+    .unwrap();
+    (Simulator::new(b.build().unwrap()), tx, rx)
+}
+
+fn flow(id: u64, dst: usize, bytes: u64, at_ms: u64) -> ScheduledFlow {
+    ScheduledFlow {
+        flow: FlowId(id),
+        dst: dctcp_sim::NodeId::from_index(dst),
+        bytes: Some(bytes),
+        at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+        cfg: TcpConfig::dctcp(1.0 / 16.0),
+    }
+}
+
+#[test]
+fn delayed_flows_start_at_their_scheduled_time() {
+    let (mut sim, tx, _rx) = two_hosts(vec![flow(1, 0, 50_000, 0), flow(2, 0, 50_000, 5)]);
+    sim.run_for(SimDuration::from_millis(2));
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    assert!(host.sender(FlowId(1)).is_some(), "flow 1 started at t=0");
+    assert!(host.sender(FlowId(2)).is_none(), "flow 2 must not exist yet");
+    sim.run_for(SimDuration::from_millis(10));
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    let s2 = host.sender(FlowId(2)).expect("flow 2 started at 5 ms");
+    let started = s2.stats().started_at.expect("has start mark");
+    assert_eq!(started, SimTime::ZERO + SimDuration::from_millis(5));
+}
+
+#[test]
+fn many_flows_multiplex_on_one_host_pair() {
+    let flows: Vec<ScheduledFlow> = (0..10).map(|i| flow(i + 1, 0, 30_000, 0)).collect();
+    let (mut sim, tx, rx) = two_hosts(flows);
+    sim.run_for(SimDuration::from_millis(200));
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    assert_eq!(host.senders().count(), 10);
+    for i in 0..10u64 {
+        let s = host.sender(FlowId(i + 1)).unwrap();
+        assert!(s.is_complete(), "flow {} incomplete", i + 1);
+    }
+    let rx_host: &TransportHost = sim.agent(rx).unwrap();
+    assert_eq!(rx_host.receivers().count(), 10);
+    let total: u64 = rx_host.receivers().map(|r| r.stats().bytes_received).sum();
+    assert_eq!(total, 10 * 30_000);
+}
+
+#[test]
+fn stray_ack_for_unknown_flow_is_ignored() {
+    // A receiver-side host that never sent anything gets an ACK packet:
+    // nothing should panic and no sender state should appear.
+    let (mut sim, tx, rx) = two_hosts(vec![flow(1, 0, 10_000, 0)]);
+    sim.run_for(SimDuration::from_millis(50));
+    // rx never originated flows; its sender table must be empty while
+    // its receiver table has exactly the one incoming flow.
+    let rx_host: &TransportHost = sim.agent(rx).unwrap();
+    assert_eq!(rx_host.senders().count(), 0);
+    assert_eq!(rx_host.receivers().count(), 1);
+    let tx_host: &TransportHost = sim.agent(tx).unwrap();
+    assert_eq!(tx_host.receivers().count(), 0, "tx received no data");
+}
+
+#[test]
+fn reset_sender_stats_clears_counters_mid_run() {
+    let (mut sim, tx, _rx) = two_hosts(vec![flow(1, 0, 5_000_000, 0)]);
+    sim.run_for(SimDuration::from_millis(10));
+    {
+        let host: &mut TransportHost = sim.agent_mut(tx).unwrap();
+        let before = host.sender(FlowId(1)).unwrap().stats().segments_sent;
+        assert!(before > 0);
+        host.reset_sender_stats();
+        assert_eq!(host.sender(FlowId(1)).unwrap().stats().segments_sent, 0);
+    }
+    // The connection keeps running after the reset.
+    sim.run_for(SimDuration::from_millis(10));
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    assert!(host.sender(FlowId(1)).unwrap().stats().segments_sent > 0);
+}
+
+#[test]
+fn per_flow_stats_are_independent() {
+    let (mut sim, tx, _rx) = two_hosts(vec![flow(1, 0, 1_000, 0), flow(2, 0, 2_000_000, 0)]);
+    sim.run_for(SimDuration::from_millis(100));
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    let s1 = host.sender(FlowId(1)).unwrap();
+    let s2 = host.sender(FlowId(2)).unwrap();
+    assert_eq!(s1.stats().bytes_acked, 1_000);
+    assert_eq!(s2.stats().bytes_acked, 2_000_000);
+    assert!(s1.stats().completion_time().unwrap() < s2.stats().completion_time().unwrap());
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the transport state machines.
+
+use dctcp_sim::{FlowId, NodeId, Packet, SimDuration, SimTime};
+use dctcp_tcp::testing::MockWire;
+use dctcp_tcp::{Receiver, SeqRanges, Sender, TcpConfig, Wire};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// SeqRanges agrees with a naive per-byte set model.
+    #[test]
+    fn seq_ranges_match_byte_set_model(
+        ranges in proptest::collection::vec((0u64..500, 1u64..50), 0..40),
+        advance_points in proptest::collection::vec(0u64..600, 0..10),
+    ) {
+        let mut sut = SeqRanges::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for &(start, len) in &ranges {
+            sut.insert(start, start + len);
+            model.extend(start..start + len);
+        }
+        prop_assert_eq!(sut.bytes(), model.len() as u64);
+        for &(start, len) in &ranges {
+            prop_assert!(sut.contains(start, start + len));
+        }
+        for &p in &advance_points {
+            let mut sut2 = sut.clone();
+            let advanced = sut2.advance(p);
+            // The model: walk forward from p while bytes are present.
+            let mut expect = p;
+            while model.contains(&expect) {
+                expect += 1;
+            }
+            // advance() consumes only the single covering range, which
+            // equals the contiguous run from p.
+            prop_assert_eq!(advanced, expect, "advance({})", p);
+        }
+    }
+
+    /// The receiver's cumulative ACK equals the model's contiguous
+    /// frontier, for any arrival order of a segmented transfer.
+    #[test]
+    fn receiver_tracks_contiguous_frontier(order in proptest::collection::vec(0usize..20, 1..60)) {
+        const SEG: u64 = 1000;
+        let mut cfg = TcpConfig::dctcp(1.0 / 16.0);
+        cfg.delayed_ack = 1; // ack every packet: simplest oracle
+        let mut rx = Receiver::new(FlowId(1), NodeId::from_index(0), cfg);
+        let mut w = MockWire::new(NodeId::from_index(9));
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (i, &seg) in order.iter().enumerate() {
+            w.set_now(SimTime::from_nanos((i as u64 + 1) * 1000));
+            let mut p = Packet::data(
+                FlowId(1),
+                NodeId::from_index(0),
+                NodeId::from_index(9),
+                seg as u64 * SEG,
+                SEG as u32,
+            );
+            p.ecn = dctcp_sim::Ecn::Ect;
+            rx.on_data(p, &mut w);
+            model.insert(seg);
+            let mut frontier = 0usize;
+            while model.contains(&frontier) {
+                frontier += 1;
+            }
+            prop_assert_eq!(rx.bytes_received(), frontier as u64 * SEG);
+            // Every arrival produced at least one ack in per-packet mode.
+            prop_assert!(!w.take_sent().is_empty());
+        }
+    }
+
+    /// A sender driven by an in-order ACK stream never regresses: cwnd
+    /// stays within bounds, bytes_acked is monotone, and the flow
+    /// completes exactly when the last byte is acked.
+    #[test]
+    fn sender_progress_is_monotone(
+        total_segments in 1u64..200,
+        ack_chunks in proptest::collection::vec(1u64..10, 1..300),
+    ) {
+        const MSS: u64 = 1000;
+        let mut cfg = TcpConfig::dctcp(1.0 / 16.0);
+        cfg.mss = MSS as u32;
+        let total = total_segments * MSS;
+        let mut s = Sender::new(FlowId(1), NodeId::from_index(9), Some(total), cfg);
+        let mut w = MockWire::new(NodeId::from_index(0));
+        s.start(&mut w);
+        let mut acked = 0u64;
+        let mut last_bytes_acked = 0u64;
+        for &chunk in &ack_chunks {
+            if acked >= total {
+                break;
+            }
+            // Only ack data that has actually been sent.
+            let sent_frontier: u64 = w
+                .sent
+                .iter()
+                .map(|p| p.end_seq())
+                .max()
+                .unwrap_or(0)
+                .max(acked);
+            if sent_frontier == acked {
+                break; // window closed and nothing in flight (shouldn't happen)
+            }
+            acked = (acked + chunk * MSS).min(sent_frontier).min(total);
+            w.advance(SimDuration::from_micros(100));
+            let mut ack = Packet::ack(FlowId(1), NodeId::from_index(9), NodeId::from_index(0), acked);
+            ack.ts_echo = Some(w.now());
+            s.on_ack(ack, &mut w);
+
+            prop_assert!(s.cwnd() >= 1.0 && s.cwnd() <= cfg.max_cwnd);
+            prop_assert!(s.stats().bytes_acked >= last_bytes_acked);
+            last_bytes_acked = s.stats().bytes_acked;
+            prop_assert_eq!(s.is_complete(), acked >= total);
+        }
+        // Sequence space sanity: nothing beyond `total` was ever sent.
+        for p in &w.sent {
+            prop_assert!(p.end_seq() <= total);
+        }
+    }
+
+    /// Alpha never leaves [0, 1] under arbitrary ECE patterns.
+    #[test]
+    fn sender_alpha_bounded_under_random_ece(pattern in proptest::collection::vec(any::<bool>(), 1..300)) {
+        const MSS: u64 = 1000;
+        let mut cfg = TcpConfig::dctcp(1.0 / 16.0);
+        cfg.mss = MSS as u32;
+        let mut s = Sender::new(FlowId(1), NodeId::from_index(9), None, cfg);
+        let mut w = MockWire::new(NodeId::from_index(0));
+        s.start(&mut w);
+        let mut acked = 0u64;
+        for &ece in &pattern {
+            acked += MSS;
+            w.advance(SimDuration::from_micros(50));
+            let mut ack = Packet::ack(FlowId(1), NodeId::from_index(9), NodeId::from_index(0), acked);
+            ack.ece = ece;
+            ack.ts_echo = Some(w.now());
+            s.on_ack(ack, &mut w);
+            prop_assert!((0.0..=1.0).contains(&s.alpha()), "alpha = {}", s.alpha());
+            prop_assert!(s.cwnd() >= 1.0);
+        }
+    }
+}

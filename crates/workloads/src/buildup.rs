@@ -1,0 +1,215 @@
+//! The *queue buildup* microbenchmark from the DCTCP paper's evaluation
+//! (cited in this paper's background): long-lived flows keep a standing
+//! queue at the bottleneck, and short query flows crossing the same
+//! queue pay its delay. A scheme that holds a smaller, steadier queue
+//! gives short flows faster, more predictable completions.
+
+use dctcp_core::MarkingScheme;
+use dctcp_sim::{
+    Capacity, FlowId, QueueConfig, SimDuration, SimError, SimTime, Simulator, TopologyBuilder,
+};
+use dctcp_stats::Quantiles;
+use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the queue-buildup microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildupConfig {
+    /// Marking scheme at the bottleneck.
+    pub marking: MarkingScheme,
+    /// Transport configuration.
+    pub tcp: TcpConfig,
+    /// Number of long-lived background flows.
+    pub long_flows: u32,
+    /// Size of each short query flow in bytes.
+    pub short_bytes: u64,
+    /// Interval between short-flow arrivals.
+    pub short_interval: SimDuration,
+    /// Number of short flows to launch.
+    pub short_count: u32,
+    /// Bottleneck rate in Gb/s.
+    pub gbps: f64,
+    /// Bottleneck buffer.
+    pub buffer: Capacity,
+    /// Warm-up before the first short flow.
+    pub warmup: SimDuration,
+}
+
+impl BuildupConfig {
+    /// The DCTCP-paper-style setup: 2 long flows, 20 KB queries every
+    /// 2 ms, 1 Gb/s bottleneck.
+    pub fn standard(marking: MarkingScheme) -> Self {
+        BuildupConfig {
+            marking,
+            tcp: TcpConfig::dctcp(1.0 / 16.0),
+            long_flows: 2,
+            short_bytes: 20 * 1024,
+            short_interval: SimDuration::from_millis(2),
+            short_count: 20,
+            gbps: 1.0,
+            buffer: Capacity::Packets(500),
+            warmup: SimDuration::from_millis(30),
+        }
+    }
+}
+
+/// Result of a buildup run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildupReport {
+    /// Scheme under test.
+    pub scheme: MarkingScheme,
+    /// Completion times of the short flows, seconds.
+    pub short_completions: Vec<f64>,
+    /// Long-flow goodput over the measurement window, bits/second.
+    pub long_goodput_bps: f64,
+    /// Time-weighted mean bottleneck occupancy, packets.
+    pub queue_mean: f64,
+}
+
+impl BuildupReport {
+    /// Quantile helper over the short-flow completions.
+    pub fn completions(&self) -> Quantiles {
+        self.short_completions.iter().copied().collect()
+    }
+}
+
+/// Runs the microbenchmark: long flows plus periodic short queries
+/// through one bottleneck, reporting short-flow completion times.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid marking/TCP parameters.
+pub fn run_buildup(cfg: &BuildupConfig) -> Result<BuildupReport, SimError> {
+    cfg.tcp.validate()?;
+    let mut b = TopologyBuilder::new();
+    let rx = b.host("rx", Box::new(TransportHost::new(cfg.tcp)));
+    let sw = b.switch("sw");
+    let spec = dctcp_sim::LinkSpec::gbps(cfg.gbps, 25);
+
+    // Long-lived senders.
+    for i in 0..cfg.long_flows {
+        let mut host = TransportHost::new(cfg.tcp);
+        host.schedule(ScheduledFlow {
+            flow: FlowId(i as u64 + 1),
+            dst: rx,
+            bytes: None,
+            at: SimTime::ZERO,
+            cfg: cfg.tcp,
+        });
+        let h = b.host(format!("long{i}"), Box::new(host));
+        b.link(h, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+    }
+
+    // One host fires all the short queries, spaced by the interval.
+    let mut shorts = TransportHost::new(cfg.tcp);
+    let short_base = 1000u64;
+    for i in 0..cfg.short_count {
+        shorts.schedule(ScheduledFlow {
+            flow: FlowId(short_base + i as u64),
+            dst: rx,
+            bytes: Some(cfg.short_bytes),
+            at: SimTime::ZERO + cfg.warmup + cfg.short_interval * i as u64,
+            cfg: cfg.tcp,
+        });
+    }
+    let shorts_host = b.host("shorts", Box::new(shorts));
+    b.link(
+        shorts_host,
+        sw,
+        spec,
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )?;
+
+    let bottleneck = b.link(
+        sw,
+        rx,
+        spec,
+        QueueConfig::switch(cfg.buffer, cfg.marking),
+        QueueConfig::host_nic(),
+    )?;
+
+    let mut sim = Simulator::new(b.build()?);
+    sim.run_for(cfg.warmup);
+    sim.reset_all_queue_stats();
+    let rx_host: &TransportHost = sim.agent(rx).expect("receiver");
+    let long_before: u64 = (1..=cfg.long_flows as u64)
+        .filter_map(|f| rx_host.receiver(FlowId(f)))
+        .map(|r| r.stats().bytes_received)
+        .sum();
+
+    let horizon = cfg.short_interval * cfg.short_count as u64 + SimDuration::from_millis(500);
+    sim.run_for(horizon);
+
+    let shorts_host_ref: &TransportHost = sim.agent(shorts_host).expect("short sender");
+    let mut short_completions = Vec::new();
+    for i in 0..cfg.short_count {
+        if let Some(s) = shorts_host_ref.sender(FlowId(short_base + i as u64)) {
+            if let Some(ct) = s.stats().completion_time() {
+                short_completions.push(ct);
+            }
+        }
+    }
+    let rx_host: &TransportHost = sim.agent(rx).expect("receiver");
+    let long_after: u64 = (1..=cfg.long_flows as u64)
+        .filter_map(|f| rx_host.receiver(FlowId(f)))
+        .map(|r| r.stats().bytes_received)
+        .sum();
+
+    let report = sim.queue_report(bottleneck, sw);
+    Ok(BuildupReport {
+        scheme: cfg.marking,
+        short_completions,
+        long_goodput_bps: (long_after - long_before) as f64 * 8.0 / horizon.as_secs_f64(),
+        queue_mean: report.occupancy_pkts.mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_short_flows_complete_under_dctcp() {
+        let cfg = BuildupConfig {
+            short_count: 8,
+            ..BuildupConfig::standard(MarkingScheme::dctcp_packets(20))
+        };
+        let r = run_buildup(&cfg).unwrap();
+        assert_eq!(r.short_completions.len(), 8);
+        // 20 KB at 1 Gb/s is ~170 us unloaded; allow generous queueing.
+        for &c in &r.short_completions {
+            assert!(c < 0.05, "short flow took {c}s");
+        }
+        assert!(r.long_goodput_bps > 1e8, "long flows starved");
+    }
+
+    #[test]
+    fn marking_beats_droptail_for_short_latency() {
+        let marked = run_buildup(&BuildupConfig {
+            short_count: 10,
+            ..BuildupConfig::standard(MarkingScheme::dctcp_packets(20))
+        })
+        .unwrap();
+        let droptail = run_buildup(&BuildupConfig {
+            short_count: 10,
+            ..BuildupConfig::standard(MarkingScheme::DropTail)
+        })
+        .unwrap();
+        // DropTail lets the long flows fill the 500-packet buffer; the
+        // standing queue inflates short-flow completions.
+        assert!(
+            droptail.queue_mean > 3.0 * marked.queue_mean,
+            "droptail queue {:.1} vs marked {:.1}",
+            droptail.queue_mean,
+            marked.queue_mean
+        );
+        let mut mq = marked.completions();
+        let mut dq = droptail.completions();
+        let (m50, d50) = (mq.median().unwrap(), dq.median().unwrap());
+        assert!(
+            m50 < d50,
+            "marked median {m50}s should beat droptail {d50}s"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Convergence dynamics: a new flow joining established flows.
+//!
+//! The fluid-model literature behind this paper (Alizadeh et al.,
+//! SIGMETRICS 2011) analyzes how fast DCTCP converges to fair shares.
+//! This scenario measures it directly: `established` long-lived flows
+//! reach steady state, one more flow joins, and the joiner's throughput
+//! trajectory is sampled until it reaches a fraction of its fair share.
+
+use dctcp_core::MarkingScheme;
+use dctcp_sim::{
+    Capacity, FlowId, LinkSpec, QueueConfig, SimDuration, SimError, SimTime, Simulator,
+    TopologyBuilder,
+};
+use dctcp_stats::{jain_fairness_index, TimeSeries};
+use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the convergence scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceConfig {
+    /// Marking scheme at the bottleneck.
+    pub marking: MarkingScheme,
+    /// Transport configuration.
+    pub tcp: TcpConfig,
+    /// Flows already running when the joiner arrives.
+    pub established: u32,
+    /// Bottleneck rate in Gb/s.
+    pub gbps: f64,
+    /// When the joiner starts.
+    pub join_at: SimDuration,
+    /// How long to observe after the join.
+    pub observe: SimDuration,
+    /// Throughput sampling period.
+    pub sample_every: SimDuration,
+}
+
+impl ConvergenceConfig {
+    /// Defaults: 3 established DCTCP flows on 1 Gb/s, join at 30 ms,
+    /// observe 100 ms, 1 ms samples.
+    pub fn standard(marking: MarkingScheme) -> Self {
+        ConvergenceConfig {
+            marking,
+            tcp: TcpConfig::dctcp(1.0 / 16.0),
+            established: 3,
+            gbps: 1.0,
+            join_at: SimDuration::from_millis(30),
+            observe: SimDuration::from_millis(100),
+            sample_every: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Measured convergence behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Scheme under test.
+    pub scheme: MarkingScheme,
+    /// The joiner's throughput over time (bits/second, sampled).
+    pub joiner_throughput: TimeSeries,
+    /// Seconds after the join until the joiner's sampled throughput
+    /// first reaches `fraction` of its fair share, per the query made
+    /// with [`ConvergenceReport::time_to_fraction`].
+    pub fair_share_bps: f64,
+    /// Jain fairness index across all flows at the end of observation.
+    pub final_fairness: f64,
+}
+
+impl ConvergenceReport {
+    /// Seconds from the join until the joiner's sampled throughput first
+    /// reaches `fraction` of the fair share; `None` if it never does
+    /// within the observation window.
+    pub fn time_to_fraction(&self, fraction: f64) -> Option<f64> {
+        let target = self.fair_share_bps * fraction;
+        self.joiner_throughput
+            .iter()
+            .find(|&(_, bps)| bps >= target)
+            .map(|(t, _)| t)
+    }
+}
+
+/// Runs the convergence scenario.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid parameters.
+pub fn run_convergence(cfg: &ConvergenceConfig) -> Result<ConvergenceReport, SimError> {
+    cfg.tcp.validate()?;
+    let n_total = cfg.established as u64 + 1;
+    let joiner = FlowId(n_total);
+
+    let mut b = TopologyBuilder::new();
+    let rx = b.host("rx", Box::new(TransportHost::new(cfg.tcp)));
+    let sw = b.switch("sw");
+    let spec = LinkSpec::gbps(cfg.gbps, 25);
+    for i in 0..=cfg.established as u64 {
+        let mut host = TransportHost::new(cfg.tcp);
+        host.schedule(ScheduledFlow {
+            flow: FlowId(i + 1),
+            dst: rx,
+            bytes: None,
+            at: if i < cfg.established as u64 {
+                SimTime::ZERO
+            } else {
+                SimTime::ZERO + cfg.join_at
+            },
+            cfg: cfg.tcp,
+        });
+        let h = b.host(format!("tx{i}"), Box::new(host));
+        b.link(h, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+    }
+    b.link(
+        sw,
+        rx,
+        spec,
+        QueueConfig::switch(Capacity::Packets(500), cfg.marking),
+        QueueConfig::host_nic(),
+    )?;
+
+    let mut sim = Simulator::new(b.build()?);
+    sim.run_for(cfg.join_at);
+
+    let mut series = TimeSeries::new();
+    let mut last_bytes = 0u64;
+    let steps = (cfg.observe.as_nanos() / cfg.sample_every.as_nanos()).max(1);
+    for step in 0..steps {
+        sim.run_for(cfg.sample_every);
+        let rx_host: &TransportHost = sim.agent(rx).expect("receiver");
+        let bytes = rx_host
+            .receiver(joiner)
+            .map_or(0, |r| r.stats().bytes_received);
+        let bps = (bytes - last_bytes) as f64 * 8.0 / cfg.sample_every.as_secs_f64();
+        last_bytes = bytes;
+        series.push(((step + 1) * cfg.sample_every.as_nanos()) as f64 * 1e-9, bps);
+    }
+
+    let rx_host: &TransportHost = sim.agent(rx).expect("receiver");
+    let shares: Vec<f64> = (1..=n_total)
+        .map(|f| {
+            rx_host
+                .receiver(FlowId(f))
+                .map_or(0.0, |r| r.stats().bytes_received as f64)
+        })
+        .collect();
+
+    Ok(ConvergenceReport {
+        scheme: cfg.marking,
+        joiner_throughput: series,
+        fair_share_bps: cfg.gbps * 1e9 / n_total as f64,
+        final_fairness: jain_fairness_index(&shares).unwrap_or(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joiner_converges_to_fair_share_under_dctcp() {
+        let cfg = ConvergenceConfig::standard(MarkingScheme::dctcp_packets(20));
+        let r = run_convergence(&cfg).unwrap();
+        let t80 = r
+            .time_to_fraction(0.8)
+            .expect("joiner must reach 80% of fair share");
+        assert!(t80 < 0.08, "convergence took {t80}s");
+        // Tail of the observation window sits near the fair share.
+        let tail = r.joiner_throughput.window(0.08, 0.1).summary();
+        assert!(
+            tail.mean > 0.6 * r.fair_share_bps && tail.mean < 1.6 * r.fair_share_bps,
+            "tail throughput {:.3e} vs fair {:.3e}",
+            tail.mean,
+            r.fair_share_bps
+        );
+    }
+
+    #[test]
+    fn dt_dctcp_also_converges() {
+        let cfg = ConvergenceConfig::standard(MarkingScheme::dt_dctcp_packets(15, 25));
+        let r = run_convergence(&cfg).unwrap();
+        assert!(r.time_to_fraction(0.8).is_some());
+    }
+
+    #[test]
+    fn joiner_starts_from_zero() {
+        let cfg = ConvergenceConfig::standard(MarkingScheme::dctcp_packets(20));
+        let r = run_convergence(&cfg).unwrap();
+        let first = r.joiner_throughput.values()[0];
+        let last = r.joiner_throughput.values().last().copied().unwrap();
+        assert!(first < last, "throughput must ramp: {first} -> {last}");
+    }
+}

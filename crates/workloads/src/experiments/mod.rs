@@ -1,0 +1,58 @@
+//! Per-figure experiment drivers.
+//!
+//! Each driver reproduces one data figure of the paper and renders the
+//! same rows/series the paper reports (see EXPERIMENTS.md for
+//! paper-vs-measured). Every driver takes a [`Scale`]: `Quick` for CI
+//! and tests, `Full` for paper-scale runs from the `fig*` binaries.
+
+mod fig1;
+mod fig9;
+mod query;
+mod sweep;
+
+pub use fig1::{fig1, Fig1Result, Fig1Trace};
+pub use fig9::{fig9, Fig9Result, Fig9Row, FIG9_CALIBRATED_GAIN};
+pub use query::{fig14, fig15, QuerySweepResult, QuerySweepRow};
+pub use sweep::{
+    fig10_table, fig11_table, fig12_table, queue_sweep, SweepPoint, SweepResult,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// How much work an experiment driver performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Short windows and sparse sweeps — seconds of wall-clock, used by
+    /// tests and `--quick`.
+    Quick,
+    /// Paper-scale windows and dense sweeps — minutes of wall-clock.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--full` style command-line arguments
+    /// (defaults to `Quick` when neither flag is present).
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_args() {
+        assert_eq!(Scale::from_args(&[]), Scale::Quick);
+        assert_eq!(Scale::from_args(&["--quick".into()]), Scale::Quick);
+        assert_eq!(Scale::from_args(&["--full".into()]), Scale::Full);
+        assert_eq!(
+            Scale::from_args(&["--csv".into(), "x.csv".into(), "--full".into()]),
+            Scale::Full
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A titled, column-aligned text table — the output format of every
+/// `fig*` reproduction binary.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_workloads::Table;
+///
+/// let mut t = Table::new("Fig. 11 — queue std", &["N", "DCTCP", "DT-DCTCP"]);
+/// t.row(&["10", "3.2", "1.9"]);
+/// let s = t.to_string();
+/// assert!(s.contains("DT-DCTCP"));
+/// assert!(s.contains("3.2"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the rows as CSV (headers first), for `--csv` output.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "=".repeat(line.max(self.title.len())))?;
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{h:>w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(line.max(self.title.len())))?;
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{c:>w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["N", "value"]);
+        t.row(&["5", "1.25"]);
+        t.row(&["100", "0.5"]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows right-align within columns.
+        assert!(lines.iter().any(|l| l.contains("  5 |  1.25")), "{s}");
+        assert!(lines.iter().any(|l| l.contains("100 |   0.5")), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = Table::new("demo", &["name", "note"]);
+        t.row(&["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn row_counts() {
+        let mut t = Table::new("demo", &["x"]);
+        assert_eq!(t.num_rows(), 0);
+        t.row(&["1"]);
+        t.row_owned(vec!["2".into()]);
+        assert_eq!(t.num_rows(), 2);
+    }
+}

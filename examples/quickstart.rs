@@ -1,0 +1,37 @@
+//! Quickstart: run DCTCP and DT-DCTCP side by side on a small bottleneck
+//! and print what the switch queue did.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dt_dctcp::core::MarkingScheme;
+use dt_dctcp::workloads::LongLivedScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("8 long-lived flows, 1 Gb/s bottleneck, 100 us RTT, 50 ms window\n");
+    for scheme in [
+        MarkingScheme::dctcp_packets(20),
+        MarkingScheme::dt_dctcp_packets(15, 25),
+        MarkingScheme::DropTail,
+    ] {
+        let report = LongLivedScenario::builder()
+            .flows(8)
+            .bottleneck_gbps(1.0)
+            .rtt_us(100.0)
+            .marking(scheme)
+            .warmup_secs(0.02)
+            .duration_secs(0.05)
+            .build()?
+            .run();
+        println!(
+            "{scheme:<35} queue {:6.1} ± {:5.1} pkts | marks {:6} | drops {:4} | goodput {:.2} Gb/s",
+            report.queue.mean,
+            report.queue.std,
+            report.marks,
+            report.drops,
+            report.goodput_bps / 1e9,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Records the congestion-window and α trajectories of a single sender
+//! under DCTCP vs DT-DCTCP marking — the microscopic view behind the
+//! queue oscillation the paper studies.
+//!
+//! ```sh
+//! cargo run --release --example window_dynamics
+//! ```
+
+use dt_dctcp::core::MarkingScheme;
+use dt_dctcp::sim::{
+    Capacity, FlowId, LinkSpec, QueueConfig, SimDuration, SimTime, Simulator, TopologyBuilder,
+};
+use dt_dctcp::tcp::{ScheduledFlow, TcpConfig, TransportHost};
+
+fn run(scheme: MarkingScheme) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = TcpConfig::dctcp(1.0 / 16.0);
+    let mut b = TopologyBuilder::new();
+    let rx = b.host("rx", Box::new(TransportHost::new(cfg)));
+    let sw = b.switch("sw");
+    let spec = LinkSpec::gbps(1.0, 25);
+    let mut senders = Vec::new();
+    for i in 0..4u64 {
+        let mut host = TransportHost::new(cfg);
+        host.trace_senders();
+        host.schedule(ScheduledFlow {
+            flow: FlowId(i + 1),
+            dst: rx,
+            bytes: None,
+            at: SimTime::ZERO,
+            cfg,
+        });
+        senders.push(b.host(format!("tx{i}"), Box::new(host)));
+        b.link(senders[i as usize], sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+    }
+    b.link(
+        sw,
+        rx,
+        spec,
+        QueueConfig::switch(Capacity::Packets(200), scheme),
+        QueueConfig::host_nic(),
+    )?;
+    let mut sim = Simulator::new(b.build()?);
+    sim.run_for(SimDuration::from_millis(40));
+
+    let host: &TransportHost = sim.agent(senders[0]).expect("sender host");
+    let s = host.sender(FlowId(1)).expect("flow 1");
+    let trace = s.trace().expect("tracing enabled");
+
+    println!("\n{scheme} — flow 1 window over the last 10 ms (segments):");
+    let window = trace.cwnd.window(0.03, 0.04);
+    let resampled = window.resample(0.0005);
+    let max = resampled.summary().max.max(1.0);
+    for (t, w) in resampled.iter() {
+        let bar = "#".repeat((w / max * 40.0).round() as usize);
+        println!("{:6.1}ms | {w:6.2} {bar}", t * 1e3);
+    }
+    println!(
+        "cwnd mean {:.2} segs, alpha last {:.3} ({} alpha updates)",
+        window.summary().mean,
+        trace.alpha.last().map_or(0.0, |(_, a)| a),
+        trace.alpha.len(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(MarkingScheme::dctcp_packets(20))?;
+    run(MarkingScheme::dt_dctcp_packets(15, 25))?;
+    Ok(())
+}

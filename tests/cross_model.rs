@@ -1,0 +1,115 @@
+//! Cross-model consistency: the fluid model, the packet simulator, and
+//! the describing-function analysis must tell the same story about the
+//! same configuration.
+
+use dt_dctcp::control::{critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
+use dt_dctcp::core::MarkingScheme;
+use dt_dctcp::fluid::{oscillation_metrics, FluidMarking, FluidModel, FluidParams};
+use dt_dctcp::workloads::LongLivedScenario;
+
+const RTT: f64 = 300e-6;
+
+fn fluid_std(n: f64, marking: FluidMarking) -> f64 {
+    let mut params = FluidParams::paper_defaults(n, marking);
+    params.rtt = RTT;
+    let sol = FluidModel::new(params)
+        .unwrap()
+        .run_sampled(0.25, 1e-6, 10);
+    let m = oscillation_metrics(&sol.q.window(0.12, 0.25));
+    assert!(m.mean < 1_000.0, "fluid diverged (mean {})", m.mean);
+    m.std
+}
+
+fn packet_std(n: u32, scheme: MarkingScheme) -> f64 {
+    LongLivedScenario::builder()
+        .flows(n)
+        .marking(scheme)
+        .rtt_us(RTT * 1e6)
+        .warmup_secs(0.04)
+        .duration_secs(0.08)
+        .build()
+        .unwrap()
+        .run()
+        .queue
+        .std
+}
+
+/// All three models agree that the hysteresis oscillates less at high
+/// flow counts.
+#[test]
+fn all_models_agree_dt_is_steadier() {
+    let n = 70;
+
+    // Fluid domain.
+    let fluid_relay = fluid_std(n as f64, FluidMarking::Relay { k: 40.0 });
+    let fluid_hyst = fluid_std(n as f64, FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 });
+    assert!(
+        fluid_hyst < fluid_relay,
+        "fluid: {fluid_hyst:.1} !< {fluid_relay:.1}"
+    );
+
+    // Packet domain.
+    let pkt_relay = packet_std(n, MarkingScheme::dctcp_packets(40));
+    let pkt_hyst = packet_std(n, MarkingScheme::dt_dctcp_packets(30, 50));
+    assert!(pkt_hyst < pkt_relay, "packet: {pkt_hyst:.1} !< {pkt_relay:.1}");
+
+    // Frequency domain: more gain margin for the hysteresis.
+    let grid = AnalysisGrid {
+        w_points: 1200,
+        x_points: 500,
+        ..AnalysisGrid::default()
+    };
+    let mut plant = PlantParams::paper_defaults(n as f64);
+    plant.rtt = RTT;
+    let m_relay = critical_gain(&plant, &RelayDf::new(40.0).unwrap(), &grid).unwrap();
+    let m_hyst = critical_gain(&plant, &HysteresisDf::new(30.0, 50.0).unwrap(), &grid).unwrap();
+    assert!(m_hyst > m_relay, "margins: {m_hyst:.2} !> {m_relay:.2}");
+}
+
+/// The fluid model's oscillation grows with N just like the packet
+/// simulator's (the Section III observation, cross-checked).
+#[test]
+fn oscillation_grows_with_n_in_both_dynamics_models() {
+    let fluid_small = fluid_std(10.0, FluidMarking::Relay { k: 40.0 });
+    let fluid_large = fluid_std(80.0, FluidMarking::Relay { k: 40.0 });
+    assert!(
+        fluid_large > fluid_small,
+        "fluid: {fluid_small:.1} -> {fluid_large:.1}"
+    );
+
+    let pkt_small = packet_std(10, MarkingScheme::dctcp_packets(40));
+    let pkt_large = packet_std(80, MarkingScheme::dctcp_packets(40));
+    assert!(pkt_large > pkt_small, "packet: {pkt_small:.1} -> {pkt_large:.1}");
+}
+
+/// The fluid limit-cycle frequency and the DF-predicted frequency agree
+/// within an order of magnitude (the DF is a first-harmonic
+/// approximation; exact agreement is not expected).
+#[test]
+fn limit_cycle_frequency_is_consistent() {
+    let n = 70.0;
+    let mut params = FluidParams::paper_defaults(n, FluidMarking::Relay { k: 40.0 });
+    params.rtt = RTT;
+    let sol = FluidModel::new(params).unwrap().run_sampled(0.3, 1e-6, 10);
+    let metrics = oscillation_metrics(&sol.q.window(0.15, 0.3));
+    let fluid_period = metrics.period.expect("fluid limit cycle exists");
+    let fluid_w = 2.0 * std::f64::consts::PI / fluid_period;
+
+    let grid = AnalysisGrid::default();
+    let mut plant = PlantParams::paper_defaults(n);
+    plant.rtt = RTT;
+    // Push the gain just past the critical point so an intersection
+    // exists, and read its frequency.
+    let relay = RelayDf::new(40.0).unwrap();
+    let critical = critical_gain(&plant, &relay, &grid).expect("finite");
+    let report = dt_dctcp::control::analyze(&plant.with_gain(critical * 1.05), &relay, &grid);
+    let lc = report.limit_cycle.expect("limit cycle at supercritical gain");
+
+    let ratio = lc.frequency / fluid_w;
+    assert!(
+        (0.1..=10.0).contains(&ratio),
+        "DF frequency {:.0} rad/s vs fluid {:.0} rad/s (ratio {ratio:.2})",
+        lc.frequency,
+        fluid_w
+    );
+}

@@ -1,0 +1,113 @@
+//! Headline reproduction checks across the whole stack, at quick scale:
+//! each of the paper's main claims, exercised through the public façade.
+
+use dt_dctcp::control::{critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
+use dt_dctcp::core::MarkingScheme;
+use dt_dctcp::workloads::experiments::{fig1, fig9, queue_sweep, Scale};
+use dt_dctcp::workloads::{run_query_rounds, QueryWorkload, TestbedConfig};
+
+/// Section III observation: DCTCP's queue oscillation grows with the
+/// number of flows.
+#[test]
+fn oscillation_grows_with_flows() {
+    let r = fig1(Scale::Quick);
+    let dc = MarkingScheme::dctcp_packets(40);
+    let at10 = r.trace(dc, 10).expect("N=10 trace").std;
+    let at100 = r.trace(dc, 100).expect("N=100 trace").std;
+    assert!(
+        at100 > 1.5 * at10,
+        "queue std must grow with N: {at10:.2} -> {at100:.2}"
+    );
+}
+
+/// The core claim (Figs. 10–11): DT-DCTCP holds a steadier queue than
+/// DCTCP as flows grow.
+#[test]
+fn dt_dctcp_is_steadier_across_the_sweep() {
+    let sweep = queue_sweep(Scale::Quick);
+    let dc = sweep.scheme_points(MarkingScheme::dctcp_packets(40));
+    let dt = sweep.scheme_points(MarkingScheme::dt_dctcp_packets(30, 50));
+    assert_eq!(dc.len(), dt.len());
+    // At every sampled N above the baseline, DT's std is at most DCTCP's
+    // (allowing a small tolerance at the lowest N where both are tiny).
+    let mut wins = 0;
+    for (a, b) in dc.iter().zip(&dt) {
+        assert_eq!(a.flows, b.flows);
+        if b.queue_std < a.queue_std {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= dc.len() - 1,
+        "DT should win std at nearly every N ({wins}/{} wins)",
+        dc.len()
+    );
+    // And both keep the link saturated.
+    for p in dc.iter().chain(&dt) {
+        assert!(p.goodput_bps > 0.9e10 * 0.55, "goodput {}", p.goodput_bps);
+    }
+}
+
+/// Fig. 12: the congestion-extent estimate α is lower (or equal) under
+/// DT-DCTCP — the network is less congested.
+#[test]
+fn alpha_is_not_higher_under_dt() {
+    let sweep = queue_sweep(Scale::Quick);
+    let dc = sweep.scheme_points(MarkingScheme::dctcp_packets(40));
+    let dt = sweep.scheme_points(MarkingScheme::dt_dctcp_packets(30, 50));
+    let mean_dc: f64 = dc.iter().map(|p| p.alpha_mean).sum::<f64>() / dc.len() as f64;
+    let mean_dt: f64 = dt.iter().map(|p| p.alpha_mean).sum::<f64>() / dt.len() as f64;
+    assert!(
+        mean_dt <= mean_dc + 0.02,
+        "mean alpha: dt {mean_dt:.3} should not exceed dc {mean_dc:.3}"
+    );
+}
+
+/// Theorems 1 & 2 (Fig. 9): the hysteresis tolerates strictly more loop
+/// gain before predicting a limit cycle, at every flow count.
+#[test]
+fn df_analysis_favors_dt_at_every_n() {
+    let grid = AnalysisGrid {
+        w_points: 1200,
+        x_points: 500,
+        ..AnalysisGrid::default()
+    };
+    let relay = RelayDf::new(40.0).unwrap();
+    let hyst = HysteresisDf::new(30.0, 50.0).unwrap();
+    for n in [10.0, 40.0, 70.0, 110.0] {
+        let plant = PlantParams::paper_defaults(n);
+        let m_dc = critical_gain(&plant, &relay, &grid).expect("finite margin");
+        let m_dt = critical_gain(&plant, &hyst, &grid).expect("finite margin");
+        assert!(m_dt > m_dc, "N={n}: {m_dt} !> {m_dc}");
+    }
+}
+
+/// Fig. 9's onset ordering at the calibrated gain.
+#[test]
+fn nyquist_onset_ordering() {
+    let r = fig9(Scale::Quick);
+    let dc = r.onset_dctcp.expect("DCTCP onset");
+    let dt = r.onset_dt.expect("DT onset");
+    assert!(dt > dc, "onsets: dc {dc}, dt {dt}");
+}
+
+/// Fig. 14/15 mechanics: small Incast is healthy; far past the cliff
+/// every round stalls on RTO_min and the completion time is ~20x the
+/// transfer floor.
+#[test]
+fn incast_cliff_reproduces_rto_min_stalls() {
+    let cfg = TestbedConfig::paper(MarkingScheme::dctcp_bytes(32 * 1024));
+    let healthy = run_query_rounds(&cfg, &QueryWorkload::incast(4, 2)).unwrap();
+    assert_eq!(healthy.timeout_fraction(), 0.0);
+    assert!(healthy.mean_goodput_bps() > 5e8);
+
+    let collapsed = run_query_rounds(&cfg, &QueryWorkload::incast(44, 2)).unwrap();
+    assert!(collapsed.timeout_fraction() > 0.5);
+    let comps = collapsed.completions();
+    if let Some(mean) = comps.mean() {
+        assert!(
+            mean > 0.15,
+            "collapsed completion {mean}s should be near RTO_min (200 ms)"
+        );
+    }
+}
