@@ -1,0 +1,23 @@
+#!/bin/sh
+# Offline CI gate. The workspace has zero external dependencies, so
+# every step runs with --offline on a bare Rust toolchain.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test (tier-1: root package)"
+cargo test --offline -q
+
+echo "==> cargo test (workspace)"
+cargo test --offline --workspace -q
+
+echo "CI gate passed."

@@ -2,72 +2,52 @@
 //! fluid integrator step size, queue-trace capture cost, and
 //! delayed-ACK factor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctcp_bench::Runner;
 use dctcp_core::MarkingScheme;
 use dctcp_fluid::{FluidMarking, FluidModel, FluidParams};
 use dctcp_sim::SimDuration;
 use dctcp_tcp::TcpConfig;
 use dctcp_workloads::LongLivedScenario;
 
-fn bench_fluid_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/fluid_step");
+fn main() {
+    let mut r = Runner::from_env();
+
     for step_ns in [500u64, 1_000, 2_000, 5_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(step_ns), &step_ns, |b, &ns| {
-            b.iter(|| {
-                let params =
-                    FluidParams::paper_defaults(60.0, FluidMarking::Relay { k: 40.0 });
-                FluidModel::new(params)
-                    .unwrap()
-                    .run_sampled(0.02, ns as f64 * 1e-9, 100)
-            })
+        r.bench(&format!("ablation/fluid_step/{step_ns}"), || {
+            let params = FluidParams::paper_defaults(60.0, FluidMarking::Relay { k: 40.0 });
+            FluidModel::new(params)
+                .unwrap()
+                .run_sampled(0.02, step_ns as f64 * 1e-9, 100)
         });
     }
-    g.finish();
-}
 
-fn bench_trace_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/trace_capture");
-    g.sample_size(10);
     for (name, interval) in [("off", None), ("20us", Some(SimDuration::from_micros(20)))] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut builder = LongLivedScenario::builder()
-                    .flows(8)
-                    .bottleneck_gbps(1.0)
-                    .marking(MarkingScheme::dctcp_packets(20))
-                    .warmup_secs(0.002)
-                    .duration_secs(0.01);
-                if let Some(iv) = interval {
-                    builder = builder.trace_interval(iv);
-                }
-                builder.build().unwrap().run()
-            })
+        r.bench(&format!("ablation/trace_capture/{name}"), || {
+            let mut builder = LongLivedScenario::builder()
+                .flows(8)
+                .bottleneck_gbps(1.0)
+                .marking(MarkingScheme::dctcp_packets(20))
+                .warmup_secs(0.002)
+                .duration_secs(0.01);
+            if let Some(iv) = interval {
+                builder = builder.trace_interval(iv);
+            }
+            builder.build().unwrap().run()
         });
     }
-    g.finish();
-}
 
-fn bench_delack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/delayed_ack");
-    g.sample_size(10);
     for every in [1u32, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(every), &every, |b, &m| {
-            b.iter(|| {
-                LongLivedScenario::builder()
-                    .flows(8)
-                    .bottleneck_gbps(1.0)
-                    .marking(MarkingScheme::dctcp_packets(20))
-                    .tcp(TcpConfig::dctcp(1.0 / 16.0).with_delayed_ack(m))
-                    .warmup_secs(0.002)
-                    .duration_secs(0.01)
-                    .build()
-                    .unwrap()
-                    .run()
-            })
+        r.bench(&format!("ablation/delayed_ack/{every}"), || {
+            LongLivedScenario::builder()
+                .flows(8)
+                .bottleneck_gbps(1.0)
+                .marking(MarkingScheme::dctcp_packets(20))
+                .tcp(TcpConfig::dctcp(1.0 / 16.0).with_delayed_ack(every))
+                .warmup_secs(0.002)
+                .duration_secs(0.01)
+                .build()
+                .unwrap()
+                .run()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fluid_step, bench_trace_cost, bench_delack);
-criterion_main!(benches);

@@ -1,25 +1,22 @@
 //! Benchmarks of the describing-function analysis pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dctcp_bench::Runner;
 use dctcp_control::{
-    analyze, critical_gain, numerical_df, AnalysisGrid, Complex, HysteresisDf, PlantParams,
-    RelayDf,
+    analyze, critical_gain, numerical_df, AnalysisGrid, Complex, HysteresisDf, PlantParams, RelayDf,
 };
 
-fn bench_plant_eval(c: &mut Criterion) {
-    let p = PlantParams::paper_defaults(60.0);
-    c.bench_function("analysis/g_of_jw_1k_points", |b| {
-        b.iter(|| {
-            let mut acc = Complex::ZERO;
-            for i in 1..=1000 {
-                acc = acc + p.g_of_jw(i as f64 * 100.0);
-            }
-            acc
-        })
-    });
-}
+fn main() {
+    let mut r = Runner::from_env();
 
-fn bench_analyze(c: &mut Criterion) {
+    let p = PlantParams::paper_defaults(60.0);
+    r.bench("analysis/g_of_jw_1k_points", || {
+        let mut acc = Complex::ZERO;
+        for i in 1..=1000 {
+            acc = acc + p.g_of_jw(i as f64 * 100.0);
+        }
+        acc
+    });
+
     let grid = AnalysisGrid {
         w_points: 1500,
         x_points: 600,
@@ -28,22 +25,15 @@ fn bench_analyze(c: &mut Criterion) {
     let plant = PlantParams::paper_defaults(60.0).with_gain(6.5);
     let relay = RelayDf::new(40.0).unwrap();
     let hyst = HysteresisDf::new(30.0, 50.0).unwrap();
-    c.bench_function("analysis/analyze_relay", |b| {
-        b.iter(|| analyze(&plant, &relay, &grid))
+    r.bench("analysis/analyze_relay", || analyze(&plant, &relay, &grid));
+    r.bench("analysis/analyze_hysteresis", || {
+        analyze(&plant, &hyst, &grid)
     });
-    c.bench_function("analysis/analyze_hysteresis", |b| {
-        b.iter(|| analyze(&plant, &hyst, &grid))
+    r.bench("analysis/critical_gain_relay", || {
+        critical_gain(&PlantParams::paper_defaults(60.0), &relay, &grid)
     });
-    c.bench_function("analysis/critical_gain_relay", |b| {
-        b.iter(|| critical_gain(&PlantParams::paper_defaults(60.0), &relay, &grid))
+
+    r.bench("analysis/numerical_df_10k_steps", || {
+        numerical_df(80.0, 10_000, dctcp_control::ideal_hysteresis(30.0, 50.0))
     });
 }
-
-fn bench_numerical_df(c: &mut Criterion) {
-    c.bench_function("analysis/numerical_df_10k_steps", |b| {
-        b.iter(|| numerical_df(80.0, 10_000, dctcp_control::ideal_hysteresis(30.0, 50.0)))
-    });
-}
-
-criterion_group!(benches, bench_plant_eval, bench_analyze, bench_numerical_df);
-criterion_main!(benches);

@@ -2,57 +2,40 @@
 //! figure, timed (one short long-lived run per scheme, one Incast
 //! round, one fluid integration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dctcp_bench::Runner;
 use dctcp_core::MarkingScheme;
 use dctcp_fluid::{FluidMarking, FluidModel, FluidParams};
 use dctcp_workloads::{run_query_rounds, LongLivedScenario, QueryWorkload, TestbedConfig};
 
-fn bench_long_lived(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end/long_lived_10ms");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::from_env();
+
     for (name, scheme) in [
         ("dctcp", MarkingScheme::dctcp_packets(40)),
         ("dt_dctcp", MarkingScheme::dt_dctcp_packets(30, 50)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                LongLivedScenario::builder()
-                    .flows(10)
-                    .bottleneck_gbps(1.0)
-                    .marking(scheme)
-                    .warmup_secs(0.002)
-                    .duration_secs(0.01)
-                    .build()
-                    .unwrap()
-                    .run()
-            })
+        r.bench(&format!("end_to_end/long_lived_10ms/{name}"), || {
+            LongLivedScenario::builder()
+                .flows(10)
+                .bottleneck_gbps(1.0)
+                .marking(scheme)
+                .warmup_secs(0.002)
+                .duration_secs(0.01)
+                .build()
+                .unwrap()
+                .run()
         });
     }
-    g.finish();
-}
 
-fn bench_incast_round(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end/incast_round");
-    g.sample_size(10);
-    g.bench_function("n16_64kb", |b| {
-        b.iter(|| {
-            let cfg = TestbedConfig::paper(MarkingScheme::dctcp_bytes(32 * 1024));
-            let wl = QueryWorkload::incast(16, 1);
-            run_query_rounds(&cfg, &wl).unwrap()
-        })
+    r.bench("end_to_end/incast_round/n16_64kb", || {
+        let cfg = TestbedConfig::paper(MarkingScheme::dctcp_bytes(32 * 1024));
+        let wl = QueryWorkload::incast(16, 1);
+        run_query_rounds(&cfg, &wl).unwrap()
     });
-    g.finish();
-}
 
-fn bench_fluid(c: &mut Criterion) {
-    c.bench_function("end_to_end/fluid_50ms_1us_step", |b| {
-        b.iter(|| {
-            let params =
-                FluidParams::paper_defaults(60.0, FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 });
-            FluidModel::new(params).unwrap().run_sampled(0.05, 1e-6, 50)
-        })
+    r.bench("end_to_end/fluid_50ms_1us_step", || {
+        let params =
+            FluidParams::paper_defaults(60.0, FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 });
+        FluidModel::new(params).unwrap().run_sampled(0.05, 1e-6, 50)
     });
 }
-
-criterion_group!(benches, bench_long_lived, bench_incast_round, bench_fluid);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the discrete-event engine: event scheduling and
 //! packet forwarding throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dctcp_bench::Runner;
 use dctcp_sim::{
     Agent, Context, LinkSpec, Packet, QueueConfig, SimDuration, Simulator, TopologyBuilder,
 };
@@ -47,30 +47,32 @@ fn build(count: u32) -> Simulator {
     );
     let s = b.switch("s");
     let spec = LinkSpec::gbps(10.0, 10);
-    b.link(h1, s, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
-        .unwrap();
-    b.link(s, h2, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
-        .unwrap();
+    b.link(
+        h1,
+        s,
+        spec,
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )
+    .unwrap();
+    b.link(
+        s,
+        h2,
+        spec,
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )
+    .unwrap();
     Simulator::new(b.build().unwrap())
 }
 
-fn bench_forwarding(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine/forward");
+fn main() {
+    let mut r = Runner::from_env();
     const PKTS: u32 = 10_000;
-    g.throughput(Throughput::Elements(PKTS as u64));
-    g.bench_function("10k_packets_one_switch", |b| {
-        b.iter_batched(
-            || build(PKTS),
-            |mut sim| {
-                sim.run_for(SimDuration::from_millis(100));
-                assert!(sim.events_processed() > 3 * PKTS as u64);
-                sim
-            },
-            BatchSize::SmallInput,
-        )
+    r.bench("engine/forward/10k_packets_one_switch", || {
+        let mut sim = build(PKTS);
+        sim.run_for(SimDuration::from_millis(100)).unwrap();
+        assert!(sim.events_processed() > 3 * PKTS as u64);
+        sim.events_processed()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_forwarding);
-criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Microbenchmarks of the marking policies' per-packet decision cost.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dctcp_bench::Runner;
 use dctcp_core::{MarkingScheme, QueueSnapshot};
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_env();
     let schemes = [
         ("droptail", MarkingScheme::DropTail),
         ("dctcp", MarkingScheme::dctcp_packets(40)),
@@ -21,27 +22,21 @@ fn bench_policies(c: &mut Criterion) {
         ),
     ];
     // A sawtooth occupancy trajectory exercising both hooks.
-    let traj: Vec<u32> = (0..128u32).map(|i| if i < 64 { i } else { 128 - i }).collect();
+    let traj: Vec<u32> = (0..128u32)
+        .map(|i| if i < 64 { i } else { 128 - i })
+        .collect();
 
-    let mut g = c.benchmark_group("marking/decision");
-    g.throughput(Throughput::Elements(traj.len() as u64 * 2));
     for (name, scheme) in schemes {
         let mut policy = scheme.build().unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut marked = 0u32;
-                for &q in &traj {
-                    if policy.on_enqueue(&QueueSnapshot::packets(q)).is_marked() {
-                        marked += 1;
-                    }
-                    policy.on_dequeue(&QueueSnapshot::packets(q.saturating_sub(1)));
+        r.bench(&format!("marking/decision/{name}"), || {
+            let mut marked = 0u32;
+            for &q in &traj {
+                if policy.on_enqueue(&QueueSnapshot::packets(q)).is_marked() {
+                    marked += 1;
                 }
-                marked
-            })
+                policy.on_dequeue(&QueueSnapshot::packets(q.saturating_sub(1)));
+            }
+            marked
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

@@ -131,9 +131,27 @@ fn main() {
     let args = FigArgs::from_env();
     emit(&width_sweep(args.scale), &args);
     println!();
-    emit(&gain_sweep(args.scale), &FigArgs { csv: None, ..args.clone() });
+    emit(
+        &gain_sweep(args.scale),
+        &FigArgs {
+            csv: None,
+            ..args.clone()
+        },
+    );
     println!();
-    emit(&rto_min_sweep(args.scale), &FigArgs { csv: None, ..args.clone() });
+    emit(
+        &rto_min_sweep(args.scale),
+        &FigArgs {
+            csv: None,
+            ..args.clone()
+        },
+    );
     println!();
-    emit(&orientation_sweep(args.scale), &FigArgs { csv: None, ..args.clone() });
+    emit(
+        &orientation_sweep(args.scale),
+        &FigArgs {
+            csv: None,
+            ..args.clone()
+        },
+    );
 }

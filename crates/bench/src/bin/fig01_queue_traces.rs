@@ -18,7 +18,9 @@ fn main() {
     // oscillation is visible without plotting.
     for tr in &result.traces {
         println!("\n{} N={} (queue, packets):", tr.scheme, tr.flows);
-        let resampled = tr.trace.resample(tr.trace.times().last().copied().unwrap_or(1.0) / 60.0);
+        let resampled = tr
+            .trace
+            .resample(tr.trace.times().last().copied().unwrap_or(1.0) / 60.0);
         let max = resampled.summary().max.max(1.0);
         for (t, v) in resampled.iter() {
             let bar = "#".repeat((v / max * 50.0).round() as usize);

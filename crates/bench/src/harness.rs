@@ -1,0 +1,111 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Replaces the external `criterion` stack so the workspace builds and
+//! runs offline. Each `harness = false` bench target constructs a
+//! [`Runner`] and registers closures with [`Runner::bench`]; the runner
+//! times them with `std::time::Instant`, auto-scaling the iteration
+//! count to a wall-clock budget, and prints one line per benchmark:
+//!
+//! ```text
+//! engine/forward/10k_packets_one_switch     1_234_567 ns/iter  (24 iters)
+//! ```
+//!
+//! Supported arguments (anything else, e.g. libtest flags passed by
+//! `cargo test --benches`, is ignored):
+//!
+//! * `--full` — raise the per-bench time budget from ~50 ms to ~500 ms;
+//! * any bare string — substring filter on benchmark names.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs and reports micro-benchmarks; see the module docs.
+#[derive(Debug)]
+pub struct Runner {
+    filter: Option<String>,
+    budget: Duration,
+    ran: usize,
+}
+
+impl Runner {
+    /// Builds a runner from process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Runner {
+        let mut filter = None;
+        let mut budget = Duration::from_millis(50);
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--full" => budget = Duration::from_millis(500),
+                // Flags injected by cargo/libtest; not for us.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Runner {
+            filter,
+            budget,
+            ran: 0,
+        }
+    }
+
+    /// Times `f`, auto-scaling iterations to the wall-clock budget, and
+    /// prints the per-iteration cost. Skipped (silently) when a filter
+    /// is set and `name` does not contain it.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // One untimed call to warm caches and estimate the cost.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_nanos() as u64 / iters;
+        println!("{name:<55} {per_iter:>12} ns/iter  ({iters} iters)");
+        self.ran += 1;
+    }
+
+    /// How many benchmarks actually ran (post-filter).
+    pub fn benches_run(&self) -> usize {
+        self.ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut r = Runner {
+            filter: None,
+            budget: Duration::from_micros(100),
+            ran: 0,
+        };
+        let mut calls = 0u32;
+        r.bench("t/one", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls >= 2, "warmup + at least one timed iter");
+        assert_eq!(r.benches_run(), 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = Runner {
+            filter: Some("match".into()),
+            budget: Duration::from_micros(100),
+            ran: 0,
+        };
+        r.bench("other/name", || 0);
+        assert_eq!(r.benches_run(), 0);
+        r.bench("a/match/b", || 0);
+        assert_eq!(r.benches_run(), 1);
+    }
+}

@@ -13,6 +13,9 @@ use std::path::PathBuf;
 
 use dctcp_workloads::{Scale, Table};
 
+pub mod harness;
+pub use harness::Runner;
+
 /// Parsed command-line options common to all figure binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FigArgs {

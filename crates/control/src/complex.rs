@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A complex number with `f64` parts.
 ///
 /// The analysis crate needs only evaluation of rational transfer
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(j * j, Complex::new(-1.0, 0.0));
 /// assert!((Complex::polar(2.0, std::f64::consts::PI / 2.0) - 2.0 * j).norm() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -109,6 +107,9 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division as multiplication by the inverse is the standard complex
+    // formula, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

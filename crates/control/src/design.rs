@@ -8,12 +8,10 @@
 //! guaranteed limit-cycle amplitude (which is at least `K2`) small, so
 //! more width than necessary is pure queue-excursion cost.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
 
 /// One candidate from [`recommend_thresholds`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdCandidate {
     /// Arming threshold `K1` (packets).
     pub k1: f64,
@@ -28,7 +26,7 @@ pub struct ThresholdCandidate {
 }
 
 /// The result of a threshold design sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdRecommendation {
     /// The single-threshold baseline margin at the worst sampled N.
     pub relay_margin: f64,

@@ -1,7 +1,6 @@
 //! Describing functions of the marking nonlinearities (Section IV/V).
 
 use dctcp_core::ParamError;
-use serde::{Deserialize, Serialize};
 
 use crate::Complex;
 
@@ -38,7 +37,7 @@ pub trait DescribingFunction {
 
 /// DCTCP's single-threshold relay (Theorem 1):
 /// `N_dc(X) = (2/πX)·√(1 − (K/X)²)` for `X ≥ K`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelayDf {
     k: f64,
 }
@@ -50,8 +49,10 @@ impl RelayDf {
     ///
     /// Returns [`ParamError`] unless `k > 0`.
     pub fn new(k: f64) -> Result<Self, ParamError> {
-        if !(k > 0.0) {
-            return Err(ParamError::new(format!("relay threshold must be positive, got {k}")));
+        if k.is_nan() || k <= 0.0 {
+            return Err(ParamError::new(format!(
+                "relay threshold must be positive, got {k}"
+            )));
         }
         Ok(RelayDf { k })
     }
@@ -92,7 +93,7 @@ impl DescribingFunction for RelayDf {
 /// ```text
 /// N_dt(X) = (1/πX)·[√(1 − (K1/X)²) + √(1 − (K2/X)²)] + j·(K2 − K1)/(πX²)
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HysteresisDf {
     k1: f64,
     k2: f64,
@@ -154,7 +155,11 @@ impl DescribingFunction for HysteresisDf {
 /// `marking(θ, x)` returns whether the marker is on at phase `θ` given
 /// input value `x`. Used to cross-validate the closed forms against the
 /// actual switch-side state machines.
-pub fn numerical_df(x_amp: f64, steps: usize, mut marking: impl FnMut(f64, f64) -> bool) -> Complex {
+pub fn numerical_df(
+    x_amp: f64,
+    steps: usize,
+    mut marking: impl FnMut(f64, f64) -> bool,
+) -> Complex {
     let pi = std::f64::consts::PI;
     let dt = 2.0 * pi / steps as f64;
     let mut a1 = 0.0;
@@ -193,9 +198,7 @@ pub fn ideal_hysteresis(k1: f64, k2: f64) -> impl FnMut(f64, f64) -> bool {
     let mut prev = f64::NEG_INFINITY;
     move |_theta, x| {
         let rising = x > prev;
-        if x >= k2 {
-            armed = true;
-        } else if rising && prev < k1 && x >= k1 {
+        if x >= k2 || (rising && prev < k1 && x >= k1) {
             armed = true;
         } else if !rising && prev >= k2 && x < k2 {
             armed = false;

@@ -1,12 +1,10 @@
 //! Nyquist loci, intersections, and limit-cycle prediction.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Complex, DescribingFunction, PlantParams};
 
 /// One sampled point of a locus, tagged with its parameter (`ω` for the
 /// plant, `X` for a describing function).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocusPoint {
     /// The sweep parameter that produced this point.
     pub param: f64,
@@ -15,7 +13,7 @@ pub struct LocusPoint {
 }
 
 /// A polyline in the complex plane traced by sweeping a parameter.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Locus {
     points: Vec<LocusPoint>,
 }
@@ -90,7 +88,7 @@ pub fn df_locus(df: &dyn DescribingFunction, max_factor: f64, n: usize) -> Locus
 
 /// A solution of the characteristic equation `K0·G(jω) = −1/N0(X)`
 /// (Eq. 19 / 24): a predicted limit cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Intersection {
     /// Where the loci cross.
     pub point: Complex,
@@ -165,7 +163,7 @@ pub fn intersections(plant: &Locus, df: &Locus) -> Vec<Intersection> {
 }
 
 /// Result of a stability analysis per Theorem 1/2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StabilityReport {
     /// Whether the loci are disjoint (no predicted self-oscillation).
     pub stable: bool,
@@ -177,7 +175,7 @@ pub struct StabilityReport {
 }
 
 /// Sampling resolution for [`analyze`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalysisGrid {
     /// Lowest angular frequency sampled.
     pub w_min: f64,
@@ -205,7 +203,11 @@ impl Default for AnalysisGrid {
 
 /// Applies the paper's stability criterion: intersect `K0·G(jω)` with
 /// `−1/N0(X)` and report predicted limit cycles.
-pub fn analyze(plant: &PlantParams, df: &dyn DescribingFunction, grid: &AnalysisGrid) -> StabilityReport {
+pub fn analyze(
+    plant: &PlantParams,
+    df: &dyn DescribingFunction,
+    grid: &AnalysisGrid,
+) -> StabilityReport {
     let gl = plant_locus(plant, df.k0(), grid.w_min, grid.w_max, grid.w_points);
     let dl = df_locus(df, grid.x_max_factor, grid.x_points);
     let mut xs = intersections(&gl, &dl);
@@ -323,14 +325,26 @@ mod tests {
         // Two hand-made loci crossing at the origin.
         let a = Locus {
             points: vec![
-                LocusPoint { param: 0.0, z: Complex::new(-1.0, -1.0) },
-                LocusPoint { param: 1.0, z: Complex::new(1.0, 1.0) },
+                LocusPoint {
+                    param: 0.0,
+                    z: Complex::new(-1.0, -1.0),
+                },
+                LocusPoint {
+                    param: 1.0,
+                    z: Complex::new(1.0, 1.0),
+                },
             ],
         };
         let b = Locus {
             points: vec![
-                LocusPoint { param: 10.0, z: Complex::new(-1.0, 1.0) },
-                LocusPoint { param: 20.0, z: Complex::new(1.0, -1.0) },
+                LocusPoint {
+                    param: 10.0,
+                    z: Complex::new(-1.0, 1.0),
+                },
+                LocusPoint {
+                    param: 20.0,
+                    z: Complex::new(1.0, -1.0),
+                },
             ],
         };
         let xs = intersections(&a, &b);
@@ -344,14 +358,26 @@ mod tests {
     fn parallel_segments_do_not_intersect() {
         let a = Locus {
             points: vec![
-                LocusPoint { param: 0.0, z: Complex::new(0.0, 0.0) },
-                LocusPoint { param: 1.0, z: Complex::new(1.0, 0.0) },
+                LocusPoint {
+                    param: 0.0,
+                    z: Complex::new(0.0, 0.0),
+                },
+                LocusPoint {
+                    param: 1.0,
+                    z: Complex::new(1.0, 0.0),
+                },
             ],
         };
         let b = Locus {
             points: vec![
-                LocusPoint { param: 0.0, z: Complex::new(0.0, 1.0) },
-                LocusPoint { param: 1.0, z: Complex::new(1.0, 1.0) },
+                LocusPoint {
+                    param: 0.0,
+                    z: Complex::new(0.0, 1.0),
+                },
+                LocusPoint {
+                    param: 1.0,
+                    z: Complex::new(1.0, 1.0),
+                },
             ],
         };
         assert!(intersections(&a, &b).is_empty());
@@ -392,7 +418,10 @@ mod tests {
         let grid = test_grid();
         assert!(analyze(&paper_plant(55.0), &df, &grid).stable);
         let cg = critical_gain(&paper_plant(55.0), &df, &grid).expect("finite critical gain");
-        assert!(cg > 5.0 && cg < 6.0, "critical gain {cg} out of expected band");
+        assert!(
+            cg > 5.0 && cg < 6.0,
+            "critical gain {cg} out of expected band"
+        );
     }
 
     #[test]

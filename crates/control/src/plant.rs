@@ -1,7 +1,6 @@
 //! The linearized DCTCP plant `G(jω)` (Section V-A of the paper).
 
 use dctcp_core::ParamError;
-use serde::{Deserialize, Serialize};
 
 use crate::Complex;
 
@@ -9,7 +8,7 @@ use crate::Complex;
 ///
 /// All quantities use the paper's units: capacity in packets/second,
 /// round-trip time in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlantParams {
     /// Bottleneck capacity `C` in packets per second.
     pub capacity_pps: f64,
@@ -64,19 +63,19 @@ impl PlantParams {
     /// Returns [`ParamError`] if any parameter is non-positive or `g` is
     /// not in `(0, 1]`.
     pub fn validate(&self) -> Result<(), ParamError> {
-        if !(self.capacity_pps > 0.0) {
+        if self.capacity_pps.is_nan() || self.capacity_pps <= 0.0 {
             return Err(ParamError::new("capacity must be positive"));
         }
-        if !(self.flows > 0.0) {
+        if self.flows.is_nan() || self.flows <= 0.0 {
             return Err(ParamError::new("flow count must be positive"));
         }
-        if !(self.rtt > 0.0) {
+        if self.rtt.is_nan() || self.rtt <= 0.0 {
             return Err(ParamError::new("rtt must be positive"));
         }
         if !(self.g > 0.0 && self.g <= 1.0) {
             return Err(ParamError::new("g must be in (0, 1]"));
         }
-        if !(self.gain > 0.0) {
+        if self.gain.is_nan() || self.gain <= 0.0 {
             return Err(ParamError::new("gain must be positive"));
         }
         Ok(())
@@ -130,7 +129,7 @@ mod tests {
     fn paper_defaults_units() {
         let p = params(10.0);
         // 10 Gb/s of 1500 B packets = 833,333 pkt/s.
-        assert!((p.capacity_pps - 833_333.3333).abs() < 1.0);
+        assert!((p.capacity_pps - 833_333.333_3).abs() < 1.0);
         assert_eq!(p.rtt, 1e-4);
         assert_eq!(p.g, 1.0 / 16.0);
     }
@@ -163,7 +162,10 @@ mod tests {
             * p.rtt
             * p.rtt;
         let got = p.p_of_s(Complex::ZERO).re;
-        assert!((got - expected).abs() / expected < 1e-9, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-9,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Property-based tests of the describing-function machinery: the
+//! Seeded randomized tests of the describing-function machinery: the
 //! closed forms of Theorems 1 and 2 against direct Fourier integration,
 //! and structural properties of the loci.
 
@@ -6,99 +6,116 @@ use dctcp_control::{
     ideal_hysteresis, ideal_relay, numerical_df, DescribingFunction, HysteresisDf, PlantParams,
     RelayDf,
 };
-use proptest::prelude::*;
+use dctcp_rng::Pcg32;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Eq. (22): the relay's closed-form DF equals the Fourier
-    /// fundamental of the actual marking waveform.
-    #[test]
-    fn relay_closed_form_matches_fourier(k in 1f64..100.0, factor in 1.05f64..20.0) {
+/// Eq. (22): the relay's closed-form DF equals the Fourier
+/// fundamental of the actual marking waveform.
+#[test]
+fn relay_closed_form_matches_fourier() {
+    let mut rng = Pcg32::seed_from_u64(0xDF_0001);
+    for _ in 0..64 {
+        let k = rng.range_f64(1.0, 100.0);
+        let factor = rng.range_f64(1.05, 20.0);
         let x = k * factor;
         let df = RelayDf::new(k).unwrap();
         let closed = df.df(x).unwrap();
         let numeric = numerical_df(x, 100_000, ideal_relay(k));
         let tol = 5e-4 * closed.norm().max(1e-4);
-        prop_assert!(
+        assert!(
             (closed - numeric).norm() < tol,
             "K={k}, X={x}: {closed} vs {numeric}"
         );
     }
+}
 
-    /// Eq. (27): the hysteresis's closed-form DF equals the Fourier
-    /// fundamental of its waveform.
-    #[test]
-    fn hysteresis_closed_form_matches_fourier(
-        k1 in 1f64..60.0,
-        width in 0.5f64..40.0,
-        factor in 1.05f64..15.0,
-    ) {
+/// Eq. (27): the hysteresis's closed-form DF equals the Fourier
+/// fundamental of its waveform.
+#[test]
+fn hysteresis_closed_form_matches_fourier() {
+    let mut rng = Pcg32::seed_from_u64(0xDF_0002);
+    for _ in 0..64 {
+        let k1 = rng.range_f64(1.0, 60.0);
+        let width = rng.range_f64(0.5, 40.0);
+        let factor = rng.range_f64(1.05, 15.0);
         let k2 = k1 + width;
         let x = k2 * factor;
         let df = HysteresisDf::new(k1, k2).unwrap();
         let closed = df.df(x).unwrap();
         let numeric = numerical_df(x, 100_000, ideal_hysteresis(k1, k2));
         let tol = 5e-3 * closed.norm().max(1e-4);
-        prop_assert!(
+        assert!(
             (closed - numeric).norm() < tol,
             "K1={k1}, K2={k2}, X={x}: {closed} vs {numeric}"
         );
     }
+}
 
-    /// The relay's relative DF peaks at X = K√2 with value 1/π
-    /// (where −1/N0 attains its maximum −π), for every K.
-    #[test]
-    fn relay_relative_df_peak(k in 0.5f64..500.0) {
+/// The relay's relative DF peaks at X = K√2 with value 1/π
+/// (where −1/N0 attains its maximum −π), for every K.
+#[test]
+fn relay_relative_df_peak() {
+    let mut rng = Pcg32::seed_from_u64(0xDF_0003);
+    for _ in 0..64 {
+        let k = rng.range_f64(0.5, 500.0);
         let df = RelayDf::new(k).unwrap();
         let peak = df.relative_df(k * 2f64.sqrt()).unwrap().re;
-        prop_assert!((peak - 1.0 / std::f64::consts::PI).abs() < 1e-9);
+        assert!((peak - 1.0 / std::f64::consts::PI).abs() < 1e-9);
         // Neighbouring amplitudes give smaller values.
         for factor in [1.05, 1.2, 2.0, 5.0] {
             let v = df.relative_df(k * factor).unwrap().re;
-            prop_assert!(v <= peak + 1e-12);
+            assert!(v <= peak + 1e-12);
         }
     }
+}
 
-    /// −1/N0 of the hysteresis always sits strictly above the real axis
-    /// (positive imaginary part) — the geometric heart of Theorem 2.
-    #[test]
-    fn hysteresis_neg_recip_upper_half_plane(
-        k1 in 0.5f64..60.0,
-        width in 0.1f64..40.0,
-        factor in 1.01f64..50.0,
-    ) {
+/// −1/N0 of the hysteresis always sits strictly above the real axis
+/// (positive imaginary part) — the geometric heart of Theorem 2.
+#[test]
+fn hysteresis_neg_recip_upper_half_plane() {
+    let mut rng = Pcg32::seed_from_u64(0xDF_0004);
+    for _ in 0..64 {
+        let k1 = rng.range_f64(0.5, 60.0);
+        let width = rng.range_f64(0.1, 40.0);
+        let factor = rng.range_f64(1.01, 50.0);
         let df = HysteresisDf::new(k1, k1 + width).unwrap();
         let z = df.neg_recip_relative((k1 + width) * factor).unwrap();
-        prop_assert!(z.im > 0.0, "Im = {}", z.im);
-        prop_assert!(z.re < 0.0, "Re = {}", z.re);
+        assert!(z.im > 0.0, "Im = {}", z.im);
+        assert!(z.re < 0.0, "Re = {}", z.re);
     }
+}
 
-    /// The plant magnitude is continuous and finite over the frequency
-    /// band, for any sane parameter set.
-    #[test]
-    fn plant_is_finite_over_the_band(
-        n in 1f64..500.0,
-        rtt_us in 10f64..5_000.0,
-        g_denom in 1u32..64,
-    ) {
+/// The plant magnitude is continuous and finite over the frequency
+/// band, for any sane parameter set.
+#[test]
+fn plant_is_finite_over_the_band() {
+    let mut rng = Pcg32::seed_from_u64(0xDF_0005);
+    for _ in 0..64 {
+        let n = rng.range_f64(1.0, 500.0);
+        let rtt_us = rng.range_f64(10.0, 5_000.0);
+        let g_denom = rng.range_u64(1, 63) as u32;
         let p = PlantParams::from_link(10e9, 1500, n, rtt_us * 1e-6, 1.0 / g_denom as f64);
         p.validate().unwrap();
         for i in 0..200 {
             let w = 10f64.powf(1.0 + 6.0 * i as f64 / 199.0);
             let z = p.g_of_jw(w);
-            prop_assert!(z.is_finite(), "G(j{w}) = {z}");
+            assert!(z.is_finite(), "G(j{w}) = {z}");
         }
     }
+}
 
-    /// Loop-gain scaling is exact: the locus with gain γ is γ times the
-    /// locus with gain 1.
-    #[test]
-    fn gain_scales_locus_linearly(n in 1f64..200.0, gain in 0.1f64..50.0, w in 100f64..1e6) {
+/// Loop-gain scaling is exact: the locus with gain γ is γ times the
+/// locus with gain 1.
+#[test]
+fn gain_scales_locus_linearly() {
+    let mut rng = Pcg32::seed_from_u64(0xDF_0006);
+    for _ in 0..64 {
+        let n = rng.range_f64(1.0, 200.0);
+        let gain = rng.range_f64(0.1, 50.0);
+        let w = rng.range_f64(100.0, 1e6);
         let base = PlantParams::paper_defaults(n);
         let scaled = base.with_gain(gain);
         let a = base.g_of_jw(w);
         let b = scaled.g_of_jw(w);
-        prop_assert!((b - a * gain).norm() < 1e-9 * b.norm().max(1e-12));
+        assert!((b - a * gain).norm() < 1e-9 * b.norm().max(1e-12));
     }
 }

@@ -8,10 +8,9 @@
 //! oscillation experiments; see DESIGN.md for the justification.
 
 use crate::{ParamError, QueueSnapshot};
-use serde::{Deserialize, Serialize};
 
 /// CoDel parameters, in nanoseconds of sojourn time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CodelParams {
     /// Sojourn-time target (classic default: 5 ms; data-center scale
     /// wants tens of microseconds).
@@ -42,7 +41,9 @@ impl CodelParams {
     /// Returns [`ParamError`] when target or interval is zero.
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.target_ns == 0 || self.interval_ns == 0 {
-            return Err(ParamError::new("codel target and interval must be positive"));
+            return Err(ParamError::new(
+                "codel target and interval must be positive",
+            ));
         }
         Ok(())
     }
@@ -66,7 +67,7 @@ impl CodelParams {
 /// assert!(!codel.on_dequeue_sojourn(1_000, 10_000, &Default::default()));
 /// # Ok::<(), dctcp_core::ParamError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Codel {
     params: CodelParams,
     /// When the current above-target episode started (ns), if any.

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{
     CodelParams, DoubleThreshold, DropTail, MarkingPolicy, ParamError, Pie, PieParams, QueueLevel,
     Red, RedParams, SchmittThreshold, SingleThreshold,
@@ -26,7 +24,7 @@ use crate::{
 /// assert_eq!(policy.name(), "dt-dctcp");
 /// # Ok::<(), dctcp_core::ParamError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MarkingScheme {
     /// FIFO with no ECN.
     DropTail,
@@ -258,7 +256,10 @@ mod tests {
             MarkingScheme::dt_dctcp_packets(30, 50).to_string(),
             "DT-DCTCP(K1=30 pkts, K2=50 pkts)"
         );
-        assert_eq!(MarkingScheme::dctcp_packets(40).to_string(), "DCTCP(K=40 pkts)");
+        assert_eq!(
+            MarkingScheme::dctcp_packets(40).to_string(),
+            "DCTCP(K=40 pkts)"
+        );
     }
 
     #[test]

@@ -46,11 +46,11 @@ mod window;
 
 pub use codel::{Codel, CodelParams};
 pub use config::MarkingScheme;
-pub use pie::{Pie, PieParams};
 pub use error::ParamError;
 pub use marking::{
     DoubleThreshold, DropTail, EnqueueDecision, MarkingPolicy, QueueSnapshot, Red, RedParams,
     SchmittThreshold, SingleThreshold,
 };
+pub use pie::{Pie, PieParams};
 pub use units::QueueLevel;
 pub use window::{d2tcp_cut, dctcp_cut, reno_cut, AlphaEstimator, WindowSample};

@@ -501,8 +501,7 @@ impl MarkingPolicy for Red {
             let pa = (pb / (1.0 - self.count as f64 * pb).max(f64::MIN_POSITIVE)).clamp(0.0, 1.0);
             self.next_uniform() < pa
         } else if self.params.gentle && self.avg < 2.0 * max {
-            let pb =
-                self.params.max_p + (1.0 - self.params.max_p) * (self.avg - max) / max;
+            let pb = self.params.max_p + (1.0 - self.params.max_p) * (self.avg - max) / max;
             self.count += 1;
             self.next_uniform() < pb.clamp(0.0, 1.0)
         } else {
@@ -586,10 +585,16 @@ mod tests {
     fn hysteresis_marks_rising_from_k1_to_peak() {
         let mut p = dt(30, 50);
         for n in 0..30 {
-            assert!(!p.on_enqueue(&pk(n)).is_marked(), "unmarked below K1 (n={n})");
+            assert!(
+                !p.on_enqueue(&pk(n)).is_marked(),
+                "unmarked below K1 (n={n})"
+            );
         }
         for n in 30..60 {
-            assert!(p.on_enqueue(&pk(n)).is_marked(), "marked at/above K1 rising (n={n})");
+            assert!(
+                p.on_enqueue(&pk(n)).is_marked(),
+                "marked at/above K1 rising (n={n})"
+            );
         }
     }
 
@@ -701,7 +706,10 @@ mod tests {
                 marked += 1;
             }
         }
-        assert!(marked > 100, "RED should mark heavily at q = 2*max_th, got {marked}");
+        assert!(
+            marked > 100,
+            "RED should mark heavily at q = 2*max_th, got {marked}"
+        );
         assert!(p.average() > 15.0);
     }
 
@@ -729,7 +737,9 @@ mod tests {
             ..RedParams::default()
         };
         let run = |p: &mut Red| -> Vec<bool> {
-            (0..200).map(|_| p.on_enqueue(&pk(12)).is_marked()).collect()
+            (0..200)
+                .map(|_| p.on_enqueue(&pk(12)).is_marked())
+                .collect()
         };
         let mut a = Red::new(params).unwrap();
         let first = run(&mut a);

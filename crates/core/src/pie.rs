@@ -9,12 +9,10 @@
 //! the opposite end of the "smoothness" spectrum from the relay the
 //! paper analyzes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{EnqueueDecision, MarkingPolicy, ParamError, QueueSnapshot};
 
 /// PIE parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PieParams {
     /// Queueing-delay target in nanoseconds (RFC default 15 ms;
     /// data-center scale wants tens of microseconds).
@@ -58,12 +56,14 @@ impl PieParams {
     /// Returns [`ParamError`] when any parameter is non-positive.
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.target_ns == 0 || self.update_ns == 0 {
-            return Err(ParamError::new("pie target and update interval must be positive"));
+            return Err(ParamError::new(
+                "pie target and update interval must be positive",
+            ));
         }
         if !(self.alpha > 0.0 && self.beta > 0.0) {
             return Err(ParamError::new("pie gains must be positive"));
         }
-        if !(self.rate_bytes_per_sec > 0.0) {
+        if self.rate_bytes_per_sec.is_nan() || self.rate_bytes_per_sec <= 0.0 {
             return Err(ParamError::new("pie departure rate must be positive"));
         }
         Ok(())
@@ -77,7 +77,7 @@ impl PieParams {
 /// update interval's worth of *estimated service time* has passed, using
 /// the packet count as its clock — accurate while the queue is busy,
 /// which is the only time PIE matters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pie {
     params: PieParams,
     /// Current marking probability.

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::marking::QueueSnapshot;
 
 /// A queue-occupancy level expressed either in packets or in bytes.
@@ -22,7 +20,7 @@ use crate::marking::QueueSnapshot;
 /// assert!(!k.is_reached(&QueueSnapshot::packets(39)));
 /// assert!(k.is_reached(&QueueSnapshot::packets(40)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueueLevel {
     /// A threshold in whole packets.
     Packets(u32),

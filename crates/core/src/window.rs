@@ -1,11 +1,9 @@
 //! Sender-side congestion-window laws.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ParamError;
 
 /// One window (≈ one RTT) of acknowledgement accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct WindowSample {
     /// Bytes acknowledged in the window.
     pub acked_bytes: u64,
@@ -45,7 +43,7 @@ impl WindowSample {
 /// assert!((a - 1.0 / 16.0).abs() < 1e-12);
 /// # Ok::<(), dctcp_core::ParamError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlphaEstimator {
     g: f64,
     alpha: f64,

@@ -1,11 +1,13 @@
-//! Property-based tests of the marking policies: invariants that must
-//! hold for every possible queue trajectory.
+//! Seeded randomized tests of the marking policies: invariants that
+//! must hold for every possible queue trajectory. Each test replays a
+//! few hundred pseudo-random cases from a fixed seed, so failures
+//! reproduce bit-identically.
 
 use dctcp_core::{
     AlphaEstimator, DoubleThreshold, MarkingPolicy, QueueLevel, QueueSnapshot, SingleThreshold,
     WindowSample,
 };
-use proptest::prelude::*;
+use dctcp_rng::Pcg32;
 
 /// A random queue trajectory as alternating enqueue/dequeue events with
 /// the occupancy tracked exactly (occupancy can only move by one packet
@@ -16,8 +18,11 @@ enum Ev {
     Deq,
 }
 
-fn trajectory() -> impl Strategy<Value = Vec<Ev>> {
-    proptest::collection::vec(prop_oneof![Just(Ev::Enq), Just(Ev::Deq)], 1..400)
+fn trajectory(rng: &mut Pcg32) -> Vec<Ev> {
+    let n = rng.range_usize(1, 399);
+    (0..n)
+        .map(|_| if rng.chance(0.5) { Ev::Enq } else { Ev::Deq })
+        .collect()
 }
 
 /// Replays a trajectory against a policy, returning for each enqueue the
@@ -43,101 +48,135 @@ fn replay(policy: &mut dyn MarkingPolicy, evs: &[Ev]) -> Vec<(u32, bool)> {
     out
 }
 
-proptest! {
-    /// The hysteresis is sandwiched between the two relays: it never
-    /// marks below K1 and always marks at or above K2.
-    #[test]
-    fn dt_marking_is_sandwiched_between_relays(evs in trajectory(), k1 in 1u32..30, width in 1u32..30) {
-        let k2 = k1 + width;
-        let mut dt = DoubleThreshold::new(QueueLevel::Packets(k1), QueueLevel::Packets(k2)).unwrap();
+/// The hysteresis is sandwiched between the two relays: it never marks
+/// below K1 and always marks at or above K2.
+#[test]
+fn dt_marking_is_sandwiched_between_relays() {
+    let mut rng = Pcg32::seed_from_u64(0xC0DE_0001);
+    for _ in 0..256 {
+        let evs = trajectory(&mut rng);
+        let k1 = rng.range_u64(1, 29) as u32;
+        let k2 = k1 + rng.range_u64(1, 29) as u32;
+        let mut dt =
+            DoubleThreshold::new(QueueLevel::Packets(k1), QueueLevel::Packets(k2)).unwrap();
         for (q, marked) in replay(&mut dt, &evs) {
             if q < k1 {
-                prop_assert!(!marked, "marked below K1 at occupancy {q}");
+                assert!(!marked, "marked below K1 at occupancy {q}");
             }
             if q >= k2 {
-                prop_assert!(marked, "unmarked at/above K2 at occupancy {q}");
+                assert!(marked, "unmarked at/above K2 at occupancy {q}");
             }
         }
     }
+}
 
-    /// On a pure rise (no departures) the hysteresis degenerates to the
-    /// relay at its arming threshold: it marks exactly when the
-    /// occupancy has reached K1.
-    #[test]
-    fn dt_on_monotone_rise_equals_relay_at_k1(
-        n in 1usize..300,
-        k1 in 1u32..30,
-        width in 1u32..30,
-    ) {
-        let k2 = k1 + width;
-        let mut dt = DoubleThreshold::new(QueueLevel::Packets(k1), QueueLevel::Packets(k2)).unwrap();
+/// On a pure rise (no departures) the hysteresis degenerates to the
+/// relay at its arming threshold: it marks exactly when the occupancy
+/// has reached K1.
+#[test]
+fn dt_on_monotone_rise_equals_relay_at_k1() {
+    let mut rng = Pcg32::seed_from_u64(0xC0DE_0002);
+    for _ in 0..256 {
+        let n = rng.range_usize(1, 299);
+        let k1 = rng.range_u64(1, 29) as u32;
+        let k2 = k1 + rng.range_u64(1, 29) as u32;
+        let mut dt =
+            DoubleThreshold::new(QueueLevel::Packets(k1), QueueLevel::Packets(k2)).unwrap();
         let mut relay = SingleThreshold::new(QueueLevel::Packets(k1));
         let evs = vec![Ev::Enq; n];
         let a = replay(&mut dt, &evs);
         let b = replay(&mut relay, &evs);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Single-threshold marking is memoryless: the decision depends only
-    /// on the occupancy at arrival.
-    #[test]
-    fn relay_is_pure_function_of_occupancy(evs in trajectory(), k in 1u32..50) {
+/// Single-threshold marking is memoryless: the decision depends only on
+/// the occupancy at arrival.
+#[test]
+fn relay_is_pure_function_of_occupancy() {
+    let mut rng = Pcg32::seed_from_u64(0xC0DE_0003);
+    for _ in 0..256 {
+        let evs = trajectory(&mut rng);
+        let k = rng.range_u64(1, 49) as u32;
         let mut relay = SingleThreshold::new(QueueLevel::Packets(k));
         for (q, marked) in replay(&mut relay, &evs) {
-            prop_assert_eq!(marked, q >= k);
+            assert_eq!(marked, q >= k);
         }
     }
+}
 
-    /// Marking decisions are reproducible: replaying the same trajectory
-    /// on a reset policy gives identical output.
-    #[test]
-    fn reset_gives_identical_replay(evs in trajectory(), k1 in 1u32..20, width in 1u32..20) {
+/// Marking decisions are reproducible: replaying the same trajectory on
+/// a reset policy gives identical output.
+#[test]
+fn reset_gives_identical_replay() {
+    let mut rng = Pcg32::seed_from_u64(0xC0DE_0004);
+    for _ in 0..256 {
+        let evs = trajectory(&mut rng);
+        let k1 = rng.range_u64(1, 19) as u32;
+        let width = rng.range_u64(1, 19) as u32;
         let mut dt =
             DoubleThreshold::new(QueueLevel::Packets(k1), QueueLevel::Packets(k1 + width)).unwrap();
         let first = replay(&mut dt, &evs);
         dt.reset();
         let second = replay(&mut dt, &evs);
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second);
     }
+}
 
-    /// The alpha estimator stays in [0, 1] and is a contraction: two
-    /// estimates fed the same samples converge.
-    #[test]
-    fn alpha_stays_bounded_and_contracts(
-        samples in proptest::collection::vec((0u64..10_000, 0u64..10_000), 1..200),
-        g_denom in 1u32..64,
-        a0 in 0f64..=1.0,
-        b0 in 0f64..=1.0,
-    ) {
-        let g = 1.0 / g_denom as f64;
+/// The alpha estimator stays in [0, 1] and is a contraction: two
+/// estimates fed the same samples converge.
+#[test]
+fn alpha_stays_bounded_and_contracts() {
+    let mut rng = Pcg32::seed_from_u64(0xC0DE_0005);
+    for _ in 0..256 {
+        let g = 1.0 / rng.range_u64(1, 63) as f64;
+        let a0 = rng.next_f64();
+        let b0 = rng.next_f64();
+        let samples: Vec<(u64, u64)> = (0..rng.range_usize(1, 199))
+            .map(|_| (rng.range_u64(0, 9_999), rng.range_u64(0, 9_999)))
+            .collect();
         let mut a = AlphaEstimator::new(g).unwrap();
         let mut b = AlphaEstimator::new(g).unwrap();
         // Pre-load different states via synthetic full/empty windows.
-        a.update(WindowSample { acked_bytes: 1_000, marked_bytes: (1_000.0 * a0) as u64 });
-        b.update(WindowSample { acked_bytes: 1_000, marked_bytes: (1_000.0 * b0) as u64 });
+        a.update(WindowSample {
+            acked_bytes: 1_000,
+            marked_bytes: (1_000.0 * a0) as u64,
+        });
+        b.update(WindowSample {
+            acked_bytes: 1_000,
+            marked_bytes: (1_000.0 * b0) as u64,
+        });
         let gap0 = (a.alpha() - b.alpha()).abs();
         for &(acked, marked) in &samples {
-            let s = WindowSample { acked_bytes: acked, marked_bytes: marked.min(acked) };
+            let s = WindowSample {
+                acked_bytes: acked,
+                marked_bytes: marked.min(acked),
+            };
             let va = a.update(s);
             let vb = b.update(s);
-            prop_assert!((0.0..=1.0).contains(&va));
-            prop_assert!((0.0..=1.0).contains(&vb));
+            assert!((0.0..=1.0).contains(&va));
+            assert!((0.0..=1.0).contains(&vb));
         }
         let gap1 = (a.alpha() - b.alpha()).abs();
-        prop_assert!(gap1 <= gap0 + 1e-12, "estimator must contract: {gap0} -> {gap1}");
+        assert!(
+            gap1 <= gap0 + 1e-12,
+            "estimator must contract: {gap0} -> {gap1}"
+        );
     }
+}
 
-    /// dctcp_cut never increases the window and never undershoots Reno's
-    /// halving.
-    #[test]
-    fn dctcp_cut_is_between_identity_and_halving(
-        cwnd in 1f64..1e4,
-        alpha in 0f64..=1.0,
-    ) {
+/// dctcp_cut never increases the window and never undershoots Reno's
+/// halving.
+#[test]
+fn dctcp_cut_is_between_identity_and_halving() {
+    let mut rng = Pcg32::seed_from_u64(0xC0DE_0006);
+    for _ in 0..1024 {
+        let cwnd = rng.range_f64(1.0, 1e4);
+        let alpha = rng.next_f64();
         let cut = dctcp_core::dctcp_cut(cwnd, alpha, 1.0);
         let reno = dctcp_core::reno_cut(cwnd, 1.0);
-        prop_assert!(cut <= cwnd + 1e-12);
-        prop_assert!(cut >= reno - 1e-12, "cut {cut} below halving {reno}");
-        prop_assert!(cut >= 1.0);
+        assert!(cut <= cwnd + 1e-12);
+        assert!(cut >= reno - 1e-12, "cut {cut} below halving {reno}");
+        assert!(cut >= 1.0);
     }
 }

@@ -1,11 +1,10 @@
 //! Continuous-time marking nonlinearities for the fluid model.
 
 use dctcp_core::ParamError;
-use serde::{Deserialize, Serialize};
 
 /// The switch marking rule `p(q)` driving the fluid model's delayed
 /// input.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FluidMarking {
     /// DCTCP's relay: `p = 1{q > K}`.
     Relay {
@@ -32,9 +31,9 @@ impl FluidMarking {
     pub fn validate(&self) -> Result<(), ParamError> {
         match *self {
             FluidMarking::Relay { k } if k > 0.0 => Ok(()),
-            FluidMarking::Relay { k } => {
-                Err(ParamError::new(format!("relay threshold must be positive, got {k}")))
-            }
+            FluidMarking::Relay { k } => Err(ParamError::new(format!(
+                "relay threshold must be positive, got {k}"
+            ))),
             FluidMarking::Hysteresis { k1, k2 } if k1 > 0.0 && k2 > k1 => Ok(()),
             FluidMarking::Hysteresis { k1, k2 } => Err(ParamError::new(format!(
                 "hysteresis thresholds must satisfy 0 < K1 < K2, got {k1}, {k2}"
@@ -77,9 +76,7 @@ impl MarkingState {
                 }
             }
             FluidMarking::Hysteresis { k1, k2 } => {
-                if q >= k2 {
-                    self.armed = true;
-                } else if self.prev_q < k1 && q >= k1 {
+                if q >= k2 || (self.prev_q < k1 && q >= k1) {
                     self.armed = true;
                 } else if self.prev_q >= k2 && q < k2 {
                     self.armed = false;
@@ -106,9 +103,15 @@ mod tests {
     fn validate_thresholds() {
         assert!(FluidMarking::Relay { k: 40.0 }.validate().is_ok());
         assert!(FluidMarking::Relay { k: 0.0 }.validate().is_err());
-        assert!(FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 }.validate().is_ok());
-        assert!(FluidMarking::Hysteresis { k1: 50.0, k2: 30.0 }.validate().is_err());
-        assert!(FluidMarking::Hysteresis { k1: 0.0, k2: 30.0 }.validate().is_err());
+        assert!(FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 }
+            .validate()
+            .is_ok());
+        assert!(FluidMarking::Hysteresis { k1: 50.0, k2: 30.0 }
+            .validate()
+            .is_err());
+        assert!(FluidMarking::Hysteresis { k1: 0.0, k2: 30.0 }
+            .validate()
+            .is_err());
     }
 
     #[test]

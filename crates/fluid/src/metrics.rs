@@ -1,11 +1,10 @@
 //! Oscillation metrics extracted from fluid trajectories.
 
 use dctcp_stats::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 /// Amplitude and period of a (quasi-)periodic signal, estimated from its
 /// mean crossings.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OscillationMetrics {
     /// Signal mean over the window.
     pub mean: f64,
@@ -67,7 +66,10 @@ mod tests {
         let ts: TimeSeries = (0..10_000)
             .map(|i| {
                 let t = i as f64 * 1e-3;
-                (t, 10.0 + 3.0 * (2.0 * std::f64::consts::PI * freq * t).sin())
+                (
+                    t,
+                    10.0 + 3.0 * (2.0 * std::f64::consts::PI * freq * t).sin(),
+                )
             })
             .collect();
         let m = oscillation_metrics(&ts);

@@ -2,7 +2,6 @@
 
 use dctcp_core::ParamError;
 use dctcp_stats::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 use crate::marking::MarkingState;
 use crate::FluidMarking;
@@ -16,7 +15,7 @@ use crate::FluidMarking;
 /// ```
 ///
 /// with `p(t) = marking(q(t))`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FluidParams {
     /// Bottleneck capacity `C` in packets/second.
     pub capacity_pps: f64,
@@ -73,7 +72,7 @@ impl FluidParams {
 }
 
 /// Trajectories produced by [`FluidModel::run`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FluidSolution {
     /// Per-flow window `W(t)` in packets.
     pub w: TimeSeries,
@@ -142,7 +141,10 @@ impl FluidModel {
     ///
     /// Panics unless `0 < dt <= rtt` and `sample_every >= 1`.
     pub fn run_sampled(&mut self, duration: f64, dt: f64, sample_every: usize) -> FluidSolution {
-        assert!(dt > 0.0 && dt <= self.params.rtt, "dt {dt} outside (0, rtt]");
+        assert!(
+            dt > 0.0 && dt <= self.params.rtt,
+            "dt {dt} outside (0, rtt]"
+        );
         assert!(sample_every >= 1);
         let p = self.params;
         let steps = (duration / dt).round().max(1.0) as usize;
@@ -188,8 +190,16 @@ impl FluidModel {
                 (dw, da, dq)
             };
             let (k1w, k1a, k1q) = f(w, alpha, q);
-            let (k2w, k2a, k2q) = f(w + 0.5 * dt * k1w, alpha + 0.5 * dt * k1a, q + 0.5 * dt * k1q);
-            let (k3w, k3a, k3q) = f(w + 0.5 * dt * k2w, alpha + 0.5 * dt * k2a, q + 0.5 * dt * k2q);
+            let (k2w, k2a, k2q) = f(
+                w + 0.5 * dt * k1w,
+                alpha + 0.5 * dt * k1a,
+                q + 0.5 * dt * k1q,
+            );
+            let (k3w, k3a, k3q) = f(
+                w + 0.5 * dt * k2w,
+                alpha + 0.5 * dt * k2a,
+                q + 0.5 * dt * k2q,
+            );
             let (k4w, k4a, k4q) = f(w + dt * k3w, alpha + dt * k3a, q + dt * k3q);
             w += dt / 6.0 * (k1w + 2.0 * k2w + 2.0 * k3w + k4w);
             alpha += dt / 6.0 * (k1a + 2.0 * k2a + 2.0 * k3a + k4a);
@@ -233,7 +243,7 @@ mod tests {
         let mut m = FluidModel::new(relay(40.0)).unwrap();
         let sol = m.run(0.05, 1e-6);
         for (_, q) in sol.q.iter() {
-            assert!(q >= 0.0 && q < 10_000.0, "q = {q}");
+            assert!((0.0..10_000.0).contains(&q), "q = {q}");
         }
         for (_, a) in sol.alpha.iter() {
             assert!((0.0..=1.0).contains(&a), "alpha = {a}");
@@ -299,7 +309,11 @@ mod tests {
         let mean_w = tail.summary().mean;
         let arrival = p.flows * mean_w / p.rtt;
         let err = (arrival - p.capacity_pps).abs() / p.capacity_pps;
-        assert!(err < 0.05, "arrival {arrival} vs capacity {} ({err})", p.capacity_pps);
+        assert!(
+            err < 0.05,
+            "arrival {arrival} vs capacity {} ({err})",
+            p.capacity_pps
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
-//! Property-based tests of the fluid integrator.
+//! Seeded randomized tests of the fluid integrator.
 
 use dctcp_fluid::{oscillation_metrics, FluidMarking, FluidModel, FluidParams};
+use dctcp_rng::Pcg32;
 use dctcp_stats::TimeSeries;
-use proptest::prelude::*;
 
 fn params(n: f64, rtt: f64, marking: FluidMarking) -> FluidParams {
     let mut p = FluidParams::paper_defaults(n, marking);
@@ -10,59 +10,61 @@ fn params(n: f64, rtt: f64, marking: FluidMarking) -> FluidParams {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// State stays physical (non-negative queue and window, α in [0,1])
-    /// for arbitrary parameters in the controllable regime.
-    #[test]
-    fn state_stays_physical(
-        n in 1f64..80.0,
-        rtt_us in 100f64..1000.0,
-        k in 5f64..100.0,
-    ) {
+/// State stays physical (non-negative queue and window, α in [0,1])
+/// for arbitrary parameters in the controllable regime.
+#[test]
+fn state_stays_physical() {
+    let mut rng = Pcg32::seed_from_u64(0xF1_0001);
+    for _ in 0..32 {
+        let n = rng.range_f64(1.0, 80.0);
+        let rtt_us = rng.range_f64(100.0, 1000.0);
+        let k = rng.range_f64(5.0, 100.0);
         let p = params(n, rtt_us * 1e-6, FluidMarking::Relay { k });
         let mut m = FluidModel::new(p).unwrap();
         let sol = m.run_sampled(0.02, 1e-6, 20);
         for (_, q) in sol.q.iter() {
-            prop_assert!(q >= 0.0);
+            assert!(q >= 0.0);
         }
         for (_, a) in sol.alpha.iter() {
-            prop_assert!((0.0..=1.0).contains(&a));
+            assert!((0.0..=1.0).contains(&a));
         }
         for (_, w) in sol.w.iter() {
-            prop_assert!(w >= 0.0);
+            assert!(w >= 0.0);
         }
     }
+}
 
-    /// Halving the integration step changes the trajectory only
-    /// marginally (RK4 convergence on the smooth segments).
-    #[test]
-    fn step_refinement_converges(n in 5f64..40.0) {
-        let make = || {
-            FluidModel::new(params(n, 300e-6, FluidMarking::Relay { k: 40.0 })).unwrap()
-        };
-        let coarse = make().run_sampled(0.01, 2e-6, 5);   // sample every 10 us
-        let fine = make().run_sampled(0.01, 1e-6, 10);    // same sampling instants
-        prop_assert_eq!(coarse.q.len(), fine.q.len());
+/// Halving the integration step changes the trajectory only
+/// marginally (RK4 convergence on the smooth segments).
+#[test]
+fn step_refinement_converges() {
+    let mut rng = Pcg32::seed_from_u64(0xF1_0002);
+    for _ in 0..32 {
+        let n = rng.range_f64(5.0, 40.0);
+        let make = || FluidModel::new(params(n, 300e-6, FluidMarking::Relay { k: 40.0 })).unwrap();
+        let coarse = make().run_sampled(0.01, 2e-6, 5); // sample every 10 us
+        let fine = make().run_sampled(0.01, 1e-6, 10); // same sampling instants
+        assert_eq!(coarse.q.len(), fine.q.len());
         // Compare the *time-average* queue rather than pointwise values:
         // the marking relay makes trajectories chaotic in phase, but the
         // mean must be step-robust.
         let mean = |ts: &TimeSeries| ts.summary().mean;
         let (a, b) = (mean(&coarse.q), mean(&fine.q));
-        prop_assert!(
+        assert!(
             (a - b).abs() <= 0.25 * b.abs().max(5.0),
             "means diverge under refinement: {a} vs {b}"
         );
     }
+}
 
-    /// With marking disabled (unreachable threshold) the window grows
-    /// exactly linearly at 1/R0 per second.
-    #[test]
-    fn additive_increase_is_exact_without_marking(
-        n in 1f64..50.0,
-        rtt_us in 50f64..500.0,
-    ) {
+/// With marking disabled (unreachable threshold) the window grows
+/// exactly linearly at 1/R0 per second.
+#[test]
+fn additive_increase_is_exact_without_marking() {
+    let mut rng = Pcg32::seed_from_u64(0xF1_0003);
+    for _ in 0..32 {
+        let n = rng.range_f64(1.0, 50.0);
+        let rtt_us = rng.range_f64(50.0, 500.0);
         let rtt = rtt_us * 1e-6;
         let p = params(n, rtt, FluidMarking::Relay { k: 1e15 });
         let mut m = FluidModel::new(p).unwrap();
@@ -70,21 +72,25 @@ proptest! {
         let sol = m.run(dur, rtt / 64.0);
         let (_, w_end) = sol.w.last().unwrap();
         let expected = p.w_init + dur / rtt;
-        prop_assert!((w_end - expected).abs() < 1e-2, "{w_end} vs {expected}");
+        assert!((w_end - expected).abs() < 1e-2, "{w_end} vs {expected}");
     }
+}
 
-    /// Oscillation metrics are scale-consistent: amplitude never exceeds
-    /// (max − min)/2 bound and std never exceeds amplitude.
-    #[test]
-    fn oscillation_metrics_are_consistent(n in 10f64..80.0) {
+/// Oscillation metrics are scale-consistent: amplitude never exceeds
+/// (max − min)/2 bound and std never exceeds amplitude.
+#[test]
+fn oscillation_metrics_are_consistent() {
+    let mut rng = Pcg32::seed_from_u64(0xF1_0004);
+    for _ in 0..32 {
+        let n = rng.range_f64(10.0, 80.0);
         let p = params(n, 300e-6, FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 });
         let mut m = FluidModel::new(p).unwrap();
         let sol = m.run_sampled(0.05, 1e-6, 10);
         let metrics = oscillation_metrics(&sol.q.window(0.02, 0.05));
-        prop_assert!(metrics.std <= metrics.amplitude + 1e-9);
+        assert!(metrics.std <= metrics.amplitude + 1e-9);
         if let Some(period) = metrics.period {
-            prop_assert!(period > 0.0);
-            prop_assert!(period < 0.05);
+            assert!(period > 0.0);
+            assert!(period < 0.05);
         }
     }
 }

@@ -1,0 +1,294 @@
+//! Deterministic pseudo-random number generation for the DT-DCTCP
+//! reproduction.
+//!
+//! The whole workspace builds offline; this crate replaces the external
+//! `rand` stack with two small, well-known generators:
+//!
+//! * [`SplitMix64`] — a 64-bit state-avalanche generator used for
+//!   seeding and for cheap per-object streams (the queue loss models).
+//! * [`Pcg32`] — PCG-XSH-RR 64/32, the workhorse for workload jitter,
+//!   fault plans and randomized tests.
+//!
+//! Both are fully deterministic per seed: the same seed always yields
+//! the same sequence on every platform, which is what the simulator's
+//! bit-identical-replay guarantee rests on.
+//!
+//! # Examples
+//!
+//! ```
+//! use dctcp_rng::Pcg32;
+//!
+//! let mut a = Pcg32::seed_from_u64(7);
+//! let mut b = Pcg32::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.next_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+/// SplitMix64 (Steele, Lea, Flood 2014): one multiply-xorshift avalanche
+/// per output. Passes BigCrush; ideal for seeding other generators and
+/// for independent low-cost streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given seed. Every seed (including 0)
+    /// gives a full-quality stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014): 64-bit LCG state with an
+/// output permutation. Small, fast, and statistically strong for the
+/// simulation workloads here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pcg32 {
+    state: u64,
+    /// Stream selector (must be odd); distinct streams are independent.
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Creates a generator on the default stream, expanding `seed`
+    /// through SplitMix64 so similar seeds give unrelated sequences.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self::new(sm.next_u64(), sm.next_u64())
+    }
+
+    /// Creates a generator with explicit state and stream (the stream is
+    /// forced odd, as PCG requires).
+    pub fn new(state: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.state = rng.inc.wrapping_add(state);
+        rng.next_u32();
+        rng
+    }
+
+    /// The next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// The next 64 uniformly distributed bits (two 32-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform integer in `[0, bound)` via Lemire's unbiased
+    /// multiply-shift rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = mul_wide(x, bound);
+            if lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+            // Rejected draw from the biased zone; resample.
+        }
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64({lo}, {hi})");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// A uniform usize in the inclusive range `[lo, hi]`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "range_f64({lo}, {hi})"
+        );
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle, deterministic per generator state.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range_usize(0, i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Full 128-bit product of two 64-bit integers as `(high, low)`.
+fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut c = SplitMix64::new(43);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn splitmix_known_answer() {
+        // Reference values from the public-domain splitmix64.c.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    }
+
+    #[test]
+    fn pcg_streams_are_independent() {
+        let mut a = Pcg32::new(1, 1);
+        let mut b = Pcg32::new(1, 2);
+        let xs: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval_and_covers_it() {
+        let mut r = Pcg32::seed_from_u64(9);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn range_u64_hits_every_value() {
+        let mut r = Pcg32::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.range_u64(0, 9) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "missing values: {seen:?}");
+        // Degenerate and extreme ranges.
+        assert_eq!(r.range_u64(5, 5), 5);
+        let _ = r.range_u64(0, u64::MAX);
+    }
+
+    #[test]
+    fn next_below_is_unbiased_enough() {
+        // Chi-squared-style sanity: 30k draws over 3 buckets stay within
+        // a few percent of uniform.
+        let mut r = Pcg32::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.next_below(3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Pcg32::seed_from_u64(5);
+        let hits = (0..40_000).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / 40_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "p=0.25 measured {frac}");
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Pcg32::seed_from_u64(1);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
+    }
+
+    #[test]
+    fn seed_from_u64_decorrelates_adjacent_seeds() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert_eq!(same, 0, "adjacent seeds produced colliding outputs");
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        Pcg32::seed_from_u64(0).next_below(0);
+    }
+}

@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::fault::FaultAction;
 use crate::{LinkId, NodeId, Packet, SimTime, TimerToken};
 
 /// What happens when an event fires.
@@ -19,6 +20,8 @@ pub(crate) enum EventKind {
     Arrival { node: NodeId, packet: Packet },
     /// An agent timer fires.
     Timer { node: NodeId, token: TimerToken },
+    /// A scheduled fault fires (see [`crate::FaultPlan`]).
+    Fault { link: LinkId, action: FaultAction },
 }
 
 #[derive(Debug)]

@@ -1,0 +1,245 @@
+//! Scheduled, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a time-scripted list of [`FaultAction`]s bound to
+//! links: link flaps (down/up), and ECN bleaching windows during which CE
+//! marks are stripped from packets departing either end of a link. Plans
+//! are installed with [`Simulator::install_faults`](crate::Simulator::install_faults)
+//! and fire as ordinary simulation events, so fault runs replay
+//! bit-identically per seed like everything else in the engine.
+//!
+//! Loss and reordering faults live on individual queues (see
+//! [`LossModel`](crate::LossModel) and
+//! [`QueueConfig::with_reorder`](crate::QueueConfig::with_reorder)); this
+//! module covers faults whose timing is part of the scenario script.
+
+use dctcp_rng::Pcg32;
+
+use crate::{LinkId, SimDuration, SimTime};
+
+/// One fault applied to a link when its scheduled instant arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// Take the link down: neither transmitter starts new packets.
+    /// Packets already serialized keep propagating and deliver; queued
+    /// packets wait for the link to come back.
+    LinkDown,
+    /// Bring the link back up and restart both transmitters.
+    LinkUp,
+    /// Start stripping CE marks from packets departing either end of the
+    /// link (a broken middlebox erasing congestion signals).
+    BleachOn,
+    /// Stop stripping CE marks.
+    BleachOff,
+}
+
+/// A [`FaultAction`] bound to a link and an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// The link it applies to.
+    pub link: LinkId,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic, time-scripted fault schedule.
+///
+/// Build one by chaining [`at`](FaultPlan::at) /
+/// [`flap`](FaultPlan::flap) / [`bleach_window`](FaultPlan::bleach_window),
+/// or generate a seeded random plan with
+/// [`randomized`](FaultPlan::randomized) for chaos testing.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_sim::{FaultPlan, LinkId, SimDuration, SimTime};
+///
+/// let link = LinkId::from_index(0);
+/// let plan = FaultPlan::new()
+///     .flap(
+///         link,
+///         SimTime::from_nanos(1_000_000),
+///         SimDuration::from_micros(200),
+///         SimDuration::from_millis(1),
+///         3,
+///     )
+///     .bleach_window(link, SimTime::from_nanos(0), SimTime::from_nanos(500_000));
+/// assert_eq!(plan.len(), 8); // 3 x (down + up) + bleach on/off
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Appends one fault event.
+    pub fn push(&mut self, at: SimTime, link: LinkId, action: FaultAction) {
+        self.events.push(FaultEvent { at, link, action });
+    }
+
+    /// Builder form of [`push`](FaultPlan::push).
+    pub fn at(mut self, at: SimTime, link: LinkId, action: FaultAction) -> Self {
+        self.push(at, link, action);
+        self
+    }
+
+    /// Schedules `count` down/up flaps of `link`: the first outage starts
+    /// at `first_down`, each lasts `down_for`, and outage starts repeat
+    /// every `period`.
+    pub fn flap(
+        mut self,
+        link: LinkId,
+        first_down: SimTime,
+        down_for: SimDuration,
+        period: SimDuration,
+        count: u32,
+    ) -> Self {
+        for i in 0..count {
+            let down = first_down + period * u64::from(i);
+            self.push(down, link, FaultAction::LinkDown);
+            self.push(down + down_for, link, FaultAction::LinkUp);
+        }
+        self
+    }
+
+    /// Schedules an ECN-bleaching window on `link` from `from` to
+    /// `until`.
+    pub fn bleach_window(mut self, link: LinkId, from: SimTime, until: SimTime) -> Self {
+        self.push(from, link, FaultAction::BleachOn);
+        self.push(until, link, FaultAction::BleachOff);
+        self
+    }
+
+    /// Generates a seeded random plan over the given links and time
+    /// horizon: per link, up to two link flaps and possibly one bleaching
+    /// window, all placed so every outage ends within the horizon. The
+    /// same seed always yields the same plan.
+    pub fn randomized(seed: u64, links: &[LinkId], horizon: SimDuration) -> Self {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let h = horizon.as_nanos();
+        let mut plan = FaultPlan::new();
+        for &link in links {
+            let flaps = rng.range_u64(0, 2);
+            for _ in 0..flaps {
+                let start = rng.range_u64(h / 10, h * 7 / 10);
+                let dur = rng.range_u64(h / 100, h * 3 / 20);
+                plan = plan.flap(
+                    link,
+                    SimTime::from_nanos(start),
+                    SimDuration::from_nanos(dur),
+                    horizon, // period > horizon: exactly one outage per flap call
+                    1,
+                );
+            }
+            if rng.chance(0.5) {
+                let from = rng.range_u64(0, h / 2);
+                let until = from + rng.range_u64(h / 100, h * 2 / 5);
+                plan =
+                    plan.bleach_window(link, SimTime::from_nanos(from), SimTime::from_nanos(until));
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> LinkId {
+        LinkId::from_index(i)
+    }
+
+    #[test]
+    fn flap_pairs_every_down_with_an_up() {
+        let plan = FaultPlan::new().flap(
+            l(0),
+            SimTime::from_nanos(100),
+            SimDuration::from_nanos(10),
+            SimDuration::from_nanos(50),
+            3,
+        );
+        assert_eq!(plan.len(), 6);
+        let downs: Vec<u64> = plan
+            .events()
+            .iter()
+            .filter(|e| e.action == FaultAction::LinkDown)
+            .map(|e| e.at.as_nanos())
+            .collect();
+        assert_eq!(downs, vec![100, 150, 200]);
+        for pair in plan.events().chunks(2) {
+            assert_eq!(pair[0].action, FaultAction::LinkDown);
+            assert_eq!(pair[1].action, FaultAction::LinkUp);
+            assert_eq!(pair[1].at.as_nanos() - pair[0].at.as_nanos(), 10);
+        }
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let links = [l(0), l(1), l(2)];
+        let a = FaultPlan::randomized(42, &links, SimDuration::from_millis(10));
+        let b = FaultPlan::randomized(42, &links, SimDuration::from_millis(10));
+        let c = FaultPlan::randomized(43, &links, SimDuration::from_millis(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn randomized_outages_end_within_horizon() {
+        for seed in 0..50 {
+            let links = [l(0), l(1)];
+            let horizon = SimDuration::from_millis(5);
+            let plan = FaultPlan::randomized(seed, &links, horizon);
+            let mut down: std::collections::HashMap<LinkId, u64> = Default::default();
+            for e in plan.events() {
+                match e.action {
+                    FaultAction::LinkDown => {
+                        *down.entry(e.link).or_default() += 1;
+                    }
+                    FaultAction::LinkUp => {
+                        *down.entry(e.link).or_default() -= 1;
+                        assert!(
+                            e.at.as_nanos() <= horizon.as_nanos(),
+                            "seed {seed}: up at {} past horizon",
+                            e.at
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(down.values().all(|&d| d == 0), "seed {seed}: unpaired down");
+        }
+    }
+
+    #[test]
+    fn builder_records_events_in_order() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        plan.push(SimTime::from_nanos(5), l(1), FaultAction::BleachOn);
+        let plan = plan.at(SimTime::from_nanos(9), l(1), FaultAction::BleachOff);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].action, FaultAction::BleachOn);
+        assert_eq!(plan.events()[1].at, SimTime::from_nanos(9));
+    }
+}

@@ -42,7 +42,7 @@
 //!     QueueConfig::host_nic(),
 //! )?;
 //! let mut sim = Simulator::new(b.build()?);
-//! sim.run_for(SimDuration::from_millis(10));
+//! sim.run_for(SimDuration::from_millis(10))?;
 //! let report = sim.queue_report(link, h1);
 //! assert_eq!(report.counters.dropped(), 0);
 //! # Ok::<(), dctcp_sim::SimError>(())
@@ -53,6 +53,7 @@
 
 mod error;
 mod event;
+mod fault;
 mod ids;
 mod link;
 mod node;
@@ -63,11 +64,14 @@ mod time;
 mod topology;
 
 pub use error::SimError;
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use ids::{FlowId, LinkId, NodeId, TimerToken};
 pub use link::LinkSpec;
 pub use node::{Agent, Context};
 pub use packet::{Ecn, Packet, PacketKind, HEADER_BYTES};
-pub use queue::{Capacity, LossModel, Offer, OutputQueue, QueueConfig, QueueCounters, QueueReport};
+pub use queue::{
+    Capacity, LossModel, Offer, OutputQueue, QueueConfig, QueueCounters, QueueReport, ReorderModel,
+};
 pub use simulator::Simulator;
 pub use time::{SimDuration, SimTime};
 pub use topology::{Network, TopologyBuilder};

@@ -1,11 +1,9 @@
 //! Full-duplex point-to-point links.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{NodeId, OutputQueue, QueueConfig, SimDuration, SimTime};
 
 /// Rate and propagation delay of a full-duplex link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkSpec {
     /// Line rate in bits per second (both directions).
     pub rate_bps: u64,
@@ -45,6 +43,9 @@ pub(crate) struct LinkEnd {
 pub(crate) struct Link {
     pub(crate) spec: LinkSpec,
     pub(crate) ends: [LinkEnd; 2],
+    /// Whether the link is up. While down, neither transmitter starts
+    /// new packets; queues keep absorbing arrivals (fault injection).
+    pub(crate) up: bool,
 }
 
 impl Link {
@@ -75,6 +76,7 @@ impl Link {
                     bytes_sent: 0,
                 },
             ],
+            up: true,
         })
     }
 

@@ -114,13 +114,8 @@ impl<'a> Context<'a> {
 /// A node in the topology.
 #[derive(Debug)]
 pub(crate) enum Node {
-    Host {
-        name: String,
-        agent: Box<dyn Agent>,
-    },
-    Switch {
-        name: String,
-    },
+    Host { name: String, agent: Box<dyn Agent> },
+    Switch { name: String },
 }
 
 impl Node {
@@ -156,7 +151,12 @@ mod tests {
     fn context_queues_actions_in_order() {
         let mut actions = Vec::new();
         let mut next = 0u64;
-        let mut ctx = Context::new(SimTime::ZERO, NodeId::from_index(0), &mut actions, &mut next);
+        let mut ctx = Context::new(
+            SimTime::ZERO,
+            NodeId::from_index(0),
+            &mut actions,
+            &mut next,
+        );
         let t1 = ctx.set_timer(SimDuration::from_micros(5));
         let t2 = ctx.set_timer(SimDuration::from_micros(9));
         assert_ne!(t1, t2);
@@ -170,7 +170,12 @@ mod tests {
     fn cancel_none_token_is_noop() {
         let mut actions = Vec::new();
         let mut next = 0u64;
-        let mut ctx = Context::new(SimTime::ZERO, NodeId::from_index(0), &mut actions, &mut next);
+        let mut ctx = Context::new(
+            SimTime::ZERO,
+            NodeId::from_index(0),
+            &mut actions,
+            &mut next,
+        );
         ctx.cancel_timer(TimerToken::NONE);
         assert!(actions.is_empty());
     }

@@ -1,7 +1,5 @@
 //! The packet model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{FlowId, NodeId, SimTime};
 
 /// Protocol header overhead charged to every packet on the wire
@@ -9,7 +7,7 @@ use crate::{FlowId, NodeId, SimTime};
 pub const HEADER_BYTES: u32 = 40;
 
 /// The ECN codepoint carried in the IP header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Ecn {
     /// Not ECN-capable transport; a marking AQM cannot mark this packet.
     #[default]
@@ -34,7 +32,7 @@ impl Ecn {
 }
 
 /// Transport-level packet role.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// Carries `payload` bytes of flow data starting at `seq`.
     Data,
@@ -49,7 +47,7 @@ pub enum PacketKind {
 /// Fields are public: packets are plain data that agents construct and
 /// switches forward; there is no invariant beyond `wire_bytes()`
 /// consistency, which is derived rather than stored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Packet {
     /// The flow this packet belongs to.
     pub flow: FlowId,

@@ -2,14 +2,16 @@
 
 use std::collections::VecDeque;
 
-use dctcp_core::{Codel, CodelParams, EnqueueDecision, MarkingPolicy, MarkingScheme, QueueSnapshot};
+use dctcp_core::{
+    Codel, CodelParams, EnqueueDecision, MarkingPolicy, MarkingScheme, QueueSnapshot,
+};
+use dctcp_rng::SplitMix64;
 use dctcp_stats::{TimeSeries, TimeWeighted, TimeWeightedSummary};
-use serde::{Deserialize, Serialize};
 
-use crate::{Ecn, Packet, SimDuration, SimTime};
+use crate::{Ecn, Packet, SimDuration, SimError, SimTime};
 
 /// Buffer size limit of an output queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Capacity {
     /// No limit (host NIC queues, which are paced by the transport
     /// window).
@@ -31,19 +33,127 @@ impl Capacity {
     }
 }
 
-/// Random-loss fault injection for a queue: every arriving packet is
-/// independently dropped with probability `rate`, before the marking
-/// policy sees it. Deterministic per `seed`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct LossModel {
-    /// Drop probability in `[0, 1]`.
-    pub rate: f64,
+/// Random-loss fault injection for a queue, applied to every arriving
+/// packet before the marking policy sees it. Deterministic per `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Independent (memoryless) loss: each arrival is dropped with
+    /// probability `rate`.
+    Bernoulli {
+        /// Drop probability in `[0, 1]`.
+        rate: f64,
+        /// RNG seed (SplitMix64).
+        seed: u64,
+    },
+    /// Gilbert–Elliott bursty loss: a two-state Markov chain stepped per
+    /// arrival, with a per-state drop probability. Models correlated loss
+    /// bursts (flaky optics, a congested middlebox) that memoryless loss
+    /// cannot.
+    GilbertElliott {
+        /// Per-arrival probability of moving good → bad.
+        p_gb: f64,
+        /// Per-arrival probability of moving bad → good.
+        p_bg: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+        /// RNG seed (SplitMix64).
+        seed: u64,
+    },
+}
+
+impl LossModel {
+    /// Checks all probabilities are in `[0, 1]` and the GE chain can
+    /// leave both states.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let unit = |name: &str, p: f64| -> Result<(), SimError> {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(SimError::InvalidConfig(format!(
+                    "{name} {p} outside [0, 1]"
+                )))
+            }
+        };
+        match *self {
+            LossModel::Bernoulli { rate, .. } => unit("loss rate", rate),
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                unit("p_gb", p_gb)?;
+                unit("p_bg", p_bg)?;
+                unit("loss_good", loss_good)?;
+                unit("loss_bad", loss_bad)?;
+                if p_gb + p_bg <= 0.0 {
+                    return Err(SimError::InvalidConfig(
+                        "gilbert-elliott chain is frozen: p_gb + p_bg must be > 0".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The long-run (stationary) drop probability of this model.
+    pub fn stationary_rate(&self) -> f64 {
+        match *self {
+            LossModel::Bernoulli { rate, .. } => rate,
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                ..
+            } => (p_bg * loss_good + p_gb * loss_bad) / (p_gb + p_bg),
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        match *self {
+            LossModel::Bernoulli { seed, .. } | LossModel::GilbertElliott { seed, .. } => seed,
+        }
+    }
+}
+
+/// Bounded packet reordering fault injection: with probability `prob`,
+/// an accepted arrival is displaced up to `depth` positions ahead of the
+/// packets already queued, so it departs before them. Deterministic per
+/// `seed`; displacement is bounded, so reordering never starves a packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderModel {
+    /// Maximum number of positions an arrival may jump ahead (≥ 1).
+    pub depth: u32,
+    /// Probability an accepted arrival is displaced.
+    pub prob: f64,
     /// RNG seed (SplitMix64).
     pub seed: u64,
 }
 
+impl ReorderModel {
+    /// Checks `prob` is a probability and `depth` is non-zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(0.0..=1.0).contains(&self.prob) {
+            return Err(SimError::InvalidConfig(format!(
+                "reorder probability {} outside [0, 1]",
+                self.prob
+            )));
+        }
+        if self.depth == 0 {
+            return Err(SimError::InvalidConfig(
+                "reorder depth must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of one output queue (one direction of one link).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueConfig {
     /// Buffer limit.
     pub capacity: Capacity,
@@ -54,6 +164,8 @@ pub struct QueueConfig {
     pub trace_interval: Option<SimDuration>,
     /// Optional random-loss fault injection.
     pub loss: Option<LossModel>,
+    /// Optional bounded-reordering fault injection.
+    pub reorder: Option<ReorderModel>,
 }
 
 impl QueueConfig {
@@ -65,6 +177,7 @@ impl QueueConfig {
             scheme: MarkingScheme::DropTail,
             trace_interval: None,
             loss: None,
+            reorder: None,
         }
     }
 
@@ -75,6 +188,7 @@ impl QueueConfig {
             scheme,
             trace_interval: None,
             loss: None,
+            reorder: None,
         }
     }
 
@@ -85,15 +199,62 @@ impl QueueConfig {
         self
     }
 
-    /// Enables random-loss fault injection on this queue.
+    /// Enables independent (Bernoulli) random-loss fault injection on
+    /// this queue.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rate` is outside `[0, 1]`.
-    pub fn with_loss(mut self, rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "loss rate {rate} outside [0, 1]");
-        self.loss = Some(LossModel { rate, seed });
-        self
+    /// Returns [`SimError::InvalidConfig`] if `rate` is outside `[0, 1]`.
+    pub fn with_loss(self, rate: f64, seed: u64) -> Result<Self, SimError> {
+        self.with_loss_model(LossModel::Bernoulli { rate, seed })
+    }
+
+    /// Enables Gilbert–Elliott bursty-loss fault injection on this queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any probability is outside
+    /// `[0, 1]` or the chain cannot change state.
+    pub fn with_gilbert_elliott(
+        self,
+        p_gb: f64,
+        p_bg: f64,
+        loss_good: f64,
+        loss_bad: f64,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        self.with_loss_model(LossModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            seed,
+        })
+    }
+
+    /// Enables an explicit loss model on this queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the model's parameters are
+    /// invalid.
+    pub fn with_loss_model(mut self, model: LossModel) -> Result<Self, SimError> {
+        model.validate()?;
+        self.loss = Some(model);
+        Ok(self)
+    }
+
+    /// Enables bounded packet reordering on this queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `prob` is outside `[0, 1]`
+    /// or `depth` is zero.
+    pub fn with_reorder(mut self, depth: u32, prob: f64, seed: u64) -> Result<Self, SimError> {
+        let model = ReorderModel { depth, prob, seed };
+        model.validate()?;
+        self.reorder = Some(model);
+        Ok(self)
     }
 }
 
@@ -104,7 +265,7 @@ impl Default for QueueConfig {
 }
 
 /// Event counters of a queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueueCounters {
     /// Packets accepted into the queue.
     pub enqueued: u64,
@@ -118,6 +279,9 @@ pub struct QueueCounters {
     pub dropped_random: u64,
     /// Packets marked CE by the policy.
     pub marked: u64,
+    /// CE marks stripped by ECN bleaching (see
+    /// [`OutputQueue::set_bleach`]).
+    pub bleached: u64,
 }
 
 impl QueueCounters {
@@ -129,7 +293,7 @@ impl QueueCounters {
 
 /// Occupancy summary and counters of one queue over an observation
 /// window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueueReport {
     /// Event counters since the last stats reset.
     pub counters: QueueCounters,
@@ -175,7 +339,14 @@ pub struct OutputQueue {
     trace_interval: Option<SimDuration>,
     last_trace_at: Option<SimTime>,
     loss: Option<LossModel>,
-    loss_rng: u64,
+    loss_rng: SplitMix64,
+    /// Gilbert–Elliott chain state: `true` while in the bad state.
+    loss_bad: bool,
+    reorder: Option<ReorderModel>,
+    reorder_rng: SplitMix64,
+    /// When set, CE marks are stripped from departing packets (an
+    /// ECN-bleaching middlebox on the path).
+    bleach: bool,
     codel: Option<Codel>,
     codel_params: Option<CodelParams>,
 }
@@ -205,7 +376,11 @@ impl OutputQueue {
             trace_interval: config.trace_interval,
             last_trace_at: None,
             loss: config.loss,
-            loss_rng: config.loss.map_or(1, |l| l.seed.max(1)),
+            loss_rng: SplitMix64::new(config.loss.map_or(1, |l| l.seed().max(1))),
+            loss_bad: false,
+            reorder: config.reorder,
+            reorder_rng: SplitMix64::new(config.reorder.map_or(1, |r| r.seed.max(1))),
+            bleach: false,
             codel,
             codel_params: config.scheme.codel_params(),
         })
@@ -228,11 +403,9 @@ impl OutputQueue {
 
     /// Offers an arriving packet to the queue at time `now`.
     pub fn offer(&mut self, now: SimTime, mut pkt: Packet) -> Offer {
-        if let Some(loss) = self.loss {
-            if self.next_uniform() < loss.rate {
-                self.counters.dropped_random += 1;
-                return Offer::DroppedRandom;
-            }
+        if self.loss.is_some() && self.draw_loss() {
+            self.counters.dropped_random += 1;
+            return Offer::DroppedRandom;
         }
         let before = QueueSnapshot::new(self.len_bytes, self.len_pkts());
         let decision = self.policy.on_enqueue(&before);
@@ -257,6 +430,7 @@ impl OutputQueue {
                 self.fifo.push_back(pkt);
                 self.enq_times.push_back(now);
                 self.counters.enqueued += 1;
+                self.maybe_displace();
                 self.record_occupancy(now);
                 Offer::Enqueued
             }
@@ -292,8 +466,24 @@ impl OutputQueue {
                     }
                 }
             }
+            if self.bleach && pkt.ecn.is_ce() {
+                pkt.ecn = Ecn::Ect;
+                self.counters.bleached += 1;
+            }
             return Some(pkt);
         }
+    }
+
+    /// Turns ECN bleaching on or off: while on, any CE mark is stripped
+    /// from departing packets (downgraded back to ECT), emulating a
+    /// broken middlebox that erases congestion signals mid-path.
+    pub fn set_bleach(&mut self, on: bool) {
+        self.bleach = on;
+    }
+
+    /// Whether ECN bleaching is currently active on this queue.
+    pub fn is_bleaching(&self) -> bool {
+        self.bleach
     }
 
     /// Restarts the statistics window at `now` (used to discard warm-up
@@ -332,14 +522,52 @@ impl OutputQueue {
         self.counters
     }
 
-    fn next_uniform(&mut self) -> f64 {
-        // SplitMix64, deterministic per seed.
-        self.loss_rng = self.loss_rng.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.loss_rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z = z ^ (z >> 31);
-        (z >> 11) as f64 / (1u64 << 53) as f64
+    /// Advances the loss model one arrival and decides whether to drop.
+    fn draw_loss(&mut self) -> bool {
+        match self.loss {
+            None => false,
+            Some(LossModel::Bernoulli { rate, .. }) => self.loss_rng.next_f64() < rate,
+            Some(LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                ..
+            }) => {
+                // Step the chain first, then draw against the new state,
+                // so a burst can begin on the arrival that triggers it.
+                let flip = self.loss_rng.next_f64();
+                if self.loss_bad {
+                    if flip < p_bg {
+                        self.loss_bad = false;
+                    }
+                } else if flip < p_gb {
+                    self.loss_bad = true;
+                }
+                let p = if self.loss_bad { loss_bad } else { loss_good };
+                self.loss_rng.next_f64() < p
+            }
+        }
+    }
+
+    /// Possibly displaces the just-enqueued tail packet forward by a
+    /// bounded number of positions (reordering fault injection).
+    fn maybe_displace(&mut self) {
+        let Some(model) = self.reorder else { return };
+        // Need at least one packet ahead of the new tail to jump over.
+        if self.fifo.len() < 2 || self.reorder_rng.next_f64() >= model.prob {
+            return;
+        }
+        let max_jump = (model.depth as usize).min(self.fifo.len() - 1);
+        let jump = 1 + (self.reorder_rng.next_u64() as usize) % max_jump;
+        let from = self.fifo.len() - 1;
+        let to = from - jump;
+        // Move the packet and its enqueue instant together so sojourn
+        // accounting stays attached to the right packet.
+        let pkt = self.fifo.remove(from).expect("tail exists");
+        self.fifo.insert(to, pkt);
+        let enq = self.enq_times.remove(from).expect("tail exists");
+        self.enq_times.insert(to, enq);
     }
 
     fn record_occupancy(&mut self, now: SimTime) {
@@ -501,7 +729,7 @@ mod tests {
 
     #[test]
     fn random_loss_drops_expected_fraction() {
-        let cfg = QueueConfig::host_nic().with_loss(0.25, 42);
+        let cfg = QueueConfig::host_nic().with_loss(0.25, 42).unwrap();
         let mut q = OutputQueue::new(&cfg).unwrap();
         let mut dropped = 0;
         for i in 0..4000u64 {
@@ -519,7 +747,7 @@ mod tests {
 
     #[test]
     fn zero_loss_model_never_drops() {
-        let cfg = QueueConfig::host_nic().with_loss(0.0, 7);
+        let cfg = QueueConfig::host_nic().with_loss(0.0, 7).unwrap();
         let mut q = OutputQueue::new(&cfg).unwrap();
         for i in 0..100u64 {
             assert_eq!(q.offer(t(i), pkt(100)), Offer::Enqueued);
@@ -527,9 +755,160 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside [0, 1]")]
     fn loss_rate_validated() {
-        let _ = QueueConfig::host_nic().with_loss(1.5, 1);
+        let err = QueueConfig::host_nic().with_loss(1.5, 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn gilbert_elliott_parameters_validated() {
+        let base = QueueConfig::host_nic();
+        assert!(base.with_gilbert_elliott(1.2, 0.5, 0.0, 1.0, 1).is_err());
+        assert!(base.with_gilbert_elliott(0.1, 0.5, 0.0, -0.1, 1).is_err());
+        // A frozen chain (both transition probabilities zero) is rejected.
+        assert!(base.with_gilbert_elliott(0.0, 0.0, 0.0, 1.0, 1).is_err());
+        assert!(base.with_gilbert_elliott(0.05, 0.4, 0.001, 0.6, 1).is_ok());
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_stationary_marginal() {
+        // pi_bad = p_gb / (p_gb + p_bg) = 0.2; expected loss =
+        // 0.8 * 0.01 + 0.2 * 0.5 = 0.108.
+        let model = LossModel::GilbertElliott {
+            p_gb: 0.05,
+            p_bg: 0.20,
+            loss_good: 0.01,
+            loss_bad: 0.50,
+            seed: 99,
+        };
+        let cfg = QueueConfig::host_nic().with_loss_model(model).unwrap();
+        let mut q = OutputQueue::new(&cfg).unwrap();
+        let n = 60_000u64;
+        let mut dropped = 0u64;
+        for i in 0..n {
+            if q.offer(t(i), pkt(100)) == Offer::DroppedRandom {
+                dropped += 1;
+            } else {
+                q.pop(t(i));
+            }
+        }
+        let frac = dropped as f64 / n as f64;
+        let expect = model.stationary_rate();
+        assert!((expect - 0.108).abs() < 1e-12);
+        assert!(
+            (frac - expect).abs() < 0.01,
+            "empirical loss {frac} vs stationary {expect}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare run-length structure: with a sticky bad state, losses
+        // cluster far more than Bernoulli at the same marginal rate.
+        let ge = QueueConfig::host_nic()
+            .with_gilbert_elliott(0.02, 0.2, 0.0, 1.0, 7)
+            .unwrap();
+        let marginal = ge.loss.unwrap().stationary_rate();
+        let bern = QueueConfig::host_nic().with_loss(marginal, 7).unwrap();
+        let run_lengths = |cfg: &QueueConfig| {
+            let mut q = OutputQueue::new(cfg).unwrap();
+            let (mut runs, mut cur, mut losses) = (0u64, 0u64, 0u64);
+            for i in 0..40_000u64 {
+                if q.offer(t(i), pkt(100)) == Offer::DroppedRandom {
+                    cur += 1;
+                    losses += 1;
+                } else {
+                    q.pop(t(i));
+                    if cur > 0 {
+                        runs += 1;
+                        cur = 0;
+                    }
+                }
+            }
+            if cur > 0 {
+                runs += 1;
+            }
+            losses as f64 / runs.max(1) as f64
+        };
+        let ge_mean_run = run_lengths(&ge);
+        let bern_mean_run = run_lengths(&bern);
+        assert!(
+            ge_mean_run > 2.0 * bern_mean_run,
+            "GE mean burst {ge_mean_run} not bursty vs Bernoulli {bern_mean_run}"
+        );
+    }
+
+    #[test]
+    fn bleaching_strips_ce_marks_and_counts_them() {
+        let cfg = QueueConfig::switch(
+            Capacity::Packets(100),
+            MarkingScheme::Dctcp {
+                k: QueueLevel::Packets(0),
+            },
+        );
+        let mut q = OutputQueue::new(&cfg).unwrap();
+        q.set_bleach(true);
+        assert!(q.is_bleaching());
+        for _ in 0..5 {
+            q.offer(t(0), pkt(100));
+        }
+        assert_eq!(q.counters().marked, 5);
+        for _ in 0..5 {
+            let p = q.pop(t(1)).unwrap();
+            assert_eq!(p.ecn, Ecn::Ect, "CE mark survived bleaching");
+        }
+        assert_eq!(q.counters().bleached, 5);
+        // Turned off, marks pass through again.
+        q.set_bleach(false);
+        q.offer(t(2), pkt(100));
+        assert!(q.pop(t(3)).unwrap().ecn.is_ce());
+        assert_eq!(q.counters().bleached, 5);
+    }
+
+    #[test]
+    fn reordering_is_bounded_and_conserves_packets() {
+        let cfg = QueueConfig::host_nic().with_reorder(3, 0.5, 11).unwrap();
+        let mut q = OutputQueue::new(&cfg).unwrap();
+        let n = 500u64;
+        for i in 0..n {
+            let mut p = pkt(100);
+            p.seq = i;
+            assert_eq!(q.offer(t(i), p), Offer::Enqueued);
+        }
+        let mut seqs = Vec::new();
+        while let Some(p) = q.pop(t(n)) {
+            seqs.push(p.seq);
+        }
+        assert_eq!(seqs.len(), n as usize, "packets lost by reordering");
+        let mut inversions = 0u64;
+        for w in seqs.windows(2) {
+            if w[0] > w[1] {
+                inversions += 1;
+            }
+        }
+        assert!(inversions > 0, "reordering never displaced a packet");
+        // Displacement stays bounded: a packet jumps forward at most
+        // `depth` slots at enqueue, and can only be overtaken while it
+        // sits within `depth` of the tail, so drift stays small (the
+        // seed is fixed, making this deterministic).
+        let max_drift = seqs
+            .iter()
+            .enumerate()
+            .map(|(idx, &s)| (s as i64 - idx as i64).abs())
+            .max()
+            .unwrap();
+        assert!(max_drift <= 20, "packet displaced {max_drift} slots");
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reorder_parameters_validated() {
+        assert!(QueueConfig::host_nic().with_reorder(0, 0.5, 1).is_err());
+        assert!(QueueConfig::host_nic().with_reorder(3, 1.5, 1).is_err());
+        assert!(QueueConfig::host_nic().with_reorder(3, 0.0, 1).is_ok());
     }
 
     #[test]

@@ -3,11 +3,18 @@
 use std::collections::HashSet;
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultAction, FaultPlan};
 use crate::node::{Action, Node};
 use crate::queue::Offer;
 use crate::{
-    Agent, Context, LinkId, Network, NodeId, Packet, QueueReport, SimDuration, SimTime, TimerToken,
+    Agent, Context, LinkId, Network, NodeId, Packet, QueueReport, SimDuration, SimError, SimTime,
+    TimerToken,
 };
+
+/// Default number of events allowed at a single instant before
+/// [`Simulator::run_until`] reports a livelock. Generous: a legitimate
+/// same-instant burst is bounded by topology size, not millions.
+const DEFAULT_LIVELOCK_THRESHOLD: u64 = 1_000_000;
 
 /// Drives a [`Network`] through time.
 ///
@@ -25,7 +32,7 @@ use crate::{
 /// use dctcp_sim::{SimDuration, Simulator};
 ///
 /// let mut sim = Simulator::new(network());
-/// sim.run_for(SimDuration::from_millis(100));
+/// sim.run_for(SimDuration::from_millis(100)).unwrap();
 /// ```
 #[derive(Debug)]
 pub struct Simulator {
@@ -39,6 +46,10 @@ pub struct Simulator {
     actions: Vec<Action>,
     started: bool,
     events_processed: u64,
+    /// Max events at one instant before a run reports a livelock.
+    livelock_threshold: u64,
+    /// Optional cap on events dispatched per `run_until` call.
+    event_budget: Option<u64>,
 }
 
 impl Simulator {
@@ -56,6 +67,8 @@ impl Simulator {
             actions: Vec::new(),
             started: false,
             events_processed: 0,
+            livelock_threshold: DEFAULT_LIVELOCK_THRESHOLD,
+            event_budget: None,
         }
     }
 
@@ -72,28 +85,140 @@ impl Simulator {
     /// Advances the simulation to time `until`, dispatching every event
     /// scheduled at or before it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `until` is in the past.
-    pub fn run_until(&mut self, until: SimTime) {
-        assert!(until >= self.now, "cannot run backwards to {until}");
+    /// * [`SimError::TimeReversal`] if `until` is in the past — the
+    ///   simulation state is untouched.
+    /// * [`SimError::Livelock`] if more than the livelock threshold of
+    ///   events fire at a single instant without the clock advancing
+    ///   (see [`Simulator::set_livelock_threshold`]).
+    /// * [`SimError::EventBudgetExhausted`] if an event budget is set
+    ///   and this call exceeds it (see [`Simulator::set_event_budget`]).
+    ///
+    /// On error the simulation stops at the offending instant; state is
+    /// consistent but the run should be treated as failed.
+    pub fn run_until(&mut self, until: SimTime) -> Result<(), SimError> {
+        if until < self.now {
+            return Err(SimError::TimeReversal {
+                now: self.now,
+                requested: until,
+            });
+        }
         self.start_agents();
+        let mut dispatched_this_run: u64 = 0;
+        let mut at_this_instant: u64 = 0;
+        let mut last_instant = self.now;
         while let Some(at) = self.events.peek_time() {
             if at > until {
                 break;
             }
             let (at, kind) = self.events.pop().expect("peeked event exists");
             debug_assert!(at >= self.now, "event in the past");
+            if at > last_instant {
+                last_instant = at;
+                at_this_instant = 0;
+            }
+            at_this_instant += 1;
+            if at_this_instant > self.livelock_threshold {
+                return Err(SimError::Livelock {
+                    at,
+                    dispatched: at_this_instant,
+                });
+            }
+            dispatched_this_run += 1;
+            if let Some(budget) = self.event_budget {
+                if dispatched_this_run > budget {
+                    return Err(SimError::EventBudgetExhausted { budget, at });
+                }
+            }
             self.now = at;
             self.events_processed += 1;
             self.dispatch(kind);
         }
         self.now = until;
+        Ok(())
     }
 
     /// Advances the simulation by `duration`.
-    pub fn run_for(&mut self, duration: SimDuration) {
-        self.run_until(self.now + duration);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the progress-watchdog errors of
+    /// [`Simulator::run_until`].
+    pub fn run_for(&mut self, duration: SimDuration) -> Result<(), SimError> {
+        self.run_until(self.now + duration)
+    }
+
+    /// Sets how many events may fire at a single instant before
+    /// [`Simulator::run_until`] reports [`SimError::Livelock`]. The
+    /// default (one million) is far above any legitimate same-instant
+    /// burst; lower it in tests to catch zero-delay loops quickly.
+    pub fn set_livelock_threshold(&mut self, threshold: u64) {
+        self.livelock_threshold = threshold.max(1);
+    }
+
+    /// Caps the number of events a single [`Simulator::run_until`] call
+    /// may dispatch; exceeding it returns
+    /// [`SimError::EventBudgetExhausted`]. `None` (the default) disables
+    /// the cap.
+    pub fn set_event_budget(&mut self, budget: Option<u64>) {
+        self.event_budget = budget;
+    }
+
+    /// Schedules every event of a [`FaultPlan`] onto the simulation
+    /// clock.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownLink`] if the plan names a link outside this
+    ///   topology.
+    /// * [`SimError::FaultInPast`] if an event is scheduled before the
+    ///   current time.
+    ///
+    /// Validation happens before anything is scheduled, so a failed
+    /// install leaves the simulation untouched.
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        for ev in plan.events() {
+            if ev.link.index() >= self.links.len() {
+                return Err(SimError::UnknownLink(ev.link));
+            }
+            if ev.at < self.now {
+                return Err(SimError::FaultInPast {
+                    at: ev.at,
+                    now: self.now,
+                });
+            }
+        }
+        for ev in plan.events() {
+            self.events.schedule(
+                ev.at,
+                EventKind::Fault {
+                    link: ev.link,
+                    action: ev.action,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Whether `link` is currently up (links start up; only
+    /// [`FaultAction::LinkDown`](crate::FaultAction::LinkDown) takes one
+    /// down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownLink`] if `link` is not in this
+    /// topology.
+    pub fn link_is_up(&self, link: LinkId) -> Result<bool, SimError> {
+        self.links
+            .get(link.index())
+            .map(|l| l.up)
+            .ok_or(SimError::UnknownLink(link))
+    }
+
+    /// Ids of every link in the topology, in creation order.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len()).map(LinkId::from_index)
     }
 
     /// Whether any events remain scheduled.
@@ -185,20 +310,36 @@ impl Simulator {
 
     /// Downcasts the agent at `node` to its concrete type.
     ///
-    /// Returns `None` if `node` is a switch or hosts a different agent
-    /// type.
-    pub fn agent<T: Agent>(&self, node: NodeId) -> Option<&T> {
-        match &self.nodes[node.index()] {
-            Node::Host { agent, .. } => agent.as_any().downcast_ref::<T>(),
-            Node::Switch { .. } => None,
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownNode`] if `node` is not in this topology.
+    /// * [`SimError::NotAHost`] if `node` is a switch.
+    /// * [`SimError::AgentTypeMismatch`] if the host runs a different
+    ///   agent type than `T`.
+    pub fn agent<T: Agent>(&self, node: NodeId) -> Result<&T, SimError> {
+        match self.nodes.get(node.index()) {
+            None => Err(SimError::UnknownNode(node)),
+            Some(Node::Switch { .. }) => Err(SimError::NotAHost(node)),
+            Some(Node::Host { agent, .. }) => agent
+                .as_any()
+                .downcast_ref::<T>()
+                .ok_or(SimError::AgentTypeMismatch(node)),
         }
     }
 
     /// Mutable variant of [`Simulator::agent`].
-    pub fn agent_mut<T: Agent>(&mut self, node: NodeId) -> Option<&mut T> {
-        match &mut self.nodes[node.index()] {
-            Node::Host { agent, .. } => agent.as_any_mut().downcast_mut::<T>(),
-            Node::Switch { .. } => None,
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::agent`].
+    pub fn agent_mut<T: Agent>(&mut self, node: NodeId) -> Result<&mut T, SimError> {
+        match self.nodes.get_mut(node.index()) {
+            None => Err(SimError::UnknownNode(node)),
+            Some(Node::Switch { .. }) => Err(SimError::NotAHost(node)),
+            Some(Node::Host { agent, .. }) => agent
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .ok_or(SimError::AgentTypeMismatch(node)),
         }
     }
 
@@ -239,15 +380,36 @@ impl Simulator {
                 }
                 self.with_agent(node, |agent, ctx| agent.on_timer(token, ctx));
             }
+            EventKind::Fault { link, action } => self.apply_fault(link, action),
+        }
+    }
+
+    fn apply_fault(&mut self, link: LinkId, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown => {
+                self.links[link.index()].up = false;
+            }
+            FaultAction::LinkUp => {
+                self.links[link.index()].up = true;
+                // Restart both transmitters: queued packets resume.
+                self.try_start_tx(link, 0);
+                self.try_start_tx(link, 1);
+            }
+            FaultAction::BleachOn => {
+                for e in &mut self.links[link.index()].ends {
+                    e.queue.set_bleach(true);
+                }
+            }
+            FaultAction::BleachOff => {
+                for e in &mut self.links[link.index()].ends {
+                    e.queue.set_bleach(false);
+                }
+            }
         }
     }
 
     /// Runs an agent callback and applies the actions it queued.
-    fn with_agent(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut Box<dyn Agent>, &mut Context<'_>),
-    ) {
+    fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut Box<dyn Agent>, &mut Context<'_>)) {
         debug_assert!(self.actions.is_empty());
         let mut actions = std::mem::take(&mut self.actions);
         {
@@ -295,10 +457,11 @@ impl Simulator {
         }
     }
 
-    /// Starts transmitting the queue head if the transmitter is idle.
+    /// Starts transmitting the queue head if the transmitter is idle and
+    /// the link is up.
     fn try_start_tx(&mut self, link: LinkId, end: usize) {
         let l = &mut self.links[link.index()];
-        if l.ends[end].busy {
+        if !l.up || l.ends[end].busy {
             return;
         }
         let Some(pkt) = l.ends[end].queue.pop(self.now) else {
@@ -391,12 +554,24 @@ mod tests {
         let s = b.switch("s");
         // 1 Gbps, 10 us one-way per hop.
         let spec = LinkSpec::gbps(1.0, 10);
-        b.link(h1, s, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
-            .unwrap();
-        b.link(s, h2, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
-            .unwrap();
+        b.link(
+            h1,
+            s,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        b.link(
+            s,
+            h2,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
         let mut sim = Simulator::new(b.build().unwrap());
-        sim.run_for(SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
 
         // Data: 1000 B wire = 8 us serialization per hop, 10 us prop per
         // hop => h1->h2 = 8+10+8+10 = 36 us.
@@ -422,10 +597,16 @@ mod tests {
         );
         let h2 = b.host("h2", Box::new(Echo { received: 0 }));
         let spec = LinkSpec::gbps(1.0, 10);
-        b.link(h1, h2, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
-            .unwrap();
+        b.link(
+            h1,
+            h2,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
         let mut sim = Simulator::new(b.build().unwrap());
-        sim.run_for(SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
         let pinger: &Pinger = sim.agent(h1).unwrap();
         assert_eq!(pinger.ack_times.len(), 10);
         // Successive acks separated by exactly one data serialization
@@ -486,7 +667,7 @@ mod tests {
         )
         .unwrap();
         let mut sim = Simulator::new(b.build().unwrap());
-        sim.run_for(SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
         let a: &TimerAgent = sim.agent(h1).unwrap();
         assert_eq!(a.fired, vec![10_000, 30_000]);
     }
@@ -512,20 +693,19 @@ mod tests {
         )
         .unwrap();
         let mut sim = Simulator::new(b.build().unwrap());
-        sim.run_until(SimTime::from_nanos(1000));
+        sim.run_until(SimTime::from_nanos(1000)).unwrap();
         assert_eq!(sim.now(), SimTime::from_nanos(1000));
         // Packet (8 us + 10 us) not yet delivered.
         let echo: &Echo = sim.agent(h2).unwrap();
         assert_eq!(echo.received, 0);
-        sim.run_for(SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
         let echo: &Echo = sim.agent(h2).unwrap();
         assert_eq!(echo.received, 1);
         assert!(sim.events_processed() > 0);
     }
 
     #[test]
-    #[should_panic(expected = "cannot run backwards")]
-    fn run_backwards_panics() {
+    fn run_backwards_is_a_typed_error() {
         let mut b = TopologyBuilder::new();
         let h1 = b.host("h1", Box::new(Echo { received: 0 }));
         let h2 = b.host("h2", Box::new(Echo { received: 0 }));
@@ -538,8 +718,17 @@ mod tests {
         )
         .unwrap();
         let mut sim = Simulator::new(b.build().unwrap());
-        sim.run_until(SimTime::from_nanos(100));
-        sim.run_until(SimTime::from_nanos(50));
+        sim.run_until(SimTime::from_nanos(100)).unwrap();
+        let err = sim.run_until(SimTime::from_nanos(50)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::TimeReversal {
+                now: SimTime::from_nanos(100),
+                requested: SimTime::from_nanos(50),
+            }
+        );
+        // The failed call left the clock alone.
+        assert_eq!(sim.now(), SimTime::from_nanos(100));
     }
 
     #[test]
@@ -565,7 +754,7 @@ mod tests {
             .unwrap();
         let mut sim = Simulator::new(b.build().unwrap());
         // 100 packets x 1000 B = 0.8 ms of serialization at 1 Gb/s.
-        sim.run_until(SimTime::from_nanos(1_000_000));
+        sim.run_until(SimTime::from_nanos(1_000_000)).unwrap();
         let util = sim.link_utilization(link, h1);
         assert!((util - 0.8).abs() < 0.01, "utilization {util}");
         assert_eq!(sim.link_bytes_sent(link, h1), 100 * 1000);
@@ -574,7 +763,7 @@ mod tests {
         assert!(back < 0.05, "ack-path utilization {back}");
         // Reset clears the window.
         sim.reset_all_queue_stats();
-        sim.run_until(SimTime::from_nanos(2_000_000));
+        sim.run_until(SimTime::from_nanos(2_000_000)).unwrap();
         assert_eq!(sim.link_utilization(link, h1), 0.0);
         assert_eq!(sim.link_bytes_sent(link, h1), 0);
     }
@@ -593,7 +782,260 @@ mod tests {
         )
         .unwrap();
         let sim = Simulator::new(b.build().unwrap());
-        assert!(sim.agent::<Pinger>(h1).is_none());
-        assert!(sim.agent::<Echo>(h1).is_some());
+        assert_eq!(
+            sim.agent::<Pinger>(h1).unwrap_err(),
+            SimError::AgentTypeMismatch(h1)
+        );
+        assert!(sim.agent::<Echo>(h1).is_ok());
+        assert_eq!(
+            sim.agent::<Echo>(NodeId::from_index(99)).unwrap_err(),
+            SimError::UnknownNode(NodeId::from_index(99))
+        );
+    }
+
+    #[test]
+    fn agent_lookup_on_switch_is_not_a_host() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(Echo { received: 0 }));
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let s = b.switch("s");
+        let spec = LinkSpec::gbps(1.0, 1);
+        b.link(
+            h1,
+            s,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        b.link(
+            s,
+            h2,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        assert_eq!(sim.agent::<Echo>(s).unwrap_err(), SimError::NotAHost(s));
+        assert_eq!(sim.agent_mut::<Echo>(s).unwrap_err(), SimError::NotAHost(s));
+    }
+
+    /// Sets a zero-delay timer from every timer callback: a livelock.
+    #[derive(Debug)]
+    struct ZeroLoop;
+
+    impl Agent for ZeroLoop {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::ZERO);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Context<'_>) {}
+        fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::ZERO);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn zero_loop_sim() -> Simulator {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(ZeroLoop));
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 1),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        Simulator::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn livelock_watchdog_trips_on_zero_delay_loop() {
+        let mut sim = zero_loop_sim();
+        sim.set_livelock_threshold(1_000);
+        let err = sim.run_for(SimDuration::from_millis(1)).unwrap_err();
+        match err {
+            SimError::Livelock { at, dispatched } => {
+                assert_eq!(at, SimTime::ZERO);
+                assert!(dispatched > 1_000);
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_budget_bounds_a_run() {
+        let mut sim = zero_loop_sim();
+        sim.set_event_budget(Some(500));
+        let err = sim.run_for(SimDuration::from_millis(1)).unwrap_err();
+        assert!(
+            matches!(err, SimError::EventBudgetExhausted { budget: 500, .. }),
+            "{err:?}"
+        );
+        // A healthy simulation under the same budget completes fine.
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(Pinger {
+                peer: NodeId::from_index(1),
+                count: 3,
+                ack_times: Vec::new(),
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 1),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_event_budget(Some(500));
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
+    }
+
+    #[test]
+    fn link_down_pauses_and_link_up_resumes_delivery() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(Pinger {
+                peer: NodeId::from_index(1),
+                count: 10,
+                ack_times: Vec::new(),
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let link = b
+            .link(
+                h1,
+                h2,
+                LinkSpec::gbps(1.0, 10),
+                QueueConfig::host_nic(),
+                QueueConfig::host_nic(),
+            )
+            .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        // Down from the start; up at 1 ms.
+        let plan = crate::FaultPlan::new()
+            .at(SimTime::ZERO, link, crate::FaultAction::LinkDown)
+            .at(
+                SimTime::from_nanos(1_000_000),
+                link,
+                crate::FaultAction::LinkUp,
+            );
+        sim.install_faults(&plan).unwrap();
+        sim.run_until(SimTime::from_nanos(900_000)).unwrap();
+        assert!(!sim.link_is_up(link).unwrap());
+        // The first packet entered service during on_start, before the
+        // t=0 LinkDown event fired; in-flight packets still deliver. The
+        // other nine wait in the queue.
+        let echo: &Echo = sim.agent(h2).unwrap();
+        assert_eq!(echo.received, 1, "packets crossed a downed link");
+        assert_eq!(
+            sim.queue_len_pkts(link, h1),
+            9,
+            "queue should hold the rest"
+        );
+        sim.run_until(SimTime::from_nanos(3_000_000)).unwrap();
+        assert!(sim.link_is_up(link).unwrap());
+        let echo: &Echo = sim.agent(h2).unwrap();
+        assert_eq!(echo.received, 10, "delivery did not resume after LinkUp");
+    }
+
+    #[test]
+    fn install_faults_validates_before_scheduling() {
+        let mut sim = zero_loop_sim();
+        let bogus = crate::FaultPlan::new().at(
+            SimTime::from_nanos(10),
+            LinkId::from_index(7),
+            crate::FaultAction::LinkDown,
+        );
+        assert_eq!(
+            sim.install_faults(&bogus).unwrap_err(),
+            SimError::UnknownLink(LinkId::from_index(7))
+        );
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(Echo { received: 0 }));
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let link = b
+            .link(
+                h1,
+                h2,
+                LinkSpec::gbps(1.0, 1),
+                QueueConfig::host_nic(),
+                QueueConfig::host_nic(),
+            )
+            .unwrap();
+        let mut sim3 = Simulator::new(b.build().unwrap());
+        sim3.run_until(SimTime::from_nanos(1_000)).unwrap();
+        let past = crate::FaultPlan::new().at(
+            SimTime::from_nanos(500),
+            link,
+            crate::FaultAction::BleachOn,
+        );
+        assert_eq!(
+            sim3.install_faults(&past).unwrap_err(),
+            SimError::FaultInPast {
+                at: SimTime::from_nanos(500),
+                now: SimTime::from_nanos(1_000),
+            }
+        );
+        // Nothing was scheduled by the failed installs.
+        assert!(!sim3.has_pending_events());
+    }
+
+    #[test]
+    fn bleach_faults_toggle_both_queue_directions() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(Echo { received: 0 }));
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let link = b
+            .link(
+                h1,
+                h2,
+                LinkSpec::gbps(1.0, 1),
+                QueueConfig::host_nic(),
+                QueueConfig::host_nic(),
+            )
+            .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        let plan = crate::FaultPlan::new().bleach_window(
+            link,
+            SimTime::from_nanos(100),
+            SimTime::from_nanos(200),
+        );
+        sim.install_faults(&plan).unwrap();
+        sim.run_until(SimTime::from_nanos(150)).unwrap();
+        assert!(sim.links[link.index()]
+            .ends
+            .iter()
+            .all(|e| e.queue.is_bleaching()));
+        sim.run_until(SimTime::from_nanos(250)).unwrap();
+        assert!(sim.links[link.index()]
+            .ends
+            .iter()
+            .all(|e| !e.queue.is_bleaching()));
+    }
+
+    #[test]
+    fn link_ids_enumerates_topology_links() {
+        let sim = zero_loop_sim();
+        let ids: Vec<LinkId> = sim.link_ids().collect();
+        assert_eq!(ids, vec![LinkId::from_index(0)]);
+        assert!(sim.link_is_up(ids[0]).unwrap());
+        assert_eq!(
+            sim.link_is_up(LinkId::from_index(5)).unwrap_err(),
+            SimError::UnknownLink(LinkId::from_index(5))
+        );
     }
 }

@@ -101,7 +101,8 @@ impl TopologyBuilder {
             )));
         }
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link::new(spec, a, &queue_ab, b, &queue_ba)?);
+        self.links
+            .push(Link::new(spec, a, &queue_ab, b, &queue_ba)?);
         Ok(id)
     }
 
@@ -223,7 +224,10 @@ mod tests {
             .collect();
         let mut links = Vec::new();
         for &h in &hosts {
-            links.push(b.link(h, hub, LinkSpec::gbps(1.0, 5), nic(), nic()).unwrap());
+            links.push(
+                b.link(h, hub, LinkSpec::gbps(1.0, 5), nic(), nic())
+                    .unwrap(),
+            );
         }
         let net = b.build().unwrap();
         // h0 -> h3 goes via its own uplink first.
@@ -260,7 +264,9 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let h = b.host("h", Box::new(Nop));
         let ghost = NodeId::from_index(42);
-        assert!(b.link(h, ghost, LinkSpec::gbps(1.0, 1), nic(), nic()).is_err());
+        assert!(b
+            .link(h, ghost, LinkSpec::gbps(1.0, 1), nic(), nic())
+            .is_err());
     }
 
     #[test]
@@ -283,9 +289,15 @@ mod tests {
         let s1 = b.switch("s1");
         let s2 = b.switch("s2");
         let h2 = b.host("h2", Box::new(Nop));
-        let l0 = b.link(h1, s1, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
-        let l1 = b.link(s1, s2, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
-        let l2 = b.link(s2, h2, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
+        let l0 = b
+            .link(h1, s1, LinkSpec::gbps(1.0, 1), nic(), nic())
+            .unwrap();
+        let l1 = b
+            .link(s1, s2, LinkSpec::gbps(1.0, 1), nic(), nic())
+            .unwrap();
+        let l2 = b
+            .link(s2, h2, LinkSpec::gbps(1.0, 1), nic(), nic())
+            .unwrap();
         let net = b.build().unwrap();
         assert_eq!(net.route(h1, h2).unwrap().0, l0);
         assert_eq!(net.route(s1, h2).unwrap().0, l1);
@@ -300,7 +312,8 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let h1 = b.host("alpha", Box::new(Nop));
         let h2 = b.host("beta", Box::new(Nop));
-        b.link(h1, h2, LinkSpec::gbps(1.0, 1), nic(), nic()).unwrap();
+        b.link(h1, h2, LinkSpec::gbps(1.0, 1), nic(), nic())
+            .unwrap();
         let net = b.build().unwrap();
         assert_eq!(net.num_nodes(), 2);
         assert_eq!(net.num_links(), 1);

@@ -1,11 +1,11 @@
-//! Property-based tests of the simulator substrate: conservation laws
-//! and timing invariants that must survive arbitrary traffic.
+//! Seeded randomized tests of the simulator substrate: conservation
+//! laws and timing invariants that must survive arbitrary traffic.
 
 use dctcp_core::MarkingScheme;
+use dctcp_rng::Pcg32;
 use dctcp_sim::{
     Capacity, Ecn, FlowId, NodeId, Offer, OutputQueue, Packet, QueueConfig, SimDuration, SimTime,
 };
-use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -13,11 +13,17 @@ enum Op {
     Pop,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![(1u16..2000).prop_map(Op::Offer), Just(Op::Pop)],
-        1..500,
-    )
+fn ops(rng: &mut Pcg32) -> Vec<Op> {
+    let n = rng.range_usize(1, 499);
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.5) {
+                Op::Offer(rng.range_u64(1, 1999) as u16)
+            } else {
+                Op::Pop
+            }
+        })
+        .collect()
 }
 
 fn pkt(payload: u16) -> Packet {
@@ -32,12 +38,15 @@ fn pkt(payload: u16) -> Packet {
     p
 }
 
-proptest! {
-    /// Packet and byte conservation: everything offered is either
-    /// enqueued, dropped, popped, or still resident — and byte
-    /// accounting matches exactly.
-    #[test]
-    fn queue_conserves_packets_and_bytes(ops in ops(), cap in 1u32..64) {
+/// Packet and byte conservation: everything offered is either enqueued,
+/// dropped, popped, or still resident — and byte accounting matches
+/// exactly.
+#[test]
+fn queue_conserves_packets_and_bytes() {
+    let mut rng = Pcg32::seed_from_u64(0x51B_0001);
+    for _ in 0..192 {
+        let ops = ops(&mut rng);
+        let cap = rng.range_u64(1, 63) as u32;
         let cfg = QueueConfig::switch(Capacity::Packets(cap), MarkingScheme::dctcp_packets(5));
         let mut q = OutputQueue::new(&cfg).unwrap();
         let mut t = 0u64;
@@ -67,20 +76,24 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(q.len_pkts(), resident);
-            prop_assert_eq!(q.len_bytes(), resident_bytes);
-            prop_assert!(q.len_pkts() <= cap, "capacity violated");
+            assert_eq!(q.len_pkts(), resident);
+            assert_eq!(q.len_bytes(), resident_bytes);
+            assert!(q.len_pkts() <= cap, "capacity violated");
         }
         let c = q.counters();
-        prop_assert_eq!(c.enqueued, resident as u64 + popped);
-        prop_assert_eq!(c.dequeued, popped);
+        assert_eq!(c.enqueued, resident as u64 + popped);
+        assert_eq!(c.dequeued, popped);
         let total_offered = ops.iter().filter(|o| matches!(o, Op::Offer(_))).count() as u64;
-        prop_assert_eq!(c.enqueued + c.dropped(), total_offered);
+        assert_eq!(c.enqueued + c.dropped(), total_offered);
     }
+}
 
-    /// FIFO order: packets come out in the order they were accepted.
-    #[test]
-    fn queue_is_fifo(ops in ops()) {
+/// FIFO order: packets come out in the order they were accepted.
+#[test]
+fn queue_is_fifo() {
+    let mut rng = Pcg32::seed_from_u64(0x51B_0002);
+    for _ in 0..192 {
+        let ops = ops(&mut rng);
         let cfg = QueueConfig::switch(Capacity::Packets(1_000), MarkingScheme::DropTail);
         let mut q = OutputQueue::new(&cfg).unwrap();
         let mut next_seq = 0u64;
@@ -94,43 +107,49 @@ proptest! {
                     let mut p = pkt(payload);
                     p.seq = next_seq;
                     next_seq += 1;
-                    prop_assert_eq!(q.offer(now, p), Offer::Enqueued);
+                    assert_eq!(q.offer(now, p), Offer::Enqueued);
                 }
                 Op::Pop => {
                     if let Some(p) = q.pop(now) {
-                        prop_assert_eq!(p.seq, expected_out);
+                        assert_eq!(p.seq, expected_out);
                         expected_out += 1;
                     }
                 }
             }
         }
     }
+}
 
-    /// Transmission time is additive and monotone in bytes and rate.
-    #[test]
-    fn transmission_time_is_monotone(
-        a in 1u64..100_000,
-        b in 1u64..100_000,
-        rate in 1_000_000u64..100_000_000_000,
-    ) {
+/// Transmission time is additive and monotone in bytes and rate.
+#[test]
+fn transmission_time_is_monotone() {
+    let mut rng = Pcg32::seed_from_u64(0x51B_0003);
+    for _ in 0..1024 {
+        let a = rng.range_u64(1, 99_999);
+        let b = rng.range_u64(1, 99_999);
+        let rate = rng.range_u64(1_000_000, 99_999_999_999);
         let ta = SimDuration::transmission(a, rate);
         let tb = SimDuration::transmission(b, rate);
         let tab = SimDuration::transmission(a + b, rate);
         // Ceil rounding makes sums over-estimate by at most 1 ns each.
-        prop_assert!(tab <= ta + tb);
-        prop_assert!(tab + SimDuration::from_nanos(2) >= ta + tb);
+        assert!(tab <= ta + tb);
+        assert!(tab + SimDuration::from_nanos(2) >= ta + tb);
         if a < b {
-            prop_assert!(ta <= tb);
+            assert!(ta <= tb);
         }
         // Faster link, shorter time.
         let t2 = SimDuration::transmission(a, rate * 2);
-        prop_assert!(t2 <= ta);
+        assert!(t2 <= ta);
     }
+}
 
-    /// Marked packets are exactly the ECT arrivals the policy marked —
-    /// never NotEct ones.
-    #[test]
-    fn non_ect_packets_are_never_marked(ops in ops()) {
+/// Marked packets are exactly the ECT arrivals the policy marked —
+/// never NotEct ones.
+#[test]
+fn non_ect_packets_are_never_marked() {
+    let mut rng = Pcg32::seed_from_u64(0x51B_0004);
+    for _ in 0..192 {
+        let ops = ops(&mut rng);
         let cfg = QueueConfig::switch(
             Capacity::Packets(1_000),
             MarkingScheme::dctcp_packets(0), // marks every eligible arrival
@@ -154,12 +173,12 @@ proptest! {
                 Op::Pop => {
                     if let Some(p) = q.pop(now) {
                         if p.ecn.is_ce() {
-                            prop_assert!(p.payload > 0); // CE only on our data packets
+                            assert!(p.payload > 0); // CE only on our data packets
                         }
                     }
                 }
             }
         }
-        prop_assert_eq!(q.counters().marked, offered_ect);
+        assert_eq!(q.counters().marked, offered_ect);
     }
 }

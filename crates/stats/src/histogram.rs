@@ -1,7 +1,5 @@
 //! Fixed-width histograms.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-width histogram over `[lo, hi)` with values outside the range
 /// collected in underflow/overflow bins.
 ///
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.underflow(), 1);
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -1,7 +1,5 @@
 //! Exact and streaming quantile estimation.
 
-use serde::{Deserialize, Serialize};
-
 /// Exact quantiles over a stored sample set.
 ///
 /// Suited to the completion-time experiments, where the number of
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(q.quantile(1.0), Some(100.0));
 /// assert_eq!(q.median(), Some(50.5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Quantiles {
     samples: Vec<f64>,
     sorted: bool,
@@ -146,7 +144,7 @@ impl FromIterator<f64> for Quantiles {
 /// let est = p95.estimate().unwrap();
 /// assert!((est - 949.0).abs() < 15.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct P2Quantile {
     p: f64,
     /// Marker heights.
@@ -287,7 +285,7 @@ impl P2Quantile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use dctcp_rng::Pcg32;
 
     #[test]
     fn exact_quantiles_on_ramp() {
@@ -320,10 +318,10 @@ mod tests {
 
     #[test]
     fn p2_tracks_uniform() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Pcg32::seed_from_u64(7);
         let mut est = P2Quantile::new(0.9);
         for _ in 0..100_000 {
-            est.push(rng.gen::<f64>());
+            est.push(rng.next_f64());
         }
         let e = est.estimate().unwrap();
         assert!((e - 0.9).abs() < 0.01, "p2 estimate {e} too far from 0.9");

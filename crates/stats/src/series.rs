@@ -1,7 +1,5 @@
 //! Time-series capture and manipulation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Welford;
 
 /// A `(time, value)` trace recorded during a simulation.
@@ -24,7 +22,7 @@ use crate::Welford;
 /// let w = ts.window(2.0, 5.0);
 /// assert_eq!(w.len(), 4); // t = 2, 3, 4, 5
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeSeries {
     times: Vec<f64>,
     values: Vec<f64>,
@@ -32,7 +30,7 @@ pub struct TimeSeries {
 
 /// Summary statistics of a [`TimeSeries`], treating samples as equally
 /// weighted.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesSummary {
     /// Number of samples.
     pub count: u64,

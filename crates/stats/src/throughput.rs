@@ -1,7 +1,5 @@
 //! Byte-count throughput metering.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulates byte deliveries and reports throughput over the observed
 /// window.
 ///
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// // 2 MB delivered between t=1 and t=2 over an explicit 2 s window:
 /// assert_eq!(m.bits_per_second_over(0.0, 2.0), 8_000_000.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ThroughputMeter {
     bytes: u64,
     first: Option<f64>,

@@ -1,7 +1,5 @@
 //! Time-weighted moments of a piecewise-constant signal.
 
-use serde::{Deserialize, Serialize};
-
 /// Exact time-weighted statistics of a piecewise-constant signal, such as
 /// an instantaneous queue length.
 ///
@@ -26,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// // E[x^2] = (100*1 + 900*3)/4 = 700; var = 700 - 625 = 75.
 /// assert!((s.variance - 75.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeWeighted {
     start: f64,
     last_time: f64,
@@ -39,7 +37,7 @@ pub struct TimeWeighted {
 }
 
 /// Summary produced by [`TimeWeighted::finish`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeWeightedSummary {
     /// Time-weighted mean of the signal.
     pub mean: f64,

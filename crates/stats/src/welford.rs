@@ -1,7 +1,5 @@
 //! Online mean/variance via Welford's algorithm.
 
-use serde::{Deserialize, Serialize};
-
 /// Numerically stable online estimator of mean, variance, min and max.
 ///
 /// Uses Welford's recurrence, so it is safe for millions of samples whose
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((w.mean() - 5.0).abs() < 1e-12);
 /// assert!((w.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -203,7 +201,7 @@ mod tests {
 
     #[test]
     fn constant_signal_has_zero_variance() {
-        let w: Welford = std::iter::repeat(42.0).take(1000).collect();
+        let w: Welford = std::iter::repeat_n(42.0, 1000).collect();
         assert!(w.population_variance().abs() < 1e-9);
         assert_eq!(w.min(), 42.0);
         assert_eq!(w.max(), 42.0);

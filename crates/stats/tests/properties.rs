@@ -1,8 +1,8 @@
-//! Property-based tests of the statistics estimators against naive
+//! Seeded randomized tests of the statistics estimators against naive
 //! reference implementations.
 
+use dctcp_rng::Pcg32;
 use dctcp_stats::{Histogram, Quantiles, TimeSeries, TimeWeighted, Welford};
-use proptest::prelude::*;
 
 fn naive_mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
@@ -13,52 +13,64 @@ fn naive_pop_var(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
 }
 
-proptest! {
-    #[test]
-    fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+fn vec_f64(rng: &mut Pcg32, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = rng.range_usize(min_len, max_len);
+    (0..n).map(|_| rng.range_f64(lo, hi)).collect()
+}
+
+#[test]
+fn welford_matches_naive() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0001);
+    for _ in 0..256 {
+        let xs = vec_f64(&mut rng, -1e6, 1e6, 1, 199);
         let w: Welford = xs.iter().copied().collect();
         let scale = xs.iter().fold(1.0f64, |a, x| a.max(x.abs()));
-        prop_assert!((w.mean() - naive_mean(&xs)).abs() <= 1e-9 * scale.max(1.0));
-        prop_assert!(
+        assert!((w.mean() - naive_mean(&xs)).abs() <= 1e-9 * scale.max(1.0));
+        assert!(
             (w.population_variance() - naive_pop_var(&xs)).abs() <= 1e-6 * scale * scale.max(1.0)
         );
-        prop_assert_eq!(w.count(), xs.len() as u64);
+        assert_eq!(w.count(), xs.len() as u64);
     }
+}
 
-    #[test]
-    fn welford_merge_is_order_independent(
-        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
-        split in 0usize..100,
-    ) {
-        let split = split.min(xs.len());
+#[test]
+fn welford_merge_is_order_independent() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0002);
+    for _ in 0..256 {
+        let xs = vec_f64(&mut rng, -1e3, 1e3, 1, 99);
+        let split = rng.range_usize(0, 99).min(xs.len());
         let mut left: Welford = xs[..split].iter().copied().collect();
         let right: Welford = xs[split..].iter().copied().collect();
         left.merge(&right);
         let whole: Welford = xs.iter().copied().collect();
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
-        prop_assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
-        prop_assert_eq!(left.min(), whole.min());
-        prop_assert_eq!(left.max(), whole.max());
+        assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
     }
+}
 
-    #[test]
-    fn time_weighted_equals_riemann_sum(
-        values in proptest::collection::vec(0f64..1e4, 1..100),
-    ) {
+#[test]
+fn time_weighted_equals_riemann_sum() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0003);
+    for _ in 0..256 {
+        let values = vec_f64(&mut rng, 0.0, 1e4, 1, 99);
         // Unit-width steps: the time-weighted mean equals the plain mean.
         let mut tw = TimeWeighted::with_initial(0.0, values[0]);
         for (i, &v) in values.iter().enumerate().skip(1) {
             tw.update(i as f64, v);
         }
         let s = tw.finish(values.len() as f64);
-        prop_assert!((s.mean - naive_mean(&values)).abs() < 1e-6);
-        prop_assert!((s.variance - naive_pop_var(&values)).abs() < 1e-3 * (1.0 + s.mean * s.mean));
+        assert!((s.mean - naive_mean(&values)).abs() < 1e-6);
+        assert!((s.variance - naive_pop_var(&values)).abs() < 1e-3 * (1.0 + s.mean * s.mean));
     }
+}
 
-    #[test]
-    fn time_weighted_is_invariant_to_redundant_updates(
-        values in proptest::collection::vec(0f64..100.0, 2..50),
-    ) {
+#[test]
+fn time_weighted_is_invariant_to_redundant_updates() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0004);
+    for _ in 0..256 {
+        let values = vec_f64(&mut rng, 0.0, 100.0, 2, 49);
         // Re-announcing the same value must not change the statistics.
         let mut a = TimeWeighted::with_initial(0.0, values[0]);
         let mut b = TimeWeighted::with_initial(0.0, values[0]);
@@ -69,15 +81,18 @@ proptest! {
         }
         let end = values.len() as f64;
         let (sa, sb) = (a.finish(end), b.finish(end));
-        prop_assert!((sa.mean - sb.mean).abs() < 1e-9);
-        prop_assert!((sa.variance - sb.variance).abs() < 1e-9);
+        assert!((sa.mean - sb.mean).abs() < 1e-9);
+        assert!((sa.variance - sb.variance).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn quantiles_are_monotone_and_bounded(
-        xs in proptest::collection::vec(-1e5f64..1e5, 1..300),
-        qs in proptest::collection::vec(0f64..=1.0, 1..10),
-    ) {
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0005);
+    for _ in 0..256 {
+        let xs = vec_f64(&mut rng, -1e5, 1e5, 1, 299);
+        let n_qs = rng.range_usize(1, 9);
+        let qs: Vec<f64> = (0..n_qs).map(|_| rng.next_f64()).collect();
         let mut q: Quantiles = xs.iter().copied().collect();
         let lo = q.min().unwrap();
         let hi = q.max().unwrap();
@@ -86,59 +101,75 @@ proptest! {
         let mut prev = f64::NEG_INFINITY;
         for &p in &sorted_qs {
             let v = q.quantile(p).unwrap();
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "quantile {p} = {v} outside [{lo}, {hi}]");
-            prop_assert!(v >= prev - 1e-9, "quantiles must be monotone");
+            assert!(
+                v >= lo - 1e-9 && v <= hi + 1e-9,
+                "quantile {p} = {v} outside [{lo}, {hi}]"
+            );
+            assert!(v >= prev - 1e-9, "quantiles must be monotone");
             prev = v;
         }
     }
+}
 
-    #[test]
-    fn histogram_conserves_samples(
-        xs in proptest::collection::vec(-100f64..200.0, 0..300),
-    ) {
+#[test]
+fn histogram_conserves_samples() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0006);
+    for _ in 0..256 {
+        let xs = vec_f64(&mut rng, -100.0, 200.0, 0, 299);
         let mut h = Histogram::new(0.0, 100.0, 10);
         for &x in &xs {
             h.push(x);
         }
         let binned: u64 = (0..h.num_bins()).map(|i| h.bin_count(i)).sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+        assert_eq!(h.total(), xs.len() as u64);
     }
+}
 
-    #[test]
-    fn series_window_is_a_subsequence(
-        pts in proptest::collection::vec((0u32..1000, -10f64..10.0), 0..100),
-        from in 0u32..1000,
-        len in 0u32..1000,
-    ) {
+#[test]
+fn series_window_is_a_subsequence() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0007);
+    for _ in 0..256 {
+        let n = rng.range_usize(0, 99);
+        let pts: Vec<(u32, f64)> = (0..n)
+            .map(|_| (rng.range_u64(0, 999) as u32, rng.range_f64(-10.0, 10.0)))
+            .collect();
+        let from = rng.range_u64(0, 999) as u32;
+        let len = rng.range_u64(0, 999) as u32;
         let mut sorted = pts.clone();
         sorted.sort_by_key(|p| p.0);
         let ts: TimeSeries = sorted.iter().map(|&(t, v)| (t as f64, v)).collect();
         let to = from.saturating_add(len);
         let w = ts.window(from as f64, to as f64);
-        prop_assert!(w.len() <= ts.len());
+        assert!(w.len() <= ts.len());
         for (t, _) in w.iter() {
-            prop_assert!(t >= from as f64 && t <= to as f64);
+            assert!(t >= from as f64 && t <= to as f64);
         }
         // Count check against a naive filter.
         let expected = sorted
             .iter()
             .filter(|&&(t, _)| t >= from && t <= to)
             .count();
-        prop_assert_eq!(w.len(), expected);
+        assert_eq!(w.len(), expected);
     }
+}
 
-    #[test]
-    fn resample_preserves_value_range(
-        values in proptest::collection::vec(0f64..100.0, 2..50),
-        dt in 1u32..20,
-    ) {
-        let ts: TimeSeries = values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+#[test]
+fn resample_preserves_value_range() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0008);
+    for _ in 0..256 {
+        let values = vec_f64(&mut rng, 0.0, 100.0, 2, 49);
+        let dt = rng.range_u64(1, 19) as u32;
+        let ts: TimeSeries = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect();
         let r = ts.resample(dt as f64 / 4.0);
-        prop_assert!(!r.is_empty());
+        assert!(!r.is_empty());
         let s = ts.summary();
         for (_, v) in r.iter() {
-            prop_assert!(v >= s.min - 1e-12 && v <= s.max + 1e-12);
+            assert!(v >= s.min - 1e-12 && v <= s.max + 1e-12);
         }
     }
 }

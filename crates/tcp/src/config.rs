@@ -2,10 +2,9 @@
 
 use dctcp_core::ParamError;
 use dctcp_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The congestion-control algorithm run by a sender.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CongestionControl {
     /// Classic TCP: halve the window on ECN echo or loss.
     Reno,
@@ -31,7 +30,7 @@ pub enum CongestionControl {
 }
 
 /// Configuration of one TCP connection (or a host's default).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpConfig {
     /// Maximum segment size — payload bytes per data packet.
     pub mss: u32,
@@ -55,6 +54,17 @@ pub struct TcpConfig {
     pub delayed_ack: u32,
     /// Deadline for a delayed acknowledgement.
     pub delack_timeout: SimDuration,
+    /// Abort the flow with [`FlowError::TooManyRtos`](crate::FlowError)
+    /// after this many back-to-back retransmission timeouts with no
+    /// forward progress (like the kernel's `tcp_retries2` give-up).
+    /// `None` (the default) retries forever.
+    pub max_consecutive_rtos: Option<u32>,
+    /// Fall back from ECN to loss-based congestion control after this
+    /// many loss events (timeouts or fast retransmits) on a connection
+    /// that has never received a single ECN echo — the signature of an
+    /// ECN-bleaching middlebox on the path. `None` (the default) never
+    /// falls back.
+    pub ecn_fallback_after: Option<u32>,
 }
 
 impl TcpConfig {
@@ -113,6 +123,19 @@ impl TcpConfig {
         self
     }
 
+    /// Aborts flows after `cap` consecutive retransmission timeouts.
+    pub fn with_max_consecutive_rtos(mut self, cap: u32) -> Self {
+        self.max_consecutive_rtos = Some(cap);
+        self
+    }
+
+    /// Disables ECN on a connection after `events` loss events with no
+    /// ECN echo ever seen (bleached-path recovery).
+    pub fn with_ecn_fallback(mut self, events: u32) -> Self {
+        self.ecn_fallback_after = Some(events);
+        self
+    }
+
     /// Checks the configuration for consistency.
     ///
     /// # Errors
@@ -127,7 +150,7 @@ impl TcpConfig {
         if self.mss == 0 {
             return err("mss must be positive".into());
         }
-        if !(self.min_cwnd >= 1.0) {
+        if self.min_cwnd.is_nan() || self.min_cwnd < 1.0 {
             return err(format!("min_cwnd must be >= 1, got {}", self.min_cwnd));
         }
         if !(self.init_cwnd >= self.min_cwnd && self.init_cwnd <= self.max_cwnd) {
@@ -141,6 +164,12 @@ impl TcpConfig {
         }
         if self.rto_min > self.rto_max {
             return err("rto_min exceeds rto_max".into());
+        }
+        if self.max_consecutive_rtos == Some(0) {
+            return err("max_consecutive_rtos must be >= 1 when set".into());
+        }
+        if self.ecn_fallback_after == Some(0) {
+            return err("ecn_fallback_after must be >= 1 when set".into());
         }
         match self.cc {
             CongestionControl::Dctcp { g } => {
@@ -175,6 +204,8 @@ impl Default for TcpConfig {
             rto_max: SimDuration::from_secs(60),
             delayed_ack: 2,
             delack_timeout: SimDuration::from_micros(500),
+            max_consecutive_rtos: None,
+            ecn_fallback_after: None,
         }
     }
 }
@@ -207,16 +238,22 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = TcpConfig::default();
-        c.mss = 0;
+        let c = TcpConfig {
+            mss: 0,
+            ..TcpConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TcpConfig::default();
-        c.init_cwnd = 0.5;
+        let c = TcpConfig {
+            init_cwnd: 0.5,
+            ..TcpConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TcpConfig::default();
-        c.delayed_ack = 0;
+        let c = TcpConfig {
+            delayed_ack: 0,
+            ..TcpConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = TcpConfig::dctcp(2.0);
@@ -231,10 +268,26 @@ mod tests {
         let c = TcpConfig::dctcp(0.0625)
             .with_rto_min(SimDuration::from_millis(10))
             .with_init_cwnd(10.0)
-            .with_delayed_ack(1);
+            .with_delayed_ack(1)
+            .with_max_consecutive_rtos(8)
+            .with_ecn_fallback(3);
         assert_eq!(c.rto_min, SimDuration::from_millis(10));
         assert_eq!(c.init_cwnd, 10.0);
         assert_eq!(c.delayed_ack, 1);
+        assert_eq!(c.max_consecutive_rtos, Some(8));
+        assert_eq!(c.ecn_fallback_after, Some(3));
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_robustness_caps_rejected() {
+        assert!(TcpConfig::dctcp(0.0625)
+            .with_max_consecutive_rtos(0)
+            .validate()
+            .is_err());
+        assert!(TcpConfig::dctcp(0.0625)
+            .with_ecn_fallback(0)
+            .validate()
+            .is_err());
     }
 }

@@ -1,0 +1,54 @@
+//! Typed per-flow failures.
+
+use std::error::Error;
+use std::fmt;
+
+use dctcp_sim::FlowId;
+
+/// A terminal failure of one flow. Once a sender reports a `FlowError`
+/// it stops transmitting; the experiment harness decides whether that is
+/// an acceptable outcome (chaos runs) or a bug (clean-path runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The flow hit its configured cap of back-to-back retransmission
+    /// timeouts without any forward progress (see
+    /// [`TcpConfig::with_max_consecutive_rtos`](crate::TcpConfig::with_max_consecutive_rtos))
+    /// and aborted, like a kernel giving up after `tcp_retries2`.
+    TooManyRtos {
+        /// The aborted flow.
+        flow: FlowId,
+        /// Consecutive timeouts observed when the cap was hit.
+        consecutive: u32,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::TooManyRtos { flow, consecutive } => write!(
+                f,
+                "{flow} aborted after {consecutive} consecutive retransmission timeouts"
+            ),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_flow() {
+        let e = FlowError::TooManyRtos {
+            flow: FlowId(3),
+            consecutive: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "f3 aborted after 8 consecutive retransmission timeouts"
+        );
+    }
+}

@@ -8,7 +8,7 @@ use dctcp_sim::{
     Agent, Context, FlowId, NodeId, Packet, PacketKind, SimDuration, SimTime, TimerToken,
 };
 
-use crate::{Receiver, Sender, TcpConfig, TimerKind, Wire};
+use crate::{FlowError, Receiver, Sender, TcpConfig, TimerKind, Wire};
 
 /// A flow to start at a given time, registered before the simulation
 /// begins.
@@ -130,6 +130,16 @@ impl TransportHost {
     /// Iterates over all receivers on this host.
     pub fn receivers(&self) -> impl Iterator<Item = &Receiver> {
         self.receivers.values()
+    }
+
+    /// The terminal failures of every aborted flow on this host (empty
+    /// on a healthy run).
+    pub fn flow_errors(&self) -> Vec<FlowError> {
+        let mut errs: Vec<FlowError> = self.senders.values().filter_map(Sender::error).collect();
+        errs.sort_by_key(|e| match e {
+            FlowError::TooManyRtos { flow, .. } => flow.0,
+        });
+        errs
     }
 
     /// Restarts statistics on every sender (used to discard warm-up).

@@ -40,7 +40,7 @@
 //! let h2 = b.host("receiver", Box::new(TransportHost::new(cfg)));
 //! b.link(h1, h2, LinkSpec::gbps(1.0, 50), QueueConfig::host_nic(), QueueConfig::host_nic())?;
 //! let mut sim = Simulator::new(b.build()?);
-//! sim.run_for(SimDuration::from_millis(100));
+//! sim.run_for(SimDuration::from_millis(100))?;
 //!
 //! let host: &TransportHost = sim.agent(h1).unwrap();
 //! assert!(host.sender(FlowId(1)).unwrap().is_complete());
@@ -51,6 +51,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod config;
+mod error;
 mod host;
 mod receiver;
 mod rtt;
@@ -61,6 +62,7 @@ pub mod testing;
 mod wire;
 
 pub use config::{CongestionControl, TcpConfig};
+pub use error::FlowError;
 pub use host::{ScheduledFlow, TransportHost};
 pub use receiver::Receiver;
 pub use rtt::RttEstimator;

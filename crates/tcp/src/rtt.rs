@@ -1,7 +1,6 @@
 //! RFC 6298 round-trip-time estimation.
 
 use dctcp_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Smoothed RTT and retransmission-timeout calculation per RFC 6298.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// rtt.sample(SimDuration::from_micros(100));
 /// assert_eq!(rtt.srtt(), Some(SimDuration::from_micros(100)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RttEstimator {
     /// Smoothed RTT in nanoseconds.
     srtt: Option<f64>,
@@ -52,7 +51,8 @@ impl RttEstimator {
 
     /// The smoothed RTT, if any sample has been taken.
     pub fn srtt(&self) -> Option<SimDuration> {
-        self.srtt.map(|ns| SimDuration::from_nanos(ns.round() as u64))
+        self.srtt
+            .map(|ns| SimDuration::from_nanos(ns.round() as u64))
     }
 
     /// The retransmission timeout: `srtt + 4·rttvar` clamped to
@@ -62,9 +62,7 @@ impl RttEstimator {
             None => return min,
             Some(srtt) => srtt + 4.0 * self.rttvar,
         };
-        let ns = (raw.round() as u64)
-            .max(min.as_nanos())
-            .min(max.as_nanos());
+        let ns = (raw.round() as u64).max(min.as_nanos()).min(max.as_nanos());
         SimDuration::from_nanos(ns)
     }
 }

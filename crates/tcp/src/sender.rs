@@ -5,7 +5,7 @@ use dctcp_sim::{Ecn, FlowId, NodeId, Packet, SimDuration, SimTime, TimerToken};
 
 use dctcp_stats::TimeSeries;
 
-use crate::{CongestionControl, SenderStats, TcpConfig, TimerKind, Wire};
+use crate::{CongestionControl, FlowError, SenderStats, TcpConfig, TimerKind, Wire};
 
 /// A TCP sender: slow start, congestion avoidance, fast
 /// retransmit/recovery (NewReno-style), retransmission timeouts, and an
@@ -32,6 +32,19 @@ pub struct Sender {
 
     rtt: crate::RttEstimator,
     rto_backoff: u32,
+    /// Back-to-back timeouts without an intervening new ACK; feeds the
+    /// `max_consecutive_rtos` abort cap.
+    consecutive_rtos: u32,
+    /// Terminal failure, once the abort cap is hit.
+    error: Option<FlowError>,
+    /// Whether ECN is currently negotiated on this connection; starts as
+    /// `cfg.ecn` and drops to `false` on bleached-path fallback.
+    ecn_active: bool,
+    /// Whether any ACK ever carried an ECN echo.
+    ece_seen: bool,
+    /// Loss events (timeouts + fast retransmits) with no echo ever seen;
+    /// feeds the `ecn_fallback_after` trigger.
+    loss_events_without_ece: u32,
     rto_timer: TimerToken,
     /// The true retransmission deadline; the armed timer may be earlier
     /// (stale), in which case the fire is treated as spurious and the
@@ -88,6 +101,11 @@ impl Sender {
             recover: None,
             rtt: crate::RttEstimator::new(),
             rto_backoff: 0,
+            consecutive_rtos: 0,
+            error: None,
+            ecn_active: cfg.ecn,
+            ece_seen: false,
+            loss_events_without_ece: 0,
             rto_timer: TimerToken::NONE,
             rto_deadline: SimTime::ZERO,
             alpha: AlphaEstimator::new(g).expect("validated g"),
@@ -145,6 +163,22 @@ impl Sender {
         matches!(self.total, Some(t) if self.snd_una >= t)
     }
 
+    /// The terminal failure, if the flow aborted.
+    pub fn error(&self) -> Option<FlowError> {
+        self.error
+    }
+
+    /// Whether the flow gave up (hit its consecutive-RTO cap).
+    pub fn is_aborted(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Whether ECN is still in use on this connection (false after a
+    /// bleached-path fallback, see [`TcpConfig::with_ecn_fallback`]).
+    pub fn ecn_active(&self) -> bool {
+        self.ecn_active
+    }
+
     /// Begins transmission.
     pub fn start(&mut self, wire: &mut dyn Wire) {
         if self.stats.started_at.is_none() {
@@ -156,8 +190,11 @@ impl Sender {
 
     /// Processes a (possibly duplicate) cumulative acknowledgement.
     pub fn on_ack(&mut self, pkt: Packet, wire: &mut dyn Wire) {
-        if self.is_complete() {
+        if self.is_complete() || self.is_aborted() {
             return;
+        }
+        if pkt.ece {
+            self.ece_seen = true;
         }
         if let Some(ts) = pkt.ts_echo {
             let sample = wire.now().saturating_duration_since(ts);
@@ -180,7 +217,7 @@ impl Sender {
     /// out) re-arm for the remainder instead of timing out.
     pub fn on_rto(&mut self, wire: &mut dyn Wire) {
         self.rto_timer = TimerToken::NONE;
-        if self.is_complete() || self.in_flight() == 0 {
+        if self.is_complete() || self.is_aborted() || self.in_flight() == 0 {
             return;
         }
         if wire.now() < self.rto_deadline {
@@ -189,6 +226,19 @@ impl Sender {
             return;
         }
         self.stats.timeouts += 1;
+        self.consecutive_rtos += 1;
+        self.note_loss_event();
+        if let Some(cap) = self.cfg.max_consecutive_rtos {
+            if self.consecutive_rtos >= cap {
+                // Give up: no retransmission, no re-armed timer — the
+                // flow goes quiescent and the harness reads the error.
+                self.error = Some(FlowError::TooManyRtos {
+                    flow: self.flow,
+                    consecutive: self.consecutive_rtos,
+                });
+                return;
+            }
+        }
         self.ssthresh = (self.in_flight_pkts() / 2.0).max(2.0);
         self.cwnd = self.cfg.min_cwnd;
         if let Some(trace) = &mut self.trace {
@@ -213,7 +263,7 @@ impl Sender {
         // runs before the cut so a mark arriving with the window boundary
         // is cut with the fresh estimate, matching the fluid model where
         // p(t − R0) drives dα/dt and dW/dt together.
-        if self.cfg.ecn {
+        if self.ecn_active {
             self.acked_window += newly;
             if pkt.ece {
                 self.marked_window += newly;
@@ -246,6 +296,7 @@ impl Sender {
         }
         self.dup_acks = 0;
         self.rto_backoff = 0;
+        self.consecutive_rtos = 0;
 
         match self.recover {
             Some(r) if self.snd_una < r => {
@@ -286,6 +337,7 @@ impl Sender {
         self.dup_acks += 1;
         if self.dup_acks == 3 && self.recover.is_none() {
             self.stats.fast_retransmits += 1;
+            self.note_loss_event();
             self.ssthresh = (self.cwnd / 2.0).max(2.0);
             self.cwnd = self.ssthresh;
             self.recover = Some(self.snd_nxt);
@@ -355,9 +407,26 @@ impl Sender {
         }
     }
 
+    /// Registers a loss event (timeout or fast retransmit) for the
+    /// ECN-bleach detector: on a connection that negotiated ECN but has
+    /// never once received an echo, repeated losses mean the marks are
+    /// being stripped somewhere on the path, so fall back to loss-based
+    /// congestion control instead of flying blind.
+    fn note_loss_event(&mut self) {
+        if !self.ecn_active || self.ece_seen {
+            return;
+        }
+        self.loss_events_without_ece += 1;
+        if let Some(after) = self.cfg.ecn_fallback_after {
+            if self.loss_events_without_ece >= after {
+                self.ecn_active = false;
+            }
+        }
+    }
+
     fn send_segment(&mut self, seq: u64, len: u32, wire: &mut dyn Wire) {
         let mut pkt = Packet::data(self.flow, wire.local(), self.dst, seq, len);
-        if self.cfg.ecn {
+        if self.ecn_active {
             pkt.ecn = Ecn::Ect;
         }
         self.stats.segments_sent += 1;
@@ -418,7 +487,12 @@ mod tests {
     }
 
     fn ack(acknum: u64, ece: bool, wire: &MockWire) -> Packet {
-        let mut p = Packet::ack(FlowId(1), NodeId::from_index(9), NodeId::from_index(0), acknum);
+        let mut p = Packet::ack(
+            FlowId(1),
+            NodeId::from_index(9),
+            NodeId::from_index(0),
+            acknum,
+        );
         p.ece = ece;
         p.ts_echo = Some(wire.now());
         p
@@ -467,7 +541,10 @@ mod tests {
         let next = s.snd_una + MSS as u64;
         s.on_ack(ack(next, false, &w), &mut w);
         let growth = s.cwnd() - cwnd_before;
-        assert!(growth > 0.0 && growth <= 1.0 / cwnd_before + 1e-9, "growth {growth}");
+        assert!(
+            growth > 0.0 && growth <= 1.0 / cwnd_before + 1e-9,
+            "growth {growth}"
+        );
     }
 
     #[test]
@@ -537,7 +614,12 @@ mod tests {
         }
         assert!(s.alpha() > 0.5, "alpha = {}", s.alpha());
         assert!(s.stats().ecn_cuts >= 2);
-        assert!(s.cwnd() < before / 2.0, "cwnd {} !< {}", s.cwnd(), before / 2.0);
+        assert!(
+            s.cwnd() < before / 2.0,
+            "cwnd {} !< {}",
+            s.cwnd(),
+            before / 2.0
+        );
     }
 
     #[test]
@@ -655,7 +737,11 @@ mod tests {
             s.on_ack(ack(i * MSS as u64, true, &w), &mut w);
             w.take_sent();
         }
-        assert!(s.alpha() > 0.9, "alpha = {} after persistent marks", s.alpha());
+        assert!(
+            s.alpha() > 0.9,
+            "alpha = {} after persistent marks",
+            s.alpha()
+        );
         // And decays when marking stops. Updates happen once per window
         // (not per ack), so drive clean acks until decay completes.
         let mut i = 1u64;
@@ -682,6 +768,104 @@ mod tests {
     }
 
     #[test]
+    fn flow_aborts_after_consecutive_rto_cap() {
+        let mut c = cfg();
+        c.max_consecutive_rtos = Some(3);
+        let mut s = Sender::new(FlowId(1), NodeId::from_index(9), Some(100_000), c);
+        let mut w = MockWire::new(NodeId::from_index(0));
+        s.start(&mut w);
+        w.take_sent();
+        for i in 1..=3u32 {
+            w.advance(SimDuration::from_secs(120));
+            w.take_sent(); // drain earlier retransmissions
+            s.on_rto(&mut w);
+            assert_eq!(s.stats().timeouts, i as u64);
+        }
+        assert!(s.is_aborted());
+        assert_eq!(
+            s.error(),
+            Some(FlowError::TooManyRtos {
+                flow: FlowId(1),
+                consecutive: 3
+            })
+        );
+        // The aborted flow goes quiescent: the final RTO neither
+        // retransmitted nor armed a fresh timer, and later events are
+        // ignored.
+        assert!(w.take_sent().is_empty());
+        let timers_before = w.timers.len();
+        s.on_ack(ack(MSS as u64, false, &w), &mut w);
+        s.on_rto(&mut w);
+        assert!(w.take_sent().is_empty());
+        assert_eq!(w.timers.len(), timers_before);
+        assert_eq!(s.stats().timeouts, 3);
+    }
+
+    #[test]
+    fn new_ack_resets_the_consecutive_rto_count() {
+        let mut c = cfg();
+        c.max_consecutive_rtos = Some(2);
+        let mut s = Sender::new(FlowId(1), NodeId::from_index(9), None, c);
+        let mut w = MockWire::new(NodeId::from_index(0));
+        s.start(&mut w);
+        w.take_sent();
+        // Alternate timeout / progress: the count never reaches the cap.
+        for i in 1..=5u64 {
+            w.advance(SimDuration::from_secs(120));
+            s.on_rto(&mut w);
+            w.take_sent();
+            s.on_ack(ack(i * MSS as u64, false, &w), &mut w);
+            w.take_sent();
+        }
+        assert!(!s.is_aborted());
+        assert_eq!(s.stats().timeouts, 5);
+    }
+
+    #[test]
+    fn bleached_path_falls_back_to_loss_based_ecn() {
+        let mut c = cfg();
+        c.ecn_fallback_after = Some(2);
+        let mut s = Sender::new(FlowId(1), NodeId::from_index(9), None, c);
+        let mut w = MockWire::new(NodeId::from_index(0));
+        s.start(&mut w);
+        assert!(w.take_sent().iter().all(|p| p.ecn == Ecn::Ect));
+        assert!(s.ecn_active());
+        for _ in 0..2 {
+            w.advance(SimDuration::from_secs(120));
+            s.on_rto(&mut w);
+            w.take_sent();
+        }
+        // Two timeouts without a single echo: the sender concludes the
+        // path strips CE marks and stops requesting ECN.
+        assert!(!s.ecn_active());
+        w.advance(SimDuration::from_secs(120));
+        s.on_rto(&mut w);
+        let sent = w.take_sent();
+        assert!(!sent.is_empty());
+        assert!(sent.iter().all(|p| p.ecn == Ecn::NotEct));
+    }
+
+    #[test]
+    fn ecn_echo_prevents_bleach_fallback() {
+        let mut c = cfg();
+        c.ecn_fallback_after = Some(2);
+        let mut s = Sender::new(FlowId(1), NodeId::from_index(9), None, c);
+        let mut w = MockWire::new(NodeId::from_index(0));
+        s.start(&mut w);
+        w.take_sent();
+        // One echoed mark proves ECN works end to end; later timeouts
+        // (whatever their cause) must not disable it.
+        s.on_ack(ack(MSS as u64, true, &w), &mut w);
+        w.take_sent();
+        for _ in 0..4 {
+            w.advance(SimDuration::from_secs(120));
+            s.on_rto(&mut w);
+            w.take_sent();
+        }
+        assert!(s.ecn_active());
+    }
+
+    #[test]
     fn partial_ack_in_recovery_retransmits_next_hole() {
         let (mut s, mut w) = make(None);
         s.start(&mut w);
@@ -698,7 +882,10 @@ mod tests {
         // Partial ack: one segment past una, still below recover point.
         s.on_ack(ack(una + MSS as u64, false, &w), &mut w);
         let sent = w.take_sent();
-        assert!(sent.iter().any(|p| p.seq == una + MSS as u64),
-            "hole at {} retransmitted", una + MSS as u64);
+        assert!(
+            sent.iter().any(|p| p.seq == una + MSS as u64),
+            "hole at {} retransmitted",
+            una + MSS as u64
+        );
     }
 }

@@ -61,10 +61,7 @@ impl SeqRanges {
             }
         }
         // Merge with successors that overlap or touch.
-        loop {
-            let Some((&s, &e)) = self.ranges.range(new_start..=new_end).next() else {
-                break;
-            };
+        while let Some((&s, &e)) = self.ranges.range(new_start..=new_end).next() {
             new_end = new_end.max(e);
             self.ranges.remove(&s);
         }

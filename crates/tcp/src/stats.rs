@@ -2,10 +2,9 @@
 
 use dctcp_sim::SimTime;
 use dctcp_stats::Welford;
-use serde::{Deserialize, Serialize};
 
 /// Counters and estimators collected by a sender.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SenderStats {
     /// When the first segment was sent.
     pub started_at: Option<SimTime>,
@@ -49,7 +48,7 @@ impl SenderStats {
 }
 
 /// Counters collected by a receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ReceiverStats {
     /// Contiguous bytes delivered to the application.
     pub bytes_received: u64,
@@ -86,9 +85,11 @@ mod tests {
 
     #[test]
     fn reset_preserves_lifecycle_marks() {
-        let mut s = SenderStats::default();
-        s.started_at = Some(SimTime::from_nanos(5));
-        s.timeouts = 3;
+        let mut s = SenderStats {
+            started_at: Some(SimTime::from_nanos(5)),
+            timeouts: 3,
+            ..SenderStats::default()
+        };
         s.alpha.push(0.5);
         s.reset();
         assert_eq!(s.started_at, Some(SimTime::from_nanos(5)));

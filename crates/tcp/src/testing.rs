@@ -50,7 +50,7 @@ impl MockWire {
 
     /// Advances the clock by `d`.
     pub fn advance(&mut self, d: SimDuration) {
-        self.now = self.now + d;
+        self.now += d;
     }
 
     /// Drains and returns packets sent since the last call.

@@ -66,10 +66,10 @@ fn dctcp_flows_fill_the_link_with_small_queue() {
         Capacity::Packets(250),
     );
     // Warm up, then measure.
-    sim.run_for(SimDuration::from_millis(50));
+    sim.run_for(SimDuration::from_millis(50)).unwrap();
     sim.reset_all_queue_stats(); // fresh window
     let start = sim.now();
-    sim.run_for(SimDuration::from_millis(100));
+    sim.run_for(SimDuration::from_millis(100)).unwrap();
 
     let report = sim.queue_report(bottleneck, sw);
     // Marks must be happening.
@@ -103,10 +103,10 @@ fn dt_dctcp_flows_also_saturate_and_mark() {
         1.0,
         Capacity::Packets(250),
     );
-    sim.run_for(SimDuration::from_millis(50));
+    sim.run_for(SimDuration::from_millis(50)).unwrap();
     sim.reset_all_queue_stats();
     let start = sim.now();
-    sim.run_for(SimDuration::from_millis(100));
+    sim.run_for(SimDuration::from_millis(100)).unwrap();
 
     let report = sim.queue_report(bottleneck, sw);
     assert!(report.counters.marked > 0);
@@ -126,14 +126,9 @@ fn dt_dctcp_flows_also_saturate_and_mark() {
 #[test]
 fn droptail_reno_recovers_from_losses() {
     let cfg = TcpConfig::reno();
-    let (mut sim, senders, receiver, bottleneck, sw) = star(
-        4,
-        MarkingScheme::DropTail,
-        cfg,
-        1.0,
-        Capacity::Packets(30),
-    );
-    sim.run_for(SimDuration::from_millis(200));
+    let (mut sim, senders, receiver, bottleneck, sw) =
+        star(4, MarkingScheme::DropTail, cfg, 1.0, Capacity::Packets(30));
+    sim.run_for(SimDuration::from_millis(200)).unwrap();
     let report = sim.queue_report(bottleneck, sw);
     assert!(
         report.counters.dropped_overflow > 0,
@@ -181,7 +176,7 @@ fn finite_flows_complete_and_report_times() {
     )
     .unwrap();
     let mut sim = Simulator::new(b.build().unwrap());
-    sim.run_for(SimDuration::from_millis(100));
+    sim.run_for(SimDuration::from_millis(100)).unwrap();
     let host: &TransportHost = sim.agent(tx).expect("host");
     for i in 0..3u64 {
         let s = host.sender(FlowId(i + 1)).expect("sender exists");

@@ -22,20 +22,27 @@ fn run_lossy(loss_rate: f64, bytes: u64, horizon_ms: u64) -> (bool, u64, u64) {
     let tx = b.host("tx", Box::new(host));
     let sw = b.switch("sw");
     let spec = LinkSpec::gbps(1.0, 20);
-    b.link(tx, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())
-        .unwrap();
+    b.link(
+        tx,
+        sw,
+        spec,
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )
+    .unwrap();
     // Loss on the data direction of the bottleneck.
     b.link(
         sw,
         rx,
         spec,
         QueueConfig::switch(Capacity::Packets(200), MarkingScheme::dctcp_packets(20))
-            .with_loss(loss_rate, 0xfeed),
+            .with_loss(loss_rate, 0xfeed)
+            .unwrap(),
         QueueConfig::host_nic(),
     )
     .unwrap();
     let mut sim = Simulator::new(b.build().unwrap());
-    sim.run_for(SimDuration::from_millis(horizon_ms));
+    sim.run_for(SimDuration::from_millis(horizon_ms)).unwrap();
     let host: &TransportHost = sim.agent(tx).unwrap();
     let s = host.sender(FlowId(1)).unwrap();
     (
@@ -49,7 +56,10 @@ fn run_lossy(loss_rate: f64, bytes: u64, horizon_ms: u64) -> (bool, u64, u64) {
 fn transfer_completes_through_one_percent_loss() {
     let (complete, frx, _rto) = run_lossy(0.01, 2_000_000, 2_000);
     assert!(complete, "2 MB transfer must survive 1% loss");
-    assert!(frx > 0, "losses must have been repaired via fast retransmit");
+    assert!(
+        frx > 0,
+        "losses must have been repaired via fast retransmit"
+    );
 }
 
 #[test]

@@ -7,9 +7,7 @@ use dctcp_sim::{
 };
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
 
-fn two_hosts(
-    schedule: Vec<ScheduledFlow>,
-) -> (Simulator, dctcp_sim::NodeId, dctcp_sim::NodeId) {
+fn two_hosts(schedule: Vec<ScheduledFlow>) -> (Simulator, dctcp_sim::NodeId, dctcp_sim::NodeId) {
     let cfg = TcpConfig::dctcp(1.0 / 16.0);
     let mut b = TopologyBuilder::new();
     let rx = b.host("rx", Box::new(TransportHost::new(cfg)));
@@ -42,11 +40,14 @@ fn flow(id: u64, dst: usize, bytes: u64, at_ms: u64) -> ScheduledFlow {
 #[test]
 fn delayed_flows_start_at_their_scheduled_time() {
     let (mut sim, tx, _rx) = two_hosts(vec![flow(1, 0, 50_000, 0), flow(2, 0, 50_000, 5)]);
-    sim.run_for(SimDuration::from_millis(2));
+    sim.run_for(SimDuration::from_millis(2)).unwrap();
     let host: &TransportHost = sim.agent(tx).unwrap();
     assert!(host.sender(FlowId(1)).is_some(), "flow 1 started at t=0");
-    assert!(host.sender(FlowId(2)).is_none(), "flow 2 must not exist yet");
-    sim.run_for(SimDuration::from_millis(10));
+    assert!(
+        host.sender(FlowId(2)).is_none(),
+        "flow 2 must not exist yet"
+    );
+    sim.run_for(SimDuration::from_millis(10)).unwrap();
     let host: &TransportHost = sim.agent(tx).unwrap();
     let s2 = host.sender(FlowId(2)).expect("flow 2 started at 5 ms");
     let started = s2.stats().started_at.expect("has start mark");
@@ -57,7 +58,7 @@ fn delayed_flows_start_at_their_scheduled_time() {
 fn many_flows_multiplex_on_one_host_pair() {
     let flows: Vec<ScheduledFlow> = (0..10).map(|i| flow(i + 1, 0, 30_000, 0)).collect();
     let (mut sim, tx, rx) = two_hosts(flows);
-    sim.run_for(SimDuration::from_millis(200));
+    sim.run_for(SimDuration::from_millis(200)).unwrap();
     let host: &TransportHost = sim.agent(tx).unwrap();
     assert_eq!(host.senders().count(), 10);
     for i in 0..10u64 {
@@ -75,7 +76,7 @@ fn stray_ack_for_unknown_flow_is_ignored() {
     // A receiver-side host that never sent anything gets an ACK packet:
     // nothing should panic and no sender state should appear.
     let (mut sim, tx, rx) = two_hosts(vec![flow(1, 0, 10_000, 0)]);
-    sim.run_for(SimDuration::from_millis(50));
+    sim.run_for(SimDuration::from_millis(50)).unwrap();
     // rx never originated flows; its sender table must be empty while
     // its receiver table has exactly the one incoming flow.
     let rx_host: &TransportHost = sim.agent(rx).unwrap();
@@ -88,7 +89,7 @@ fn stray_ack_for_unknown_flow_is_ignored() {
 #[test]
 fn reset_sender_stats_clears_counters_mid_run() {
     let (mut sim, tx, _rx) = two_hosts(vec![flow(1, 0, 5_000_000, 0)]);
-    sim.run_for(SimDuration::from_millis(10));
+    sim.run_for(SimDuration::from_millis(10)).unwrap();
     {
         let host: &mut TransportHost = sim.agent_mut(tx).unwrap();
         let before = host.sender(FlowId(1)).unwrap().stats().segments_sent;
@@ -97,7 +98,7 @@ fn reset_sender_stats_clears_counters_mid_run() {
         assert_eq!(host.sender(FlowId(1)).unwrap().stats().segments_sent, 0);
     }
     // The connection keeps running after the reset.
-    sim.run_for(SimDuration::from_millis(10));
+    sim.run_for(SimDuration::from_millis(10)).unwrap();
     let host: &TransportHost = sim.agent(tx).unwrap();
     assert!(host.sender(FlowId(1)).unwrap().stats().segments_sent > 0);
 }
@@ -105,7 +106,7 @@ fn reset_sender_stats_clears_counters_mid_run() {
 #[test]
 fn per_flow_stats_are_independent() {
     let (mut sim, tx, _rx) = two_hosts(vec![flow(1, 0, 1_000, 0), flow(2, 0, 2_000_000, 0)]);
-    sim.run_for(SimDuration::from_millis(100));
+    sim.run_for(SimDuration::from_millis(100)).unwrap();
     let host: &TransportHost = sim.agent(tx).unwrap();
     let s1 = host.sender(FlowId(1)).unwrap();
     let s2 = host.sender(FlowId(2)).unwrap();

@@ -1,27 +1,31 @@
-//! Property-based tests of the transport state machines.
+//! Seeded randomized tests of the transport state machines.
 
+use dctcp_rng::Pcg32;
 use dctcp_sim::{FlowId, NodeId, Packet, SimDuration, SimTime};
 use dctcp_tcp::testing::MockWire;
-use dctcp_tcp::{Receiver, SeqRanges, Sender, TcpConfig, Wire};
-use proptest::prelude::*;
+use dctcp_tcp::{Receiver, Sender, SeqRanges, TcpConfig, Wire};
 use std::collections::BTreeSet;
 
-proptest! {
-    /// SeqRanges agrees with a naive per-byte set model.
-    #[test]
-    fn seq_ranges_match_byte_set_model(
-        ranges in proptest::collection::vec((0u64..500, 1u64..50), 0..40),
-        advance_points in proptest::collection::vec(0u64..600, 0..10),
-    ) {
+/// SeqRanges agrees with a naive per-byte set model.
+#[test]
+fn seq_ranges_match_byte_set_model() {
+    let mut rng = Pcg32::seed_from_u64(0x7C9_0001);
+    for _ in 0..256 {
+        let n_ranges = rng.range_usize(0, 39);
+        let ranges: Vec<(u64, u64)> = (0..n_ranges)
+            .map(|_| (rng.range_u64(0, 499), rng.range_u64(1, 49)))
+            .collect();
+        let n_pts = rng.range_usize(0, 9);
+        let advance_points: Vec<u64> = (0..n_pts).map(|_| rng.range_u64(0, 599)).collect();
         let mut sut = SeqRanges::new();
         let mut model: BTreeSet<u64> = BTreeSet::new();
         for &(start, len) in &ranges {
             sut.insert(start, start + len);
             model.extend(start..start + len);
         }
-        prop_assert_eq!(sut.bytes(), model.len() as u64);
+        assert_eq!(sut.bytes(), model.len() as u64);
         for &(start, len) in &ranges {
-            prop_assert!(sut.contains(start, start + len));
+            assert!(sut.contains(start, start + len));
         }
         for &p in &advance_points {
             let mut sut2 = sut.clone();
@@ -33,15 +37,20 @@ proptest! {
             }
             // advance() consumes only the single covering range, which
             // equals the contiguous run from p.
-            prop_assert_eq!(advanced, expect, "advance({})", p);
+            assert_eq!(advanced, expect, "advance({p})");
         }
     }
+}
 
-    /// The receiver's cumulative ACK equals the model's contiguous
-    /// frontier, for any arrival order of a segmented transfer.
-    #[test]
-    fn receiver_tracks_contiguous_frontier(order in proptest::collection::vec(0usize..20, 1..60)) {
+/// The receiver's cumulative ACK equals the model's contiguous
+/// frontier, for any arrival order of a segmented transfer.
+#[test]
+fn receiver_tracks_contiguous_frontier() {
+    let mut rng = Pcg32::seed_from_u64(0x7C9_0002);
+    for _ in 0..256 {
         const SEG: u64 = 1000;
+        let n = rng.range_usize(1, 59);
+        let order: Vec<usize> = (0..n).map(|_| rng.range_usize(0, 19)).collect();
         let mut cfg = TcpConfig::dctcp(1.0 / 16.0);
         cfg.delayed_ack = 1; // ack every packet: simplest oracle
         let mut rx = Receiver::new(FlowId(1), NodeId::from_index(0), cfg);
@@ -63,21 +72,24 @@ proptest! {
             while model.contains(&frontier) {
                 frontier += 1;
             }
-            prop_assert_eq!(rx.bytes_received(), frontier as u64 * SEG);
+            assert_eq!(rx.bytes_received(), frontier as u64 * SEG);
             // Every arrival produced at least one ack in per-packet mode.
-            prop_assert!(!w.take_sent().is_empty());
+            assert!(!w.take_sent().is_empty());
         }
     }
+}
 
-    /// A sender driven by an in-order ACK stream never regresses: cwnd
-    /// stays within bounds, bytes_acked is monotone, and the flow
-    /// completes exactly when the last byte is acked.
-    #[test]
-    fn sender_progress_is_monotone(
-        total_segments in 1u64..200,
-        ack_chunks in proptest::collection::vec(1u64..10, 1..300),
-    ) {
+/// A sender driven by an in-order ACK stream never regresses: cwnd
+/// stays within bounds, bytes_acked is monotone, and the flow
+/// completes exactly when the last byte is acked.
+#[test]
+fn sender_progress_is_monotone() {
+    let mut rng = Pcg32::seed_from_u64(0x7C9_0003);
+    for _ in 0..256 {
         const MSS: u64 = 1000;
+        let total_segments = rng.range_u64(1, 199);
+        let n_chunks = rng.range_usize(1, 299);
+        let ack_chunks: Vec<u64> = (0..n_chunks).map(|_| rng.range_u64(1, 9)).collect();
         let mut cfg = TcpConfig::dctcp(1.0 / 16.0);
         cfg.mss = MSS as u32;
         let total = total_segments * MSS;
@@ -103,25 +115,35 @@ proptest! {
             }
             acked = (acked + chunk * MSS).min(sent_frontier).min(total);
             w.advance(SimDuration::from_micros(100));
-            let mut ack = Packet::ack(FlowId(1), NodeId::from_index(9), NodeId::from_index(0), acked);
+            let mut ack = Packet::ack(
+                FlowId(1),
+                NodeId::from_index(9),
+                NodeId::from_index(0),
+                acked,
+            );
             ack.ts_echo = Some(w.now());
             s.on_ack(ack, &mut w);
 
-            prop_assert!(s.cwnd() >= 1.0 && s.cwnd() <= cfg.max_cwnd);
-            prop_assert!(s.stats().bytes_acked >= last_bytes_acked);
+            assert!(s.cwnd() >= 1.0 && s.cwnd() <= cfg.max_cwnd);
+            assert!(s.stats().bytes_acked >= last_bytes_acked);
             last_bytes_acked = s.stats().bytes_acked;
-            prop_assert_eq!(s.is_complete(), acked >= total);
+            assert_eq!(s.is_complete(), acked >= total);
         }
         // Sequence space sanity: nothing beyond `total` was ever sent.
         for p in &w.sent {
-            prop_assert!(p.end_seq() <= total);
+            assert!(p.end_seq() <= total);
         }
     }
+}
 
-    /// Alpha never leaves [0, 1] under arbitrary ECE patterns.
-    #[test]
-    fn sender_alpha_bounded_under_random_ece(pattern in proptest::collection::vec(any::<bool>(), 1..300)) {
+/// Alpha never leaves [0, 1] under arbitrary ECE patterns.
+#[test]
+fn sender_alpha_bounded_under_random_ece() {
+    let mut rng = Pcg32::seed_from_u64(0x7C9_0004);
+    for _ in 0..256 {
         const MSS: u64 = 1000;
+        let n = rng.range_usize(1, 299);
+        let pattern: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut cfg = TcpConfig::dctcp(1.0 / 16.0);
         cfg.mss = MSS as u32;
         let mut s = Sender::new(FlowId(1), NodeId::from_index(9), None, cfg);
@@ -131,12 +153,17 @@ proptest! {
         for &ece in &pattern {
             acked += MSS;
             w.advance(SimDuration::from_micros(50));
-            let mut ack = Packet::ack(FlowId(1), NodeId::from_index(9), NodeId::from_index(0), acked);
+            let mut ack = Packet::ack(
+                FlowId(1),
+                NodeId::from_index(9),
+                NodeId::from_index(0),
+                acked,
+            );
             ack.ece = ece;
             ack.ts_echo = Some(w.now());
             s.on_ack(ack, &mut w);
-            prop_assert!((0.0..=1.0).contains(&s.alpha()), "alpha = {}", s.alpha());
-            prop_assert!(s.cwnd() >= 1.0);
+            assert!((0.0..=1.0).contains(&s.alpha()), "alpha = {}", s.alpha());
+            assert!(s.cwnd() >= 1.0);
         }
     }
 }

@@ -10,7 +10,6 @@ use dctcp_sim::{
 };
 use dctcp_stats::Quantiles;
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the queue-buildup microbenchmark.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +53,7 @@ impl BuildupConfig {
 }
 
 /// Result of a buildup run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuildupReport {
     /// Scheme under test.
     pub scheme: MarkingScheme,
@@ -97,7 +96,13 @@ pub fn run_buildup(cfg: &BuildupConfig) -> Result<BuildupReport, SimError> {
             cfg: cfg.tcp,
         });
         let h = b.host(format!("long{i}"), Box::new(host));
-        b.link(h, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+        b.link(
+            h,
+            sw,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )?;
     }
 
     // One host fires all the short queries, spaced by the interval.
@@ -130,7 +135,7 @@ pub fn run_buildup(cfg: &BuildupConfig) -> Result<BuildupReport, SimError> {
     )?;
 
     let mut sim = Simulator::new(b.build()?);
-    sim.run_for(cfg.warmup);
+    sim.run_for(cfg.warmup)?;
     sim.reset_all_queue_stats();
     let rx_host: &TransportHost = sim.agent(rx).expect("receiver");
     let long_before: u64 = (1..=cfg.long_flows as u64)
@@ -139,7 +144,7 @@ pub fn run_buildup(cfg: &BuildupConfig) -> Result<BuildupReport, SimError> {
         .sum();
 
     let horizon = cfg.short_interval * cfg.short_count as u64 + SimDuration::from_millis(500);
-    sim.run_for(horizon);
+    sim.run_for(horizon)?;
 
     let shorts_host_ref: &TransportHost = sim.agent(shorts_host).expect("short sender");
     let mut short_completions = Vec::new();

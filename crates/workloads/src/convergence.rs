@@ -13,7 +13,6 @@ use dctcp_sim::{
 };
 use dctcp_stats::{jain_fairness_index, TimeSeries};
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the convergence scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +50,7 @@ impl ConvergenceConfig {
 }
 
 /// Measured convergence behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConvergenceReport {
     /// Scheme under test.
     pub scheme: MarkingScheme,
@@ -106,7 +105,13 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> Result<ConvergenceReport, Sim
             cfg: cfg.tcp,
         });
         let h = b.host(format!("tx{i}"), Box::new(host));
-        b.link(h, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+        b.link(
+            h,
+            sw,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )?;
     }
     b.link(
         sw,
@@ -117,20 +122,23 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> Result<ConvergenceReport, Sim
     )?;
 
     let mut sim = Simulator::new(b.build()?);
-    sim.run_for(cfg.join_at);
+    sim.run_for(cfg.join_at)?;
 
     let mut series = TimeSeries::new();
     let mut last_bytes = 0u64;
     let steps = (cfg.observe.as_nanos() / cfg.sample_every.as_nanos()).max(1);
     for step in 0..steps {
-        sim.run_for(cfg.sample_every);
+        sim.run_for(cfg.sample_every)?;
         let rx_host: &TransportHost = sim.agent(rx).expect("receiver");
         let bytes = rx_host
             .receiver(joiner)
             .map_or(0, |r| r.stats().bytes_received);
         let bps = (bytes - last_bytes) as f64 * 8.0 / cfg.sample_every.as_secs_f64();
         last_bytes = bytes;
-        series.push(((step + 1) * cfg.sample_every.as_nanos()) as f64 * 1e-9, bps);
+        series.push(
+            ((step + 1) * cfg.sample_every.as_nanos()) as f64 * 1e-9,
+            bps,
+        );
     }
 
     let rx_host: &TransportHost = sim.agent(rx).expect("receiver");

@@ -3,12 +3,11 @@
 use dctcp_core::MarkingScheme;
 use dctcp_sim::SimDuration;
 use dctcp_stats::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 use crate::{LongLivedScenario, Scale, Table};
 
 /// One recorded trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Trace {
     /// Flow count.
     pub flows: u32,
@@ -24,7 +23,7 @@ pub struct Fig1Trace {
 
 /// The Figure 1 reproduction: queue traces for DCTCP (and, beyond the
 /// paper's figure, DT-DCTCP for contrast) at N = 10 and N = 100.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Result {
     /// All recorded traces.
     pub traces: Vec<Fig1Trace>,

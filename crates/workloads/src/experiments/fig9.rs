@@ -1,9 +1,6 @@
 //! Figure 9: Nyquist analysis of DCTCP vs DT-DCTCP.
 
-use dctcp_control::{
-    analyze, critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf,
-};
-use serde::{Deserialize, Serialize};
+use dctcp_control::{analyze, critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
 
 use crate::{Scale, Table};
 
@@ -17,7 +14,7 @@ use crate::{Scale, Table};
 pub const FIG9_CALIBRATED_GAIN: f64 = 6.5;
 
 /// One row of the Fig. 9 sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig9Row {
     /// Flow count.
     pub flows: u32,
@@ -37,7 +34,7 @@ pub struct Fig9Row {
 }
 
 /// The Fig. 9 reproduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig9Result {
     /// Per-N analysis rows.
     pub rows: Vec<Fig9Row>,
@@ -96,10 +93,7 @@ pub fn fig9(scale: Scale) -> Fig9Result {
                 ..AnalysisGrid::default()
             },
         ),
-        Scale::Full => (
-            (10..=150).step_by(5).collect(),
-            AnalysisGrid::default(),
-        ),
+        Scale::Full => ((10..=150).step_by(5).collect(), AnalysisGrid::default()),
     };
     let relay = RelayDf::new(40.0).expect("valid K");
     let hyst = HysteresisDf::new(30.0, 50.0).expect("valid K1 < K2");
@@ -146,7 +140,10 @@ mod tests {
         let r = fig9(Scale::Quick);
         let on_dc = r.onset_dctcp.expect("DCTCP oscillates at calibrated gain");
         let on_dt = r.onset_dt.expect("DT-DCTCP oscillates at calibrated gain");
-        assert!(on_dt > on_dc, "DT onset {on_dt} must trail DCTCP onset {on_dc}");
+        assert!(
+            on_dt > on_dc,
+            "DT onset {on_dt} must trail DCTCP onset {on_dc}"
+        );
     }
 
     #[test]

@@ -2,13 +2,12 @@
 //! time) on the Fig. 13 testbed.
 
 use dctcp_core::MarkingScheme;
-use serde::{Deserialize, Serialize};
 
 use crate::{run_query_rounds, QueryWorkload, Scale, Table, TestbedConfig};
 
 /// One row of a query sweep: both schemes at one synchronized flow
 /// count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuerySweepRow {
     /// Number of synchronized flows.
     pub flows: u32,
@@ -31,7 +30,7 @@ pub struct QuerySweepRow {
 }
 
 /// A full query sweep over flow counts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySweepResult {
     /// Which figure this reproduces ("fig14" or "fig15").
     pub figure: String,
@@ -106,13 +105,11 @@ pub(crate) fn testbed_schemes() -> [MarkingScheme; 2] {
 }
 
 fn collapse_point(rows: &[QuerySweepRow], pick: impl Fn(&QuerySweepRow) -> f64) -> Option<u32> {
-    let best = rows.iter().map(|r| pick(r)).fold(0.0f64, f64::max);
+    let best = rows.iter().map(&pick).fold(0.0f64, f64::max);
     if best <= 0.0 {
         return None;
     }
-    rows.iter()
-        .find(|r| pick(r) < best / 4.0)
-        .map(|r| r.flows)
+    rows.iter().find(|r| pick(r) < best / 4.0).map(|r| r.flows)
 }
 
 fn run_sweep(
@@ -124,10 +121,8 @@ fn run_sweep(
     let mut rows = Vec::new();
     for &n in flow_counts {
         let wl = make_workload(n);
-        let rep_dc =
-            run_query_rounds(&TestbedConfig::paper(dc), &wl).expect("valid testbed");
-        let rep_dt =
-            run_query_rounds(&TestbedConfig::paper(dt), &wl).expect("valid testbed");
+        let rep_dc = run_query_rounds(&TestbedConfig::paper(dc), &wl).expect("valid testbed");
+        let rep_dt = run_query_rounds(&TestbedConfig::paper(dt), &wl).expect("valid testbed");
         let mut comp_dc = rep_dc.completions();
         let mut comp_dt = rep_dt.completions();
         rows.push(QuerySweepRow {
@@ -158,7 +153,9 @@ pub fn fig14(scale: Scale) -> QuerySweepResult {
         Scale::Quick => (vec![4, 16, 32, 40, 48], 3),
         Scale::Full => ((2..=48).step_by(2).collect(), 30),
     };
-    run_sweep("Fig. 14", &flow_counts, |n| QueryWorkload::incast(n, rounds))
+    run_sweep("Fig. 14", &flow_counts, |n| {
+        QueryWorkload::incast(n, rounds)
+    })
 }
 
 /// Runs the Figure 15 partition-aggregate sweep.

@@ -2,12 +2,11 @@
 //! 11 (queue standard deviation) and 12 (steady-state α).
 
 use dctcp_core::MarkingScheme;
-use serde::{Deserialize, Serialize};
 
 use crate::{LongLivedScenario, Scale, Table};
 
 /// One `(N, scheme)` measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// Flow count.
     pub flows: u32,
@@ -28,7 +27,7 @@ pub struct SweepPoint {
 }
 
 /// All sweep measurements plus the sweep's scheme list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// Measurements, ordered by scheme then flow count.
     pub points: Vec<SweepPoint>,
@@ -114,7 +113,13 @@ pub fn fig10_table(sweep: &SweepResult) -> Table {
             "Fig. 10 — normalized average queue (baselines: DCTCP {base_dc:.1} pkts, \
              DT-DCTCP {base_dt:.1} pkts at N = 10)"
         ),
-        &["N", "DCTCP [pkts]", "DCTCP (norm)", "DT-DCTCP [pkts]", "DT-DCTCP (norm)"],
+        &[
+            "N",
+            "DCTCP [pkts]",
+            "DCTCP (norm)",
+            "DT-DCTCP [pkts]",
+            "DT-DCTCP (norm)",
+        ],
     );
     let dc_pts = sweep.scheme_points(dc);
     let dt_pts = sweep.scheme_points(dt);
@@ -178,7 +183,12 @@ mod tests {
         assert_eq!(s.scheme_points(dt).len(), 4);
         for p in &s.points {
             assert!(p.queue_mean > 0.0);
-            assert!(p.goodput_bps > 5e9, "goodput {} at N={}", p.goodput_bps, p.flows);
+            assert!(
+                p.goodput_bps > 5e9,
+                "goodput {} at N={}",
+                p.goodput_bps,
+                p.flows
+            );
         }
     }
 

@@ -42,7 +42,7 @@ mod testbed;
 pub use buildup::{run_buildup, BuildupConfig, BuildupReport};
 pub use convergence::{run_convergence, ConvergenceConfig, ConvergenceReport};
 pub use experiments::Scale;
-pub use star::{LongLivedReport, LongLivedScenario, LongLivedScenarioBuilder};
+pub use star::{LongLivedInstance, LongLivedReport, LongLivedScenario, LongLivedScenarioBuilder};
 pub use table::Table;
 pub use testbed::{
     build_testbed, run_query_rounds, QueryMode, QueryReport, QueryRound, QueryWorkload, Testbed,

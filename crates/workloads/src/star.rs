@@ -8,7 +8,6 @@ use dctcp_sim::{
 };
 use dctcp_stats::{TimeSeries, TimeWeightedSummary, Welford};
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
-use serde::{Deserialize, Serialize};
 
 /// A validated long-lived-flow scenario; build with
 /// [`LongLivedScenario::builder`], execute with
@@ -33,9 +32,27 @@ pub struct LongLivedScenarioBuilder {
     inner: LongLivedScenario,
 }
 
+/// An instantiated long-lived scenario: the simulator plus the node and
+/// link handles a harness needs to drive it manually — e.g. to
+/// [`install_faults`](Simulator::install_faults) before running, or to
+/// interleave runs with mid-experiment inspection.
+#[derive(Debug)]
+pub struct LongLivedInstance {
+    /// The ready-to-run simulator (no warm-up performed).
+    pub sim: Simulator,
+    /// The receiver host aggregating all flows.
+    pub rx: NodeId,
+    /// The bottleneck link (switch → receiver).
+    pub bottleneck: LinkId,
+    /// The switch at the sending end of the bottleneck.
+    pub switch: NodeId,
+    /// The sender hosts, one flow each.
+    pub senders: Vec<NodeId>,
+}
+
 /// Measured outcome of a long-lived run (statistics cover the
 /// post-warmup window only).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LongLivedReport {
     /// Number of flows.
     pub flows: u32,
@@ -82,9 +99,15 @@ impl LongLivedScenario {
     /// Runs the scenario to completion and reports post-warmup
     /// statistics.
     pub fn run(&self) -> LongLivedReport {
-        let (mut sim, rx, bottleneck, sw, senders) = self.build_sim().expect("validated scenario");
+        let LongLivedInstance {
+            mut sim,
+            rx,
+            bottleneck,
+            switch: sw,
+            senders,
+        } = self.instantiate().expect("validated scenario");
 
-        sim.run_for(self.warmup);
+        sim.run_for(self.warmup).expect("fault-free warmup");
         sim.reset_all_queue_stats();
         for &h in &senders {
             let host: &mut TransportHost = sim.agent_mut(h).expect("sender host");
@@ -93,7 +116,7 @@ impl LongLivedScenario {
         let rx_host: &TransportHost = sim.agent(rx).expect("receiver host");
         let bytes_before: u64 = rx_host.receivers().map(|r| r.stats().bytes_received).sum();
 
-        sim.run_for(self.duration);
+        sim.run_for(self.duration).expect("fault-free run");
 
         let report = sim.queue_report(bottleneck, sw);
         let rx_host: &TransportHost = sim.agent(rx).expect("receiver host");
@@ -115,8 +138,7 @@ impl LongLivedScenario {
             drops: report.counters.dropped(),
             trace: report.trace,
             alpha,
-            goodput_bps: (bytes_after - bytes_before) as f64 * 8.0
-                / self.duration.as_secs_f64(),
+            goodput_bps: (bytes_after - bytes_before) as f64 * 8.0 / self.duration.as_secs_f64(),
             timeouts,
         }
     }
@@ -126,9 +148,14 @@ impl LongLivedScenario {
         self.bottleneck_bps
     }
 
-    fn build_sim(
-        &self,
-    ) -> Result<(Simulator, NodeId, LinkId, NodeId, Vec<NodeId>), SimError> {
+    /// Builds the topology and returns the raw pieces without running
+    /// anything, for harnesses that inject faults or drive the clock
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if topology construction fails.
+    pub fn instantiate(&self) -> Result<LongLivedInstance, SimError> {
         let mut b = TopologyBuilder::new();
         let rx = b.host("rx", Box::new(TransportHost::new(self.tcp)));
         let sw = b.switch("sw");
@@ -149,13 +176,25 @@ impl LongLivedScenario {
                 cfg: self.tcp,
             });
             let h = b.host(format!("tx{i}"), Box::new(host));
-            b.link(h, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+            b.link(
+                h,
+                sw,
+                spec,
+                QueueConfig::host_nic(),
+                QueueConfig::host_nic(),
+            )?;
             senders.push(h);
         }
         let mut qcfg = QueueConfig::switch(self.buffer, self.marking);
         qcfg.trace_interval = self.trace_interval;
         let bottleneck = b.link(sw, rx, spec, qcfg, QueueConfig::host_nic())?;
-        Ok((Simulator::new(b.build()?), rx, bottleneck, sw, senders))
+        Ok(LongLivedInstance {
+            sim: Simulator::new(b.build()?),
+            rx,
+            bottleneck,
+            switch: sw,
+            senders,
+        })
     }
 }
 
@@ -229,7 +268,9 @@ impl LongLivedScenarioBuilder {
     pub fn build(self) -> Result<LongLivedScenario, SimError> {
         let s = self.inner;
         if s.flows == 0 {
-            return Err(SimError::InvalidTopology("at least one flow required".into()));
+            return Err(SimError::InvalidTopology(
+                "at least one flow required".into(),
+            ));
         }
         s.marking.build()?; // validates parameters
         s.tcp.validate()?;
@@ -272,7 +313,11 @@ mod tests {
         assert!(r.goodput_bps > 0.85e9, "goodput {}", r.goodput_bps);
         assert!(r.marks > 0);
         assert_eq!(r.drops, 0);
-        assert!(r.queue.mean > 0.5 && r.queue.mean < 100.0, "queue {}", r.queue.mean);
+        assert!(
+            r.queue.mean > 0.5 && r.queue.mean < 100.0,
+            "queue {}",
+            r.queue.mean
+        );
         assert!(r.alpha.count() > 0);
         assert!(r.alpha.mean() > 0.0 && r.alpha.mean() < 1.0);
     }

@@ -9,14 +9,13 @@
 //! does.
 
 use dctcp_core::MarkingScheme;
+use dctcp_rng::Pcg32;
 use dctcp_sim::{
     Capacity, FlowId, LinkId, LinkSpec, NodeId, QueueConfig, SimDuration, SimError, SimTime,
     Simulator, TopologyBuilder,
 };
 use dctcp_stats::Quantiles;
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
-use rand::{rngs::SmallRng, Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Number of worker hosts in the Fig. 13 testbed.
 pub const TESTBED_WORKERS: usize = 9;
@@ -56,7 +55,7 @@ impl TestbedConfig {
 }
 
 /// How response flows begin in a query workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryMode {
     /// Workers start their responses at scheduled times (jittered);
     /// no query packets cross the network.
@@ -71,7 +70,7 @@ pub enum QueryMode {
 /// A query-style workload: the aggregator requests data from `flows`
 /// responders, each sending `bytes_per_flow`, all starting (nearly)
 /// simultaneously.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryWorkload {
     /// Number of synchronized response flows.
     pub flows: u32,
@@ -128,7 +127,7 @@ impl QueryWorkload {
 }
 
 /// Outcome of one query round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryRound {
     /// Time from query start until the last byte arrived (seconds);
     /// `None` if the round hit the timeout horizon.
@@ -143,7 +142,7 @@ pub struct QueryRound {
 }
 
 /// Aggregate of all rounds of a query workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryReport {
     /// The workload that was run.
     pub workload: QueryWorkload,
@@ -165,10 +164,7 @@ impl QueryReport {
 
     /// Completion-time quantile helper over completed rounds.
     pub fn completions(&self) -> Quantiles {
-        self.rounds
-            .iter()
-            .filter_map(|r| r.completion)
-            .collect()
+        self.rounds.iter().filter_map(|r| r.completion).collect()
     }
 
     /// Fraction of rounds that suffered at least one retransmission
@@ -202,10 +198,7 @@ pub struct Testbed {
 /// # Errors
 ///
 /// Returns [`SimError`] for invalid marking/TCP parameters.
-pub fn build_testbed(
-    cfg: &TestbedConfig,
-    flows: &[ScheduledFlow],
-) -> Result<Testbed, SimError> {
+pub fn build_testbed(cfg: &TestbedConfig, flows: &[ScheduledFlow]) -> Result<Testbed, SimError> {
     cfg.tcp.validate()?;
     let spec = LinkSpec::gbps(cfg.link_gbps, cfg.link_delay_us);
     let mut b = TopologyBuilder::new();
@@ -214,8 +207,9 @@ pub fn build_testbed(
     let sw1 = b.switch("sw1");
 
     // Worker transport hosts with their round-robin share of the flows.
-    let mut worker_hosts: Vec<TransportHost> =
-        (0..TESTBED_WORKERS).map(|_| TransportHost::new(cfg.tcp)).collect();
+    let mut worker_hosts: Vec<TransportHost> = (0..TESTBED_WORKERS)
+        .map(|_| TransportHost::new(cfg.tcp))
+        .collect();
     for (i, f) in flows.iter().enumerate() {
         worker_hosts[i % TESTBED_WORKERS].schedule(*f);
     }
@@ -272,13 +266,13 @@ fn run_one_round(
     workload: &QueryWorkload,
     round: u32,
 ) -> Result<QueryRound, SimError> {
-    let mut rng = SmallRng::seed_from_u64(workload.seed.wrapping_add(round as u64));
+    let mut rng = Pcg32::seed_from_u64(workload.seed.wrapping_add(round as u64));
     let client_node = NodeId::from_index(0); // client is added first
     let mut jittered = |i: u32| -> SimTime {
         let jitter_ns = if workload.jitter.is_zero() {
             0
         } else {
-            rng.gen_range(0..=workload.jitter.as_nanos())
+            rng.range_u64(0, workload.jitter.as_nanos())
         };
         let _ = i;
         SimTime::ZERO + SimDuration::from_nanos(jitter_ns)
@@ -302,8 +296,7 @@ fn run_one_round(
             // Workers answer queries; the aggregator emits them at the
             // jittered instants.
             for &w in &tb.workers {
-                let host: &mut TransportHost =
-                    tb.sim.agent_mut(w).expect("worker transport host");
+                let host: &mut TransportHost = tb.sim.agent_mut(w).expect("worker transport host");
                 host.respond_to_queries(workload.bytes_per_flow);
             }
             let queries: Vec<(FlowId, NodeId, SimTime)> = (0..workload.flows)
@@ -330,7 +323,7 @@ fn run_one_round(
     let mut completion: Option<f64> = None;
     while tb.sim.now() < deadline {
         let next = (tb.sim.now() + step).min(deadline);
-        tb.sim.run_until(next);
+        tb.sim.run_until(next)?;
         let host: &TransportHost = tb.sim.agent(tb.client).expect("client host");
         let mut done = 0u32;
         let mut last = SimTime::ZERO;

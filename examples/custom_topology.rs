@@ -45,29 +45,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s2 = b.switch("s2");
     let edge = LinkSpec::gbps(1.0, 20);
     let core = LinkSpec::gbps(0.5, 40);
-    let marked = QueueConfig::switch(Capacity::Packets(100), MarkingScheme::dt_dctcp_packets(15, 25));
+    let marked = QueueConfig::switch(
+        Capacity::Packets(100),
+        MarkingScheme::dt_dctcp_packets(15, 25),
+    );
 
-    b.link(h1, s1, edge, QueueConfig::host_nic(), QueueConfig::host_nic())?;
-    b.link(h3, s1, edge, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+    b.link(
+        h1,
+        s1,
+        edge,
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )?;
+    b.link(
+        h3,
+        s1,
+        edge,
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )?;
     let trunk = b.link(s1, s2, core, marked, marked)?;
-    b.link(s2, h2, edge, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+    b.link(
+        s2,
+        h2,
+        edge,
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )?;
 
     let mut sim = Simulator::new(b.build()?);
-    sim.run_for(SimDuration::from_millis(100));
+    sim.run_for(SimDuration::from_millis(100)).unwrap();
 
     let report = sim.queue_report(trunk, s1);
-    println!("trunk queue (s1 -> s2): mean {:.1} pkts, max {:.0}, marks {}, drops {}",
+    println!(
+        "trunk queue (s1 -> s2): mean {:.1} pkts, max {:.0}, marks {}, drops {}",
         report.occupancy_pkts.mean,
         report.occupancy_pkts.max,
         report.counters.marked,
-        report.counters.dropped());
+        report.counters.dropped()
+    );
 
     let h1_host: &TransportHost = sim.agent(h1).expect("transport host");
     let s = h1_host.sender(FlowId(1)).expect("scheduled flow");
     println!(
         "h1's 2 MB transfer: complete = {}, completion time = {:?} ms, {} timeouts",
         s.is_complete(),
-        s.stats().completion_time().map(|t| (t * 1e3 * 100.0).round() / 100.0),
+        s.stats()
+            .completion_time()
+            .map(|t| (t * 1e3 * 100.0).round() / 100.0),
         s.stats().timeouts,
     );
     Ok(())

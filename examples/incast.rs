@@ -12,7 +12,10 @@ use dt_dctcp::workloads::{run_query_rounds, QueryWorkload, TestbedConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Incast on the paper's testbed (1 Gb/s, 128 KB bottleneck buffer)\n");
-    println!("{:>4} | {:>22} | {:>22}", "N", "DCTCP (K=32KB)", "DT-DCTCP (28/34KB)");
+    println!(
+        "{:>4} | {:>22} | {:>22}",
+        "N", "DCTCP (K=32KB)", "DT-DCTCP (28/34KB)"
+    );
     for n in [8, 16, 24, 32, 40] {
         let mut cells = Vec::new();
         for scheme in [

@@ -6,9 +6,7 @@
 //! cargo run --release --example nyquist_analysis
 //! ```
 
-use dt_dctcp::control::{
-    analyze, critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf,
-};
+use dt_dctcp::control::{analyze, critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = AnalysisGrid::default();

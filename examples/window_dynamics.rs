@@ -30,7 +30,13 @@ fn run(scheme: MarkingScheme) -> Result<(), Box<dyn std::error::Error>> {
             cfg,
         });
         senders.push(b.host(format!("tx{i}"), Box::new(host)));
-        b.link(senders[i as usize], sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic())?;
+        b.link(
+            senders[i as usize],
+            sw,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )?;
     }
     b.link(
         sw,
@@ -40,7 +46,7 @@ fn run(scheme: MarkingScheme) -> Result<(), Box<dyn std::error::Error>> {
         QueueConfig::host_nic(),
     )?;
     let mut sim = Simulator::new(b.build()?);
-    sim.run_for(SimDuration::from_millis(40));
+    sim.run_for(SimDuration::from_millis(40)).unwrap();
 
     let host: &TransportHost = sim.agent(senders[0]).expect("sender host");
     let s = host.sender(FlowId(1)).expect("flow 1");

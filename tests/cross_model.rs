@@ -12,9 +12,7 @@ const RTT: f64 = 300e-6;
 fn fluid_std(n: f64, marking: FluidMarking) -> f64 {
     let mut params = FluidParams::paper_defaults(n, marking);
     params.rtt = RTT;
-    let sol = FluidModel::new(params)
-        .unwrap()
-        .run_sampled(0.25, 1e-6, 10);
+    let sol = FluidModel::new(params).unwrap().run_sampled(0.25, 1e-6, 10);
     let m = oscillation_metrics(&sol.q.window(0.12, 0.25));
     assert!(m.mean < 1_000.0, "fluid diverged (mean {})", m.mean);
     m.std
@@ -51,7 +49,10 @@ fn all_models_agree_dt_is_steadier() {
     // Packet domain.
     let pkt_relay = packet_std(n, MarkingScheme::dctcp_packets(40));
     let pkt_hyst = packet_std(n, MarkingScheme::dt_dctcp_packets(30, 50));
-    assert!(pkt_hyst < pkt_relay, "packet: {pkt_hyst:.1} !< {pkt_relay:.1}");
+    assert!(
+        pkt_hyst < pkt_relay,
+        "packet: {pkt_hyst:.1} !< {pkt_relay:.1}"
+    );
 
     // Frequency domain: more gain margin for the hysteresis.
     let grid = AnalysisGrid {
@@ -79,7 +80,10 @@ fn oscillation_grows_with_n_in_both_dynamics_models() {
 
     let pkt_small = packet_std(10, MarkingScheme::dctcp_packets(40));
     let pkt_large = packet_std(80, MarkingScheme::dctcp_packets(40));
-    assert!(pkt_large > pkt_small, "packet: {pkt_small:.1} -> {pkt_large:.1}");
+    assert!(
+        pkt_large > pkt_small,
+        "packet: {pkt_small:.1} -> {pkt_large:.1}"
+    );
 }
 
 /// The fluid limit-cycle frequency and the DF-predicted frequency agree
@@ -103,7 +107,9 @@ fn limit_cycle_frequency_is_consistent() {
     let relay = RelayDf::new(40.0).unwrap();
     let critical = critical_gain(&plant, &relay, &grid).expect("finite");
     let report = dt_dctcp::control::analyze(&plant.with_gain(critical * 1.05), &relay, &grid);
-    let lc = report.limit_cycle.expect("limit cycle at supercritical gain");
+    let lc = report
+        .limit_cycle
+        .expect("limit cycle at supercritical gain");
 
     let ratio = lc.frequency / fluid_w;
     assert!(

@@ -2,9 +2,7 @@
 //! bit-identical results; different seeds genuinely differ.
 
 use dt_dctcp::core::MarkingScheme;
-use dt_dctcp::workloads::{
-    run_query_rounds, LongLivedScenario, QueryWorkload, TestbedConfig,
-};
+use dt_dctcp::workloads::{run_query_rounds, LongLivedScenario, QueryWorkload, TestbedConfig};
 
 #[test]
 fn long_lived_runs_are_bit_identical() {

@@ -2,8 +2,9 @@
 //! differentiation, fairness, and the CoDel baseline.
 
 use dt_dctcp::core::MarkingScheme;
-use dt_dctcp::sim::{FlowId, LinkSpec, QueueConfig, SimDuration, SimTime, Simulator,
-                    TopologyBuilder, Capacity};
+use dt_dctcp::sim::{
+    Capacity, FlowId, LinkSpec, QueueConfig, SimDuration, SimTime, Simulator, TopologyBuilder,
+};
 use dt_dctcp::stats::jain_fairness_index;
 use dt_dctcp::tcp::{ScheduledFlow, TcpConfig, TransportHost};
 use dt_dctcp::workloads::LongLivedScenario;
@@ -31,7 +32,14 @@ fn d2tcp_differentiates_by_deadline_urgency() {
             cfg,
         });
         let h = b.host(format!("tx{i}"), Box::new(host));
-        b.link(h, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic()).unwrap();
+        b.link(
+            h,
+            sw,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
     }
     b.link(
         sw,
@@ -43,7 +51,7 @@ fn d2tcp_differentiates_by_deadline_urgency() {
     .unwrap();
 
     let mut sim = Simulator::new(b.build().unwrap());
-    sim.run_for(SimDuration::from_millis(200));
+    sim.run_for(SimDuration::from_millis(200)).unwrap();
 
     let rx_host: &TransportHost = sim.agent(rx).unwrap();
     let near_bytes = rx_host.receiver(FlowId(1)).unwrap().stats().bytes_received;
@@ -78,7 +86,14 @@ fn dctcp_flows_share_fairly() {
             cfg,
         });
         let h = b.host(format!("tx{i}"), Box::new(host));
-        b.link(h, sw, spec, QueueConfig::host_nic(), QueueConfig::host_nic()).unwrap();
+        b.link(
+            h,
+            sw,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
     }
     b.link(
         sw,
@@ -89,7 +104,7 @@ fn dctcp_flows_share_fairly() {
     )
     .unwrap();
     let mut sim = Simulator::new(b.build().unwrap());
-    sim.run_for(SimDuration::from_millis(300));
+    sim.run_for(SimDuration::from_millis(300)).unwrap();
 
     let rx_host: &TransportHost = sim.agent(rx).unwrap();
     let shares: Vec<f64> = (1..=n)

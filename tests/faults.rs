@@ -1,0 +1,152 @@
+//! Targeted fault-recovery tests: one fault at a time, with the
+//! expected recovery mechanism asserted explicitly (the chaos harness in
+//! `chaos.rs` covers composed faults).
+
+use dt_dctcp::core::MarkingScheme;
+use dt_dctcp::sim::{
+    Capacity, FaultPlan, FlowId, LinkSpec, NodeId, QueueConfig, SimDuration, SimTime, Simulator,
+    TopologyBuilder,
+};
+use dt_dctcp::tcp::{ScheduledFlow, TcpConfig, TransportHost};
+
+fn one_flow_sim(
+    tcp: TcpConfig,
+    bytes: u64,
+    buffer_pkts: u32,
+) -> (Simulator, NodeId, NodeId, dt_dctcp::sim::LinkId) {
+    let mut b = TopologyBuilder::new();
+    let rx = b.host("rx", Box::new(TransportHost::new(tcp)));
+    let mut host = TransportHost::new(tcp);
+    host.schedule(ScheduledFlow {
+        flow: FlowId(1),
+        dst: rx,
+        bytes: Some(bytes),
+        at: SimTime::ZERO,
+        cfg: tcp,
+    });
+    let tx = b.host("tx", Box::new(host));
+    let sw = b.switch("sw");
+    // 10 Gb/s access into a 1 Gb/s bottleneck: the switch queue is where
+    // marking, bleaching and overflow happen.
+    b.link(
+        tx,
+        sw,
+        LinkSpec::gbps(10.0, 20),
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )
+    .unwrap();
+    let bottleneck = b
+        .link(
+            sw,
+            rx,
+            LinkSpec::gbps(1.0, 20),
+            QueueConfig::switch(
+                Capacity::Packets(buffer_pkts),
+                MarkingScheme::dctcp_packets(20),
+            ),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+    (Simulator::new(b.build().unwrap()), tx, rx, bottleneck)
+}
+
+fn completion_secs(sim: &Simulator, tx: NodeId) -> Option<f64> {
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    host.sender(FlowId(1)).unwrap().stats().completion_time()
+}
+
+#[test]
+fn transfer_recovers_from_a_link_flap() {
+    let tcp = TcpConfig::dctcp(1.0 / 16.0).with_rto_min(SimDuration::from_millis(10));
+    let bytes = 2 * 1024 * 1024;
+
+    let (mut clean, clean_tx, _, _) = one_flow_sim(tcp, bytes, 200);
+    clean.run_for(SimDuration::from_secs(5)).unwrap();
+    let clean_ct = completion_secs(&clean, clean_tx).expect("clean run completes");
+
+    let (mut faulty, tx, _, bottleneck) = one_flow_sim(tcp, bytes, 200);
+    // A 50 ms outage right in the middle of the transfer.
+    let plan = FaultPlan::new().flap(
+        bottleneck,
+        SimTime::ZERO + SimDuration::from_millis(5),
+        SimDuration::from_millis(50),
+        SimDuration::from_secs(1),
+        1,
+    );
+    faulty.install_faults(&plan).unwrap();
+    faulty.run_for(SimDuration::from_secs(5)).unwrap();
+    let faulty_ct = completion_secs(&faulty, tx).expect("transfer must survive the flap");
+
+    // The flap costs at least the outage length (plus RTO recovery),
+    // but the connection must come back instead of stalling forever.
+    assert!(
+        faulty_ct > clean_ct + 0.045,
+        "flap too cheap: {clean_ct}s clean vs {faulty_ct}s flapped"
+    );
+    assert!(
+        faulty_ct < clean_ct + 1.0,
+        "recovery too slow after a 50 ms outage: {faulty_ct}s"
+    );
+    let host: &TransportHost = faulty.agent(tx).unwrap();
+    assert!(
+        host.sender(FlowId(1)).unwrap().stats().timeouts > 0,
+        "a mid-transfer outage must cost at least one RTO"
+    );
+}
+
+#[test]
+fn ecn_bleach_fallback_keeps_the_flow_alive() {
+    let tcp = TcpConfig::dctcp(1.0 / 16.0)
+        .with_rto_min(SimDuration::from_millis(10))
+        .with_ecn_fallback(2);
+    let (mut sim, tx, rx, bottleneck) = one_flow_sim(tcp, 4 * 1024 * 1024, 40);
+    // Bleach the bottleneck for the entire run: DCTCP's congestion
+    // signal is gone, so the sender must detect it and degrade to
+    // loss-based control rather than blast an unmanaged queue forever.
+    let plan = FaultPlan::new().bleach_window(
+        bottleneck,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_secs(60),
+    );
+    sim.install_faults(&plan).unwrap();
+    sim.run_for(SimDuration::from_secs(10)).unwrap();
+
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    let s = host.sender(FlowId(1)).unwrap();
+    assert!(s.is_complete(), "4 MB must complete on a bleached path");
+    assert!(!s.ecn_active(), "sender never detected the bleached path");
+    assert!(
+        s.stats().ecn_cuts == 0,
+        "no ECE can arrive through a fully bleached bottleneck"
+    );
+    let rx_host: &TransportHost = sim.agent(rx).unwrap();
+    assert_eq!(
+        rx_host.receiver(FlowId(1)).unwrap().bytes_received(),
+        4 * 1024 * 1024
+    );
+}
+
+#[test]
+fn bleach_window_end_restores_ecn_marking() {
+    // Bleach only the first 5 ms; after the window closes, marks flow
+    // again and DCTCP resumes ECN cuts (no fallback configured).
+    let tcp = TcpConfig::dctcp(1.0 / 16.0).with_rto_min(SimDuration::from_millis(10));
+    let (mut sim, tx, _, bottleneck) = one_flow_sim(tcp, 8 * 1024 * 1024, 200);
+    let plan = FaultPlan::new().bleach_window(
+        bottleneck,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_millis(5),
+    );
+    sim.install_faults(&plan).unwrap();
+    sim.run_for(SimDuration::from_secs(10)).unwrap();
+
+    let host: &TransportHost = sim.agent(tx).unwrap();
+    let s = host.sender(FlowId(1)).unwrap();
+    assert!(s.is_complete());
+    assert!(s.ecn_active(), "no fallback configured, ECN must stay on");
+    assert!(
+        s.stats().ecn_cuts > 0,
+        "marking must resume once the bleach window closes"
+    );
+}
