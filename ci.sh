@@ -20,4 +20,10 @@ cargo test --offline -q
 echo "==> cargo test (workspace)"
 cargo test --offline --workspace -q
 
+echo "==> bench smoke (engine bench -> BENCH_sim.json)"
+# cargo bench runs the binary with the package dir as cwd, so pass an
+# absolute path to land the report at the repo root.
+cargo bench --offline -p dctcp-bench --bench engine -- --json "$PWD/BENCH_sim.json"
+cargo run --offline --release -q -p dctcp-bench --bin bench_check "$PWD/BENCH_sim.json"
+
 echo "CI gate passed."

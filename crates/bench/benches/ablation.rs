@@ -50,4 +50,5 @@ fn main() {
                 .run()
         });
     }
+    r.finish();
 }

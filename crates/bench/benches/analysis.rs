@@ -36,4 +36,5 @@ fn main() {
     r.bench("analysis/numerical_df_10k_steps", || {
         numerical_df(80.0, 10_000, dctcp_control::ideal_hysteresis(30.0, 50.0))
     });
+    r.finish();
 }

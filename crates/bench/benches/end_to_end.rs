@@ -38,4 +38,5 @@ fn main() {
             FluidParams::paper_defaults(60.0, FluidMarking::Hysteresis { k1: 30.0, k2: 50.0 });
         FluidModel::new(params).unwrap().run_sampled(0.05, 1e-6, 50)
     });
+    r.finish();
 }

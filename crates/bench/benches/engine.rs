@@ -1,9 +1,15 @@
-//! Microbenchmarks of the discrete-event engine: event scheduling and
-//! packet forwarding throughput.
+//! Microbenchmarks of the discrete-event engine: packet forwarding
+//! throughput, timer churn, and the parallel multi-seed sweep driver.
+//!
+//! Run with `--json BENCH_sim.json` to record the results (including
+//! events/sec and the measured parallel speedup) machine-readably.
+
+use std::time::Instant;
 
 use dctcp_bench::Runner;
 use dctcp_sim::{
-    Agent, Context, LinkSpec, Packet, QueueConfig, SimDuration, Simulator, TopologyBuilder,
+    Agent, Context, LinkSpec, Packet, QueueConfig, SimDuration, Simulator, TimerToken,
+    TopologyBuilder,
 };
 
 #[derive(Debug)]
@@ -21,6 +27,46 @@ impl Agent for Blaster {
         }
     }
     fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Context<'_>) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Keeps a churning population of timers alive: every firing cancels one
+/// outstanding timer and arms two fresh ones — one inside the calendar
+/// wheel's window, one far enough out to land in the overflow level.
+#[derive(Debug)]
+struct TimerChurn {
+    pending: Vec<TimerToken>,
+    fires_left: u32,
+    step: u64,
+}
+
+impl Agent for TimerChurn {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..16u64 {
+            self.pending
+                .push(ctx.set_timer(SimDuration::from_nanos(100 + 37 * i)));
+        }
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Context<'_>) {}
+    fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_>) {
+        if self.fires_left == 0 {
+            return;
+        }
+        self.fires_left -= 1;
+        self.step += 1;
+        if let Some(t) = self.pending.pop() {
+            ctx.cancel_timer(t);
+        }
+        let near = SimDuration::from_nanos(50 + (self.step * 13) % 1_500);
+        let far = SimDuration::from_nanos(2_000_000 + (self.step * 7_919) % 100_000);
+        self.pending.push(ctx.set_timer(near));
+        self.pending.push(ctx.set_timer(far));
+    }
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -66,13 +112,83 @@ fn build(count: u32) -> Simulator {
     Simulator::new(b.build().unwrap())
 }
 
+fn build_timer_churn(fires: u32) -> Simulator {
+    let mut b = TopologyBuilder::new();
+    let h1 = b.host(
+        "h1",
+        Box::new(TimerChurn {
+            pending: Vec::new(),
+            fires_left: fires,
+            step: 0,
+        }),
+    );
+    let h2 = b.host(
+        "h2",
+        Box::new(Blaster {
+            peer: dctcp_sim::NodeId::from_index(0),
+            count: 0,
+        }),
+    );
+    b.link(
+        h1,
+        h2,
+        LinkSpec::gbps(1.0, 1),
+        QueueConfig::host_nic(),
+        QueueConfig::host_nic(),
+    )
+    .unwrap();
+    Simulator::new(b.build().unwrap())
+}
+
+/// One sweep job: a forwarding run whose size varies with the seed, so
+/// parallel misordering would be visible in the fingerprints.
+fn sweep_job(seed: usize) -> (u64, u64) {
+    let mut sim = build(4_000 + 750 * seed as u32);
+    sim.run_for(SimDuration::from_millis(100)).unwrap();
+    (sim.events_processed(), sim.now().as_nanos())
+}
+
+/// Times the multi-seed sweep serially and through `dctcp_parallel`,
+/// checks bit-identity, and records threads/speedup metrics.
+fn measure_parallel_sweep(r: &mut Runner) {
+    const SEEDS: usize = 8;
+    let threads = dctcp_parallel::available_threads();
+    let jobs: Vec<usize> = (0..SEEDS).collect();
+
+    let start = Instant::now();
+    let serial = dctcp_parallel::par_map(jobs.clone(), 1, |_, seed| sweep_job(seed));
+    let serial_elapsed = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = dctcp_parallel::par_map(jobs, threads, |_, seed| sweep_job(seed));
+    let parallel_elapsed = start.elapsed();
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep must be bit-identical to serial"
+    );
+    let speedup = serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9);
+    r.metric("sweep/multi_seed/seeds", SEEDS as f64, "runs");
+    r.metric("sweep/multi_seed/threads", threads as f64, "threads");
+    r.metric("sweep/multi_seed/speedup", speedup, "x");
+}
+
 fn main() {
     let mut r = Runner::from_env();
     const PKTS: u32 = 10_000;
-    r.bench("engine/forward/10k_packets_one_switch", || {
+    r.bench_events("engine/forward/10k_packets_one_switch", || {
         let mut sim = build(PKTS);
         sim.run_for(SimDuration::from_millis(100)).unwrap();
         assert!(sim.events_processed() > 3 * PKTS as u64);
         sim.events_processed()
     });
+    const FIRES: u32 = 20_000;
+    r.bench_events("engine/timers/churn_set_cancel_20k", || {
+        let mut sim = build_timer_churn(FIRES);
+        sim.run_for(SimDuration::from_millis(50)).unwrap();
+        assert!(sim.events_processed() >= FIRES as u64);
+        sim.events_processed()
+    });
+    measure_parallel_sweep(&mut r);
+    r.finish();
 }

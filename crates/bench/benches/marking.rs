@@ -39,4 +39,5 @@ fn main() {
             marked
         });
     }
+    r.finish();
 }

@@ -1,0 +1,130 @@
+//! Validates a `BENCH_sim.json` report produced by the bench harness
+//! (`--json <path>`): checks the schema tag, that every benchmark has a
+//! positive ns/iter and iteration count, and that at least one bench
+//! reports a positive events/sec rate. Exits non-zero with a message on
+//! any violation, so `ci.sh` can gate on it.
+//!
+//! Usage: `bench_check [path]` (default `BENCH_sim.json`).
+
+use std::process::ExitCode;
+
+/// Pulls every numeric value following `"key": ` out of the report.
+/// The harness writes one flat object per line, so a field scanner is
+/// enough — this is a smoke check for our own writer, not a JSON parser.
+fn field_values(body: &str, key: &str) -> Vec<Option<f64>> {
+    let needle = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let raw = rest[..end].trim();
+        if raw == "null" {
+            out.push(None);
+        } else {
+            out.push(raw.parse::<f64>().ok());
+        }
+    }
+    out
+}
+
+fn check(body: &str) -> Result<String, String> {
+    if !body.contains("\"schema\": \"dctcp-bench/v1\"") {
+        return Err("missing or wrong schema tag (want dctcp-bench/v1)".into());
+    }
+    let ns = field_values(body, "ns_per_iter");
+    if ns.is_empty() {
+        return Err("no benchmark records".into());
+    }
+    for (i, v) in ns.iter().enumerate() {
+        match v {
+            Some(v) if *v > 0.0 => {}
+            _ => return Err(format!("bench #{i}: ns_per_iter is not a positive number")),
+        }
+    }
+    let iters = field_values(body, "iters");
+    if iters.len() != ns.len() || iters.iter().any(|v| !matches!(v, Some(v) if *v >= 1.0)) {
+        return Err("every bench needs iters >= 1".into());
+    }
+    let events: Vec<f64> = field_values(body, "events_per_sec")
+        .into_iter()
+        .flatten()
+        .collect();
+    if !events.iter().any(|&e| e > 0.0) {
+        return Err("no bench reports a positive events_per_sec".into());
+    }
+    Ok(format!(
+        "{} benches ok, peak {:.0} events/sec",
+        ns.len(),
+        events.iter().cloned().fold(0.0, f64::max)
+    ))
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&body) {
+        Ok(msg) => {
+            println!("bench_check: {path}: {msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("bench_check: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+  "schema": "dctcp-bench/v1",
+  "benches": [
+    {"name": "engine/forward", "ns_per_iter": 2500000, "iters": 20, "events_per_sec": 12000000.0},
+    {"name": "other", "ns_per_iter": 10, "iters": 3, "events_per_sec": null}
+  ],
+  "metrics": [
+    {"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}
+  ]
+}
+"#;
+
+    #[test]
+    fn accepts_valid_report() {
+        assert!(check(GOOD).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let bad = GOOD.replace("dctcp-bench/v1", "dctcp-bench/v0");
+        assert!(check(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn rejects_empty_benches() {
+        let bad = r#"{"schema": "dctcp-bench/v1", "benches": [], "metrics": []}"#;
+        assert!(check(bad).unwrap_err().contains("no benchmark"));
+    }
+
+    #[test]
+    fn rejects_zero_ns_per_iter() {
+        let bad = GOOD.replace("\"ns_per_iter\": 10", "\"ns_per_iter\": 0");
+        assert!(check(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_all_null_event_rates() {
+        let bad = GOOD.replace("12000000.0", "null");
+        assert!(check(&bad).unwrap_err().contains("events_per_sec"));
+    }
+}

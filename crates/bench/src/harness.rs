@@ -2,7 +2,8 @@
 //!
 //! Replaces the external `criterion` stack so the workspace builds and
 //! runs offline. Each `harness = false` bench target constructs a
-//! [`Runner`] and registers closures with [`Runner::bench`]; the runner
+//! [`Runner`] and registers closures with [`Runner::bench`] (or
+//! [`Runner::bench_events`] for event-throughput benches); the runner
 //! times them with `std::time::Instant`, auto-scaling the iteration
 //! count to a wall-clock budget, and prints one line per benchmark:
 //!
@@ -10,21 +11,81 @@
 //! engine/forward/10k_packets_one_switch     1_234_567 ns/iter  (24 iters)
 //! ```
 //!
-//! Supported arguments (anything else, e.g. libtest flags passed by
-//! `cargo test --benches`, is ignored):
+//! Timed iterations are split into batches and the **fastest batch** is
+//! reported: on shared or single-core machines external interference
+//! only ever slows a batch down, so the minimum is the most robust
+//! estimate of the code's true cost.
+//!
+//! Supported arguments:
 //!
 //! * `--full` — raise the per-bench time budget from ~50 ms to ~500 ms;
+//! * `--json <path>` — additionally write every result as JSON (schema
+//!   `dctcp-bench/v1`: ns/iter and iteration count per benchmark,
+//!   events/sec where the bench reports an event count, plus free-form
+//!   metrics) via [`Runner::finish`];
 //! * any bare string — substring filter on benchmark names.
+//!
+//! Known libtest flags injected by `cargo test --benches` are ignored;
+//! any other `-`-prefixed flag draws a warning on stderr so typos like
+//! `--fill` don't silently run the wrong configuration.
 
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Number of timing batches per benchmark; the fastest is reported.
+const BATCHES: u64 = 3;
+
+/// Libtest/cargo flags that may reach a `harness = false` binary and are
+/// deliberately ignored rather than warned about.
+const IGNORED_FLAGS: &[&str] = &[
+    "--bench",
+    "--test",
+    "--nocapture",
+    "--no-capture",
+    "--quiet",
+    "-q",
+    "--exact",
+    "--list",
+    "--ignored",
+    "--include-ignored",
+    "--show-output",
+];
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name as registered.
+    pub name: String,
+    /// Fastest-batch cost per iteration, nanoseconds.
+    pub ns_per_iter: u64,
+    /// Total timed iterations across all batches.
+    pub iters: u64,
+    /// Simulation events per wall-clock second, for benches registered
+    /// through [`Runner::bench_events`].
+    pub events_per_sec: Option<f64>,
+}
+
+/// A free-form scalar recorded next to the benchmark results (e.g. a
+/// parallel-sweep speedup factor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRecord {
+    /// Metric name.
+    pub name: String,
+    /// Value.
+    pub value: f64,
+    /// Unit label (e.g. `"x"`, `"events/sec"`).
+    pub unit: String,
+}
 
 /// Runs and reports micro-benchmarks; see the module docs.
 #[derive(Debug)]
 pub struct Runner {
     filter: Option<String>,
     budget: Duration,
-    ran: usize,
+    json: Option<PathBuf>,
+    records: Vec<BenchRecord>,
+    metrics: Vec<MetricRecord>,
 }
 
 impl Runner {
@@ -32,18 +93,34 @@ impl Runner {
     pub fn from_env() -> Runner {
         let mut filter = None;
         let mut budget = Duration::from_millis(50);
-        for arg in std::env::args().skip(1) {
+        let mut json = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--full" => budget = Duration::from_millis(500),
-                // Flags injected by cargo/libtest; not for us.
-                s if s.starts_with('-') => {}
+                "--json" => match args.next() {
+                    Some(path) => json = Some(PathBuf::from(path)),
+                    None => eprintln!("warning: --json requires a path argument; ignored"),
+                },
+                s if IGNORED_FLAGS.contains(&s) => {}
+                s if s.starts_with('-') => {
+                    eprintln!("warning: unrecognized flag `{s}` ignored (try --full, --json <path>, or a name filter)");
+                }
                 s => filter = Some(s.to_string()),
             }
         }
+        Runner::new(filter, budget, json)
+    }
+
+    /// Builds a runner with explicit settings (used by tests; `from_env`
+    /// is the production entry point).
+    fn new(filter: Option<String>, budget: Duration, json: Option<PathBuf>) -> Runner {
         Runner {
             filter,
             budget,
-            ran: 0,
+            json,
+            records: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -51,6 +128,20 @@ impl Runner {
     /// prints the per-iteration cost. Skipped (silently) when a filter
     /// is set and `name` does not contain it.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        self.run_timed(name, move || {
+            black_box(f());
+            None
+        });
+    }
+
+    /// Like [`Runner::bench`], for benchmarks whose closure returns the
+    /// number of simulation events it processed: the record additionally
+    /// carries events per wall-clock second.
+    pub fn bench_events(&mut self, name: &str, mut f: impl FnMut() -> u64) {
+        self.run_timed(name, move || Some(black_box(f())));
+    }
+
+    fn run_timed(&mut self, name: &str, mut f: impl FnMut() -> Option<u64>) {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return;
@@ -58,35 +149,131 @@ impl Runner {
         }
         // One untimed call to warm caches and estimate the cost.
         let start = Instant::now();
-        black_box(f());
+        let events = f();
         let once = start.elapsed().max(Duration::from_nanos(1));
         let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(f());
+        let per_batch = (iters / BATCHES).max(1);
+        let mut best = u64::MAX;
+        let mut total_iters = 0u64;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let batch_ns = start.elapsed().as_nanos() as u64 / per_batch;
+            best = best.min(batch_ns.max(1));
+            total_iters += per_batch;
+            if total_iters >= iters {
+                break;
+            }
         }
-        let per_iter = start.elapsed().as_nanos() as u64 / iters;
-        println!("{name:<55} {per_iter:>12} ns/iter  ({iters} iters)");
-        self.ran += 1;
+        let events_per_sec = events.map(|ev| ev as f64 * 1_000_000_000.0 / best as f64);
+        println!("{name:<55} {best:>12} ns/iter  ({total_iters} iters)");
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            ns_per_iter: best,
+            iters: total_iters,
+            events_per_sec,
+        });
+    }
+
+    /// Records a free-form scalar (e.g. a measured speedup) to include
+    /// in the JSON output, and prints it.
+    pub fn metric(&mut self, name: &str, value: f64, unit: &str) {
+        println!("{name:<55} {value:>12.3} {unit}");
+        self.metrics.push(MetricRecord {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
     }
 
     /// How many benchmarks actually ran (post-filter).
     pub fn benches_run(&self) -> usize {
-        self.ran
+        self.records.len()
     }
+
+    /// Completed measurements so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes the JSON report if `--json <path>` was given. Call once at
+    /// the end of the bench main.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench invoked for its
+    /// machine-readable output must not silently produce none.
+    pub fn finish(&self) {
+        let Some(path) = &self.json else { return };
+        let json = render_json(&self.records, &self.metrics);
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| panic!("cannot write bench JSON to {}: {e}", path.display()));
+        eprintln!("wrote {} ({} benches)", path.display(), self.records.len());
+    }
+}
+
+/// Escapes a string for a JSON literal (names here are ASCII, but stay
+/// correct for anything).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(records: &[BenchRecord], metrics: &[MetricRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"dctcp-bench/v1\",\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let events = match r.events_per_sec {
+            Some(e) => format!("{e:.1}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}, \"events_per_sec\": {}}}{}\n",
+            escape(&r.name),
+            r.ns_per_iter,
+            r.iters,
+            events,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {:.6}, \"unit\": \"{}\"}}{}\n",
+            escape(&m.name),
+            m.value,
+            escape(&m.unit),
+            if i + 1 < metrics.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn test_runner(filter: Option<&str>) -> Runner {
+        Runner::new(
+            filter.map(|s| s.to_string()),
+            Duration::from_micros(100),
+            None,
+        )
+    }
+
     #[test]
     fn bench_runs_and_counts() {
-        let mut r = Runner {
-            filter: None,
-            budget: Duration::from_micros(100),
-            ran: 0,
-        };
+        let mut r = test_runner(None);
         let mut calls = 0u32;
         r.bench("t/one", || {
             calls += 1;
@@ -94,18 +281,85 @@ mod tests {
         });
         assert!(calls >= 2, "warmup + at least one timed iter");
         assert_eq!(r.benches_run(), 1);
+        let rec = &r.records()[0];
+        assert_eq!(rec.name, "t/one");
+        assert!(rec.ns_per_iter > 0);
+        assert!(rec.iters >= 1);
+        assert_eq!(rec.events_per_sec, None);
     }
 
     #[test]
     fn filter_skips_non_matching() {
-        let mut r = Runner {
-            filter: Some("match".into()),
-            budget: Duration::from_micros(100),
-            ran: 0,
-        };
+        let mut r = test_runner(Some("match"));
         r.bench("other/name", || 0);
         assert_eq!(r.benches_run(), 0);
         r.bench("a/match/b", || 0);
         assert_eq!(r.benches_run(), 1);
+    }
+
+    #[test]
+    fn bench_events_computes_throughput() {
+        let mut r = test_runner(None);
+        r.bench_events("t/events", || 1000);
+        let rec = &r.records()[0];
+        let eps = rec.events_per_sec.expect("events bench records rate");
+        let expect = 1000.0 * 1e9 / rec.ns_per_iter as f64;
+        assert!((eps - expect).abs() < 1e-6, "{eps} vs {expect}");
+        assert!(eps > 0.0);
+    }
+
+    #[test]
+    fn metrics_are_recorded() {
+        let mut r = test_runner(None);
+        r.metric("sweep/speedup", 3.7, "x");
+        assert_eq!(r.metrics.len(), 1);
+        assert_eq!(r.metrics[0].value, 3.7);
+    }
+
+    #[test]
+    fn json_escapes_and_renders_schema() {
+        let records = vec![
+            BenchRecord {
+                name: "a\"b".into(),
+                ns_per_iter: 42,
+                iters: 7,
+                events_per_sec: Some(123.45),
+            },
+            BenchRecord {
+                name: "plain".into(),
+                ns_per_iter: 1,
+                iters: 1,
+                events_per_sec: None,
+            },
+        ];
+        let metrics = vec![MetricRecord {
+            name: "m".into(),
+            value: 2.0,
+            unit: "x".into(),
+        }];
+        let json = render_json(&records, &metrics);
+        assert!(json.contains("\"schema\": \"dctcp-bench/v1\""));
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("\"ns_per_iter\": 42"));
+        assert!(json.contains("\"events_per_sec\": null"));
+        assert!(json.contains("\"events_per_sec\": 123.5"));
+        assert!(json.contains("\"unit\": \"x\""));
+        // Commas separate records but do not trail.
+        assert!(!json.contains("}},\n  ]"));
+    }
+
+    #[test]
+    fn finish_writes_json_file() {
+        let path = std::env::temp_dir().join("dctcp_bench_harness_test.json");
+        let _ = std::fs::remove_file(&path);
+        let mut r = Runner::new(None, Duration::from_micros(100), Some(path.clone()));
+        r.bench_events("t/x", || 10);
+        r.metric("t/m", 1.5, "x");
+        r.finish();
+        let body = std::fs::read_to_string(&path).expect("json written");
+        assert!(body.contains("dctcp-bench/v1"));
+        assert!(body.contains("\"t/x\""));
+        assert!(body.contains("\"t/m\""));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,202 @@
+//! Dependency-free parallel fan-out for independent simulation runs.
+//!
+//! Parameter sweeps and multi-seed replays run many *independent*
+//! simulations — each fully deterministic on its own inputs — so they
+//! parallelize trivially: fan the (seed, N, scheme) points across
+//! threads and reassemble results **by input index**. Because each run
+//! shares no state with any other and results come back in input order,
+//! the output is bit-identical to the serial driver no matter how the
+//! scheduler interleaves the workers.
+//!
+//! The pool is built on [`std::thread::scope`] only (the workspace is
+//! hermetic: no rayon/crossbeam), with a single atomic work counter for
+//! load balancing.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = dctcp_parallel::par_map(vec![1u64, 2, 3, 4], 2, |_idx, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the `DCTCP_JOBS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if unknown).
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var("DCTCP_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `threads` worker threads and
+/// returns the results **in input order** — element `i` of the output is
+/// always `f(i, items[i])`, so a fan-out over deterministic jobs is
+/// bit-identical to running them serially.
+///
+/// `f` receives the item's input index alongside the item. With
+/// `threads <= 1` (or a single item) everything runs inline on the
+/// caller's thread with no pool at all — the serial and parallel drivers
+/// are literally the same code path fed the same inputs.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads have stopped
+/// (via [`std::thread::scope`] joining).
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let workers = threads.min(n);
+    // Hand each worker items by index through per-slot locks: the shared
+    // counter balances load, the slot index — not completion order —
+    // decides where a result lands.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("item claimed twice");
+                    let out = f(i, item);
+                    *outputs[i].lock().expect("output slot poisoned") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker panic resurfaces with its original
+        // payload instead of scope's generic message.
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("output slot poisoned")
+                .unwrap_or_else(|| panic!("worker produced no result for item {i}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_input_ordered() {
+        // Jobs finish out of order (larger inputs sleep longer when run
+        // concurrently); results must still land by input index.
+        let items: Vec<u64> = (0..64).rev().collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        let got = par_map(items, 8, |_i, x| {
+            std::thread::sleep(std::time::Duration::from_micros(x * 10));
+            x * 3
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let got = par_map(vec![10u64, 20, 30], 3, |i, x| (i, x));
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let job = |_i: usize, seed: u64| {
+            // A deterministic pseudo-sim: results depend only on input.
+            let mut h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..1000 {
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            }
+            h
+        };
+        let seeds: Vec<u64> = (1..=40).collect();
+        let serial = par_map(seeds.clone(), 1, job);
+        for threads in [2, 4, 7] {
+            assert_eq!(par_map(seeds.clone(), threads, job), serial);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = par_map((0..100u64).collect(), 4, |_i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(empty, 4, |_i, x: u64| x).is_empty());
+        assert_eq!(par_map(vec![5u64], 4, |_i, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(par_map(vec![1u64, 2], 64, |_i, x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn non_copy_items_move_through() {
+        let items = vec![String::from("a"), String::from("bb")];
+        let got = par_map(items, 2, |_i, s| s.len());
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        par_map(vec![1u64, 2, 3], 2, |_i, x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

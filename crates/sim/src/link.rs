@@ -35,6 +35,11 @@ pub(crate) struct LinkEnd {
     pub(crate) window_start: SimTime,
     /// Bytes put on the wire since the last stats reset.
     pub(crate) bytes_sent: u64,
+    /// Memo of the last serialization-time computation (wire bytes →
+    /// duration). Traffic repeats a handful of packet sizes, so this
+    /// one-entry cache removes the division from almost every
+    /// transmission start.
+    pub(crate) last_tx: (u64, SimDuration),
 }
 
 /// A full-duplex link between two nodes with independent per-direction
@@ -66,6 +71,7 @@ impl Link {
                     busy_time: SimDuration::ZERO,
                     window_start: SimTime::ZERO,
                     bytes_sent: 0,
+                    last_tx: (0, SimDuration::ZERO),
                 },
                 LinkEnd {
                     node: b,
@@ -74,6 +80,7 @@ impl Link {
                     busy_time: SimDuration::ZERO,
                     window_start: SimTime::ZERO,
                     bytes_sent: 0,
+                    last_tx: (0, SimDuration::ZERO),
                 },
             ],
             up: true,

@@ -326,12 +326,16 @@ pub enum Offer {
 /// paper's `K = 40 packets` refers to.
 #[derive(Debug)]
 pub struct OutputQueue {
-    fifo: VecDeque<Packet>,
-    /// Enqueue instants, parallel to `fifo` (for sojourn-based AQM).
-    enq_times: VecDeque<SimTime>,
+    /// Queued packets with their enqueue instants (for sojourn-based
+    /// AQM), kept in one buffer so hot-path pushes and pops touch a
+    /// single allocation.
+    fifo: VecDeque<(Packet, SimTime)>,
     len_bytes: u64,
     capacity: Capacity,
     policy: Box<dyn MarkingPolicy>,
+    /// True for [`MarkingScheme::DropTail`], whose policy is a stateless
+    /// accept-all: the hot path skips the virtual policy calls entirely.
+    policy_is_droptail: bool,
     counters: QueueCounters,
     tw_pkts: TimeWeighted,
     tw_bytes: TimeWeighted,
@@ -363,12 +367,21 @@ impl OutputQueue {
             Some(p) => Some(Codel::new(p)?),
             None => None,
         };
+        // Pre-size the buffer to the configured limit (or a generous
+        // default for unbounded host queues) so steady-state traffic
+        // never reallocates mid-run.
+        let presize = match config.capacity {
+            Capacity::Packets(n) => n as usize + 1,
+            // Worst case is minimum-size (header-only) packets.
+            Capacity::Bytes(b) => (b / 40 + 1).min(4096) as usize,
+            Capacity::Unbounded => 256,
+        };
         Ok(OutputQueue {
-            fifo: VecDeque::new(),
-            enq_times: VecDeque::new(),
+            fifo: VecDeque::with_capacity(presize),
             len_bytes: 0,
             capacity: config.capacity,
             policy: config.scheme.build()?,
+            policy_is_droptail: config.scheme == MarkingScheme::DropTail,
             counters: QueueCounters::default(),
             tw_pkts: TimeWeighted::new(0.0),
             tw_bytes: TimeWeighted::new(0.0),
@@ -407,8 +420,12 @@ impl OutputQueue {
             self.counters.dropped_random += 1;
             return Offer::DroppedRandom;
         }
-        let before = QueueSnapshot::new(self.len_bytes, self.len_pkts());
-        let decision = self.policy.on_enqueue(&before);
+        let decision = if self.policy_is_droptail {
+            EnqueueDecision::accept()
+        } else {
+            let before = QueueSnapshot::new(self.len_bytes, self.len_pkts());
+            self.policy.on_enqueue(&before)
+        };
         match decision {
             EnqueueDecision::Drop => {
                 self.counters.dropped_aqm += 1;
@@ -427,8 +444,7 @@ impl OutputQueue {
                     self.counters.marked += 1;
                 }
                 self.len_bytes += pkt.wire_bytes() as u64;
-                self.fifo.push_back(pkt);
-                self.enq_times.push_back(now);
+                self.fifo.push_back((pkt, now));
                 self.counters.enqueued += 1;
                 self.maybe_displace();
                 self.record_occupancy(now);
@@ -443,14 +459,16 @@ impl OutputQueue {
     /// dropped here and the next survivor returned.
     pub fn pop(&mut self, now: SimTime) -> Option<Packet> {
         loop {
-            let mut pkt = self.fifo.pop_front()?;
-            let enq = self.enq_times.pop_front().unwrap_or(now);
+            let (mut pkt, enq) = self.fifo.pop_front()?;
             self.len_bytes -= pkt.wire_bytes() as u64;
             self.counters.dequeued += 1;
-            let after = QueueSnapshot::new(self.len_bytes, self.len_pkts());
-            self.policy.on_dequeue(&after);
+            if !self.policy_is_droptail {
+                let after = QueueSnapshot::new(self.len_bytes, self.len_pkts());
+                self.policy.on_dequeue(&after);
+            }
             self.record_occupancy(now);
 
+            let after = QueueSnapshot::new(self.len_bytes, self.len_pkts());
             if let (Some(codel), Some(params)) = (self.codel.as_mut(), self.codel_params) {
                 let sojourn = now.saturating_duration_since(enq).as_nanos();
                 if codel.on_dequeue_sojourn(now.as_nanos(), sojourn, &after) {
@@ -501,9 +519,9 @@ impl OutputQueue {
 
     /// Current sojourn time of the head packet, if any (diagnostics).
     pub fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
-        self.enq_times
+        self.fifo
             .front()
-            .map(|&t| now.saturating_duration_since(t))
+            .map(|&(_, t)| now.saturating_duration_since(t))
     }
 
     /// Snapshot of counters and occupancy statistics as of `now`.
@@ -562,12 +580,10 @@ impl OutputQueue {
         let jump = 1 + (self.reorder_rng.next_u64() as usize) % max_jump;
         let from = self.fifo.len() - 1;
         let to = from - jump;
-        // Move the packet and its enqueue instant together so sojourn
+        // The packet and its enqueue instant move together, so sojourn
         // accounting stays attached to the right packet.
-        let pkt = self.fifo.remove(from).expect("tail exists");
-        self.fifo.insert(to, pkt);
-        let enq = self.enq_times.remove(from).expect("tail exists");
-        self.enq_times.insert(to, enq);
+        let entry = self.fifo.remove(from).expect("tail exists");
+        self.fifo.insert(to, entry);
     }
 
     fn record_occupancy(&mut self, now: SimTime) {

@@ -1,14 +1,11 @@
 //! The discrete-event simulation engine.
 
-use std::collections::HashSet;
-
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::node::{Action, Node};
 use crate::queue::Offer;
 use crate::{
     Agent, Context, LinkId, Network, NodeId, Packet, QueueReport, SimDuration, SimError, SimTime,
-    TimerToken,
 };
 
 /// Default number of events allowed at a single instant before
@@ -41,7 +38,6 @@ pub struct Simulator {
     nodes: Vec<Node>,
     links: Vec<crate::link::Link>,
     routes: Vec<Vec<Option<(LinkId, usize)>>>,
-    cancelled: HashSet<TimerToken>,
     next_timer: u64,
     actions: Vec<Action>,
     started: bool,
@@ -62,7 +58,6 @@ impl Simulator {
             nodes: network.nodes,
             links: network.links,
             routes: network.routes,
-            cancelled: HashSet::new(),
             next_timer: 0,
             actions: Vec::new(),
             started: false,
@@ -80,6 +75,13 @@ impl Simulator {
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Number of events currently pending in the queue, O(1). Cancelled
+    /// timers still count until their deadline passes and they are
+    /// reaped.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
     }
 
     /// Advances the simulation to time `until`, dispatching every event
@@ -108,11 +110,7 @@ impl Simulator {
         let mut dispatched_this_run: u64 = 0;
         let mut at_this_instant: u64 = 0;
         let mut last_instant = self.now;
-        while let Some(at) = self.events.peek_time() {
-            if at > until {
-                break;
-            }
-            let (at, kind) = self.events.pop().expect("peeked event exists");
+        while let Some((at, kind)) = self.events.pop_before(until) {
             debug_assert!(at >= self.now, "event in the past");
             if at > last_instant {
                 last_instant = at;
@@ -375,9 +373,8 @@ impl Simulator {
                 }
             }
             EventKind::Timer { node, token } => {
-                if self.cancelled.remove(&token) {
-                    return;
-                }
+                // Cancelled timers are reaped inside the event queue and
+                // never reach this arm.
                 self.with_agent(node, |agent, ctx| agent.on_timer(token, ctx));
             }
             EventKind::Fault { link, action } => self.apply_fault(link, action),
@@ -435,7 +432,7 @@ impl Simulator {
                     self.events.schedule(at, EventKind::Timer { node, token });
                 }
                 Action::CancelTimer(token) => {
-                    self.cancelled.insert(token);
+                    self.events.cancel_timer(token);
                 }
             }
         }
@@ -468,7 +465,14 @@ impl Simulator {
             return;
         };
         l.ends[end].busy = true;
-        let tx = SimDuration::transmission(pkt.wire_bytes() as u64, l.spec.rate_bps);
+        let wire = pkt.wire_bytes() as u64;
+        let tx = if l.ends[end].last_tx.0 == wire {
+            l.ends[end].last_tx.1
+        } else {
+            let d = SimDuration::transmission(wire, l.spec.rate_bps);
+            l.ends[end].last_tx = (wire, d);
+            d
+        };
         l.ends[end].busy_time += tx;
         l.ends[end].bytes_sent += pkt.wire_bytes() as u64;
         let other = l.ends[1 - end].node;
@@ -487,7 +491,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LinkSpec, QueueConfig, TopologyBuilder};
+    use crate::{LinkSpec, QueueConfig, TimerToken, TopologyBuilder};
     use std::any::Any;
 
     /// Sends `count` back-to-back packets to `peer` at start; records
@@ -670,6 +674,36 @@ mod tests {
         sim.run_for(SimDuration::from_millis(1)).unwrap();
         let a: &TimerAgent = sim.agent(h1).unwrap();
         assert_eq!(a.fired, vec![10_000, 30_000]);
+    }
+
+    #[test]
+    fn event_count_tracks_pending_events() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(TimerAgent {
+                fired: Vec::new(),
+                cancel_me: TimerToken::NONE,
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 1),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        assert_eq!(sim.event_count(), 0);
+        // Stop between the two surviving timers (10 us and 30 us): the
+        // later one is still pending.
+        sim.run_until(SimTime::from_nanos(20_000)).unwrap();
+        assert!(sim.event_count() > 0);
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
+        assert_eq!(sim.event_count(), 0);
+        assert!(sim.events_processed() > 0);
     }
 
     #[test]

@@ -124,6 +124,15 @@ impl SimDuration {
     /// Panics if `rate_bps` is zero.
     pub fn transmission(bytes: u64, rate_bps: u64) -> Self {
         assert!(rate_bps > 0, "link rate must be positive");
+        // Packet-sized inputs fit the numerator in 64 bits, where the
+        // division is a single machine instruction instead of a 128-bit
+        // software divide; both paths compute the same ceiling.
+        if let Some(bits_ns) = bytes
+            .checked_mul(8)
+            .and_then(|b| b.checked_mul(1_000_000_000))
+        {
+            return SimDuration(bits_ns.div_ceil(rate_bps));
+        }
         let bits = bytes as u128 * 8;
         let ns = (bits * 1_000_000_000).div_ceil(rate_bps as u128);
         SimDuration(ns as u64)

@@ -13,7 +13,10 @@ mod sweep;
 pub use fig1::{fig1, Fig1Result, Fig1Trace};
 pub use fig9::{fig9, Fig9Result, Fig9Row, FIG9_CALIBRATED_GAIN};
 pub use query::{fig14, fig15, QuerySweepResult, QuerySweepRow};
-pub use sweep::{fig10_table, fig11_table, fig12_table, queue_sweep, SweepPoint, SweepResult};
+pub use sweep::{
+    fig10_table, fig11_table, fig12_table, queue_sweep, queue_sweep_with_threads, SweepPoint,
+    SweepResult,
+};
 
 /// How much work an experiment driver performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -70,34 +70,43 @@ pub(crate) fn sweep_schemes() -> [MarkingScheme; 2] {
 /// hit the 1-MSS floor past N ≈ 40 and all schemes saturate
 /// identically; see EXPERIMENTS.md).
 pub fn queue_sweep(scale: Scale) -> SweepResult {
+    queue_sweep_with_threads(scale, dctcp_parallel::available_threads())
+}
+
+/// [`queue_sweep`] with an explicit worker-thread count. Every `(scheme,
+/// N)` point is an independent deterministic simulation and results are
+/// assembled in input order, so the output is bit-identical for any
+/// `threads` value (1 runs fully serial on the caller's thread).
+pub fn queue_sweep_with_threads(scale: Scale, threads: usize) -> SweepResult {
     let (warmup, duration) = match scale {
         Scale::Quick => (0.03, 0.08),
         Scale::Full => (0.1, 0.3),
     };
-    let mut points = Vec::new();
-    for scheme in sweep_schemes() {
-        for &n in &sweep_flows(scale) {
-            let r = LongLivedScenario::builder()
-                .flows(n)
-                .marking(scheme)
-                .rtt_us(300.0)
-                .warmup_secs(warmup)
-                .duration_secs(duration)
-                .build()
-                .expect("valid sweep scenario")
-                .run();
-            points.push(SweepPoint {
-                flows: n,
-                scheme,
-                queue_mean: r.queue.mean,
-                queue_std: r.queue.std,
-                alpha_mean: r.alpha.mean(),
-                alpha_std: r.alpha.population_std(),
-                goodput_bps: r.goodput_bps,
-                drops: r.drops,
-            });
+    let jobs: Vec<(MarkingScheme, u32)> = sweep_schemes()
+        .into_iter()
+        .flat_map(|scheme| sweep_flows(scale).into_iter().map(move |n| (scheme, n)))
+        .collect();
+    let points = dctcp_parallel::par_map(jobs, threads, |_idx, (scheme, n)| {
+        let r = LongLivedScenario::builder()
+            .flows(n)
+            .marking(scheme)
+            .rtt_us(300.0)
+            .warmup_secs(warmup)
+            .duration_secs(duration)
+            .build()
+            .expect("valid sweep scenario")
+            .run();
+        SweepPoint {
+            flows: n,
+            scheme,
+            queue_mean: r.queue.mean,
+            queue_std: r.queue.std,
+            alpha_mean: r.alpha.mean(),
+            alpha_std: r.alpha.population_std(),
+            goodput_bps: r.goodput_bps,
+            drops: r.drops,
         }
-    }
+    });
     SweepResult { points }
 }
 

@@ -45,8 +45,8 @@ pub use experiments::Scale;
 pub use star::{LongLivedInstance, LongLivedReport, LongLivedScenario, LongLivedScenarioBuilder};
 pub use table::Table;
 pub use testbed::{
-    build_testbed, run_query_rounds, QueryMode, QueryReport, QueryRound, QueryWorkload, Testbed,
-    TestbedConfig, TESTBED_WORKERS,
+    build_testbed, run_query_rounds, run_query_rounds_with_threads, QueryMode, QueryReport,
+    QueryRound, QueryWorkload, Testbed, TestbedConfig, TESTBED_WORKERS,
 };
 
 // Re-export the workspace crates the drivers build on, so example and
@@ -54,6 +54,7 @@ pub use testbed::{
 pub use dctcp_control as control;
 pub use dctcp_core as core;
 pub use dctcp_fluid as fluid;
+pub use dctcp_parallel as parallel;
 pub use dctcp_sim as sim;
 pub use dctcp_stats as stats;
 pub use dctcp_tcp as tcp;

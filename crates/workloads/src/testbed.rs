@@ -250,10 +250,29 @@ pub fn run_query_rounds(
     cfg: &TestbedConfig,
     workload: &QueryWorkload,
 ) -> Result<QueryReport, SimError> {
-    let mut rounds = Vec::with_capacity(workload.rounds as usize);
-    for round in 0..workload.rounds {
-        rounds.push(run_one_round(cfg, workload, round)?);
-    }
+    run_query_rounds_with_threads(cfg, workload, dctcp_parallel::available_threads())
+}
+
+/// [`run_query_rounds`] with an explicit worker-thread count. Rounds are
+/// independent deterministic simulations (each seeds its own RNG from
+/// `seed + round`) assembled in round order, so the report is
+/// bit-identical for any `threads` value.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the testbed cannot be built; with several
+/// failing rounds, the lowest-numbered round's error is reported, as in
+/// serial execution.
+pub fn run_query_rounds_with_threads(
+    cfg: &TestbedConfig,
+    workload: &QueryWorkload,
+    threads: usize,
+) -> Result<QueryReport, SimError> {
+    let rounds = dctcp_parallel::par_map((0..workload.rounds).collect(), threads, |_idx, round| {
+        run_one_round(cfg, workload, round)
+    })
+    .into_iter()
+    .collect::<Result<Vec<QueryRound>, SimError>>()?;
     Ok(QueryReport {
         workload: *workload,
         scheme: cfg.marking,

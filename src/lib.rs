@@ -11,6 +11,8 @@
 //! * [`control`] — describing-function stability analysis.
 //! * [`stats`] — time-weighted statistics and metrics.
 //! * [`workloads`] — scenarios and per-figure experiments.
+//! * [`parallel`] — scoped-thread fan-out with deterministic,
+//!   input-ordered results for independent simulation runs.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 pub use dctcp_control as control;
 pub use dctcp_core as core;
 pub use dctcp_fluid as fluid;
+pub use dctcp_parallel as parallel;
 pub use dctcp_sim as sim;
 pub use dctcp_stats as stats;
 pub use dctcp_tcp as tcp;
