@@ -20,6 +20,12 @@ cargo test --offline -q
 echo "==> cargo test (workspace)"
 cargo test --offline --workspace -q
 
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
+echo "==> trace-oracle smoke (traced run through the invariant oracle)"
+cargo run --offline --release --example trace_dump -- --oracle
+
 echo "==> bench smoke (engine bench -> BENCH_sim.json)"
 # cargo bench runs the binary with the package dir as cwd, so pass an
 # absolute path to land the report at the repo root.

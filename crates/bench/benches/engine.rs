@@ -173,15 +173,46 @@ fn measure_parallel_sweep(r: &mut Runner) {
     r.metric("sweep/multi_seed/speedup", speedup, "x");
 }
 
+/// Reads the ns/iter a previous run committed for `bench` from the JSON
+/// report at the `--json` path — it must be read before
+/// [`Runner::finish`] overwrites the file with this run's numbers.
+fn committed_ns_per_iter(bench: &str) -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            path = args.next();
+        }
+    }
+    let body = std::fs::read_to_string(path?).ok()?;
+    let needle = format!("\"name\": \"{bench}\", \"ns_per_iter\": ");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    rest[..rest.find([',', '}'])?].trim().parse().ok()
+}
+
+const FORWARD_BENCH: &str = "engine/forward/10k_packets_one_switch";
+
 fn main() {
     let mut r = Runner::from_env();
     const PKTS: u32 = 10_000;
-    r.bench_events("engine/forward/10k_packets_one_switch", || {
+    // Tracing stays disabled here: this bench doubles as the guard that
+    // the trace instrumentation costs nothing when off (one branch per
+    // hook). `trace_overhead` below compares against the committed
+    // baseline; bench_check fails CI when it exceeds 1.02.
+    r.bench_events(FORWARD_BENCH, || {
         let mut sim = build(PKTS);
         sim.run_for(SimDuration::from_millis(100)).unwrap();
         assert!(sim.events_processed() > 3 * PKTS as u64);
         sim.events_processed()
     });
+    let measured = r
+        .records()
+        .iter()
+        .find(|rec| rec.name == FORWARD_BENCH)
+        .map(|rec| rec.ns_per_iter as f64);
+    if let (Some(baseline), Some(measured)) = (committed_ns_per_iter(FORWARD_BENCH), measured) {
+        r.metric("engine/forward/trace_overhead", measured / baseline, "x");
+    }
     const FIRES: u32 = 20_000;
     r.bench_events("engine/timers/churn_set_cancel_20k", || {
         let mut sim = build_timer_churn(FIRES);

@@ -28,6 +28,18 @@ fn field_values(body: &str, key: &str) -> Vec<Option<f64>> {
     out
 }
 
+/// Ceiling on `engine/forward/trace_overhead`: the forwarding hot path
+/// with tracing compiled in but disabled may cost at most 2% over the
+/// committed pre-run baseline.
+const TRACE_OVERHEAD_LIMIT: f64 = 1.02;
+
+/// Extracts a named metric's value from the report, if present.
+fn metric_value(body: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\", \"value\": ");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    rest[..rest.find([',', '}'])?].trim().parse().ok()
+}
+
 fn check(body: &str) -> Result<String, String> {
     if !body.contains("\"schema\": \"dctcp-bench/v1\"") {
         return Err("missing or wrong schema tag (want dctcp-bench/v1)".into());
@@ -53,10 +65,27 @@ fn check(body: &str) -> Result<String, String> {
     if !events.iter().any(|&e| e > 0.0) {
         return Err("no bench reports a positive events_per_sec".into());
     }
+    // The overhead metric is only emitted when the bench found a
+    // committed baseline to compare against; absent is fine (first run),
+    // present-but-over-limit is a regression.
+    let mut overhead_note = String::new();
+    if let Some(ratio) = metric_value(body, "engine/forward/trace_overhead") {
+        if ratio.is_nan() || ratio <= 0.0 {
+            return Err(format!("trace_overhead {ratio} is not a positive ratio"));
+        }
+        if ratio > TRACE_OVERHEAD_LIMIT {
+            return Err(format!(
+                "disabled-tracing overhead {ratio:.4}x exceeds the {TRACE_OVERHEAD_LIMIT}x \
+                 ceiling on engine/forward"
+            ));
+        }
+        overhead_note = format!(", trace_overhead {ratio:.3}x");
+    }
     Ok(format!(
-        "{} benches ok, peak {:.0} events/sec",
+        "{} benches ok, peak {:.0} events/sec{}",
         ns.len(),
-        events.iter().cloned().fold(0.0, f64::max)
+        events.iter().cloned().fold(0.0, f64::max),
+        overhead_note
     ))
 }
 
@@ -126,5 +155,38 @@ mod tests {
     fn rejects_all_null_event_rates() {
         let bad = GOOD.replace("12000000.0", "null");
         assert!(check(&bad).unwrap_err().contains("events_per_sec"));
+    }
+
+    fn with_overhead(ratio: &str) -> String {
+        GOOD.replace(
+            r#"{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}"#,
+            &format!(
+                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}},
+    {{"name": "engine/forward/trace_overhead", "value": {ratio}, "unit": "x"}}"#
+            ),
+        )
+    }
+
+    #[test]
+    fn accepts_trace_overhead_within_limit() {
+        let msg = check(&with_overhead("1.015000")).unwrap();
+        assert!(msg.contains("trace_overhead 1.015x"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_trace_overhead_above_limit() {
+        let err = check(&with_overhead("1.031000")).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_positive_trace_overhead() {
+        assert!(check(&with_overhead("0.000000")).is_err());
+    }
+
+    #[test]
+    fn missing_trace_overhead_is_not_an_error() {
+        let msg = check(GOOD).unwrap();
+        assert!(!msg.contains("trace_overhead"));
     }
 }

@@ -163,7 +163,7 @@ impl MarkingScheme {
     /// # Errors
     ///
     /// Returns [`ParamError`] if the parameters are invalid (e.g.
-    /// `K1 >= K2`).
+    /// `K1 > K2`).
     pub fn build(&self) -> Result<Box<dyn MarkingPolicy>, ParamError> {
         Ok(match *self {
             MarkingScheme::DropTail => Box::new(DropTail::new()),

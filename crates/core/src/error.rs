@@ -10,7 +10,7 @@ use std::fmt;
 /// ```
 /// use dctcp_core::{DoubleThreshold, QueueLevel};
 ///
-/// // K1 must be strictly below K2.
+/// // K1 must not exceed K2.
 /// let err = DoubleThreshold::new(QueueLevel::Packets(50), QueueLevel::Packets(30));
 /// assert!(err.is_err());
 /// ```

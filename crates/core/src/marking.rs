@@ -191,7 +191,9 @@ impl MarkingPolicy for SingleThreshold {
 ///
 /// The paper's parameter text for the testbed lists `K1 = 34KB, K2 = 28KB`,
 /// contradicting its own definition `K1 < K2`; constructors here enforce
-/// `K1 < K2` (see DESIGN.md).
+/// `K1 <= K2` (see DESIGN.md). The degenerate `K1 == K2` case collapses
+/// the hysteresis band to zero width and reproduces single-threshold
+/// DCTCP exactly, which makes `K1 == K2 == K` a useful ablation anchor.
 ///
 /// # Examples
 ///
@@ -223,16 +225,17 @@ impl DoubleThreshold {
     /// # Errors
     ///
     /// Returns [`ParamError`] if the thresholds use different units or if
-    /// `k1 >= k2`.
+    /// `k1 > k2` (`k1 == k2` is legal and degenerates to single-threshold
+    /// DCTCP).
     pub fn new(k1: QueueLevel, k2: QueueLevel) -> Result<Self, ParamError> {
         if !k1.same_unit(&k2) {
             return Err(ParamError::new(format!(
                 "thresholds must share a unit, got {k1} and {k2}"
             )));
         }
-        if k1.raw() >= k2.raw() {
+        if k1.raw() > k2.raw() {
             return Err(ParamError::new(format!(
-                "K1 must be strictly below K2, got K1 = {k1}, K2 = {k2}"
+                "K1 must not exceed K2, got K1 = {k1}, K2 = {k2}"
             )));
         }
         Ok(Self {
@@ -572,9 +575,11 @@ mod tests {
     #[test]
     fn double_threshold_rejects_bad_params() {
         assert!(DoubleThreshold::new(QueueLevel::Packets(50), QueueLevel::Packets(30)).is_err());
-        assert!(DoubleThreshold::new(QueueLevel::Packets(40), QueueLevel::Packets(40)).is_err());
         assert!(DoubleThreshold::new(QueueLevel::Packets(30), QueueLevel::Bytes(50)).is_err());
         assert!(DoubleThreshold::new(QueueLevel::Packets(30), QueueLevel::Packets(50)).is_ok());
+        // K1 == K2 is the degenerate zero-width band: legal, and exactly
+        // single-threshold DCTCP (covered below).
+        assert!(DoubleThreshold::new(QueueLevel::Packets(40), QueueLevel::Packets(40)).is_ok());
     }
 
     fn dt(k1: u32, k2: u32) -> DoubleThreshold {
@@ -669,6 +674,105 @@ mod tests {
                 fresh.on_enqueue(&pk(n)).is_marked(),
                 "divergence at n={n}"
             );
+        }
+    }
+
+    #[test]
+    fn hysteresis_boundary_equality_at_k1_and_k2() {
+        // Exactly-at-threshold events, both directions.
+        let mut p = dt(30, 50);
+        // Arrival with occupancy exactly K1 - 1: below, unmarked.
+        assert!(!p.on_enqueue(&pk(29)).is_marked());
+        // Exactly K1: the upward crossing arms and marks.
+        assert!(p.on_enqueue(&pk(30)).is_marked());
+        // Climb to exactly K2: still armed.
+        assert!(p.on_enqueue(&pk(50)).is_marked());
+        // Dequeue leaving exactly K2: NOT a downward crossing (m < k2 is
+        // strict), stays armed.
+        p.on_dequeue(&pk(50));
+        assert!(p.is_armed());
+        // Dequeue to K2 - 1: crossing, disarms.
+        p.on_dequeue(&pk(49));
+        assert!(!p.is_armed());
+        // Re-arm via the K2 safety net at exactly K2.
+        assert!(p.on_enqueue(&pk(50)).is_marked());
+        // Drain to exactly K1: m < k1 is strict, so K1 itself keeps the
+        // falling-phase state (disarmed happens only below K1)...
+        p.on_dequeue(&pk(49)); // crossing K2 downward disarms first
+        assert!(!p.is_armed());
+        let mut q = dt(30, 50);
+        for n in 0..=35 {
+            q.on_enqueue(&pk(n));
+        }
+        assert!(q.is_armed());
+        q.on_dequeue(&pk(30));
+        assert!(q.is_armed(), "exactly K1 after a dequeue must stay armed");
+        q.on_dequeue(&pk(29));
+        assert!(!q.is_armed(), "below K1 must disarm");
+    }
+
+    #[test]
+    fn degenerate_equal_thresholds_match_single_threshold_dctcp() {
+        // K1 == K2 == K must reproduce the relay exactly on any feasible
+        // queue trajectory (depth moves by one per event).
+        let k = 40;
+        let mut dtp = dt(k, k);
+        let mut st = SingleThreshold::new(QueueLevel::Packets(k));
+        // Deterministic LCG-driven walk: enqueue/dequeue chosen from the
+        // state, depth clamped at zero.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut depth: u32 = 0;
+        for step in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let up = depth == 0 || !(state >> 33).is_multiple_of(3);
+            if up {
+                let a = dtp.on_enqueue(&pk(depth)).is_marked();
+                let b = st.on_enqueue(&pk(depth)).is_marked();
+                assert_eq!(a, b, "divergence at step {step}, depth {depth}");
+                depth += 1;
+            } else {
+                depth -= 1;
+                dtp.on_dequeue(&pk(depth));
+                st.on_dequeue(&pk(depth));
+            }
+        }
+    }
+
+    #[test]
+    fn hysteresis_has_no_chatter_inside_the_band() {
+        // Once the falling K2 crossing disarms the policy, oscillating
+        // anywhere inside (K1, K2) must never re-arm it: the whole point
+        // of the band is one decision per excursion, not relay chatter.
+        let mut p = dt(30, 50);
+        for n in 0..=55 {
+            p.on_enqueue(&pk(n));
+        }
+        for n in (45..55).rev() {
+            p.on_dequeue(&pk(n));
+        }
+        assert!(!p.is_armed());
+        let mut state = 0x0bad_5eedu64;
+        let mut depth = 45u32;
+        for step in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Random walk confined strictly inside the band (31..=49).
+            let up = depth <= 31 || (depth < 49 && (state >> 33).is_multiple_of(2));
+            if up {
+                let d = p.on_enqueue(&pk(depth));
+                assert!(
+                    !d.is_marked(),
+                    "chatter: re-marked inside the band at step {step}, depth {depth}"
+                );
+                depth += 1;
+            } else {
+                depth -= 1;
+                p.on_dequeue(&pk(depth));
+            }
+            assert!(!p.is_armed(), "re-armed inside the band at step {step}");
         }
     }
 

@@ -131,7 +131,7 @@ mod tests {
     fn param_error_chains_source() {
         let inner = dctcp_core::DoubleThreshold::new(
             dctcp_core::QueueLevel::Packets(5),
-            dctcp_core::QueueLevel::Packets(5),
+            dctcp_core::QueueLevel::Packets(4),
         )
         .unwrap_err();
         let e = SimError::from(inner);

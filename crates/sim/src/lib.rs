@@ -75,3 +75,5 @@ pub use queue::{
 pub use simulator::Simulator;
 pub use time::{SimDuration, SimTime};
 pub use topology::{Network, TopologyBuilder};
+
+pub use dctcp_trace::{TraceConfig, TraceKind, TraceLog, TraceScope, Tracer};

@@ -3,6 +3,8 @@
 use std::any::Any;
 use std::fmt;
 
+use dctcp_trace::{TraceKind, TraceScope, Tracer};
+
 use crate::{NodeId, Packet, SimDuration, SimTime, TimerToken};
 
 /// Transport or application logic attached to a host.
@@ -53,6 +55,7 @@ pub struct Context<'a> {
     node: NodeId,
     actions: &'a mut Vec<Action>,
     next_timer: &'a mut u64,
+    tracer: &'a mut Tracer,
 }
 
 impl<'a> Context<'a> {
@@ -61,12 +64,14 @@ impl<'a> Context<'a> {
         node: NodeId,
         actions: &'a mut Vec<Action>,
         next_timer: &'a mut u64,
+        tracer: &'a mut Tracer,
     ) -> Self {
         Context {
             now,
             node,
             actions,
             next_timer,
+            tracer,
         }
     }
 
@@ -108,6 +113,18 @@ impl<'a> Context<'a> {
         if token != TimerToken::NONE {
             self.actions.push(Action::CancelTimer(token));
         }
+    }
+
+    /// Whether the simulator is recording events in `scope`. Lets agents
+    /// skip building trace payloads when tracing is off.
+    pub fn trace_enabled(&self, scope: TraceScope) -> bool {
+        self.tracer.scope_enabled(scope)
+    }
+
+    /// Records a trace event at the current simulation time if `scope`
+    /// is enabled; a no-op (one branch) otherwise.
+    pub fn trace(&mut self, scope: TraceScope, kind: TraceKind) {
+        self.tracer.record_with(scope, self.now.as_nanos(), || kind);
     }
 }
 
@@ -151,11 +168,13 @@ mod tests {
     fn context_queues_actions_in_order() {
         let mut actions = Vec::new();
         let mut next = 0u64;
+        let mut tracer = Tracer::disabled();
         let mut ctx = Context::new(
             SimTime::ZERO,
             NodeId::from_index(0),
             &mut actions,
             &mut next,
+            &mut tracer,
         );
         let t1 = ctx.set_timer(SimDuration::from_micros(5));
         let t2 = ctx.set_timer(SimDuration::from_micros(9));
@@ -170,11 +189,13 @@ mod tests {
     fn cancel_none_token_is_noop() {
         let mut actions = Vec::new();
         let mut next = 0u64;
+        let mut tracer = Tracer::disabled();
         let mut ctx = Context::new(
             SimTime::ZERO,
             NodeId::from_index(0),
             &mut actions,
             &mut next,
+            &mut tracer,
         );
         ctx.cancel_timer(TimerToken::NONE);
         assert!(actions.is_empty());
@@ -185,7 +206,14 @@ mod tests {
         let mut actions = Vec::new();
         let mut next = 0u64;
         let now = SimTime::from_nanos(100);
-        let mut ctx = Context::new(now, NodeId::from_index(0), &mut actions, &mut next);
+        let mut tracer = Tracer::disabled();
+        let mut ctx = Context::new(
+            now,
+            NodeId::from_index(0),
+            &mut actions,
+            &mut next,
+            &mut tracer,
+        );
         ctx.set_timer_at(SimTime::from_nanos(10));
         match &actions[0] {
             Action::SetTimer { at, .. } => assert_eq!(*at, now),

@@ -7,6 +7,7 @@ use dctcp_core::{
 };
 use dctcp_rng::SplitMix64;
 use dctcp_stats::{TimeSeries, TimeWeighted, TimeWeightedSummary};
+use dctcp_trace::{DropReason, TraceKind, TraceScope, Tracer};
 
 use crate::{Ecn, Packet, SimDuration, SimError, SimTime};
 
@@ -353,6 +354,12 @@ pub struct OutputQueue {
     bleach: bool,
     codel: Option<Codel>,
     codel_params: Option<CodelParams>,
+    /// The marking scheme this queue was built from (kept for trace
+    /// metadata — the live policy is `policy`).
+    scheme: MarkingScheme,
+    /// Stable id used in trace events (`link_index * 2 + end`), assigned
+    /// by the simulator; 0 for standalone queues.
+    trace_id: u32,
 }
 
 impl OutputQueue {
@@ -396,7 +403,28 @@ impl OutputQueue {
             bleach: false,
             codel,
             codel_params: config.scheme.codel_params(),
+            scheme: config.scheme,
+            trace_id: 0,
         })
+    }
+
+    /// The marking scheme this queue was built from.
+    pub fn scheme(&self) -> MarkingScheme {
+        self.scheme
+    }
+
+    /// The buffer limit.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The id this queue stamps on trace events.
+    pub fn trace_id(&self) -> u32 {
+        self.trace_id
+    }
+
+    pub(crate) fn set_trace_id(&mut self, id: u32) {
+        self.trace_id = id;
     }
 
     /// Current occupancy in packets (excluding the in-service packet).
@@ -415,20 +443,54 @@ impl OutputQueue {
     }
 
     /// Offers an arriving packet to the queue at time `now`.
-    pub fn offer(&mut self, now: SimTime, mut pkt: Packet) -> Offer {
+    pub fn offer(&mut self, now: SimTime, pkt: Packet) -> Offer {
+        self.offer_traced(now, pkt, &mut Tracer::disabled())
+    }
+
+    /// [`OutputQueue::offer`] with trace recording: emits a
+    /// [`TraceKind::MarkDecision`] for every policy consultation
+    /// (including packets later lost to overflow) and an
+    /// enqueue/drop event for the packet's fate.
+    pub fn offer_traced(&mut self, now: SimTime, mut pkt: Packet, tracer: &mut Tracer) -> Offer {
+        let t = now.as_nanos();
         if self.loss.is_some() && self.draw_loss() {
             self.counters.dropped_random += 1;
+            tracer.record_with(TraceScope::QUEUE, t, || TraceKind::Drop {
+                queue: self.trace_id,
+                flow: pkt.flow.0,
+                pkt_bytes: pkt.wire_bytes(),
+                reason: DropReason::Random,
+                depth_pkts: self.len_pkts(),
+                depth_bytes: self.len_bytes,
+            });
             return Offer::DroppedRandom;
         }
-        let decision = if self.policy_is_droptail {
-            EnqueueDecision::accept()
-        } else {
-            let before = QueueSnapshot::new(self.len_bytes, self.len_pkts());
+        let consulted = !self.policy_is_droptail;
+        let before = QueueSnapshot::new(self.len_bytes, self.len_pkts());
+        let decision = if consulted {
             self.policy.on_enqueue(&before)
+        } else {
+            EnqueueDecision::accept()
         };
         match decision {
             EnqueueDecision::Drop => {
                 self.counters.dropped_aqm += 1;
+                tracer.record_with(TraceScope::QUEUE, t, || TraceKind::MarkDecision {
+                    queue: self.trace_id,
+                    flow: pkt.flow.0,
+                    pre_pkts: before.len_pkts,
+                    pre_bytes: before.len_bytes,
+                    mark: false,
+                    ce_applied: false,
+                });
+                tracer.record_with(TraceScope::QUEUE, t, || TraceKind::Drop {
+                    queue: self.trace_id,
+                    flow: pkt.flow.0,
+                    pkt_bytes: pkt.wire_bytes(),
+                    reason: DropReason::AqmArrival,
+                    depth_pkts: self.len_pkts(),
+                    depth_bytes: self.len_bytes,
+                });
                 Offer::DroppedAqm
             }
             EnqueueDecision::Enqueue { mark } => {
@@ -437,17 +499,54 @@ impl OutputQueue {
                     .admits(self.len_bytes, self.len_pkts(), pkt.wire_bytes())
                 {
                     self.counters.dropped_overflow += 1;
+                    if consulted {
+                        tracer.record_with(TraceScope::QUEUE, t, || TraceKind::MarkDecision {
+                            queue: self.trace_id,
+                            flow: pkt.flow.0,
+                            pre_pkts: before.len_pkts,
+                            pre_bytes: before.len_bytes,
+                            mark,
+                            ce_applied: false,
+                        });
+                    }
+                    tracer.record_with(TraceScope::QUEUE, t, || TraceKind::Drop {
+                        queue: self.trace_id,
+                        flow: pkt.flow.0,
+                        pkt_bytes: pkt.wire_bytes(),
+                        reason: DropReason::Overflow,
+                        depth_pkts: self.len_pkts(),
+                        depth_bytes: self.len_bytes,
+                    });
                     return Offer::DroppedOverflow;
                 }
-                if mark && pkt.ecn.is_capable() {
+                let ce_applied = mark && pkt.ecn.is_capable();
+                if ce_applied {
                     pkt.ecn = Ecn::Ce;
                     self.counters.marked += 1;
                 }
+                if consulted {
+                    tracer.record_with(TraceScope::QUEUE, t, || TraceKind::MarkDecision {
+                        queue: self.trace_id,
+                        flow: pkt.flow.0,
+                        pre_pkts: before.len_pkts,
+                        pre_bytes: before.len_bytes,
+                        mark,
+                        ce_applied,
+                    });
+                }
                 self.len_bytes += pkt.wire_bytes() as u64;
+                let (flow, wire) = (pkt.flow.0, pkt.wire_bytes());
                 self.fifo.push_back((pkt, now));
                 self.counters.enqueued += 1;
                 self.maybe_displace();
                 self.record_occupancy(now);
+                tracer.record_with(TraceScope::QUEUE, t, || TraceKind::Enqueue {
+                    queue: self.trace_id,
+                    flow,
+                    pkt_bytes: wire,
+                    depth_pkts: self.len_pkts(),
+                    depth_bytes: self.len_bytes,
+                });
                 Offer::Enqueued
             }
         }
@@ -458,6 +557,14 @@ impl OutputQueue {
     /// Under CoDel drop mode, head packets the control law condemns are
     /// dropped here and the next survivor returned.
     pub fn pop(&mut self, now: SimTime) -> Option<Packet> {
+        self.pop_traced(now, &mut Tracer::disabled())
+    }
+
+    /// [`OutputQueue::pop`] with trace recording: emits a
+    /// [`TraceKind::Dequeue`] for the departing packet and a
+    /// [`TraceKind::Drop`] for every CoDel head drop along the way.
+    pub fn pop_traced(&mut self, now: SimTime, tracer: &mut Tracer) -> Option<Packet> {
+        let t = now.as_nanos();
         loop {
             let (mut pkt, enq) = self.fifo.pop_front()?;
             self.len_bytes -= pkt.wire_bytes() as u64;
@@ -480,6 +587,14 @@ impl OutputQueue {
                     } else {
                         self.counters.dropped_aqm += 1;
                         self.counters.dequeued -= 1; // it never reached the wire
+                        tracer.record_with(TraceScope::QUEUE, t, || TraceKind::Drop {
+                            queue: self.trace_id,
+                            flow: pkt.flow.0,
+                            pkt_bytes: pkt.wire_bytes(),
+                            reason: DropReason::AqmHead,
+                            depth_pkts: self.len_pkts(),
+                            depth_bytes: self.len_bytes,
+                        });
                         continue;
                     }
                 }
@@ -488,6 +603,14 @@ impl OutputQueue {
                 pkt.ecn = Ecn::Ect;
                 self.counters.bleached += 1;
             }
+            tracer.record_with(TraceScope::QUEUE, t, || TraceKind::Dequeue {
+                queue: self.trace_id,
+                flow: pkt.flow.0,
+                pkt_bytes: pkt.wire_bytes(),
+                ce: pkt.ecn.is_ce(),
+                depth_pkts: self.len_pkts(),
+                depth_bytes: self.len_bytes,
+            });
             return Some(pkt);
         }
     }
@@ -582,7 +705,9 @@ impl OutputQueue {
         let to = from - jump;
         // The packet and its enqueue instant move together, so sojourn
         // accounting stays attached to the right packet.
-        let entry = self.fifo.remove(from).expect("tail exists");
+        let Some(entry) = self.fifo.remove(from) else {
+            return;
+        };
         self.fifo.insert(to, entry);
     }
 

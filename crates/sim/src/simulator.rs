@@ -1,9 +1,12 @@
 //! The discrete-event simulation engine.
 
+use dctcp_core::{MarkingScheme, QueueLevel};
+use dctcp_trace::{FaultKind, MarkThreshold, TraceConfig, TraceKind, TraceLog, TraceScope, Tracer};
+
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::node::{Action, Node};
-use crate::queue::Offer;
+use crate::queue::{Capacity, Offer};
 use crate::{
     Agent, Context, LinkId, Network, NodeId, Packet, QueueReport, SimDuration, SimError, SimTime,
 };
@@ -46,6 +49,9 @@ pub struct Simulator {
     livelock_threshold: u64,
     /// Optional cap on events dispatched per `run_until` call.
     event_budget: Option<u64>,
+    /// Event recorder; disabled (one branch per record point) unless
+    /// [`Simulator::enable_trace`] was called.
+    tracer: Tracer,
 }
 
 impl Simulator {
@@ -64,7 +70,50 @@ impl Simulator {
             events_processed: 0,
             livelock_threshold: DEFAULT_LIVELOCK_THRESHOLD,
             event_budget: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Turns on event tracing. Every queue gets a stable trace id
+    /// (`link_index * 2 + end`) and a [`TraceKind::QueueInfo`] event
+    /// describing its capacity and marking threshold, so the oracle in
+    /// [`dctcp_trace::oracle`] can check conservation and marking laws.
+    ///
+    /// Call before the first `run_*` so stateful oracle checks see the
+    /// whole history.
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        self.tracer = Tracer::new(cfg);
+        let t = self.now.as_nanos();
+        for (i, l) in self.links.iter_mut().enumerate() {
+            for (end, e) in l.ends.iter_mut().enumerate() {
+                let id = (i * 2 + end) as u32;
+                e.queue.set_trace_id(id);
+                let (capacity_pkts, capacity_bytes) = match e.queue.capacity() {
+                    Capacity::Unbounded => (None, None),
+                    Capacity::Packets(n) => (Some(n), None),
+                    Capacity::Bytes(b) => (None, Some(b)),
+                };
+                let threshold = threshold_of(e.queue.scheme());
+                self.tracer
+                    .record_with(TraceScope::QUEUE, t, || TraceKind::QueueInfo {
+                        queue: id,
+                        link: i as u32,
+                        capacity_pkts,
+                        capacity_bytes,
+                        threshold,
+                    });
+            }
+        }
+    }
+
+    /// Whether event tracing is currently recording.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Takes the recorded trace, leaving tracing disabled.
+    pub fn take_trace(&mut self) -> TraceLog {
+        std::mem::replace(&mut self.tracer, Tracer::disabled()).into_log()
     }
 
     /// The current simulation time.
@@ -363,6 +412,13 @@ impl Simulator {
         match kind {
             EventKind::TxComplete { link, end } => {
                 self.links[link.index()].ends[end].busy = false;
+                self.tracer
+                    .record_with(TraceScope::LINK, self.now.as_nanos(), || {
+                        TraceKind::TxComplete {
+                            link: link.index() as u32,
+                            end: end as u8,
+                        }
+                    });
                 self.try_start_tx(link, end);
             }
             EventKind::Arrival { node, packet } => {
@@ -382,6 +438,19 @@ impl Simulator {
     }
 
     fn apply_fault(&mut self, link: LinkId, action: FaultAction) {
+        let kind = match action {
+            FaultAction::LinkDown => FaultKind::LinkDown,
+            FaultAction::LinkUp => FaultKind::LinkUp,
+            FaultAction::BleachOn => FaultKind::BleachOn,
+            FaultAction::BleachOff => FaultKind::BleachOff,
+        };
+        self.tracer
+            .record_with(TraceScope::FAULT, self.now.as_nanos(), || {
+                TraceKind::Fault {
+                    link: link.index() as u32,
+                    kind,
+                }
+            });
         match action {
             FaultAction::LinkDown => {
                 self.links[link.index()].up = false;
@@ -413,7 +482,13 @@ impl Simulator {
             let Node::Host { agent, .. } = &mut self.nodes[node.index()] else {
                 panic!("agent callback on switch {node}");
             };
-            let mut ctx = Context::new(self.now, node, &mut actions, &mut self.next_timer);
+            let mut ctx = Context::new(
+                self.now,
+                node,
+                &mut actions,
+                &mut self.next_timer,
+                &mut self.tracer,
+            );
             f(agent, &mut ctx);
         }
         for action in actions.drain(..) {
@@ -447,8 +522,11 @@ impl Simulator {
             debug_assert!(false, "no route from {node} to {}", packet.dst);
             return;
         };
-        let l = &mut self.links[link.index()];
-        let offer = l.ends[end].queue.offer(self.now, packet);
+        let offer = self.links[link.index()].ends[end].queue.offer_traced(
+            self.now,
+            packet,
+            &mut self.tracer,
+        );
         if offer == Offer::Enqueued {
             self.try_start_tx(link, end);
         }
@@ -457,11 +535,12 @@ impl Simulator {
     /// Starts transmitting the queue head if the transmitter is idle and
     /// the link is up.
     fn try_start_tx(&mut self, link: LinkId, end: usize) {
+        let tracer = &mut self.tracer;
         let l = &mut self.links[link.index()];
         if !l.up || l.ends[end].busy {
             return;
         }
-        let Some(pkt) = l.ends[end].queue.pop(self.now) else {
+        let Some(pkt) = l.ends[end].queue.pop_traced(self.now, tracer) else {
             return;
         };
         l.ends[end].busy = true;
@@ -485,6 +564,23 @@ impl Simulator {
                 packet: pkt,
             },
         );
+    }
+}
+
+/// Maps a queue's marking scheme onto the trace-schema threshold shape
+/// the oracle replays against.
+fn threshold_of(scheme: MarkingScheme) -> MarkThreshold {
+    match scheme {
+        MarkingScheme::Dctcp { k } => MarkThreshold::Single {
+            k: k.raw(),
+            bytes: matches!(k, QueueLevel::Bytes(_)),
+        },
+        MarkingScheme::DtDctcp { k1, k2 } => MarkThreshold::Hysteresis {
+            k1: k1.raw(),
+            k2: k2.raw(),
+            bytes: matches!(k1, QueueLevel::Bytes(_)),
+        },
+        _ => MarkThreshold::None,
     }
 }
 
@@ -586,6 +682,53 @@ mod tests {
         assert_eq!(pinger.ack_times[0].as_nanos(), 56_640);
         let echo: &Echo = sim.agent(h2).expect("agent type");
         assert_eq!(echo.received, 1);
+    }
+
+    /// A traced ping-pong run yields a non-empty log that the invariant
+    /// oracle accepts with zero violations.
+    #[test]
+    fn traced_run_satisfies_oracle() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host(
+            "h1",
+            Box::new(Pinger {
+                peer: NodeId::from_index(1),
+                count: 8,
+                ack_times: Vec::new(),
+            }),
+        );
+        let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+        let s = b.switch("s");
+        let spec = LinkSpec::gbps(1.0, 10);
+        b.link(
+            h1,
+            s,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        b.link(
+            s,
+            h2,
+            spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.enable_trace(TraceConfig::all());
+        assert!(sim.trace_enabled());
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
+        let log = sim.take_trace();
+        assert!(!sim.trace_enabled());
+        assert_eq!(log.dropped, 0);
+        let digest = log.digest();
+        assert!(digest.count("enqueue") >= 8);
+        assert_eq!(digest.count("enqueue"), digest.count("dequeue"));
+        assert_eq!(digest.count("tx_complete"), digest.count("dequeue"));
+        let violations = dctcp_trace::oracle::check_log(&log);
+        assert!(violations.is_empty(), "oracle violations: {violations:?}");
     }
 
     #[test]

@@ -111,6 +111,124 @@ fn quantiles_are_monotone_and_bounded() {
     }
 }
 
+/// Reference quantile: sort a copy, interpolate between order statistics.
+fn naive_quantile(xs: &[f64], p: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = p * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+#[test]
+fn quantiles_match_exact_sorted_slice() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_0009);
+    for _ in 0..256 {
+        let xs = vec_f64(&mut rng, -1e5, 1e5, 1, 299);
+        let mut q: Quantiles = xs.iter().copied().collect();
+        let scale = xs.iter().fold(1.0f64, |a, x| a.max(x.abs()));
+        for _ in 0..8 {
+            let p = rng.next_f64();
+            let got = q.quantile(p).unwrap();
+            let want = naive_quantile(&xs, p);
+            assert!(
+                (got - want).abs() <= 1e-9 * scale,
+                "quantile {p}: estimator {got} vs exact {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_are_insertion_order_invariant() {
+    // Samples arriving out of order (late completions, interleaved
+    // flows) must not change any order statistic.
+    let mut rng = Pcg32::seed_from_u64(0x57A7_000A);
+    for _ in 0..128 {
+        let xs = vec_f64(&mut rng, -1e3, 1e3, 2, 99);
+        let mut shuffled = xs.clone();
+        // Fisher–Yates with the in-repo RNG.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.range_usize(0, i);
+            shuffled.swap(i, j);
+        }
+        let mut a: Quantiles = xs.iter().copied().collect();
+        let mut b: Quantiles = shuffled.into_iter().collect();
+        for p in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(p), b.quantile(p));
+        }
+    }
+}
+
+#[test]
+fn welford_merge_is_associative() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7_000B);
+    for _ in 0..256 {
+        let xs = vec_f64(&mut rng, -1e4, 1e4, 3, 149);
+        let i = rng.range_usize(1, xs.len() - 1);
+        let j = rng.range_usize(i, xs.len());
+        let parts: [Welford; 3] = [
+            xs[..i].iter().copied().collect(),
+            xs[i..j].iter().copied().collect(),
+            xs[j..].iter().copied().collect(),
+        ];
+        // (a ⊕ b) ⊕ c
+        let mut left = parts[0];
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = parts[1];
+        bc.merge(&parts[2]);
+        let mut right = parts[0];
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert!((left.mean() - right.mean()).abs() < 1e-8);
+        assert!((left.population_variance() - right.population_variance()).abs() < 1e-5);
+        assert_eq!(left.min(), right.min());
+        assert_eq!(left.max(), right.max());
+    }
+}
+
+#[test]
+fn time_weighted_zero_duration_window_reports_current_value() {
+    // A window that closes the instant it opens has no integrable mass;
+    // the summary must fall back to the held value with zero variance
+    // instead of dividing by zero.
+    let mut rng = Pcg32::seed_from_u64(0x57A7_000C);
+    for _ in 0..128 {
+        let start = rng.range_f64(-1e3, 1e3);
+        let v0 = rng.range_f64(-50.0, 50.0);
+        let v1 = rng.range_f64(-50.0, 50.0);
+        let mut tw = TimeWeighted::with_initial(start, v0);
+        // Same-instant updates are legal and carry no weight.
+        tw.update(start, v1);
+        let s = tw.finish(start);
+        assert_eq!(s.duration, 0.0);
+        assert_eq!(s.mean, v1);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, v0.min(v1));
+        assert_eq!(s.max, v0.max(v1));
+    }
+}
+
+#[test]
+#[should_panic(expected = "time went backwards")]
+fn time_weighted_rejects_out_of_order_samples() {
+    let mut tw = TimeWeighted::new(0.0);
+    tw.update(2.0, 1.0);
+    tw.update(1.0, 2.0); // out of order: must panic, not corrupt the integral
+}
+
+#[test]
+#[should_panic(expected = "precedes last update")]
+fn time_weighted_rejects_finish_before_last_update() {
+    let mut tw = TimeWeighted::new(0.0);
+    tw.update(5.0, 1.0);
+    let _ = tw.finish(4.0);
+}
+
 #[test]
 fn histogram_conserves_samples() {
     let mut rng = Pcg32::seed_from_u64(0x57A7_0006);

@@ -3,12 +3,13 @@
 use std::error::Error;
 use std::fmt;
 
+use dctcp_core::ParamError;
 use dctcp_sim::FlowId;
 
 /// A terminal failure of one flow. Once a sender reports a `FlowError`
 /// it stops transmitting; the experiment harness decides whether that is
 /// an acceptable outcome (chaos runs) or a bug (clean-path runs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum FlowError {
     /// The flow hit its configured cap of back-to-back retransmission
@@ -21,6 +22,24 @@ pub enum FlowError {
         /// Consecutive timeouts observed when the cap was hit.
         consecutive: u32,
     },
+    /// The flow's [`TcpConfig`](crate::TcpConfig) failed validation when
+    /// the connection was created, so it never transmitted. Surfaced
+    /// instead of panicking mid-simulation.
+    InvalidConfig {
+        /// The flow that could not start.
+        flow: FlowId,
+        /// What the configuration validator rejected.
+        reason: ParamError,
+    },
+}
+
+impl FlowError {
+    /// The flow this failure belongs to.
+    pub fn flow(&self) -> FlowId {
+        match self {
+            FlowError::TooManyRtos { flow, .. } | FlowError::InvalidConfig { flow, .. } => *flow,
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -30,11 +49,21 @@ impl fmt::Display for FlowError {
                 f,
                 "{flow} aborted after {consecutive} consecutive retransmission timeouts"
             ),
+            FlowError::InvalidConfig { flow, reason } => {
+                write!(f, "{flow} rejected its TcpConfig: {reason}")
+            }
         }
     }
 }
 
-impl Error for FlowError {}
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::TooManyRtos { .. } => None,
+            FlowError::InvalidConfig { reason, .. } => Some(reason),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -50,5 +79,19 @@ mod tests {
             e.to_string(),
             "f3 aborted after 8 consecutive retransmission timeouts"
         );
+    }
+
+    #[test]
+    fn invalid_config_chains_the_param_error() {
+        let e = FlowError::InvalidConfig {
+            flow: FlowId(7),
+            reason: ParamError::new("mss must be positive"),
+        };
+        assert_eq!(e.flow(), FlowId(7));
+        assert_eq!(
+            e.to_string(),
+            "f7 rejected its TcpConfig: mss must be positive"
+        );
+        assert_eq!(e.source().unwrap().to_string(), "mss must be positive");
     }
 }

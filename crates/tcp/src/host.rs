@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use dctcp_sim::{
     Agent, Context, FlowId, NodeId, Packet, PacketKind, SimDuration, SimTime, TimerToken,
 };
+use dctcp_trace::{TraceKind, TraceScope};
 
 use crate::{FlowError, Receiver, Sender, TcpConfig, TimerKind, Wire};
 
@@ -60,6 +61,9 @@ pub struct TransportHost {
     timers: HashMap<TimerToken, TimerEvent>,
     scheduled: Vec<ScheduledFlow>,
     trace_senders: bool,
+    /// Flows that never started because their configuration failed
+    /// validation; reported through [`TransportHost::flow_errors`].
+    config_errors: Vec<FlowError>,
     /// When set, an incoming `Control` packet for flow `f` starts a
     /// response flow of this many bytes back to the sender under the
     /// same flow id (the worker side of a query/response workload).
@@ -79,6 +83,7 @@ impl TransportHost {
             timers: HashMap::new(),
             scheduled: Vec::new(),
             trace_senders: false,
+            config_errors: Vec::new(),
             respond_bytes: None,
             queries: Vec::new(),
         }
@@ -132,13 +137,12 @@ impl TransportHost {
         self.receivers.values()
     }
 
-    /// The terminal failures of every aborted flow on this host (empty
-    /// on a healthy run).
+    /// The terminal failures of every aborted or never-started flow on
+    /// this host (empty on a healthy run).
     pub fn flow_errors(&self) -> Vec<FlowError> {
         let mut errs: Vec<FlowError> = self.senders.values().filter_map(Sender::error).collect();
-        errs.sort_by_key(|e| match e {
-            FlowError::TooManyRtos { flow, .. } => flow.0,
-        });
+        errs.extend(self.config_errors.iter().cloned());
+        errs.sort_by_key(|e| e.flow().0);
         errs
     }
 
@@ -181,25 +185,49 @@ impl Wire for CtxWire<'_, '_> {
         self.timers.remove(&token);
         self.ctx.cancel_timer(token);
     }
+
+    fn trace_enabled(&self) -> bool {
+        self.ctx.trace_enabled(TraceScope::TCP)
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        self.ctx.trace(TraceScope::TCP, kind);
+    }
 }
 
 impl TransportHost {
     fn start_scheduled(&mut self, index: usize, ctx: &mut Context<'_>) {
         let sf = self.scheduled[index];
-        let mut sender = Sender::new(sf.flow, sf.dst, sf.bytes, sf.cfg);
+        self.start_sender(sf.flow, sf.dst, sf.bytes, sf.cfg, ctx);
+    }
+
+    /// Creates and starts a sender; a configuration rejected by
+    /// [`Sender::try_new`] is recorded as a flow error instead of
+    /// panicking mid-simulation.
+    fn start_sender(
+        &mut self,
+        flow: FlowId,
+        dst: NodeId,
+        bytes: Option<u64>,
+        cfg: TcpConfig,
+        ctx: &mut Context<'_>,
+    ) {
+        let mut sender = match Sender::try_new(flow, dst, bytes, cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                self.config_errors.push(e);
+                return;
+            }
+        };
         if self.trace_senders {
             sender.enable_tracing();
         }
-        self.senders.insert(sf.flow, sender);
         let mut wire = CtxWire {
             ctx,
             timers: &mut self.timers,
-            flow: sf.flow,
+            flow,
         };
-        self.senders
-            .get_mut(&sf.flow)
-            .expect("just inserted")
-            .start(&mut wire);
+        self.senders.entry(flow).or_insert(sender).start(&mut wire);
     }
 }
 
@@ -254,21 +282,7 @@ impl Agent for TransportHost {
                 // configured, else ignore the application-level packet.
                 if let Some(bytes) = self.respond_bytes {
                     if !self.senders.contains_key(&pkt.flow) {
-                        let mut sender =
-                            Sender::new(pkt.flow, pkt.src, Some(bytes), self.default_cfg);
-                        if self.trace_senders {
-                            sender.enable_tracing();
-                        }
-                        self.senders.insert(pkt.flow, sender);
-                        let mut wire = CtxWire {
-                            ctx,
-                            timers: &mut self.timers,
-                            flow: pkt.flow,
-                        };
-                        self.senders
-                            .get_mut(&pkt.flow)
-                            .expect("just inserted")
-                            .start(&mut wire);
+                        self.start_sender(pkt.flow, pkt.src, Some(bytes), self.default_cfg, ctx);
                     }
                 }
             }
@@ -314,5 +328,48 @@ impl Agent for TransportHost {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctcp_sim::{LinkSpec, QueueConfig, Simulator, TopologyBuilder};
+
+    /// A flow scheduled with a broken per-flow config must not panic the
+    /// simulation; the host records a typed error instead.
+    #[test]
+    fn invalid_scheduled_config_surfaces_typed_error() {
+        let good = TcpConfig::dctcp(1.0 / 16.0);
+        let mut bad = good;
+        bad.mss = 0;
+        let mut host = TransportHost::new(good);
+        host.schedule(ScheduledFlow {
+            flow: FlowId(9),
+            dst: NodeId::from_index(1),
+            bytes: Some(10_000),
+            at: SimTime::ZERO,
+            cfg: bad,
+        });
+        let mut b = TopologyBuilder::new();
+        let h1 = b.host("h1", Box::new(host));
+        let h2 = b.host("h2", Box::new(TransportHost::new(good)));
+        b.link(
+            h1,
+            h2,
+            LinkSpec::gbps(1.0, 10),
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.run_for(SimDuration::from_millis(1)).unwrap();
+        let host: &TransportHost = sim.agent(h1).unwrap();
+        let errs = host.flow_errors();
+        assert_eq!(errs.len(), 1);
+        assert!(
+            matches!(&errs[0], FlowError::InvalidConfig { flow, .. } if *flow == FlowId(9)),
+            "unexpected errors {errs:?}"
+        );
     }
 }

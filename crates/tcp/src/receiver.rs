@@ -1,6 +1,7 @@
 //! The receiving side of a connection.
 
 use dctcp_sim::{FlowId, NodeId, Packet, SimTime, TimerToken};
+use dctcp_trace::TraceKind;
 
 use crate::{ReceiverStats, SeqRanges, TcpConfig, TimerKind, Wire};
 
@@ -90,6 +91,13 @@ impl Receiver {
         if ce {
             self.stats.ce_segments += 1;
         }
+        if wire.trace_enabled() {
+            wire.trace(TraceKind::DataRecv {
+                flow: self.flow.0,
+                seq: pkt.seq,
+                ce,
+            });
+        }
 
         // DCTCP CE-echo state machine: flush pending ACKs with the old
         // state before switching.
@@ -98,6 +106,12 @@ impl Receiver {
                 self.send_ack(wire);
             }
             self.ce_state = ce;
+            if wire.trace_enabled() {
+                wire.trace(TraceKind::CeState {
+                    flow: self.flow.0,
+                    ce,
+                });
+            }
         }
 
         self.last_ts = Some(pkt.sent_at);
@@ -154,6 +168,13 @@ impl Receiver {
         ack.ece = self.ce_state;
         ack.ts_echo = self.last_ts;
         wire.send(ack);
+        if wire.trace_enabled() {
+            wire.trace(TraceKind::AckSent {
+                flow: self.flow.0,
+                ack: self.rcv_nxt,
+                ece: self.ce_state,
+            });
+        }
         self.stats.acks_sent += 1;
         self.pending = 0;
     }

@@ -2,6 +2,7 @@
 
 use dctcp_core::{d2tcp_cut, dctcp_cut, reno_cut, AlphaEstimator, WindowSample};
 use dctcp_sim::{Ecn, FlowId, NodeId, Packet, SimDuration, SimTime, TimerToken};
+use dctcp_trace::{CwndCause, TraceKind};
 
 use dctcp_stats::TimeSeries;
 
@@ -80,15 +81,30 @@ impl Sender {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`TcpConfig::validate`]; validate
-    /// experiment configurations up front.
+    /// Panics if `cfg` fails [`TcpConfig::validate`]; use
+    /// [`Sender::try_new`] to surface the failure as a typed error
+    /// instead.
     pub fn new(flow: FlowId, dst: NodeId, total: Option<u64>, cfg: TcpConfig) -> Self {
-        cfg.validate().expect("invalid TcpConfig");
+        Self::try_new(flow, dst, total, cfg).expect("invalid TcpConfig")
+    }
+
+    /// Creates a sender like [`Sender::new`], but reports a rejected
+    /// configuration as [`FlowError::InvalidConfig`] instead of
+    /// panicking — the path hosts take for flows scheduled with
+    /// unvalidated per-flow configurations.
+    pub fn try_new(
+        flow: FlowId,
+        dst: NodeId,
+        total: Option<u64>,
+        cfg: TcpConfig,
+    ) -> Result<Self, FlowError> {
+        cfg.validate()
+            .map_err(|reason| FlowError::InvalidConfig { flow, reason })?;
         let g = match cfg.cc {
             CongestionControl::Dctcp { g } | CongestionControl::D2tcp { g, .. } => g,
             CongestionControl::Reno => 1.0, // unused
         };
-        Sender {
+        Ok(Sender {
             cfg,
             flow,
             dst,
@@ -115,7 +131,7 @@ impl Sender {
             cwr_end: 0,
             stats: SenderStats::default(),
             trace: None,
-        }
+        })
     }
 
     /// Starts recording `(time, cwnd)` and `(time, alpha)` traces.
@@ -165,7 +181,7 @@ impl Sender {
 
     /// The terminal failure, if the flow aborted.
     pub fn error(&self) -> Option<FlowError> {
-        self.error
+        self.error.clone()
     }
 
     /// Whether the flow gave up (hit its consecutive-RTO cap).
@@ -228,6 +244,13 @@ impl Sender {
         self.stats.timeouts += 1;
         self.consecutive_rtos += 1;
         self.note_loss_event();
+        if wire.trace_enabled() {
+            wire.trace(TraceKind::RtoFired {
+                flow: self.flow.0,
+                backoff: self.rto_backoff,
+                consecutive: self.consecutive_rtos,
+            });
+        }
         if let Some(cap) = self.cfg.max_consecutive_rtos {
             if self.consecutive_rtos >= cap {
                 // Give up: no retransmission, no re-armed timer — the
@@ -236,6 +259,12 @@ impl Sender {
                     flow: self.flow,
                     consecutive: self.consecutive_rtos,
                 });
+                if wire.trace_enabled() {
+                    wire.trace(TraceKind::FlowAborted {
+                        flow: self.flow.0,
+                        consecutive: self.consecutive_rtos,
+                    });
+                }
                 return;
             }
         }
@@ -244,6 +273,7 @@ impl Sender {
         if let Some(trace) = &mut self.trace {
             trace.cwnd.push(wire.now().as_secs_f64(), self.cwnd);
         }
+        self.trace_cwnd(wire, CwndCause::RtoReset);
         self.snd_nxt = self.snd_una; // go-back-N
         self.recover = None;
         self.dup_acks = 0;
@@ -284,6 +314,7 @@ impl Sender {
             // Cut at most once per window of data.
             if pkt.ece && pkt.ack > self.cwr_end {
                 self.apply_ecn_cut();
+                self.trace_cwnd(wire, CwndCause::EcnCut);
             }
         }
 
@@ -307,15 +338,22 @@ impl Sender {
             Some(_) => {
                 self.recover = None;
                 self.cwnd = self.ssthresh.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+                if wire.trace_enabled() {
+                    wire.trace(TraceKind::FastRetransmitExit { flow: self.flow.0 });
+                }
+                self.trace_cwnd(wire, CwndCause::RecoveryExit);
             }
             None => {
                 let acked_pkts = newly as f64 / self.cfg.mss as f64;
-                if self.cwnd < self.ssthresh {
+                let cause = if self.cwnd < self.ssthresh {
                     self.cwnd += acked_pkts; // slow start
+                    CwndCause::SlowStart
                 } else {
                     self.cwnd += acked_pkts / self.cwnd; // congestion avoidance
-                }
+                    CwndCause::CongestionAvoidance
+                };
                 self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+                self.trace_cwnd(wire, cause);
             }
         }
         self.stats.cwnd.push(self.cwnd);
@@ -341,6 +379,13 @@ impl Sender {
             self.ssthresh = (self.cwnd / 2.0).max(2.0);
             self.cwnd = self.ssthresh;
             self.recover = Some(self.snd_nxt);
+            if wire.trace_enabled() {
+                wire.trace(TraceKind::FastRetransmitEnter {
+                    flow: self.flow.0,
+                    recover: self.snd_nxt,
+                });
+            }
+            self.trace_cwnd(wire, CwndCause::FastRetransmit);
             self.retransmit_head(wire);
             self.rearm_rto(wire);
         }
@@ -359,6 +404,19 @@ impl Sender {
         };
         self.ssthresh = self.cwnd.max(2.0);
         self.cwr_end = self.snd_nxt;
+    }
+
+    /// Emits a [`TraceKind::CwndUpdate`] when the host is tracing.
+    fn trace_cwnd(&self, wire: &mut dyn Wire, cause: CwndCause) {
+        if wire.trace_enabled() {
+            wire.trace(TraceKind::CwndUpdate {
+                flow: self.flow.0,
+                cwnd: self.cwnd.round() as u32,
+                ssthresh: self.ssthresh.round() as u32,
+                snd_una: self.snd_una,
+                cause,
+            });
+        }
     }
 
     /// Bytes in flight.
@@ -496,6 +554,18 @@ mod tests {
         p.ece = ece;
         p.ts_echo = Some(wire.now());
         p
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config_with_typed_error() {
+        let mut c = cfg();
+        c.mss = 0;
+        let err = Sender::try_new(FlowId(5), NodeId::from_index(9), None, c).unwrap_err();
+        assert!(
+            matches!(&err, FlowError::InvalidConfig { flow, .. } if *flow == FlowId(5)),
+            "unexpected error {err:?}"
+        );
+        assert_eq!(err.flow(), FlowId(5));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The interface connections use to reach the network and timers.
 
 use dctcp_sim::{NodeId, Packet, SimDuration, SimTime, TimerToken};
+use dctcp_trace::TraceKind;
 
 /// Timers a connection can arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,4 +31,18 @@ pub trait Wire {
 
     /// Cancels a previously armed timer (no-op when already fired).
     fn cancel(&mut self, token: TimerToken);
+
+    /// Whether the host is recording transport trace events. Connections
+    /// check this before building a [`TraceKind`] payload so tracing
+    /// costs one branch when off.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a transport trace event at the current time. The default
+    /// discards it (unit-test wires); the production wire forwards to the
+    /// simulator's tracer.
+    fn trace(&mut self, kind: TraceKind) {
+        let _ = kind;
+    }
 }

@@ -7,6 +7,7 @@
 use dctcp_core::MarkingScheme;
 use dctcp_sim::{
     Capacity, FlowId, QueueConfig, SimDuration, SimError, SimTime, Simulator, TopologyBuilder,
+    TraceConfig, TraceLog,
 };
 use dctcp_stats::Quantiles;
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
@@ -79,6 +80,27 @@ impl BuildupReport {
 ///
 /// Returns [`SimError`] for invalid marking/TCP parameters.
 pub fn run_buildup(cfg: &BuildupConfig) -> Result<BuildupReport, SimError> {
+    Ok(run_buildup_inner(cfg, None)?.0)
+}
+
+/// Like [`run_buildup`], but records a full event trace of the run
+/// (including warm-up) for golden-digest regression tests and oracle
+/// replay.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid marking/TCP parameters.
+pub fn run_buildup_traced(
+    cfg: &BuildupConfig,
+    trace: TraceConfig,
+) -> Result<(BuildupReport, TraceLog), SimError> {
+    run_buildup_inner(cfg, Some(trace))
+}
+
+fn run_buildup_inner(
+    cfg: &BuildupConfig,
+    trace: Option<TraceConfig>,
+) -> Result<(BuildupReport, TraceLog), SimError> {
     cfg.tcp.validate()?;
     let mut b = TopologyBuilder::new();
     let rx = b.host("rx", Box::new(TransportHost::new(cfg.tcp)));
@@ -135,6 +157,9 @@ pub fn run_buildup(cfg: &BuildupConfig) -> Result<BuildupReport, SimError> {
     )?;
 
     let mut sim = Simulator::new(b.build()?);
+    if let Some(tc) = trace {
+        sim.enable_trace(tc);
+    }
     sim.run_for(cfg.warmup)?;
     sim.reset_all_queue_stats();
     let rx_host: &TransportHost = sim.agent(rx).expect("receiver");
@@ -162,12 +187,16 @@ pub fn run_buildup(cfg: &BuildupConfig) -> Result<BuildupReport, SimError> {
         .sum();
 
     let report = sim.queue_report(bottleneck, sw);
-    Ok(BuildupReport {
-        scheme: cfg.marking,
-        short_completions,
-        long_goodput_bps: (long_after - long_before) as f64 * 8.0 / horizon.as_secs_f64(),
-        queue_mean: report.occupancy_pkts.mean,
-    })
+    let log = sim.take_trace();
+    Ok((
+        BuildupReport {
+            scheme: cfg.marking,
+            short_completions,
+            long_goodput_bps: (long_after - long_before) as f64 * 8.0 / horizon.as_secs_f64(),
+            queue_mean: report.occupancy_pkts.mean,
+        },
+        log,
+    ))
 }
 
 #[cfg(test)]

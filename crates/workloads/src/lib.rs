@@ -39,7 +39,7 @@ mod star;
 mod table;
 mod testbed;
 
-pub use buildup::{run_buildup, BuildupConfig, BuildupReport};
+pub use buildup::{run_buildup, run_buildup_traced, BuildupConfig, BuildupReport};
 pub use convergence::{run_convergence, ConvergenceConfig, ConvergenceReport};
 pub use experiments::Scale;
 pub use star::{LongLivedInstance, LongLivedReport, LongLivedScenario, LongLivedScenarioBuilder};

@@ -1,0 +1,71 @@
+//! Dump a traced DCTCP run as `dctcp-trace/v1` JSONL, or replay it
+//! through the invariant oracle.
+//!
+//! ```sh
+//! # Stream every trace event to stdout as one JSON object per line:
+//! cargo run --release --example trace_dump > run.jsonl
+//!
+//! # Digest only (no per-event output):
+//! cargo run --release --example trace_dump -- --digest
+//!
+//! # Oracle mode: run the scenario, check every invariant, exit
+//! # non-zero on the first violation. CI uses this as a smoke gate.
+//! cargo run --release --example trace_dump -- --oracle
+//! ```
+//!
+//! The scenario is the buildup microbenchmark (long flows plus short
+//! queries through one bottleneck) with a reduced horizon, fully
+//! deterministic: repeated runs produce byte-identical output.
+
+use std::io::Write;
+
+use dt_dctcp::core::MarkingScheme;
+use dt_dctcp::sim::SimDuration;
+use dt_dctcp::trace::{oracle, TraceConfig, TraceLog};
+use dt_dctcp::workloads::{run_buildup_traced, BuildupConfig};
+
+fn traced_run() -> Result<TraceLog, Box<dyn std::error::Error>> {
+    let cfg = BuildupConfig {
+        short_count: 4,
+        warmup: SimDuration::from_millis(10),
+        ..BuildupConfig::standard(MarkingScheme::dt_dctcp_packets(15, 25))
+    };
+    let (_report, log) = run_buildup_traced(&cfg, TraceConfig::with_capacity(1 << 21))?;
+    Ok(log)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let log = traced_run()?;
+    match mode.as_str() {
+        "--oracle" => {
+            let violations = oracle::check_log(&log);
+            eprintln!(
+                "trace_dump --oracle: {} events, {} dropped, {} violations",
+                log.events.len(),
+                log.dropped,
+                violations.len()
+            );
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+        "--digest" => print!("{}", log.digest().render()),
+        "" => {
+            // Lock stdout once; a line-buffered println! per event is
+            // painfully slow for ~10^6 lines.
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            log.write_jsonl(&mut out)?;
+            out.flush()?;
+        }
+        other => {
+            eprintln!("unknown flag {other}; use --oracle, --digest, or no argument");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

@@ -10,6 +10,8 @@
 //! * [`fluid`] — the delay-differential fluid model.
 //! * [`control`] — describing-function stability analysis.
 //! * [`stats`] — time-weighted statistics and metrics.
+//! * [`trace`] — typed event tracing and the replayable invariant
+//!   oracle.
 //! * [`workloads`] — scenarios and per-figure experiments.
 //! * [`parallel`] — scoped-thread fan-out with deterministic,
 //!   input-ordered results for independent simulation runs.
@@ -42,4 +44,5 @@ pub use dctcp_parallel as parallel;
 pub use dctcp_sim as sim;
 pub use dctcp_stats as stats;
 pub use dctcp_tcp as tcp;
+pub use dctcp_trace as trace;
 pub use dctcp_workloads as workloads;

@@ -10,9 +10,24 @@ use dt_dctcp::sim::{
     Simulator, TopologyBuilder,
 };
 use dt_dctcp::tcp::{FlowError, ScheduledFlow, TcpConfig, TransportHost};
+use dt_dctcp::trace::{oracle, TraceConfig, TraceDigest, TraceLog};
 use dt_dctcp::workloads::{build_testbed, LongLivedInstance, LongLivedScenario, TestbedConfig};
 
 const MB: u64 = 1024 * 1024;
+
+/// Every chaos run records a trace and replays it through the invariant
+/// oracle: conservation, marking laws, monotonicity, CE echo, and work
+/// conservation must hold under arbitrary fault schedules.
+fn assert_oracle_clean(log: &TraceLog, label: &str) -> TraceDigest {
+    let violations = oracle::check_log(log);
+    assert!(
+        violations.is_empty(),
+        "{label}: {} invariant violations, first: {}",
+        violations.len(),
+        violations[0]
+    );
+    log.digest()
+}
 
 /// A dumbbell (tx — sw — rx) with the given bottleneck queue and one
 /// finite flow of `bytes`, returning the handles a fault plan needs.
@@ -99,6 +114,7 @@ struct Fingerprint {
     fast_retransmits: u64,
     bottleneck_counters: dt_dctcp::sim::QueueCounters,
     ended_at_ns: u64,
+    trace_digest: TraceDigest,
 }
 
 fn run_dumbbell_chaos(seed: u64, horizon: SimDuration) -> Fingerprint {
@@ -108,9 +124,12 @@ fn run_dumbbell_chaos(seed: u64, horizon: SimDuration) -> Fingerprint {
         .with_reorder(3, 0.02, seed ^ 0xdead)
         .unwrap();
     let mut d = dumbbell(q, chaos_tcp(), MB / 2);
+    d.sim.enable_trace(TraceConfig::all());
     let plan = FaultPlan::randomized(seed, &[d.access, d.bottleneck], horizon);
     d.sim.install_faults(&plan).unwrap();
     d.sim.run_for(horizon).unwrap();
+    let log = d.sim.take_trace();
+    let trace_digest = assert_oracle_clean(&log, &format!("chaos seed {seed}"));
     // Whatever the faults did, the run must have settled: either the
     // transfer finished or the sender gave up with a typed error.
     assert_queue_conserved(&d.sim, d.bottleneck, d.sw);
@@ -129,6 +148,7 @@ fn run_dumbbell_chaos(seed: u64, horizon: SimDuration) -> Fingerprint {
         fast_retransmits: s.stats().fast_retransmits,
         bottleneck_counters: d.sim.queue_report(d.bottleneck, d.sw).counters,
         ended_at_ns: d.sim.now().as_nanos(),
+        trace_digest,
     }
 }
 
@@ -149,6 +169,7 @@ fn star_bottleneck_flap_conserves_and_recovers() {
         .instantiate()
         .unwrap();
 
+    sim.enable_trace(TraceConfig::all());
     // Two 5 ms outages of the only bottleneck, 15 ms apart.
     let plan = FaultPlan::new().flap(
         bottleneck,
@@ -184,6 +205,12 @@ fn star_bottleneck_flap_conserves_and_recovers() {
         "no recovery after flap: {mid_bytes} -> {end_bytes}"
     );
     assert_queue_conserved(&sim, bottleneck, switch);
+    let log = sim.take_trace();
+    assert_oracle_clean(&log, "star flap");
+    assert!(
+        log.digest().count("fault") >= 4,
+        "both outages (down + up each) must appear in the trace"
+    );
 }
 
 #[test]
@@ -192,7 +219,9 @@ fn bursty_loss_transfer_completes() {
         .with_gilbert_elliott(0.02, 0.3, 0.0, 0.25, 7)
         .unwrap();
     let mut d = dumbbell(q, chaos_tcp(), MB);
+    d.sim.enable_trace(TraceConfig::all());
     d.sim.run_for(SimDuration::from_secs(5)).unwrap();
+    assert_oracle_clean(&d.sim.take_trace(), "bursty loss");
     let tx_host: &TransportHost = d.sim.agent(d.tx).unwrap();
     let s = tx_host.sender(FlowId(1)).unwrap();
     assert!(s.is_complete(), "1 MB must survive bursty loss");
@@ -209,7 +238,9 @@ fn reordering_transfer_completes() {
         .with_reorder(3, 0.2, 21)
         .unwrap();
     let mut d = dumbbell(q, chaos_tcp(), MB);
+    d.sim.enable_trace(TraceConfig::all());
     d.sim.run_for(SimDuration::from_secs(5)).unwrap();
+    assert_oracle_clean(&d.sim.take_trace(), "reordering");
     let tx_host: &TransportHost = d.sim.agent(d.tx).unwrap();
     let s = tx_host.sender(FlowId(1)).unwrap();
     assert!(s.is_complete(), "1 MB must survive bounded reordering");
@@ -229,6 +260,7 @@ fn permanent_outage_aborts_with_typed_error() {
         .with_rto_min(SimDuration::from_millis(10))
         .with_max_consecutive_rtos(5);
     let mut d = dumbbell(q, tcp, MB);
+    d.sim.enable_trace(TraceConfig::all());
     // The bottleneck dies 2 ms in and never comes back.
     let plan = FaultPlan::new().at(
         SimTime::ZERO + SimDuration::from_millis(2),
@@ -237,6 +269,13 @@ fn permanent_outage_aborts_with_typed_error() {
     );
     d.sim.install_faults(&plan).unwrap();
     d.sim.run_for(SimDuration::from_secs(30)).unwrap();
+    let log = d.sim.take_trace();
+    assert_oracle_clean(&log, "permanent outage");
+    assert!(
+        log.digest().count("rto_fired") >= 5,
+        "the outage must show up as repeated RTOs in the trace"
+    );
+    assert_eq!(log.digest().count("flow_aborted"), 1);
 
     let tx_host: &TransportHost = d.sim.agent(d.tx).unwrap();
     let s = tx_host.sender(FlowId(1)).unwrap();
@@ -279,8 +318,10 @@ fn bleached_testbed_incast_falls_back_and_completes() {
         SimTime::ZERO,
         SimTime::ZERO + SimDuration::from_secs(30),
     );
+    tb.sim.enable_trace(TraceConfig::all());
     tb.sim.install_faults(&plan).unwrap();
     tb.sim.run_for(SimDuration::from_secs(10)).unwrap();
+    assert_oracle_clean(&tb.sim.take_trace(), "bleached incast");
 
     let client: &TransportHost = tb.sim.agent(tb.client).unwrap();
     for i in 0..8u64 {

@@ -8,6 +8,18 @@ use dt_dctcp::sim::{
     TopologyBuilder,
 };
 use dt_dctcp::tcp::{ScheduledFlow, TcpConfig, TransportHost};
+use dt_dctcp::trace::{oracle, TraceConfig, TraceLog};
+
+/// Replays a recorded fault-run trace through the invariant oracle.
+fn assert_oracle_clean(log: &TraceLog, label: &str) {
+    let violations = oracle::check_log(log);
+    assert!(
+        violations.is_empty(),
+        "{label}: {} invariant violations, first: {}",
+        violations.len(),
+        violations[0]
+    );
+}
 
 fn one_flow_sim(
     tcp: TcpConfig,
@@ -66,6 +78,7 @@ fn transfer_recovers_from_a_link_flap() {
     let clean_ct = completion_secs(&clean, clean_tx).expect("clean run completes");
 
     let (mut faulty, tx, _, bottleneck) = one_flow_sim(tcp, bytes, 200);
+    faulty.enable_trace(TraceConfig::all());
     // A 50 ms outage right in the middle of the transfer.
     let plan = FaultPlan::new().flap(
         bottleneck,
@@ -76,6 +89,9 @@ fn transfer_recovers_from_a_link_flap() {
     );
     faulty.install_faults(&plan).unwrap();
     faulty.run_for(SimDuration::from_secs(5)).unwrap();
+    let log = faulty.take_trace();
+    assert_oracle_clean(&log, "link flap");
+    assert_eq!(log.digest().count("fault"), 2, "one down + one up");
     let faulty_ct = completion_secs(&faulty, tx).expect("transfer must survive the flap");
 
     // The flap costs at least the outage length (plus RTO recovery),
@@ -101,6 +117,7 @@ fn ecn_bleach_fallback_keeps_the_flow_alive() {
         .with_rto_min(SimDuration::from_millis(10))
         .with_ecn_fallback(2);
     let (mut sim, tx, rx, bottleneck) = one_flow_sim(tcp, 4 * 1024 * 1024, 40);
+    sim.enable_trace(TraceConfig::all());
     // Bleach the bottleneck for the entire run: DCTCP's congestion
     // signal is gone, so the sender must detect it and degrade to
     // loss-based control rather than blast an unmanaged queue forever.
@@ -111,6 +128,7 @@ fn ecn_bleach_fallback_keeps_the_flow_alive() {
     );
     sim.install_faults(&plan).unwrap();
     sim.run_for(SimDuration::from_secs(10)).unwrap();
+    assert_oracle_clean(&sim.take_trace(), "full bleach");
 
     let host: &TransportHost = sim.agent(tx).unwrap();
     let s = host.sender(FlowId(1)).unwrap();
@@ -133,6 +151,7 @@ fn bleach_window_end_restores_ecn_marking() {
     // again and DCTCP resumes ECN cuts (no fallback configured).
     let tcp = TcpConfig::dctcp(1.0 / 16.0).with_rto_min(SimDuration::from_millis(10));
     let (mut sim, tx, _, bottleneck) = one_flow_sim(tcp, 8 * 1024 * 1024, 200);
+    sim.enable_trace(TraceConfig::all());
     let plan = FaultPlan::new().bleach_window(
         bottleneck,
         SimTime::ZERO,
@@ -140,6 +159,7 @@ fn bleach_window_end_restores_ecn_marking() {
     );
     sim.install_faults(&plan).unwrap();
     sim.run_for(SimDuration::from_secs(10)).unwrap();
+    assert_oracle_clean(&sim.take_trace(), "bleach window");
 
     let host: &TransportHost = sim.agent(tx).unwrap();
     let s = host.sender(FlowId(1)).unwrap();

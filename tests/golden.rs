@@ -1,0 +1,142 @@
+//! Golden-trace regression tests: seeded single-bottleneck buildup runs
+//! (the Fig. 5/6-style scenario) under DCTCP and DT-DCTCP marking are
+//! traced end to end, digested, and compared against checked-in
+//! snapshots in `tests/golden/`. Any behavioural drift — an extra mark,
+//! a lost packet, a changed queue trajectory — shows up as a digest
+//! mismatch.
+//!
+//! To regenerate the snapshots after an *intentional* behaviour change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! The digests must also be identical across repeated runs and across
+//! parallel-driver thread counts; the mutation test proves the oracle
+//! actually catches a broken marking law rather than vacuously passing.
+
+use std::path::PathBuf;
+
+use dt_dctcp::core::MarkingScheme;
+use dt_dctcp::parallel::par_map;
+use dt_dctcp::sim::SimDuration;
+use dt_dctcp::trace::{oracle, TraceConfig, TraceKind, TraceLog};
+use dt_dctcp::workloads::{run_buildup_traced, BuildupConfig};
+
+/// Both schemes under test: classic single-threshold DCTCP and the
+/// paper's double-threshold variant.
+fn schemes() -> [(&'static str, MarkingScheme); 2] {
+    [
+        ("buildup_dctcp", MarkingScheme::dctcp_packets(20)),
+        ("buildup_dt_dctcp", MarkingScheme::dt_dctcp_packets(15, 25)),
+    ]
+}
+
+/// A reduced-horizon buildup scenario: long flows keeping a standing
+/// queue plus a handful of short queries, deterministic end to end.
+fn golden_cfg(marking: MarkingScheme) -> BuildupConfig {
+    BuildupConfig {
+        short_count: 4,
+        warmup: SimDuration::from_millis(10),
+        ..BuildupConfig::standard(marking)
+    }
+}
+
+/// Runs the scenario traced, insists the oracle is clean, and returns
+/// the rendered digest.
+fn traced_log(marking: MarkingScheme) -> TraceLog {
+    let (report, log) =
+        run_buildup_traced(&golden_cfg(marking), TraceConfig::with_capacity(1 << 21)).unwrap();
+    assert!(report.queue_mean > 0.0, "bottleneck never built a queue");
+    assert_eq!(log.dropped, 0, "trace ring too small for the golden run");
+    let violations = oracle::check_log(&log);
+    assert!(
+        violations.is_empty(),
+        "golden run violated invariants, first: {}",
+        violations[0]
+    );
+    log
+}
+
+fn digest_render(marking: MarkingScheme) -> String {
+    traced_log(marking).digest().render()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.digest"))
+}
+
+fn check_golden(name: &str, marking: MarkingScheme) {
+    let rendered = digest_render(marking);
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path:?} ({e}); create it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        rendered, expected,
+        "golden digest drift for {name}; if the behaviour change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn dctcp_buildup_matches_golden_digest() {
+    let (name, scheme) = schemes()[0];
+    check_golden(name, scheme);
+}
+
+#[test]
+fn dt_dctcp_buildup_matches_golden_digest() {
+    let (name, scheme) = schemes()[1];
+    check_golden(name, scheme);
+}
+
+#[test]
+fn golden_digests_are_deterministic_across_runs_and_threads() {
+    let serial: Vec<String> = schemes().iter().map(|&(_, m)| digest_render(m)).collect();
+    // Repeat serially: bit-identical.
+    let again: Vec<String> = schemes().iter().map(|&(_, m)| digest_render(m)).collect();
+    assert_eq!(serial, again, "digest changed between identical runs");
+    // And under the parallel driver at several thread counts.
+    for threads in [1, 2, 4] {
+        let parallel = par_map(schemes().to_vec(), threads, |_, (_, m)| digest_render(m));
+        assert_eq!(
+            serial, parallel,
+            "digest diverged from serial at {threads} threads"
+        );
+    }
+}
+
+/// The oracle must catch a deliberately broken marking law: flip one
+/// recorded `MarkDecision` and the digest's marking check fails.
+#[test]
+fn oracle_catches_mutated_marking_decision() {
+    let mut log = traced_log(MarkingScheme::dctcp_packets(20));
+    let flipped = log
+        .events
+        .iter_mut()
+        .find_map(|e| match &mut e.kind {
+            TraceKind::MarkDecision {
+                mark, ce_applied, ..
+            } => {
+                *mark = !*mark;
+                *ce_applied = false;
+                Some(())
+            }
+            _ => None,
+        })
+        .is_some();
+    assert!(flipped, "golden run recorded no marking decisions");
+    let violations = oracle::check_log(&log);
+    assert!(
+        violations.iter().any(|v| v.check == "marking_law"),
+        "oracle missed the mutated marking decision: {violations:?}"
+    );
+}

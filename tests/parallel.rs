@@ -12,6 +12,7 @@ use dt_dctcp::sim::{
     TopologyBuilder,
 };
 use dt_dctcp::tcp::{FlowError, ScheduledFlow, TcpConfig, TransportHost};
+use dt_dctcp::trace::{oracle, TraceConfig, TraceDigest};
 use dt_dctcp::workloads::experiments::{queue_sweep_with_threads, Scale};
 use dt_dctcp::workloads::{run_query_rounds_with_threads, QueryWorkload, TestbedConfig};
 
@@ -29,6 +30,7 @@ struct Fingerprint {
     bottleneck_counters: dt_dctcp::sim::QueueCounters,
     events_processed: u64,
     ended_at_ns: u64,
+    trace_digest: TraceDigest,
 }
 
 /// A tx — sw — rx dumbbell with seeded Gilbert-Elliott loss, seeded
@@ -69,9 +71,19 @@ fn run_dumbbell_chaos(seed: u64, horizon: SimDuration) -> Fingerprint {
         .link(sw, rx, LinkSpec::gbps(1.0, 20), q, QueueConfig::host_nic())
         .unwrap();
     let mut sim = Simulator::new(b.build().unwrap());
+    sim.enable_trace(TraceConfig::all());
     let plan = FaultPlan::randomized(seed, &[access, bottleneck], horizon);
     sim.install_faults(&plan).unwrap();
     sim.run_for(horizon).unwrap();
+    let log = sim.take_trace();
+    let violations = oracle::check_log(&log);
+    assert!(
+        violations.is_empty(),
+        "seed {seed}: {} invariant violations, first: {}",
+        violations.len(),
+        violations[0]
+    );
+    let trace_digest = log.digest();
 
     let rx_host: &TransportHost = sim.agent(rx).unwrap();
     let bytes_received = rx_host
@@ -88,6 +100,7 @@ fn run_dumbbell_chaos(seed: u64, horizon: SimDuration) -> Fingerprint {
         bottleneck_counters: sim.queue_report(bottleneck, sw).counters,
         events_processed: sim.events_processed(),
         ended_at_ns: sim.now().as_nanos(),
+        trace_digest,
     }
 }
 
