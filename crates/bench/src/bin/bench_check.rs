@@ -33,6 +33,14 @@ fn field_values(body: &str, key: &str) -> Vec<Option<f64>> {
 /// committed pre-run baseline.
 const TRACE_OVERHEAD_LIMIT: f64 = 1.02;
 
+/// Noise floor on the same ratio. Two timing runs of identical code
+/// under the min-of-batches protocol agree within a few percent, so a
+/// ratio *below* 0.95x cannot be a real speedup of an unchanged hot
+/// path — it means the committed baseline is stale or was measured
+/// under a different protocol, and the 1.02x ceiling above is no longer
+/// anchored to anything. Treat it as a failure, not a pleasant surprise.
+const TRACE_OVERHEAD_FLOOR: f64 = 0.95;
+
 /// Extracts a named metric's value from the report, if present.
 fn metric_value(body: &str, name: &str) -> Option<f64> {
     let needle = format!("\"name\": \"{name}\", \"value\": ");
@@ -43,6 +51,21 @@ fn metric_value(body: &str, name: &str) -> Option<f64> {
 fn check(body: &str) -> Result<String, String> {
     if !body.contains("\"schema\": \"dctcp-bench/v1\"") {
         return Err("missing or wrong schema tag (want dctcp-bench/v1)".into());
+    }
+    // Ratio metrics are only meaningful against a baseline measured the
+    // same way; the report must declare the min-of-batches protocol
+    // with at least 3 batches.
+    if !body.contains("\"timing\": \"min-of-batches\"") {
+        return Err(
+            "report does not declare the min-of-batches timing protocol; \
+             regenerate it with the current harness (cargo bench -p dctcp-bench \
+             --bench engine -- --json BENCH_sim.json)"
+                .into(),
+        );
+    }
+    match field_values(body, "batches").first() {
+        Some(Some(b)) if *b >= 3.0 => {}
+        _ => return Err("timing protocol must use at least 3 batches".into()),
     }
     let ns = field_values(body, "ns_per_iter");
     if ns.is_empty() {
@@ -66,8 +89,11 @@ fn check(body: &str) -> Result<String, String> {
         return Err("no bench reports a positive events_per_sec".into());
     }
     // The overhead metric is only emitted when the bench found a
-    // committed baseline to compare against; absent is fine (first run),
-    // present-but-over-limit is a regression.
+    // committed baseline to compare against; absent is fine (first run).
+    // Present, it must sit inside the believable band: above the 1.02x
+    // ceiling is a regression, below the 0.95x noise floor the baseline
+    // itself is suspect (a "0.90x" here once let real regressions hide
+    // under a stale baseline).
     let mut overhead_note = String::new();
     if let Some(ratio) = metric_value(body, "engine/forward/trace_overhead") {
         if ratio.is_nan() || ratio <= 0.0 {
@@ -79,7 +105,17 @@ fn check(body: &str) -> Result<String, String> {
                  ceiling on engine/forward"
             ));
         }
-        overhead_note = format!(", trace_overhead {ratio:.3}x");
+        if ratio < TRACE_OVERHEAD_FLOOR {
+            return Err(format!(
+                "trace_overhead {ratio:.4}x is below the {TRACE_OVERHEAD_FLOOR}x noise floor: \
+                 the committed baseline no longer matches this machine/protocol, so the \
+                 {TRACE_OVERHEAD_LIMIT}x ceiling is meaningless — re-baseline by committing a \
+                 freshly generated BENCH_sim.json (min-of-3-batches)"
+            ));
+        }
+        overhead_note = format!(
+            ", trace_overhead {ratio:.3}x (band [{TRACE_OVERHEAD_FLOOR}, {TRACE_OVERHEAD_LIMIT}])"
+        );
     }
     Ok(format!(
         "{} benches ok, peak {:.0} events/sec{}",
@@ -118,6 +154,7 @@ mod tests {
 
     const GOOD: &str = r#"{
   "schema": "dctcp-bench/v1",
+  "protocol": {"timing": "min-of-batches", "batches": 3},
   "benches": [
     {"name": "engine/forward", "ns_per_iter": 2500000, "iters": 20, "events_per_sec": 12000000.0},
     {"name": "other", "ns_per_iter": 10, "iters": 3, "events_per_sec": null}
@@ -141,8 +178,26 @@ mod tests {
 
     #[test]
     fn rejects_empty_benches() {
-        let bad = r#"{"schema": "dctcp-bench/v1", "benches": [], "metrics": []}"#;
+        let bad = r#"{"schema": "dctcp-bench/v1",
+  "protocol": {"timing": "min-of-batches", "batches": 3},
+  "benches": [], "metrics": []}"#;
         assert!(check(bad).unwrap_err().contains("no benchmark"));
+    }
+
+    #[test]
+    fn rejects_missing_protocol() {
+        let bad = GOOD.replace(
+            r#"  "protocol": {"timing": "min-of-batches", "batches": 3},
+"#,
+            "",
+        );
+        assert!(check(&bad).unwrap_err().contains("min-of-batches"));
+    }
+
+    #[test]
+    fn rejects_too_few_batches() {
+        let bad = GOOD.replace("\"batches\": 3", "\"batches\": 1");
+        assert!(check(&bad).unwrap_err().contains("at least 3 batches"));
     }
 
     #[test]
@@ -182,6 +237,20 @@ mod tests {
     #[test]
     fn rejects_non_positive_trace_overhead() {
         assert!(check(&with_overhead("0.000000")).is_err());
+    }
+
+    #[test]
+    fn rejects_trace_overhead_below_noise_floor() {
+        // The exact symptom this gate exists for: 0.90x used to pass.
+        let err = check(&with_overhead("0.901766")).unwrap_err();
+        assert!(err.contains("noise floor"), "{err}");
+        assert!(err.contains("re-baseline"), "{err}");
+    }
+
+    #[test]
+    fn accepts_trace_overhead_at_band_edges() {
+        assert!(check(&with_overhead("0.950000")).is_ok());
+        assert!(check(&with_overhead("1.020000")).is_ok());
     }
 
     #[test]

@@ -230,7 +230,14 @@ fn escape(s: &str) -> String {
 }
 
 fn render_json(records: &[BenchRecord], metrics: &[MetricRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dctcp-bench/v1\",\n  \"benches\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"dctcp-bench/v1\",\n");
+    // The timing protocol is part of the report: ratio metrics (e.g.
+    // trace_overhead) are only comparable against baselines measured
+    // the same way, and bench_check refuses reports that don't state it.
+    out.push_str(&format!(
+        "  \"protocol\": {{\"timing\": \"min-of-batches\", \"batches\": {BATCHES}}},\n"
+    ));
+    out.push_str("  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
         let events = match r.events_per_sec {
             Some(e) => format!("{e:.1}"),

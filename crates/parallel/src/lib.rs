@@ -112,6 +112,39 @@ where
         .collect()
 }
 
+/// Fallible [`par_map`]: applies `f` to every item on up to `threads`
+/// worker threads and returns all results in input order, or the error
+/// of the **lowest-indexed** failing item.
+///
+/// Every job still runs to completion (workers don't watch each other),
+/// so the choice of reported error is deterministic — it depends only on
+/// the inputs, never on scheduling.
+///
+/// # Errors
+///
+/// Returns the first error by input index when any job fails.
+///
+/// # Examples
+///
+/// ```
+/// let ok = dctcp_parallel::par_try_map(vec![1u64, 2, 3], 2, |_i, x| Ok::<_, String>(x * 2));
+/// assert_eq!(ok, Ok(vec![2, 4, 6]));
+///
+/// let err = dctcp_parallel::par_try_map(vec![1u64, 0, 0], 2, |i, x| {
+///     if x == 0 { Err(format!("item {i} is zero")) } else { Ok(x) }
+/// });
+/// assert_eq!(err, Err("item 1 is zero".to_string()));
+/// ```
+pub fn par_try_map<T, R, E, F>(items: Vec<T>, threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    par_map(items, threads, f).into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +226,27 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        // Two failures; the lower input index must win regardless of
+        // which worker finishes first.
+        let r = par_try_map((0..32u64).collect(), 4, |i, x| {
+            if x % 10 == 7 {
+                Err(format!("fail at {i}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r, Err("fail at 7".to_string()));
+    }
+
+    #[test]
+    fn try_map_success_matches_par_map() {
+        let items: Vec<u64> = (0..20).collect();
+        let ok: Result<Vec<u64>, ()> = par_try_map(items.clone(), 3, |_i, x| Ok(x * x));
+        assert_eq!(ok.unwrap(), par_map(items, 3, |_i, x| x * x));
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The `dctcp-repro/v1` artifact: one JSON file per scenario run.
+//!
+//! Same idiom as the `dctcp-bench/v1` benchmark file: a hand-rolled
+//! writer that emits exactly one matrix point per line, and a scanner
+//! parser that reads back only what it wrote. Keeping both sides in
+//! this module (with a round-trip test) is what lets the workspace do
+//! machine-checked reproduction artifacts without a JSON dependency.
+
+use std::fmt::Write as _;
+
+use crate::{ScenarioError, ScenarioKind};
+
+/// One (marking, flows, seed) cell of the scenario matrix with its
+/// measured metrics, in the kind's canonical metric order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Marking-scheme label from the scenario file.
+    pub marking: String,
+    /// Number of flows (senders / responders) at this point.
+    pub flows: u32,
+    /// Workload seed (always 1 for deterministic long-lived runs).
+    pub seed: u64,
+    /// `(metric name, value)` pairs; names come from
+    /// [`ScenarioKind::metrics`].
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Point {
+    /// Looks up one metric value.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// A full scenario result: every matrix point of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Scenario name (matches the `.scn` file's `[scenario] name`).
+    pub scenario: String,
+    /// Workload family the points came from.
+    pub kind: ScenarioKind,
+    /// Matrix points in run order (marking-major, then flows, then
+    /// seed).
+    pub points: Vec<Point>,
+}
+
+impl Artifact {
+    /// Renders the artifact as `dctcp-repro/v1` JSON, one point per
+    /// line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"dctcp-repro/v1\",\n");
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", self.scenario);
+        let _ = writeln!(out, "  \"kind\": \"{}\",", self.kind.name());
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"marking\": \"{}\", \"flows\": {}, \"seed\": {}",
+                p.marking, p.flows, p.seed
+            );
+            for (name, value) in &p.metrics {
+                let v = if value.is_finite() { *value } else { 0.0 };
+                let _ = write!(out, ", \"{name}\": {v:.6}");
+            }
+            out.push('}');
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses `dctcp-repro/v1` JSON produced by [`Artifact::render`].
+    ///
+    /// `path` is used only for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::BadArtifact`] for wrong schemas,
+    /// missing fields or malformed point lines.
+    pub fn parse(src: &str, path: &str) -> Result<Artifact, ScenarioError> {
+        let bad = |msg: String| ScenarioError::BadArtifact {
+            path: path.to_string(),
+            msg,
+        };
+        let schema = string_field(src, "schema").ok_or_else(|| bad("missing schema".into()))?;
+        if schema != "dctcp-repro/v1" {
+            return Err(bad(format!(
+                "schema is `{schema}`, expected `dctcp-repro/v1`"
+            )));
+        }
+        let scenario =
+            string_field(src, "scenario").ok_or_else(|| bad("missing scenario name".into()))?;
+        let kind_name = string_field(src, "kind").ok_or_else(|| bad("missing kind".into()))?;
+        let kind = ScenarioKind::from_name(&kind_name)
+            .ok_or_else(|| bad(format!("unknown kind `{kind_name}`")))?;
+
+        let mut points = Vec::new();
+        for line in src.lines() {
+            let line = line.trim();
+            if !line.starts_with("{\"marking\"") {
+                continue;
+            }
+            points.push(parse_point(line, kind, path)?);
+        }
+        if points.is_empty() {
+            return Err(bad("artifact has no points".into()));
+        }
+        Ok(Artifact {
+            scenario,
+            kind,
+            points,
+        })
+    }
+
+    /// Loads and parses an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] or [`ScenarioError::BadArtifact`].
+    pub fn load(path: &std::path::Path) -> Result<Artifact, ScenarioError> {
+        let src = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        Artifact::parse(&src, &path.display().to_string())
+    }
+
+    /// Marking labels present, in first-appearance order.
+    pub fn markings(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.marking.as_str()) {
+                out.push(&p.marking);
+            }
+        }
+        out
+    }
+
+    /// Sorted distinct flow counts recorded for a marking.
+    pub fn flow_counts(&self, marking: &str) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for p in &self.points {
+            if p.marking == marking && !out.contains(&p.flows) {
+                out.push(p.flows);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// One metric at `(marking, flows)`, averaged across seeds.
+    pub fn metric(&self, marking: &str, flows: u32, name: &str) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for p in &self.points {
+            if p.marking == marking && p.flows == flows {
+                sum += p.metric(name)?;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / f64::from(n))
+        }
+    }
+}
+
+fn parse_point(line: &str, kind: ScenarioKind, path: &str) -> Result<Point, ScenarioError> {
+    let bad = |msg: String| ScenarioError::BadArtifact {
+        path: path.to_string(),
+        msg: format!("{msg} in point `{line}`"),
+    };
+    let marking = string_field(line, "marking").ok_or_else(|| bad("missing marking".into()))?;
+    let flows = num_field(line, "flows").ok_or_else(|| bad("missing flows".into()))? as u32;
+    let seed = num_field(line, "seed").ok_or_else(|| bad("missing seed".into()))? as u64;
+    let mut metrics = Vec::new();
+    for &name in kind.metrics() {
+        let v = num_field(line, name).ok_or_else(|| bad(format!("missing metric `{name}`")))?;
+        metrics.push((name.to_string(), v));
+    }
+    Ok(Point {
+        marking,
+        flows,
+        seed,
+        metrics,
+    })
+}
+
+/// Scans for `"key": "value"` anywhere in `src` and returns the value.
+fn string_field(src: &str, key: &str) -> Option<String> {
+    let rest = field_rest(src, key)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Scans for `"key": <number>` anywhere in `src`.
+fn num_field(src: &str, key: &str) -> Option<f64> {
+    let rest = field_rest(src, key)?;
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .map_or(rest.len(), |(i, _)| i);
+    rest[..end].parse().ok()
+}
+
+fn field_rest<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let pos = src.find(&needle)?;
+    Some(src[pos + needle.len()..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        let metrics = |base: f64| {
+            ScenarioKind::LongLived
+                .metrics()
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.to_string(), base + i as f64))
+                .collect()
+        };
+        Artifact {
+            scenario: "fig10".into(),
+            kind: ScenarioKind::LongLived,
+            points: vec![
+                Point {
+                    marking: "dctcp".into(),
+                    flows: 2,
+                    seed: 1,
+                    metrics: metrics(1.0),
+                },
+                Point {
+                    marking: "dt-dctcp".into(),
+                    flows: 2,
+                    seed: 1,
+                    metrics: metrics(10.5),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let a = sample();
+        let parsed = Artifact::parse(&a.render(), "t.json").unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let src = sample()
+            .render()
+            .replace("dctcp-repro/v1", "dctcp-repro/v9");
+        assert!(matches!(
+            Artifact::parse(&src, "t.json").unwrap_err(),
+            ScenarioError::BadArtifact { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_metric() {
+        let src = sample().render().replace("\"queue_std\"", "\"queue_sdt\"");
+        let err = Artifact::parse(&src, "t.json").unwrap_err();
+        assert!(err.to_string().contains("queue_std"), "{err}");
+    }
+
+    #[test]
+    fn metric_lookup_averages_over_seeds() {
+        let mut a = sample();
+        a.points[1] = Point {
+            marking: "dctcp".into(),
+            flows: 2,
+            seed: 2,
+            metrics: vec![("queue_mean".into(), 3.0)],
+        };
+        a.points[0].metrics = vec![("queue_mean".into(), 1.0)];
+        assert_eq!(a.metric("dctcp", 2, "queue_mean"), Some(2.0));
+        assert_eq!(a.metric("dctcp", 9, "queue_mean"), None);
+        assert_eq!(a.flow_counts("dctcp"), vec![2]);
+    }
+
+    #[test]
+    fn markings_in_first_appearance_order() {
+        assert_eq!(sample().markings(), vec!["dctcp", "dt-dctcp"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Scenario-matrix reproduction runner.
+//!
+//! ```text
+//! repro [--threads N] [--out DIR] (--all SCENARIO_DIR | FILE.scn ...)
+//! ```
+//!
+//! Runs each scenario's full matrix (markings × flows × seeds) through
+//! the parallel driver and writes one `dctcp-repro/v1` JSON artifact
+//! per scenario to `DIR` (default `artifacts/repro`). Deterministic:
+//! the same tree produces byte-identical artifacts at any `--threads`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dctcp_scenario::{list_scenarios, run_scenario, ScenarioSpec};
+
+struct Args {
+    threads: usize,
+    out: PathBuf,
+    scenarios: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        out: PathBuf::from("artifacts/repro"),
+        scenarios: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+            }
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--all" => {
+                let dir = PathBuf::from(it.next().ok_or("--all needs a directory")?);
+                let found = list_scenarios(&dir).map_err(|e| e.to_string())?;
+                if found.is_empty() {
+                    return Err(format!("no .scn files in {}", dir.display()));
+                }
+                args.scenarios.extend(found);
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [--threads N] [--out DIR] \
+                            (--all SCENARIO_DIR | FILE.scn ...)"
+                    .into())
+            }
+            other if !other.starts_with('-') => args.scenarios.push(PathBuf::from(other)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.scenarios.is_empty() {
+        return Err("no scenarios given (try `--all scenarios/`)".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+
+    for path in &args.scenarios {
+        let spec = ScenarioSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!(
+            "repro: {} ({}, {} markings x {} flow counts x {} seeds = {} points)",
+            spec.name,
+            spec.kind.name(),
+            spec.markings.len(),
+            spec.run.flows.len(),
+            if spec.kind.is_query() {
+                spec.run.seeds.len()
+            } else {
+                1
+            },
+            spec.num_points(),
+        );
+        let artifact = run_scenario(&spec, args.threads).map_err(|e| e.to_string())?;
+        let out_path = args.out.join(format!("{}.json", spec.name));
+        std::fs::write(&out_path, artifact.render())
+            .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+        eprintln!("repro:   -> {}", out_path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Regression-envelope validator for reproduction artifacts.
+//!
+//! ```text
+//! repro_check [--artifacts DIR] (--all SCENARIO_DIR | FILE.scn ...)
+//! ```
+//!
+//! For each scenario, loads `DIR/<name>.json` (default
+//! `artifacts/repro`), verifies it matches the scenario (schema, name,
+//! kind, complete matrix) and evaluates every `[expect]` envelope.
+//! Exits non-zero if any envelope is violated — the CI gate that keeps
+//! the simulated system inside the paper's claims.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dctcp_scenario::{check_artifact, list_scenarios, Artifact, ScenarioSpec};
+
+struct Args {
+    artifacts: PathBuf,
+    scenarios: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        artifacts: PathBuf::from("artifacts/repro"),
+        scenarios: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--artifacts" => {
+                args.artifacts = PathBuf::from(it.next().ok_or("--artifacts needs a value")?)
+            }
+            "--all" => {
+                let dir = PathBuf::from(it.next().ok_or("--all needs a directory")?);
+                let found = list_scenarios(&dir).map_err(|e| e.to_string())?;
+                if found.is_empty() {
+                    return Err(format!("no .scn files in {}", dir.display()));
+                }
+                args.scenarios.extend(found);
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro_check [--artifacts DIR] \
+                            (--all SCENARIO_DIR | FILE.scn ...)"
+                    .into())
+            }
+            other if !other.starts_with('-') => args.scenarios.push(PathBuf::from(other)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.scenarios.is_empty() {
+        return Err("no scenarios given (try `--all scenarios/`)".into());
+    }
+    Ok(args)
+}
+
+/// Checks one scenario; returns the number of violated envelopes.
+fn check_scenario(spec: &ScenarioSpec, artifact: &Artifact) -> Result<usize, String> {
+    if artifact.scenario != spec.name {
+        return Err(format!(
+            "artifact is for scenario `{}`, expected `{}`",
+            artifact.scenario, spec.name
+        ));
+    }
+    if artifact.kind != spec.kind {
+        return Err(format!(
+            "artifact kind `{}` does not match scenario kind `{}`",
+            artifact.kind.name(),
+            spec.kind.name()
+        ));
+    }
+    if artifact.points.len() != spec.num_points() {
+        return Err(format!(
+            "artifact has {} points, scenario defines {} — stale artifact? re-run repro",
+            artifact.points.len(),
+            spec.num_points()
+        ));
+    }
+    let violations = check_artifact(&spec.expectations, artifact);
+    let mut violated: Vec<&str> = Vec::new();
+    for v in &violations {
+        eprintln!("repro_check:   FAIL {v}");
+        if !violated.contains(&v.expect.as_str()) {
+            violated.push(&v.expect);
+        }
+    }
+    Ok(violated.len())
+}
+
+fn run() -> Result<usize, String> {
+    let args = parse_args()?;
+    let mut total_violations = 0usize;
+    let mut total_expectations = 0usize;
+    for path in &args.scenarios {
+        let spec = ScenarioSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let artifact_path = args.artifacts.join(format!("{}.json", spec.name));
+        let artifact = Artifact::load(&artifact_path).map_err(|e| e.to_string())?;
+        let n = check_scenario(&spec, &artifact)
+            .map_err(|e| format!("{}: {e}", artifact_path.display()))?;
+        total_expectations += spec.expectations.len();
+        total_violations += n;
+        eprintln!(
+            "repro_check: {} — {}/{} envelopes hold",
+            spec.name,
+            spec.expectations.len() - n,
+            spec.expectations.len(),
+        );
+    }
+    eprintln!(
+        "repro_check: {total_expectations} envelopes over {} scenarios, \
+         {total_violations} violation(s)",
+        args.scenarios.len()
+    );
+    Ok(total_violations)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("repro_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Regression envelopes: the paper's claims as machine-checked bands.
+//!
+//! Each `[expect "label"]` section in a scenario file is one claim
+//! about the artifact the scenario produces. Three check shapes cover
+//! the paper:
+//!
+//! * `metric_range` — a min/max band on one metric (e.g. bottleneck
+//!   utilization stays near 1.0 for every scheme and flow count).
+//! * `ordered` — one marking's metric stays strictly below another's
+//!   from a flow count onward (e.g. DT-DCTCP queue stddev below
+//!   DCTCP's at N ≥ 8, the paper's central claim).
+//! * `monotone_increasing` — a metric grows along the flow sweep
+//!   (e.g. single-K oscillation amplitude grows with N, Fig. 5–8).
+
+use crate::artifact::Artifact;
+use crate::parse::{parse_f64, parse_list_u32, parse_u32, Document};
+use crate::spec::ScenarioKind;
+use crate::ScenarioError;
+
+/// The check a single `[expect]` section performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpectCheck {
+    /// Every selected point's `metric` must lie in `[min, max]`.
+    MetricRange {
+        /// Metric name (see [`ScenarioKind::metrics`]).
+        metric: String,
+        /// Restrict to one marking label (default: all).
+        marking: Option<String>,
+        /// Restrict to these flow counts (default: all).
+        flows: Option<Vec<u32>>,
+        /// Inclusive lower bound, if any.
+        min: Option<f64>,
+        /// Inclusive upper bound, if any.
+        max: Option<f64>,
+    },
+    /// `lesser`'s metric must stay strictly below `greater`'s at every
+    /// flow count ≥ `from_flows` (seed-averaged).
+    Ordered {
+        /// Metric name.
+        metric: String,
+        /// Marking label expected to be lower.
+        lesser: String,
+        /// Marking label expected to be higher.
+        greater: String,
+        /// First flow count the ordering must hold at.
+        from_flows: u32,
+    },
+    /// The metric along one marking's flow sweep must not shrink:
+    /// every successive value ≥ previous × `min_ratio`.
+    MonotoneIncreasing {
+        /// Metric name.
+        metric: String,
+        /// Marking label to follow along the sweep.
+        marking: String,
+        /// Minimum successive ratio (1.0 = non-decreasing; below 1.0
+        /// tolerates small dips).
+        min_ratio: f64,
+    },
+}
+
+/// One labeled expectation from a scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expectation {
+    /// The `[expect "label"]` label.
+    pub label: String,
+    /// What to check.
+    pub check: ExpectCheck,
+}
+
+/// One failed expectation, with enough context to read in CI output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The violated expectation's label.
+    pub expect: String,
+    /// What went wrong, with the observed values.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expect \"{}\": {}", self.expect, self.msg)
+    }
+}
+
+/// Parses every `[expect "label"]` section, validating metric names
+/// against the kind and marking labels against the scenario's marking
+/// sections.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] naming the offending line.
+pub fn parse_expectations(
+    doc: &Document,
+    kind: ScenarioKind,
+    markings: &[(String, dctcp_core::MarkingScheme)],
+) -> Result<Vec<Expectation>, ScenarioError> {
+    let mut out: Vec<Expectation> = Vec::new();
+    for s in doc.sections_named("expect") {
+        let label = s.label.clone().ok_or_else(|| ScenarioError::Syntax {
+            line: s.line,
+            msg: "expect sections need a label: [expect \"low-variance\"]".into(),
+        })?;
+        if out.iter().any(|e| e.label == label) {
+            return Err(ScenarioError::DuplicateSection {
+                line: s.line,
+                section: s.display_name(),
+            });
+        }
+
+        let metric_entry = s.require("metric")?;
+        let metric = metric_entry.value.clone();
+        if !kind.metrics().contains(&metric.as_str()) {
+            return Err(ScenarioError::BadValue {
+                line: metric_entry.line,
+                key: "metric".into(),
+                msg: format!(
+                    "unknown metric `{metric}` for kind {} (one of: {})",
+                    kind.name(),
+                    kind.metrics().join(", ")
+                ),
+            });
+        }
+        let known_marking = |value: &str, line: usize| -> Result<String, ScenarioError> {
+            if markings.iter().any(|(l, _)| l == value) {
+                Ok(value.to_string())
+            } else {
+                Err(ScenarioError::BadValue {
+                    line,
+                    key: "marking".into(),
+                    msg: format!("no [marking \"{value}\"] section in this scenario"),
+                })
+            }
+        };
+
+        let check_entry = s.require("check")?;
+        let check = match check_entry.value.as_str() {
+            "metric_range" => {
+                s.reject_unknown_keys(&["check", "metric", "marking", "flows", "min", "max"])?;
+                let marking = match s.get("marking") {
+                    Some(e) => Some(known_marking(&e.value, e.line)?),
+                    None => None,
+                };
+                let flows = s.get("flows").map(parse_list_u32).transpose()?;
+                let min = s.get("min").map(parse_f64).transpose()?;
+                let max = s.get("max").map(parse_f64).transpose()?;
+                if min.is_none() && max.is_none() {
+                    return Err(ScenarioError::BadValue {
+                        line: check_entry.line,
+                        key: "check".into(),
+                        msg: "metric_range needs `min`, `max` or both".into(),
+                    });
+                }
+                if let (Some(lo), Some(hi)) = (min, max) {
+                    if lo > hi {
+                        return Err(ScenarioError::OutOfRange {
+                            line: check_entry.line,
+                            key: "min".into(),
+                            msg: format!("min {lo} exceeds max {hi}"),
+                        });
+                    }
+                }
+                ExpectCheck::MetricRange {
+                    metric,
+                    marking,
+                    flows,
+                    min,
+                    max,
+                }
+            }
+            "ordered" => {
+                s.reject_unknown_keys(&["check", "metric", "lesser", "greater", "from_flows"])?;
+                let lesser_e = s.require("lesser")?;
+                let greater_e = s.require("greater")?;
+                let lesser = known_marking(&lesser_e.value, lesser_e.line)?;
+                let greater = known_marking(&greater_e.value, greater_e.line)?;
+                if lesser == greater {
+                    return Err(ScenarioError::BadValue {
+                        line: greater_e.line,
+                        key: "greater".into(),
+                        msg: "lesser and greater must differ".into(),
+                    });
+                }
+                let from_flows = s.get("from_flows").map(parse_u32).transpose()?.unwrap_or(0);
+                ExpectCheck::Ordered {
+                    metric,
+                    lesser,
+                    greater,
+                    from_flows,
+                }
+            }
+            "monotone_increasing" => {
+                s.reject_unknown_keys(&["check", "metric", "marking", "min_ratio"])?;
+                let marking_e = s.require("marking")?;
+                let marking = known_marking(&marking_e.value, marking_e.line)?;
+                let min_ratio = s
+                    .get("min_ratio")
+                    .map(parse_f64)
+                    .transpose()?
+                    .unwrap_or(1.0);
+                if !(min_ratio.is_finite() && min_ratio > 0.0) {
+                    return Err(ScenarioError::OutOfRange {
+                        line: s.get("min_ratio").map_or(s.line, |e| e.line),
+                        key: "min_ratio".into(),
+                        msg: "min_ratio must be a positive number".into(),
+                    });
+                }
+                ExpectCheck::MonotoneIncreasing {
+                    metric,
+                    marking,
+                    min_ratio,
+                }
+            }
+            other => {
+                return Err(ScenarioError::BadValue {
+                    line: check_entry.line,
+                    key: "check".into(),
+                    msg: format!(
+                        "unknown check `{other}` \
+                         (metric_range/ordered/monotone_increasing)"
+                    ),
+                })
+            }
+        };
+        out.push(Expectation { label, check });
+    }
+    Ok(out)
+}
+
+/// Evaluates every expectation against an artifact.
+///
+/// Returns all violations (empty = the artifact is inside every
+/// envelope). A metric or point that is absent from the artifact is
+/// itself a violation — an envelope must never silently pass because
+/// the data it constrains was not produced.
+pub fn check_artifact(expectations: &[Expectation], artifact: &Artifact) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for e in expectations {
+        check_one(e, artifact, &mut out);
+    }
+    out
+}
+
+fn check_one(e: &Expectation, artifact: &Artifact, out: &mut Vec<Violation>) {
+    let violation = |msg: String| Violation {
+        expect: e.label.clone(),
+        msg,
+    };
+    match &e.check {
+        ExpectCheck::MetricRange {
+            metric,
+            marking,
+            flows,
+            min,
+            max,
+        } => {
+            let mut matched = false;
+            for p in &artifact.points {
+                if marking.as_ref().is_some_and(|m| *m != p.marking) {
+                    continue;
+                }
+                if flows.as_ref().is_some_and(|f| !f.contains(&p.flows)) {
+                    continue;
+                }
+                matched = true;
+                let Some(v) = p.metric(metric) else {
+                    out.push(violation(format!(
+                        "point ({}, N={}, seed {}) lacks metric `{metric}`",
+                        p.marking, p.flows, p.seed
+                    )));
+                    continue;
+                };
+                if min.is_some_and(|lo| v < lo) || max.is_some_and(|hi| v > hi) {
+                    out.push(violation(format!(
+                        "{metric} = {v:.6} at ({}, N={}, seed {}) outside [{}, {}]",
+                        p.marking,
+                        p.flows,
+                        p.seed,
+                        min.map_or("-inf".into(), |v| format!("{v}")),
+                        max.map_or("+inf".into(), |v| format!("{v}")),
+                    )));
+                }
+            }
+            if !matched {
+                out.push(violation("no artifact point matched the selector".into()));
+            }
+        }
+        ExpectCheck::Ordered {
+            metric,
+            lesser,
+            greater,
+            from_flows,
+        } => {
+            let counts: Vec<u32> = artifact
+                .flow_counts(lesser)
+                .into_iter()
+                .filter(|n| n >= from_flows)
+                .collect();
+            if counts.is_empty() {
+                out.push(violation(format!(
+                    "no `{lesser}` points at N >= {from_flows}"
+                )));
+                return;
+            }
+            for n in counts {
+                let (Some(lo), Some(hi)) = (
+                    artifact.metric(lesser, n, metric),
+                    artifact.metric(greater, n, metric),
+                ) else {
+                    out.push(violation(format!(
+                        "missing {metric} for `{lesser}` or `{greater}` at N={n}"
+                    )));
+                    continue;
+                };
+                if lo >= hi {
+                    out.push(violation(format!(
+                        "{metric}: {lesser} = {lo:.6} not below {greater} = {hi:.6} at N={n}"
+                    )));
+                }
+            }
+        }
+        ExpectCheck::MonotoneIncreasing {
+            metric,
+            marking,
+            min_ratio,
+        } => {
+            let counts = artifact.flow_counts(marking);
+            if counts.len() < 2 {
+                out.push(violation(format!(
+                    "need at least two flow counts for `{marking}`, found {}",
+                    counts.len()
+                )));
+                return;
+            }
+            for pair in counts.windows(2) {
+                let (Some(prev), Some(next)) = (
+                    artifact.metric(marking, pair[0], metric),
+                    artifact.metric(marking, pair[1], metric),
+                ) else {
+                    out.push(violation(format!(
+                        "missing {metric} for `{marking}` at N={} or N={}",
+                        pair[0], pair[1]
+                    )));
+                    continue;
+                };
+                if next < prev * min_ratio {
+                    out.push(violation(format!(
+                        "{metric} for {marking} fell from {prev:.6} (N={}) to {next:.6} \
+                         (N={}), below ratio {min_ratio}",
+                        pair[0], pair[1]
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Point;
+
+    fn point(marking: &str, flows: u32, queue_std: f64) -> Point {
+        Point {
+            marking: marking.into(),
+            flows,
+            seed: 1,
+            metrics: vec![("queue_std".into(), queue_std)],
+        }
+    }
+
+    fn artifact(points: Vec<Point>) -> Artifact {
+        Artifact {
+            scenario: "t".into(),
+            kind: ScenarioKind::LongLived,
+            points,
+        }
+    }
+
+    #[test]
+    fn metric_range_flags_out_of_band_points() {
+        let e = Expectation {
+            label: "band".into(),
+            check: ExpectCheck::MetricRange {
+                metric: "queue_std".into(),
+                marking: None,
+                flows: None,
+                min: Some(1.0),
+                max: Some(5.0),
+            },
+        };
+        let a = artifact(vec![point("dctcp", 2, 3.0), point("dctcp", 8, 7.5)]);
+        let v = check_artifact(&[e], &a);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("7.5"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn metric_range_fails_when_selector_matches_nothing() {
+        let e = Expectation {
+            label: "band".into(),
+            check: ExpectCheck::MetricRange {
+                metric: "queue_std".into(),
+                marking: Some("pie".into()),
+                flows: None,
+                min: Some(0.0),
+                max: None,
+            },
+        };
+        let v = check_artifact(&[e], &artifact(vec![point("dctcp", 2, 3.0)]));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ordered_holds_only_from_given_flows() {
+        let e = Expectation {
+            label: "dt-below".into(),
+            check: ExpectCheck::Ordered {
+                metric: "queue_std".into(),
+                lesser: "dt".into(),
+                greater: "dc".into(),
+                from_flows: 8,
+            },
+        };
+        // At N=2 the ordering is inverted, but from_flows = 8 skips it.
+        let ok = artifact(vec![
+            point("dt", 2, 9.0),
+            point("dc", 2, 1.0),
+            point("dt", 8, 1.0),
+            point("dc", 8, 2.0),
+        ]);
+        assert!(check_artifact(std::slice::from_ref(&e), &ok).is_empty());
+        let bad = artifact(vec![point("dt", 8, 2.0), point("dc", 8, 2.0)]);
+        assert_eq!(check_artifact(&[e], &bad).len(), 1);
+    }
+
+    #[test]
+    fn monotone_increasing_tolerates_dips_within_ratio() {
+        let e = Expectation {
+            label: "grows".into(),
+            check: ExpectCheck::MonotoneIncreasing {
+                metric: "queue_std".into(),
+                marking: "dc".into(),
+                min_ratio: 0.9,
+            },
+        };
+        let ok = artifact(vec![
+            point("dc", 2, 10.0),
+            point("dc", 4, 9.5),
+            point("dc", 8, 20.0),
+        ]);
+        assert!(check_artifact(std::slice::from_ref(&e), &ok).is_empty());
+        let bad = artifact(vec![point("dc", 2, 10.0), point("dc", 4, 5.0)]);
+        assert_eq!(check_artifact(&[e], &bad).len(), 1);
+    }
+}

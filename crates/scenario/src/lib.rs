@@ -1,0 +1,59 @@
+//! Declarative reproduction scenarios for the DT-DCTCP study.
+//!
+//! This crate turns the paper's experiment matrix into data: each
+//! committed `scenarios/*.scn` file declares a topology, the marking
+//! schemes under test, a flow-count sweep, optional scripted faults and
+//! a set of *regression envelopes* — the paper's claims written as
+//! machine-checkable bands. Two binaries drive it:
+//!
+//! * `repro` runs a scenario's matrix in parallel (bit-identical for
+//!   any thread count) and writes one `dctcp-repro/v1` JSON artifact
+//!   per scenario.
+//! * `repro_check` re-parses the scenario, loads the artifact and
+//!   verifies every envelope, failing CI when a change pushes the
+//!   simulated system outside the paper's claims.
+//!
+//! The scenario format is a deliberately small line-oriented
+//! `[section]` / `key = value` surface (see [`parse`]) with typed,
+//! line-numbered errors ([`ScenarioError`]) — no external parser
+//! dependency, keeping the workspace hermetic.
+
+#![warn(missing_docs)]
+
+mod artifact;
+mod envelope;
+mod error;
+pub mod parse;
+mod runner;
+mod spec;
+
+pub use artifact::{Artifact, Point};
+pub use envelope::{check_artifact, ExpectCheck, Expectation, Violation};
+pub use error::ScenarioError;
+pub use runner::run_scenario;
+pub use spec::{
+    DumbbellSpec, FaultSpec, RunSpec, ScenarioKind, ScenarioSpec, TestbedSpec, TopologySpec,
+    MAX_FLOWS,
+};
+
+/// Lists the `.scn` files of a directory in name order (the repro
+/// matrix order).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Io`] when the directory cannot be read.
+pub fn list_scenarios(dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, ScenarioError> {
+    let io_err = |e: std::io::Error| ScenarioError::Io {
+        path: dir.display().to_string(),
+        msg: e.to_string(),
+    };
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(io_err)? {
+        let path = entry.map_err(io_err)?.path();
+        if path.extension().is_some_and(|e| e == "scn") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,264 @@
+//! Executes a scenario's matrix and assembles the artifact.
+//!
+//! The matrix (markings × flow counts × seeds) fans out through
+//! [`dctcp_parallel::par_try_map`], so artifacts are bit-identical for
+//! any thread count; each cell is one deterministic simulation.
+
+use dctcp_parallel::par_try_map;
+use dctcp_sim::{FaultPlan, SimTime};
+use dctcp_stats::oscillation;
+use dctcp_workloads::{
+    run_query_rounds_with_threads, LongLivedScenario, QueryWorkload, TestbedConfig,
+};
+
+use crate::artifact::{Artifact, Point};
+use crate::spec::{DumbbellSpec, ScenarioKind, ScenarioSpec, TestbedSpec};
+use crate::ScenarioError;
+
+/// One (marking, flows, seed) cell awaiting execution.
+#[derive(Debug, Clone)]
+struct Cell {
+    label: String,
+    scheme: dctcp_core::MarkingScheme,
+    flows: u32,
+    seed: u64,
+}
+
+/// Runs every matrix point of a scenario across `threads` workers and
+/// returns the artifact. `threads = 0` means
+/// [`dctcp_parallel::available_threads`].
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Run`] wrapping the first (lowest-indexed)
+/// failing cell's simulator error.
+pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<Artifact, ScenarioError> {
+    let threads = if threads == 0 {
+        dctcp_parallel::available_threads()
+    } else {
+        threads
+    };
+    let seeds: &[u64] = if spec.kind.is_query() {
+        &spec.run.seeds
+    } else {
+        // Long-lived runs are seed-free (fully deterministic); pin the
+        // artifact's seed column to 1.
+        &[1]
+    };
+    let mut cells = Vec::with_capacity(spec.num_points());
+    for (label, scheme) in &spec.markings {
+        for &flows in &spec.run.flows {
+            for &seed in seeds {
+                cells.push(Cell {
+                    label: label.clone(),
+                    scheme: *scheme,
+                    flows,
+                    seed,
+                });
+            }
+        }
+    }
+
+    let points = par_try_map(
+        cells,
+        threads,
+        |_idx, cell| -> Result<Point, ScenarioError> {
+            let run_err = |msg: String| ScenarioError::Run {
+                scenario: spec.name.clone(),
+                msg: format!(
+                    "({}, N={}, seed {}): {msg}",
+                    cell.label, cell.flows, cell.seed
+                ),
+            };
+            let metrics = match (spec.kind, &spec.topology) {
+                (ScenarioKind::LongLived, crate::spec::TopologySpec::Dumbbell(d)) => {
+                    run_long_lived_cell(spec, d, &cell).map_err(|e| run_err(e.to_string()))?
+                }
+                (_, crate::spec::TopologySpec::Testbed(t)) => {
+                    run_query_cell(spec, t, &cell).map_err(|e| run_err(e.to_string()))?
+                }
+                _ => return Err(run_err("kind/topology mismatch".into())),
+            };
+            Ok(Point {
+                marking: cell.label,
+                flows: cell.flows,
+                seed: cell.seed,
+                metrics,
+            })
+        },
+    )?;
+
+    Ok(Artifact {
+        scenario: spec.name.clone(),
+        kind: spec.kind,
+        points,
+    })
+}
+
+fn run_long_lived_cell(
+    spec: &ScenarioSpec,
+    d: &DumbbellSpec,
+    cell: &Cell,
+) -> Result<Vec<(String, f64)>, dctcp_sim::SimError> {
+    let scenario = LongLivedScenario::builder()
+        .flows(cell.flows)
+        .bottleneck_gbps(d.bottleneck_bps as f64 / 1e9)
+        .rtt_us(d.rtt.as_secs_f64() * 1e6)
+        .marking(cell.scheme)
+        .tcp(spec.tcp)
+        .buffer(d.buffer)
+        .warmup_secs(spec.run.warmup.as_secs_f64())
+        .duration_secs(spec.run.duration.as_secs_f64())
+        .trace_interval(spec.run.trace_interval)
+        .start_stagger(spec.run.stagger)
+        .build()?;
+    let faults = spec.faults;
+    let report = scenario.run_with_faults(|i| {
+        let mut plan = FaultPlan::new();
+        if let Some((from, until)) = faults.bleach {
+            plan = plan.bleach_window(i.bottleneck, SimTime::ZERO + from, SimTime::ZERO + until);
+        }
+        if let Some((from, until)) = faults.down {
+            plan = plan
+                .at(
+                    SimTime::ZERO + from,
+                    i.bottleneck,
+                    dctcp_sim::FaultAction::LinkDown,
+                )
+                .at(
+                    SimTime::ZERO + until,
+                    i.bottleneck,
+                    dctcp_sim::FaultAction::LinkUp,
+                );
+        }
+        plan
+    })?;
+
+    let osc = match &report.trace {
+        Some(trace) => oscillation(trace),
+        None => dctcp_stats::OscillationSummary::none(),
+    };
+    let duration_s = spec.run.duration.as_secs_f64();
+    Ok(vec![
+        ("queue_mean".into(), report.queue.mean),
+        ("queue_std".into(), report.queue.std),
+        ("queue_max".into(), report.queue.max),
+        ("osc_amplitude".into(), osc.mean_amplitude),
+        ("osc_max_amplitude".into(), osc.max_amplitude),
+        ("osc_cycles".into(), osc.cycles as f64),
+        ("mark_rate".into(), report.marks as f64 / duration_s),
+        ("marks".into(), report.marks as f64),
+        ("drops".into(), report.drops as f64),
+        ("timeouts".into(), report.timeouts as f64),
+        ("alpha_mean".into(), finite(report.alpha.mean())),
+        ("utilization".into(), report.utilization(d.bottleneck_bps)),
+        ("goodput_gbps".into(), report.goodput_bps / 1e9),
+    ])
+}
+
+fn run_query_cell(
+    spec: &ScenarioSpec,
+    t: &TestbedSpec,
+    cell: &Cell,
+) -> Result<Vec<(String, f64)>, dctcp_sim::SimError> {
+    let mut cfg = TestbedConfig::paper(cell.scheme);
+    cfg.tcp = spec.tcp;
+    cfg.bottleneck_buffer = t.bottleneck_buffer;
+    cfg.other_buffer = t.other_buffer;
+    cfg.link_gbps = t.link_bps as f64 / 1e9;
+    cfg.link_delay_us = t.link_delay.as_nanos() / 1000;
+
+    let mut wl = match spec.kind {
+        ScenarioKind::Incast => QueryWorkload::incast(cell.flows, spec.run.rounds),
+        _ => QueryWorkload::partition_aggregate(cell.flows, spec.run.rounds),
+    };
+    wl.seed = cell.seed;
+    wl.bytes_per_flow = match spec.kind {
+        ScenarioKind::Incast => spec.run.bytes,
+        _ => spec.run.bytes / u64::from(cell.flows),
+    };
+
+    // The outer matrix already saturates the worker pool; run the
+    // rounds of one cell serially to keep the fan-out single-level.
+    let report = run_query_rounds_with_threads(&cfg, &wl, 1)?;
+
+    let mut q = report.completions();
+    let in_ms = |v: Option<f64>| v.map_or(0.0, |s| s * 1e3);
+    let completed = report
+        .rounds
+        .iter()
+        .filter(|r| r.completion.is_some())
+        .count();
+    let drops: u64 = report.rounds.iter().map(|r| r.drops).sum();
+    Ok(vec![
+        ("goodput_mbps".into(), report.mean_goodput_bps() / 1e6),
+        ("completion_mean_ms".into(), in_ms(q.mean())),
+        ("completion_p95_ms".into(), in_ms(q.quantile(0.95))),
+        ("completion_p99_ms".into(), in_ms(q.quantile(0.99))),
+        ("timeout_frac".into(), report.timeout_fraction()),
+        ("rounds_completed".into(), completed as f64),
+        ("drops".into(), drops as f64),
+    ])
+}
+
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    // One tiny end-to-end run: the cheapest long-lived matrix that still
+    // exercises tracing, oscillation metrics and determinism.
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::parse(
+            "\
+[scenario]
+name = tiny
+kind = long_lived
+
+[topology]
+bottleneck = 1 Gbps
+
+# Warmup must outlast the ~15 ms slow-start transient at 1 Gb/s or
+# the decaying head masks the steady-state oscillation.
+[run]
+flows = 2
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn long_lived_artifact_has_every_metric() {
+        let a = run_scenario(&tiny_spec(), 2).unwrap();
+        assert_eq!(a.points.len(), 1);
+        let p = &a.points[0];
+        for name in ScenarioKind::LongLived.metrics() {
+            let v = p.metric(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(v.is_finite(), "{name} = {v}");
+        }
+        assert!(p.metric("utilization").unwrap() > 0.8);
+        assert!(p.metric("osc_cycles").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn artifacts_are_thread_count_invariant() {
+        let a = run_scenario(&tiny_spec(), 1).unwrap();
+        let b = run_scenario(&tiny_spec(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,762 @@
+//! The typed scenario model: what a `.scn` file means.
+
+use dctcp_core::MarkingScheme;
+use dctcp_sim::{Capacity, SimDuration};
+use dctcp_tcp::TcpConfig;
+
+use crate::parse::{
+    parse_bytes, parse_capacity, parse_duration, parse_f64, parse_level, parse_list_u32,
+    parse_list_u64, parse_rate_bps, parse_u32, parse_window, Document, RawSection,
+};
+use crate::{Expectation, ScenarioError};
+
+/// Upper bound on any flow count in a scenario, keeping a typo like
+/// `flows = 1000000` from turning the CI gate into an oven.
+pub const MAX_FLOWS: u32 = 512;
+
+/// Which workload family a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// N long-lived flows over one bottleneck (Figs. 1, 5–8, 10–12).
+    LongLived,
+    /// Synchronized Incast responses on the Fig. 13 testbed (Fig. 14).
+    Incast,
+    /// Partition-aggregate queries on the Fig. 13 testbed (Fig. 15).
+    PartitionAggregate,
+}
+
+impl ScenarioKind {
+    /// The `kind = …` spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::LongLived => "long_lived",
+            ScenarioKind::Incast => "incast",
+            ScenarioKind::PartitionAggregate => "partition_aggregate",
+        }
+    }
+
+    /// Parses the `kind = …` spelling back into a kind.
+    pub fn from_name(name: &str) -> Option<ScenarioKind> {
+        match name {
+            "long_lived" => Some(ScenarioKind::LongLived),
+            "incast" => Some(ScenarioKind::Incast),
+            "partition_aggregate" => Some(ScenarioKind::PartitionAggregate),
+            _ => None,
+        }
+    }
+
+    /// Whether this kind runs on the Fig. 13 testbed.
+    pub fn is_query(&self) -> bool {
+        matches!(
+            self,
+            ScenarioKind::Incast | ScenarioKind::PartitionAggregate
+        )
+    }
+
+    /// The point metrics artifacts of this kind carry, in artifact
+    /// order.
+    pub fn metrics(&self) -> &'static [&'static str] {
+        match self {
+            ScenarioKind::LongLived => &[
+                "queue_mean",
+                "queue_std",
+                "queue_max",
+                "osc_amplitude",
+                "osc_max_amplitude",
+                "osc_cycles",
+                "mark_rate",
+                "marks",
+                "drops",
+                "timeouts",
+                "alpha_mean",
+                "utilization",
+                "goodput_gbps",
+            ],
+            ScenarioKind::Incast | ScenarioKind::PartitionAggregate => &[
+                "goodput_mbps",
+                "completion_mean_ms",
+                "completion_p95_ms",
+                "completion_p99_ms",
+                "timeout_frac",
+                "rounds_completed",
+                "drops",
+            ],
+        }
+    }
+}
+
+/// Dumbbell topology parameters for [`ScenarioKind::LongLived`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DumbbellSpec {
+    /// Bottleneck rate, bits/second.
+    pub bottleneck_bps: u64,
+    /// Propagation round-trip time.
+    pub rtt: SimDuration,
+    /// Bottleneck buffer.
+    pub buffer: Capacity,
+}
+
+/// Fig. 13 testbed parameters for the query kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestbedSpec {
+    /// Per-link rate, bits/second.
+    pub link_bps: u64,
+    /// Bottleneck (Switch 1 → client) buffer.
+    pub bottleneck_buffer: Capacity,
+    /// Every other switch port's buffer.
+    pub other_buffer: Capacity,
+    /// One-way propagation delay per link.
+    pub link_delay: SimDuration,
+}
+
+/// Topology, by kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// Long-lived dumbbell.
+    Dumbbell(DumbbellSpec),
+    /// Fig. 13 testbed.
+    Testbed(TestbedSpec),
+}
+
+/// Scripted faults on the bottleneck link (long-lived kind only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSpec {
+    /// ECN-bleaching window (CE marks stripped), relative to sim start.
+    pub bleach: Option<(SimDuration, SimDuration)>,
+    /// Link-down window, relative to sim start.
+    pub down: Option<(SimDuration, SimDuration)>,
+}
+
+impl FaultSpec {
+    /// Whether any fault is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.bleach.is_none() && self.down.is_none()
+    }
+}
+
+/// Run-control parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Flow counts to sweep.
+    pub flows: Vec<u32>,
+    /// Warm-up excluded from statistics (long-lived).
+    pub warmup: SimDuration,
+    /// Measurement window (long-lived).
+    pub duration: SimDuration,
+    /// Queue-trace sample spacing for oscillation metrics (long-lived).
+    pub trace_interval: SimDuration,
+    /// Per-flow start stagger (long-lived).
+    pub stagger: SimDuration,
+    /// Rounds per point (query kinds).
+    pub rounds: u32,
+    /// Bytes each responder sends (Incast), or total bytes split over
+    /// responders (partition-aggregate).
+    pub bytes: u64,
+    /// Workload RNG seeds (query kinds); each seed is one matrix point.
+    pub seeds: Vec<u64>,
+}
+
+/// A fully validated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Unique scenario name (artifact file stem).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Workload family.
+    pub kind: ScenarioKind,
+    /// Topology parameters.
+    pub topology: TopologySpec,
+    /// Transport configuration shared by every host.
+    pub tcp: TcpConfig,
+    /// Run control.
+    pub run: RunSpec,
+    /// Labeled marking schemes under test, in file order.
+    pub markings: Vec<(String, MarkingScheme)>,
+    /// Scripted faults.
+    pub faults: FaultSpec,
+    /// Regression-envelope expectations, in file order.
+    pub expectations: Vec<Expectation>,
+}
+
+impl ScenarioSpec {
+    /// Parses and validates a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] pinpointing the first problem.
+    pub fn parse(src: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let doc = Document::parse(src)?;
+        for s in &doc.sections {
+            const KNOWN: &[&str] = &[
+                "scenario",
+                "topology",
+                "transport",
+                "run",
+                "marking",
+                "faults",
+                "expect",
+            ];
+            if !KNOWN.contains(&s.name.as_str()) {
+                return Err(ScenarioError::UnknownSection {
+                    line: s.line,
+                    section: s.display_name(),
+                });
+            }
+        }
+
+        let meta = doc
+            .section("scenario")
+            .ok_or(ScenarioError::MissingSection {
+                section: "scenario".into(),
+            })?;
+        meta.reject_unknown_keys(&["name", "kind", "description"])?;
+        let name = meta.require("name")?.value.clone();
+        if name.is_empty() || name.contains(|c: char| c.is_whitespace() || c == '/') {
+            let e = meta.require("name")?;
+            return Err(ScenarioError::BadValue {
+                line: e.line,
+                key: "name".into(),
+                msg: "name must be a non-empty token without spaces or `/`".into(),
+            });
+        }
+        let kind_entry = meta.require("kind")?;
+        let kind = match kind_entry.value.as_str() {
+            "long_lived" => ScenarioKind::LongLived,
+            "incast" => ScenarioKind::Incast,
+            "partition_aggregate" => ScenarioKind::PartitionAggregate,
+            other => {
+                return Err(ScenarioError::BadValue {
+                    line: kind_entry.line,
+                    key: "kind".into(),
+                    msg: format!("unknown kind `{other}` (long_lived/incast/partition_aggregate)"),
+                })
+            }
+        };
+        let description = meta.value("description").unwrap_or_default().to_string();
+
+        let topology = parse_topology(&doc, kind)?;
+        let tcp = parse_transport(&doc)?;
+        let run = parse_run(&doc, kind)?;
+        let markings = parse_markings(&doc)?;
+        let faults = parse_faults(&doc, kind)?;
+        let expectations = crate::envelope::parse_expectations(&doc, kind, &markings)?;
+
+        Ok(ScenarioSpec {
+            name,
+            description,
+            kind,
+            topology,
+            tcp,
+            run,
+            markings,
+            faults,
+            expectations,
+        })
+    }
+
+    /// Loads and parses a scenario file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] or any parse/validation error.
+    pub fn load(path: &std::path::Path) -> Result<ScenarioSpec, ScenarioError> {
+        let src = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        ScenarioSpec::parse(&src)
+    }
+
+    /// The dumbbell topology (long-lived kind).
+    pub fn dumbbell(&self) -> Option<&DumbbellSpec> {
+        match &self.topology {
+            TopologySpec::Dumbbell(d) => Some(d),
+            TopologySpec::Testbed(_) => None,
+        }
+    }
+
+    /// The testbed topology (query kinds).
+    pub fn testbed(&self) -> Option<&TestbedSpec> {
+        match &self.topology {
+            TopologySpec::Testbed(t) => Some(t),
+            TopologySpec::Dumbbell(_) => None,
+        }
+    }
+
+    /// Number of matrix points this scenario expands to.
+    pub fn num_points(&self) -> usize {
+        self.markings.len() * self.run.flows.len() * self.run.seeds.len()
+    }
+}
+
+fn parse_topology(doc: &Document, kind: ScenarioKind) -> Result<TopologySpec, ScenarioError> {
+    let section = doc.section("topology");
+    match kind {
+        ScenarioKind::LongLived => {
+            let mut spec = DumbbellSpec {
+                bottleneck_bps: 10_000_000_000,
+                rtt: SimDuration::from_micros(300),
+                buffer: Capacity::Packets(1000),
+            };
+            if let Some(s) = section {
+                s.reject_unknown_keys(&["bottleneck", "rtt", "buffer"])?;
+                if let Some(e) = s.get("bottleneck") {
+                    spec.bottleneck_bps = parse_rate_bps(e)?;
+                }
+                if let Some(e) = s.get("rtt") {
+                    spec.rtt = require_positive(parse_duration(e)?, e, "rtt")?;
+                }
+                if let Some(e) = s.get("buffer") {
+                    spec.buffer = parse_capacity(e)?;
+                }
+            }
+            Ok(TopologySpec::Dumbbell(spec))
+        }
+        ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
+            let mut spec = TestbedSpec {
+                link_bps: 1_000_000_000,
+                bottleneck_buffer: Capacity::Bytes(128 * 1024),
+                other_buffer: Capacity::Bytes(512 * 1024),
+                link_delay: SimDuration::from_micros(25),
+            };
+            if let Some(s) = section {
+                s.reject_unknown_keys(&["link", "bottleneck_buffer", "other_buffer", "delay"])?;
+                if let Some(e) = s.get("link") {
+                    spec.link_bps = parse_rate_bps(e)?;
+                }
+                if let Some(e) = s.get("bottleneck_buffer") {
+                    spec.bottleneck_buffer = parse_capacity(e)?;
+                }
+                if let Some(e) = s.get("other_buffer") {
+                    spec.other_buffer = parse_capacity(e)?;
+                }
+                if let Some(e) = s.get("delay") {
+                    spec.link_delay = require_positive(parse_duration(e)?, e, "delay")?;
+                }
+            }
+            Ok(TopologySpec::Testbed(spec))
+        }
+    }
+}
+
+fn require_positive(
+    d: SimDuration,
+    entry: &crate::parse::RawEntry,
+    key: &str,
+) -> Result<SimDuration, ScenarioError> {
+    if d == SimDuration::ZERO {
+        return Err(ScenarioError::OutOfRange {
+            line: entry.line,
+            key: key.into(),
+            msg: "must be positive".into(),
+        });
+    }
+    Ok(d)
+}
+
+fn parse_transport(doc: &Document) -> Result<TcpConfig, ScenarioError> {
+    let mut g = 1.0 / 16.0;
+    let mut rto_min = None;
+    let mut ecn_fallback_after = None;
+    if let Some(s) = doc.section("transport") {
+        s.reject_unknown_keys(&["g", "rto_min", "ecn_fallback_after"])?;
+        if let Some(e) = s.get("g") {
+            g = parse_f64(e)?;
+            if !(g > 0.0 && g <= 1.0) {
+                return Err(ScenarioError::OutOfRange {
+                    line: e.line,
+                    key: "g".into(),
+                    msg: format!("EWMA gain must be in (0, 1], got {g}"),
+                });
+            }
+        }
+        if let Some(e) = s.get("rto_min") {
+            rto_min = Some(require_positive(parse_duration(e)?, e, "rto_min")?);
+        }
+        if let Some(e) = s.get("ecn_fallback_after") {
+            ecn_fallback_after = Some(parse_u32(e)?);
+        }
+    }
+    let mut cfg = TcpConfig::dctcp(g);
+    if let Some(r) = rto_min {
+        cfg.rto_min = r;
+    }
+    if let Some(n) = ecn_fallback_after {
+        cfg.ecn_fallback_after = Some(n);
+    }
+    cfg.validate().map_err(|e| ScenarioError::OutOfRange {
+        line: doc.section("transport").map_or(0, |s| s.line),
+        key: "transport".into(),
+        msg: e.to_string(),
+    })?;
+    Ok(cfg)
+}
+
+fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioError> {
+    let s = doc.section("run").ok_or(ScenarioError::MissingSection {
+        section: "run".into(),
+    })?;
+    match kind {
+        ScenarioKind::LongLived => {
+            s.reject_unknown_keys(&["flows", "warmup", "duration", "trace", "stagger"])?
+        }
+        _ => {
+            s.reject_unknown_keys(&["flows", "rounds", "bytes_per_flow", "total_bytes", "seeds"])?
+        }
+    }
+    let flows_entry = s.require("flows")?;
+    let flows = parse_list_u32(flows_entry)?;
+    if flows.is_empty() {
+        return Err(ScenarioError::BadValue {
+            line: flows_entry.line,
+            key: "flows".into(),
+            msg: "at least one flow count required".into(),
+        });
+    }
+    for &n in &flows {
+        if n == 0 || n > MAX_FLOWS {
+            return Err(ScenarioError::OutOfRange {
+                line: flows_entry.line,
+                key: "flows".into(),
+                msg: format!("flow counts must be in 1..={MAX_FLOWS}, got {n}"),
+            });
+        }
+    }
+
+    let mut run = RunSpec {
+        flows,
+        warmup: SimDuration::from_millis(20),
+        duration: SimDuration::from_millis(50),
+        trace_interval: SimDuration::from_micros(50),
+        stagger: SimDuration::ZERO,
+        rounds: 3,
+        bytes: 64 * 1024,
+        seeds: vec![1],
+    };
+    match kind {
+        ScenarioKind::LongLived => {
+            if let Some(e) = s.get("warmup") {
+                run.warmup = parse_duration(e)?;
+            }
+            if let Some(e) = s.get("duration") {
+                run.duration = require_positive(parse_duration(e)?, e, "duration")?;
+            }
+            if let Some(e) = s.get("trace") {
+                run.trace_interval = require_positive(parse_duration(e)?, e, "trace")?;
+            }
+            if let Some(e) = s.get("stagger") {
+                run.stagger = parse_duration(e)?;
+            }
+        }
+        ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
+            if let Some(e) = s.get("rounds") {
+                run.rounds = parse_u32(e)?;
+                if run.rounds == 0 || run.rounds > 100 {
+                    return Err(ScenarioError::OutOfRange {
+                        line: e.line,
+                        key: "rounds".into(),
+                        msg: format!("rounds must be in 1..=100, got {}", run.rounds),
+                    });
+                }
+            }
+            let (bytes_key, other_key) = match kind {
+                ScenarioKind::Incast => ("bytes_per_flow", "total_bytes"),
+                _ => ("total_bytes", "bytes_per_flow"),
+            };
+            if let Some(e) = s.get(other_key) {
+                return Err(ScenarioError::BadValue {
+                    line: e.line,
+                    key: other_key.into(),
+                    msg: format!("{} scenarios take `{bytes_key}`", kind.name()),
+                });
+            }
+            run.bytes = match kind {
+                ScenarioKind::Incast => 64 * 1024,
+                _ => 1024 * 1024,
+            };
+            if let Some(e) = s.get(bytes_key) {
+                run.bytes = parse_bytes(e)?;
+            }
+            if let Some(e) = s.get("seeds") {
+                run.seeds = parse_list_u64(e)?;
+                if run.seeds.is_empty() {
+                    return Err(ScenarioError::BadValue {
+                        line: e.line,
+                        key: "seeds".into(),
+                        msg: "at least one seed required".into(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(run)
+}
+
+fn parse_markings(doc: &Document) -> Result<Vec<(String, MarkingScheme)>, ScenarioError> {
+    let mut out: Vec<(String, MarkingScheme)> = Vec::new();
+    for s in doc.sections_named("marking") {
+        let label = s.label.clone().ok_or_else(|| ScenarioError::Syntax {
+            line: s.line,
+            msg: "marking sections need a label: [marking \"dctcp\"]".into(),
+        })?;
+        if out.iter().any(|(l, _)| *l == label) {
+            return Err(ScenarioError::DuplicateSection {
+                line: s.line,
+                section: s.display_name(),
+            });
+        }
+        out.push((label, parse_one_marking(s)?));
+    }
+    if out.is_empty() {
+        return Err(ScenarioError::MissingSection {
+            section: "marking \"…\"".into(),
+        });
+    }
+    Ok(out)
+}
+
+fn parse_one_marking(s: &RawSection) -> Result<MarkingScheme, ScenarioError> {
+    let scheme_entry = s.require("scheme")?;
+    let scheme = match scheme_entry.value.as_str() {
+        "droptail" => {
+            s.reject_unknown_keys(&["scheme"])?;
+            MarkingScheme::DropTail
+        }
+        "dctcp" => {
+            s.reject_unknown_keys(&["scheme", "k"])?;
+            MarkingScheme::Dctcp {
+                k: parse_level(s.require("k")?)?,
+            }
+        }
+        "dt-dctcp" => {
+            s.reject_unknown_keys(&["scheme", "k1", "k2"])?;
+            MarkingScheme::DtDctcp {
+                k1: parse_level(s.require("k1")?)?,
+                k2: parse_level(s.require("k2")?)?,
+            }
+        }
+        "schmitt" => {
+            s.reject_unknown_keys(&["scheme", "lo", "hi"])?;
+            MarkingScheme::Schmitt {
+                lo: parse_level(s.require("lo")?)?,
+                hi: parse_level(s.require("hi")?)?,
+            }
+        }
+        "red" => {
+            s.reject_unknown_keys(&["scheme", "min", "max", "max_p", "ecn"])?;
+            let max_p_entry = s.get("max_p");
+            let max_p = match max_p_entry {
+                Some(e) => parse_f64(e)?,
+                None => 0.1,
+            };
+            MarkingScheme::Red {
+                min_th: parse_level(s.require("min")?)?,
+                max_th: parse_level(s.require("max")?)?,
+                max_p,
+                ecn: true,
+            }
+        }
+        "codel" => {
+            s.reject_unknown_keys(&["scheme"])?;
+            MarkingScheme::codel_datacenter()
+        }
+        "pie" => {
+            s.reject_unknown_keys(&["scheme", "line"])?;
+            let line_gbps = match s.get("line") {
+                Some(e) => parse_rate_bps(e)? as f64 / 1e9,
+                None => 10.0,
+            };
+            MarkingScheme::pie_datacenter(line_gbps)
+        }
+        other => {
+            return Err(ScenarioError::BadValue {
+                line: scheme_entry.line,
+                key: "scheme".into(),
+                msg: format!(
+                    "unknown scheme `{other}` \
+                     (droptail/dctcp/dt-dctcp/schmitt/red/codel/pie)"
+                ),
+            })
+        }
+    };
+    // Parameter sanity (K1 <= K2, RED ordering, …) surfaces here as a
+    // typed out-of-range error at the section header's line.
+    scheme.build().map_err(|e| ScenarioError::OutOfRange {
+        line: s.line,
+        key: format!("marking \"{}\"", s.label.as_deref().unwrap_or("")),
+        msg: e.to_string(),
+    })?;
+    Ok(scheme)
+}
+
+fn parse_faults(doc: &Document, kind: ScenarioKind) -> Result<FaultSpec, ScenarioError> {
+    let Some(s) = doc.section("faults") else {
+        return Ok(FaultSpec::default());
+    };
+    if kind.is_query() {
+        return Err(ScenarioError::BadValue {
+            line: s.line,
+            key: "faults".into(),
+            msg: "fault plans are only supported for long_lived scenarios".into(),
+        });
+    }
+    s.reject_unknown_keys(&["bleach", "down"])?;
+    let mut spec = FaultSpec::default();
+    if let Some(e) = s.get("bleach") {
+        spec.bleach = Some(parse_window(e)?);
+    }
+    if let Some(e) = s.get("down") {
+        spec.down = Some(parse_window(e)?);
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+[scenario]
+name = t
+kind = long_lived
+
+[run]
+flows = 2, 4
+
+[marking \"dc\"]
+scheme = dctcp
+k = 40 pkts
+";
+
+    #[test]
+    fn minimal_long_lived_parses_with_defaults() {
+        let s = ScenarioSpec::parse(MINIMAL).unwrap();
+        assert_eq!(s.name, "t");
+        assert_eq!(s.kind, ScenarioKind::LongLived);
+        assert_eq!(s.run.flows, vec![2, 4]);
+        let d = s.dumbbell().unwrap();
+        assert_eq!(d.bottleneck_bps, 10_000_000_000);
+        assert_eq!(s.markings.len(), 1);
+        assert_eq!(s.num_points(), 2);
+        assert!(s.faults.is_empty());
+        assert!(s.expectations.is_empty());
+    }
+
+    #[test]
+    fn unknown_key_names_section_and_line() {
+        let src = MINIMAL.replace("k = 40 pkts", "k = 40 pkts\ntreshold = 2");
+        match ScenarioSpec::parse(&src).unwrap_err() {
+            ScenarioError::UnknownKey { section, key, .. } => {
+                assert_eq!(key, "treshold");
+                assert!(section.contains("marking"), "{section}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_thresholds_are_rejected() {
+        let src = MINIMAL.replace(
+            "scheme = dctcp\nk = 40 pkts",
+            "scheme = dt-dctcp\nk1 = 50 pkts\nk2 = 30 pkts",
+        );
+        match ScenarioSpec::parse(&src).unwrap_err() {
+            ScenarioError::OutOfRange { key, .. } => assert!(key.contains("marking")),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn absurd_flow_counts_are_rejected() {
+        let src = MINIMAL.replace("flows = 2, 4", "flows = 2, 100000");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn query_kind_takes_testbed_defaults_and_seeds() {
+        let src = "\
+[scenario]
+name = q
+kind = incast
+
+[run]
+flows = 4, 8
+rounds = 2
+seeds = 1, 2
+bytes_per_flow = 64 KB
+
+[marking \"dc\"]
+scheme = dctcp
+k = 32 KB
+";
+        let s = ScenarioSpec::parse(src).unwrap();
+        assert_eq!(s.kind, ScenarioKind::Incast);
+        let t = s.testbed().unwrap();
+        assert_eq!(t.link_bps, 1_000_000_000);
+        assert_eq!(s.run.seeds, vec![1, 2]);
+        assert_eq!(s.num_points(), 4);
+    }
+
+    #[test]
+    fn incast_rejects_total_bytes_key() {
+        let src = "\
+[scenario]
+name = q
+kind = incast
+
+[run]
+flows = 4
+total_bytes = 1 MB
+
+[marking \"dc\"]
+scheme = dctcp
+k = 32 KB
+";
+        assert!(matches!(
+            ScenarioSpec::parse(src).unwrap_err(),
+            ScenarioError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn faults_rejected_on_query_kinds() {
+        let src = "\
+[scenario]
+name = q
+kind = incast
+
+[run]
+flows = 4
+
+[faults]
+bleach = 1 ms .. 2 ms
+
+[marking \"dc\"]
+scheme = dctcp
+k = 32 KB
+";
+        assert!(ScenarioSpec::parse(src).is_err());
+    }
+
+    #[test]
+    fn marking_without_label_is_rejected() {
+        let src = MINIMAL.replace("[marking \"dc\"]", "[marking]");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_transport_gain_is_out_of_range() {
+        let src = format!("{MINIMAL}\n[transport]\ng = 1.5\n");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { .. }
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end tests of the `repro` / `repro_check` binaries: the same
+//! artifact either passes or fails `repro_check` depending only on the
+//! committed envelope, and bad scenario files die with line-numbered
+//! diagnostics.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A tiny but real long-lived matrix (one marking, two flow counts)
+/// with envelopes that genuinely hold for it.
+const PASSING_SCN: &str = "\
+[scenario]
+name = cli_smoke
+kind = long_lived
+description = integration-test matrix
+
+[topology]
+bottleneck = 1 Gbps
+
+[run]
+flows = 2, 4
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+
+[expect \"saturated\"]
+check = metric_range
+metric = utilization
+min = 0.8
+
+[expect \"lossless\"]
+check = metric_range
+metric = drops
+max = 0
+";
+
+/// Same name and matrix, but an envelope no real run can satisfy.
+const FAILING_SCN: &str = "\
+[scenario]
+name = cli_smoke
+kind = long_lived
+
+[topology]
+bottleneck = 1 Gbps
+
+[run]
+flows = 2, 4
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+
+[expect \"impossible\"]
+check = metric_range
+metric = queue_mean
+max = 0.000001
+";
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dctcp-scn-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_bin(exe: &str, args: &[&str], cwd: &Path) -> Output {
+    Command::new(exe)
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn binary")
+}
+
+#[test]
+fn repro_then_check_pass_and_fail_on_envelopes() {
+    let dir = unique_dir("cli");
+    let scn_pass = dir.join("scenarios");
+    let scn_fail = dir.join("scenarios-fail");
+    std::fs::create_dir_all(&scn_pass).unwrap();
+    std::fs::create_dir_all(&scn_fail).unwrap();
+    std::fs::write(scn_pass.join("cli_smoke.scn"), PASSING_SCN).unwrap();
+    std::fs::write(scn_fail.join("cli_smoke.scn"), FAILING_SCN).unwrap();
+
+    // Run the matrix once; the artifact serves both check runs.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro"),
+        &["--all", "scenarios", "--out", "artifacts"],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let artifact = dir.join("artifacts/cli_smoke.json");
+    let body = std::fs::read_to_string(&artifact).expect("artifact written");
+    assert!(body.contains("\"schema\": \"dctcp-repro/v1\""));
+    assert!(body.contains("\"flows\": 4"));
+
+    // The honest envelopes hold...
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro_check"),
+        &["--all", "scenarios", "--artifacts", "artifacts"],
+        &dir,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "repro_check failed: {stderr}");
+    assert!(stderr.contains("0 violation(s)"), "{stderr}");
+
+    // ...and the impossible one rejects the very same artifact.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro_check"),
+        &["--all", "scenarios-fail", "--artifacts", "artifacts"],
+        &dir,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "violating envelope must fail");
+    assert!(stderr.contains("FAIL"), "{stderr}");
+    assert!(stderr.contains("impossible"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_rejects_bad_scenarios_with_line_numbers() {
+    let dir = unique_dir("bad");
+    let scn = dir.join("scenarios");
+    std::fs::create_dir_all(&scn).unwrap();
+    std::fs::write(
+        scn.join("bad.scn"),
+        PASSING_SCN.replace("duration = 15 ms", "duration = 15 fortnights"),
+    )
+    .unwrap();
+
+    let out = run_bin(env!("CARGO_BIN_EXE_repro"), &["--all", "scenarios"], &dir);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(stderr.contains("line 12"), "{stderr}");
+    assert!(stderr.contains("fortnights"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_check_flags_stale_artifacts() {
+    let dir = unique_dir("stale");
+    let scn = dir.join("scenarios");
+    std::fs::create_dir_all(&scn).unwrap();
+    std::fs::write(scn.join("cli_smoke.scn"), PASSING_SCN).unwrap();
+
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro"),
+        &["--all", "scenarios", "--out", "artifacts"],
+        &dir,
+    );
+    assert!(out.status.success());
+
+    // Grow the matrix after the artifact was produced.
+    std::fs::write(
+        scn.join("cli_smoke.scn"),
+        PASSING_SCN.replace("flows = 2, 4", "flows = 2, 4, 8"),
+    )
+    .unwrap();
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro_check"),
+        &["--all", "scenarios", "--artifacts", "artifacts"],
+        &dir,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(stderr.contains("stale"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,8 @@
 //!   estimation for completion-time tails.
 //! * [`Histogram`] — fixed-width binning.
 //! * [`ThroughputMeter`] — byte counters over an observation window.
+//! * [`oscillation`] — mean-crossing cycle detection and peak-to-trough
+//!   amplitude over a queue trace.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 
 mod fairness;
 mod histogram;
+mod oscillation;
 mod quantile;
 mod series;
 mod throughput;
@@ -40,6 +43,7 @@ mod welford;
 
 pub use fairness::jain_fairness_index;
 pub use histogram::Histogram;
+pub use oscillation::{oscillation, OscillationSummary};
 pub use quantile::{P2Quantile, Quantiles};
 pub use series::{SeriesSummary, TimeSeries};
 pub use throughput::ThroughputMeter;

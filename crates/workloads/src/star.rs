@@ -3,8 +3,8 @@
 
 use dctcp_core::MarkingScheme;
 use dctcp_sim::{
-    Capacity, FlowId, LinkId, NodeId, QueueConfig, SimDuration, SimError, SimTime, Simulator,
-    TopologyBuilder,
+    Capacity, FaultPlan, FlowId, LinkId, NodeId, QueueConfig, SimDuration, SimError, SimTime,
+    Simulator, TopologyBuilder,
 };
 use dctcp_stats::{TimeSeries, TimeWeightedSummary, Welford};
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
@@ -74,6 +74,18 @@ pub struct LongLivedReport {
     pub timeouts: u64,
 }
 
+impl LongLivedReport {
+    /// Bottleneck utilization: receiver goodput as a fraction of the
+    /// given bottleneck rate. Goodput excludes header and ACK bytes, so
+    /// a saturated link reports slightly below 1.0 (~0.97 at MSS 1460).
+    pub fn utilization(&self, bottleneck_bps: u64) -> f64 {
+        if bottleneck_bps == 0 {
+            return 0.0;
+        }
+        self.goodput_bps / bottleneck_bps as f64
+    }
+}
+
 impl LongLivedScenario {
     /// Starts building a scenario with the paper's defaults: 10 Gb/s
     /// bottleneck, 100 µs RTT, DCTCP senders with `g = 1/16`, `K = 40`
@@ -99,15 +111,35 @@ impl LongLivedScenario {
     /// Runs the scenario to completion and reports post-warmup
     /// statistics.
     pub fn run(&self) -> LongLivedReport {
+        self.run_with_faults(|_| FaultPlan::new())
+            .expect("fault-free scenario")
+    }
+
+    /// Runs the scenario with a scripted fault plan installed before
+    /// the clock starts. The builder receives the instantiated
+    /// topology so plans can reference its links (typically
+    /// [`LongLivedInstance::bottleneck`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if instantiation, fault installation or the
+    /// run itself fails.
+    pub fn run_with_faults(
+        &self,
+        plan: impl FnOnce(&LongLivedInstance) -> FaultPlan,
+    ) -> Result<LongLivedReport, SimError> {
+        let mut instance = self.instantiate()?;
+        let faults = plan(&instance);
+        instance.sim.install_faults(&faults)?;
         let LongLivedInstance {
             mut sim,
             rx,
             bottleneck,
             switch: sw,
             senders,
-        } = self.instantiate().expect("validated scenario");
+        } = instance;
 
-        sim.run_for(self.warmup).expect("fault-free warmup");
+        sim.run_for(self.warmup)?;
         sim.reset_all_queue_stats();
         for &h in &senders {
             let host: &mut TransportHost = sim.agent_mut(h).expect("sender host");
@@ -116,7 +148,7 @@ impl LongLivedScenario {
         let rx_host: &TransportHost = sim.agent(rx).expect("receiver host");
         let bytes_before: u64 = rx_host.receivers().map(|r| r.stats().bytes_received).sum();
 
-        sim.run_for(self.duration).expect("fault-free run");
+        sim.run_for(self.duration)?;
 
         let report = sim.queue_report(bottleneck, sw);
         let rx_host: &TransportHost = sim.agent(rx).expect("receiver host");
@@ -130,7 +162,7 @@ impl LongLivedScenario {
                 timeouts += s.stats().timeouts;
             }
         }
-        LongLivedReport {
+        Ok(LongLivedReport {
             flows: self.flows,
             scheme: self.marking,
             queue: report.occupancy_pkts,
@@ -140,7 +172,7 @@ impl LongLivedScenario {
             alpha,
             goodput_bps: (bytes_after - bytes_before) as f64 * 8.0 / self.duration.as_secs_f64(),
             timeouts,
-        }
+        })
     }
 
     /// The configured bottleneck rate in bits per second.
@@ -344,6 +376,38 @@ mod tests {
             .run();
         let trace = r.trace.expect("trace enabled");
         assert!(trace.len() > 10);
+    }
+
+    #[test]
+    fn faulted_run_loses_goodput_during_outage() {
+        let scenario = LongLivedScenario::builder()
+            .flows(2)
+            .bottleneck_gbps(1.0)
+            .marking(MarkingScheme::dctcp_packets(20))
+            .warmup_secs(0.01)
+            .duration_secs(0.03)
+            .build()
+            .unwrap();
+        let clean = scenario.run();
+        // One 10 ms outage of the bottleneck inside the 10..40 ms
+        // measurement window.
+        let faulted = scenario
+            .run_with_faults(|i| {
+                FaultPlan::new().flap(
+                    i.bottleneck,
+                    SimTime::ZERO + SimDuration::from_millis(15),
+                    SimDuration::from_millis(10),
+                    SimDuration::from_millis(20),
+                    1,
+                )
+            })
+            .unwrap();
+        assert!(
+            faulted.goodput_bps < clean.goodput_bps * 0.9,
+            "outage did not dent goodput: {} vs {}",
+            faulted.goodput_bps,
+            clean.goodput_bps
+        );
     }
 
     #[test]

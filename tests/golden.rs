@@ -77,13 +77,45 @@ fn check_golden(name: &str, marking: MarkingScheme) {
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!("missing golden snapshot {path:?} ({e}); create it with UPDATE_GOLDEN=1")
+        panic!(
+            "missing golden snapshot {path:?} ({e}); create it with\n  \
+             UPDATE_GOLDEN=1 cargo test --test golden"
+        )
     });
-    assert_eq!(
-        rendered, expected,
-        "golden digest drift for {name}; if the behaviour change is \
-         intentional, regenerate with UPDATE_GOLDEN=1"
-    );
+    if rendered != expected {
+        panic!("{}", drift_report(name, &expected, &rendered));
+    }
+}
+
+/// Renders a digest-drift failure that can be acted on without rerunning
+/// anything: the first divergent line (the digest is one trace record or
+/// summary counter per line) and the exact regeneration command.
+fn drift_report(name: &str, expected: &str, rendered: &str) -> String {
+    let divergence = expected
+        .lines()
+        .zip(rendered.lines())
+        .enumerate()
+        .find(|(_, (e, r))| e != r);
+    let where_ = match divergence {
+        Some((i, (e, r))) => format!(
+            "first divergence at digest line {}:\n  golden: {e}\n  actual: {r}",
+            i + 1
+        ),
+        // No differing common line means one digest is a prefix of the
+        // other — the run ended early or recorded extra trace events.
+        None => format!(
+            "digests agree line-by-line but differ in length \
+             (golden {} lines, actual {} lines)",
+            expected.lines().count(),
+            rendered.lines().count()
+        ),
+    };
+    format!(
+        "golden digest drift for {name}\n{where_}\n\
+         if this behaviour change is intentional, regenerate the snapshots with\n  \
+         UPDATE_GOLDEN=1 cargo test --test golden\n\
+         and commit the updated tests/golden/{name}.digest"
+    )
 }
 
 #[test]
@@ -112,6 +144,23 @@ fn golden_digests_are_deterministic_across_runs_and_threads() {
             "digest diverged from serial at {threads} threads"
         );
     }
+}
+
+/// The drift report must carry everything needed to act on a failure:
+/// the regeneration command and the first line that diverged.
+#[test]
+fn drift_report_names_command_and_divergent_line() {
+    let report = drift_report("buildup_dctcp", "a 1\nb 2\nc 3\n", "a 1\nb 9\nc 3\n");
+    assert!(
+        report.contains("UPDATE_GOLDEN=1 cargo test --test golden"),
+        "{report}"
+    );
+    assert!(report.contains("line 2"), "{report}");
+    assert!(report.contains("golden: b 2"), "{report}");
+    assert!(report.contains("actual: b 9"), "{report}");
+
+    let truncated = drift_report("buildup_dctcp", "a 1\nb 2\n", "a 1\n");
+    assert!(truncated.contains("differ in length"), "{truncated}");
 }
 
 /// The oracle must catch a deliberately broken marking law: flip one
