@@ -6,7 +6,9 @@
 #   ci.sh quick   fmt + clippy + release build + tier-1 tests
 #                 (the PR gate: minutes, catches most breakage)
 #   ci.sh full    quick + workspace tests + rustdoc + trace-oracle
-#                 smoke + bench gate + scenario-matrix gate
+#                 smoke + bench gate + scenario-matrix gate (run cold,
+#                 then warm from the result cache with byte-identity
+#                 asserted between the two)
 #                 (the merge gate: everything the repo can check)
 #   ci.sh         same as full
 set -eu
@@ -64,14 +66,42 @@ trap 'rm -f "$BENCH_SCRATCH"' EXIT
 cargo bench --offline -p dctcp-bench --bench engine -- --json "$BENCH_SCRATCH"
 cargo run --offline --release -q -p dctcp-bench --bin bench_check "$BENCH_SCRATCH"
 
-echo "==> scenario-matrix gate (repro -> repro_check over scenarios/)"
+echo "==> scenario-matrix gate (cold repro -> repro_check -> warm repro)"
 # Runs every committed scenario through the simulator and validates the
 # resulting artifacts against the regression envelopes encoded in the
 # scenario files themselves. Deterministic: artifacts are bit-identical
 # across runs and thread counts.
+#
+# The gate runs twice. The cold pass starts from an empty result cache
+# and simulates every cell; the warm pass must then be served entirely
+# from the cache (>= 1 hit, 0 misses — asserted via repro's
+# machine-readable stdout summary) and reproduce the cold artifacts
+# byte for byte. That exercises the whole memoization path end to end:
+# key derivation, entry round-trip, and bit-exact re-rendering.
+rm -rf artifacts/cache artifacts/repro
 cargo run --offline --release -q -p dctcp-scenario --bin repro -- \
-    --out artifacts/repro --all scenarios/
+    --out artifacts/repro --cache artifacts/cache --all scenarios/
 cargo run --offline --release -q -p dctcp-scenario --bin repro_check -- \
     --artifacts artifacts/repro --all scenarios/
+REPRO_COLD="$(mktemp -d -t repro_cold.XXXXXX)"
+trap 'rm -f "$BENCH_SCRATCH"; rm -rf "$REPRO_COLD"' EXIT
+cp artifacts/repro/*.json "$REPRO_COLD"/
+WARM_SUMMARY="$(cargo run --offline --release -q -p dctcp-scenario --bin repro -- \
+    --out artifacts/repro --cache artifacts/cache --all scenarios/)"
+echo "$WARM_SUMMARY"
+case "$WARM_SUMMARY" in
+    *" 0 misses"*) ;;
+    *)
+        echo "ci.sh: warm repro re-simulated cells it should have cached: $WARM_SUMMARY" >&2
+        exit 1
+        ;;
+esac
+case "$WARM_SUMMARY" in
+    *"cache 0 hits"*)
+        echo "ci.sh: warm repro produced no cache hits: $WARM_SUMMARY" >&2
+        exit 1
+        ;;
+esac
+diff -r "$REPRO_COLD" artifacts/repro
 
 echo "CI full gate passed."

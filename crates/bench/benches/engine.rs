@@ -1,5 +1,6 @@
 //! Microbenchmarks of the discrete-event engine: packet forwarding
-//! throughput, timer churn, and the parallel multi-seed sweep driver.
+//! throughput, timer churn, the parallel multi-seed sweep driver, and
+//! the content-addressed result cache's warm-rerun win.
 //!
 //! Run with `--json BENCH_sim.json` to record the results (including
 //! events/sec and the measured parallel speedup) machine-readably.
@@ -173,6 +174,68 @@ fn measure_parallel_sweep(r: &mut Runner) {
     r.metric("sweep/multi_seed/speedup", speedup, "x");
 }
 
+/// The scenario behind the cache measurement: a real (if small)
+/// long-lived matrix of 2 markings × 2 flow counts = 4 cells.
+const CACHE_BENCH_SCN: &str = "\
+[scenario]
+name = bench_cache
+kind = long_lived
+
+[topology]
+bottleneck = 1 Gbps
+
+[run]
+flows = 2, 4
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+
+[marking \"dt\"]
+scheme = dt-dctcp
+k1 = 15 pkts
+k2 = 25 pkts
+";
+
+/// Times one scenario matrix cold (empty cache, every cell simulates)
+/// and warm (every cell served from the cache), asserts the warm run
+/// is hit-only with byte-identical output, and records the hit/miss
+/// counts plus the warm-rerun speedup.
+fn measure_cache(r: &mut Runner) {
+    let spec = dctcp_scenario::ScenarioSpec::parse(CACHE_BENCH_SCN).expect("valid bench scenario");
+    let dir = std::env::temp_dir().join(format!("dctcp-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dctcp_cache::Cache::new(&dir);
+    let threads = dctcp_parallel::available_threads();
+
+    let start = Instant::now();
+    let (cold, stats) =
+        dctcp_scenario::run_scenario_cached(&spec, threads, Some(&cache)).expect("cold run");
+    let cold_elapsed = start.elapsed();
+    assert_eq!(stats.hits, 0, "cold run must start from an empty cache");
+    let misses = stats.misses;
+
+    let start = Instant::now();
+    let (warm, stats) =
+        dctcp_scenario::run_scenario_cached(&spec, threads, Some(&cache)).expect("warm run");
+    let warm_elapsed = start.elapsed();
+    assert_eq!(stats.misses, 0, "warm run must re-simulate nothing");
+    assert_eq!(
+        warm.render(),
+        cold.render(),
+        "warm artifact must be byte-identical to cold"
+    );
+
+    let speedup = cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9);
+    r.metric("cache/hits", stats.hits as f64, "cells");
+    r.metric("cache/misses", misses as f64, "cells");
+    r.metric("cache/warm_rerun_speedup", speedup, "x");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Reads the ns/iter a previous run committed for `bench` from the JSON
 /// report at the `--json` path — it must be read before
 /// [`Runner::finish`] overwrites the file with this run's numbers.
@@ -221,5 +284,6 @@ fn main() {
         sim.events_processed()
     });
     measure_parallel_sweep(&mut r);
+    measure_cache(&mut r);
     r.finish();
 }

@@ -1,8 +1,12 @@
 //! Validates a `BENCH_sim.json` report produced by the bench harness
 //! (`--json <path>`): checks the schema tag, that every benchmark has a
-//! positive ns/iter and iteration count, and that at least one bench
-//! reports a positive events/sec rate. Exits non-zero with a message on
-//! any violation, so `ci.sh` can gate on it.
+//! positive ns/iter and iteration count, that at least one bench
+//! reports a positive events/sec rate, and that the result-cache
+//! metrics (when present) show a hit-only warm rerun that actually beat
+//! the cold run. Exits non-zero with a message on any violation, so
+//! `ci.sh` can gate on it. Non-fatal oddities — e.g. a parallel sweep
+//! measured with a single thread, whose speedup says nothing — are
+//! warnings on stderr.
 //!
 //! Usage: `bench_check [path]` (default `BENCH_sim.json`).
 
@@ -48,7 +52,14 @@ fn metric_value(body: &str, name: &str) -> Option<f64> {
     rest[..rest.find([',', '}'])?].trim().parse().ok()
 }
 
-fn check(body: &str) -> Result<String, String> {
+/// A passing report's one-line summary plus any non-fatal warnings.
+#[derive(Debug)]
+struct Verdict {
+    summary: String,
+    warnings: Vec<String>,
+}
+
+fn check(body: &str) -> Result<Verdict, String> {
     if !body.contains("\"schema\": \"dctcp-bench/v1\"") {
         return Err("missing or wrong schema tag (want dctcp-bench/v1)".into());
     }
@@ -117,12 +128,59 @@ fn check(body: &str) -> Result<String, String> {
             ", trace_overhead {ratio:.3}x (band [{TRACE_OVERHEAD_FLOOR}, {TRACE_OVERHEAD_LIMIT}])"
         );
     }
-    Ok(format!(
-        "{} benches ok, peak {:.0} events/sec{}",
-        ns.len(),
-        events.iter().cloned().fold(0.0, f64::max),
-        overhead_note
-    ))
+    let mut warnings = Vec::new();
+    // A "parallel" speedup measured on one worker is a tautology: warn
+    // so a committed single-thread baseline is not mistaken for a
+    // measured scaling result.
+    if metric_value(body, "sweep/multi_seed/threads") == Some(1.0) {
+        warnings.push(
+            "sweep/multi_seed/* was measured with 1 thread; its speedup is not \
+             a parallelism measurement (re-baseline on a multi-core machine)"
+                .into(),
+        );
+    }
+    // Cache metrics travel as a trio; a report carrying only some of
+    // them was produced by a mismatched harness.
+    let cache_note = {
+        let hits = metric_value(body, "cache/hits");
+        let misses = metric_value(body, "cache/misses");
+        let speedup = metric_value(body, "cache/warm_rerun_speedup");
+        match (hits, misses, speedup) {
+            (None, None, None) => String::new(),
+            (Some(h), Some(m), Some(s)) => {
+                if h < 1.0 || m < 1.0 {
+                    return Err(format!(
+                        "cache metrics need at least one hit and one miss to mean anything \
+                         (hits {h}, misses {m})"
+                    ));
+                }
+                if s.is_nan() || s <= 1.0 {
+                    return Err(format!(
+                        "cache/warm_rerun_speedup {s:.4}x: a warm hit-only rerun must beat \
+                         the cold run that populated the cache"
+                    ));
+                }
+                format!(", warm cache rerun {s:.1}x over {h:.0} cells")
+            }
+            _ => {
+                return Err(
+                    "cache/hits, cache/misses and cache/warm_rerun_speedup must \
+                     appear together"
+                        .into(),
+                )
+            }
+        }
+    };
+    Ok(Verdict {
+        summary: format!(
+            "{} benches ok, peak {:.0} events/sec{}{}",
+            ns.len(),
+            events.iter().cloned().fold(0.0, f64::max),
+            overhead_note,
+            cache_note
+        ),
+        warnings,
+    })
 }
 
 fn main() -> ExitCode {
@@ -137,8 +195,11 @@ fn main() -> ExitCode {
         }
     };
     match check(&body) {
-        Ok(msg) => {
-            println!("bench_check: {path}: {msg}");
+        Ok(verdict) => {
+            for w in &verdict.warnings {
+                eprintln!("bench_check: {path}: warning: {w}");
+            }
+            println!("bench_check: {path}: {}", verdict.summary);
             ExitCode::SUCCESS
         }
         Err(msg) => {
@@ -224,7 +285,7 @@ mod tests {
 
     #[test]
     fn accepts_trace_overhead_within_limit() {
-        let msg = check(&with_overhead("1.015000")).unwrap();
+        let msg = check(&with_overhead("1.015000")).unwrap().summary;
         assert!(msg.contains("trace_overhead 1.015x"), "{msg}");
     }
 
@@ -255,7 +316,80 @@ mod tests {
 
     #[test]
     fn missing_trace_overhead_is_not_an_error() {
-        let msg = check(GOOD).unwrap();
+        let msg = check(GOOD).unwrap().summary;
         assert!(!msg.contains("trace_overhead"));
+    }
+
+    fn with_metrics(extra: &str) -> String {
+        GOOD.replace(
+            r#"{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}"#,
+            &format!(
+                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}},
+    {extra}"#
+            ),
+        )
+    }
+
+    fn cache_trio(hits: &str, misses: &str, speedup: &str) -> String {
+        with_metrics(&format!(
+            r#"{{"name": "cache/hits", "value": {hits}, "unit": "cells"}},
+    {{"name": "cache/misses", "value": {misses}, "unit": "cells"}},
+    {{"name": "cache/warm_rerun_speedup", "value": {speedup}, "unit": "x"}}"#
+        ))
+    }
+
+    #[test]
+    fn accepts_cache_trio_with_real_speedup() {
+        let v = check(&cache_trio("4.000000", "4.000000", "61.500000")).unwrap();
+        assert!(
+            v.summary.contains("warm cache rerun 61.5x"),
+            "{}",
+            v.summary
+        );
+    }
+
+    #[test]
+    fn rejects_cache_speedup_at_or_below_one() {
+        let err = check(&cache_trio("4.000000", "4.000000", "0.900000")).unwrap_err();
+        assert!(err.contains("warm_rerun_speedup"), "{err}");
+        assert!(check(&cache_trio("4.000000", "4.000000", "1.000000")).is_err());
+    }
+
+    #[test]
+    fn rejects_cache_metrics_without_traffic() {
+        let err = check(&cache_trio("0.000000", "4.000000", "61.500000")).unwrap_err();
+        assert!(err.contains("hit"), "{err}");
+        assert!(check(&cache_trio("4.000000", "0.000000", "61.500000")).is_err());
+    }
+
+    #[test]
+    fn rejects_partial_cache_trio() {
+        let partial = with_metrics(r#"{"name": "cache/hits", "value": 4.000000, "unit": "cells"}"#);
+        let err = check(&partial).unwrap_err();
+        assert!(err.contains("together"), "{err}");
+    }
+
+    #[test]
+    fn missing_cache_metrics_are_not_an_error() {
+        assert!(check(GOOD).is_ok());
+    }
+
+    #[test]
+    fn single_thread_sweep_is_a_warning_not_an_error() {
+        let v = check(&with_metrics(
+            r#"{"name": "sweep/multi_seed/threads", "value": 1.000000, "unit": "threads"}"#,
+        ))
+        .unwrap();
+        assert_eq!(v.warnings.len(), 1);
+        assert!(v.warnings[0].contains("1 thread"), "{}", v.warnings[0]);
+    }
+
+    #[test]
+    fn multi_thread_sweep_has_no_warning() {
+        let v = check(&with_metrics(
+            r#"{"name": "sweep/multi_seed/threads", "value": 8.000000, "unit": "threads"}"#,
+        ))
+        .unwrap();
+        assert!(v.warnings.is_empty());
     }
 }

@@ -1,0 +1,78 @@
+//! Embeds a workspace *code fingerprint* into the crate at build time.
+//!
+//! The fingerprint is an FNV-1a 128-bit digest over every tracked source
+//! file of the workspace (`crates/**/*.rs`, `src/**/*.rs`, the build
+//! scripts, and every `Cargo.toml` — which carries the crate versions).
+//! It becomes part of every cache key, so *any* code or manifest edit
+//! invalidates all cached simulation results cleanly: a stale hit is
+//! impossible without a hash collision.
+//!
+//! Cargo re-runs this script whenever any hashed file (or a directory,
+//! catching adds/removes) changes, because each one is declared with
+//! `cargo:rerun-if-changed`.
+
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+fn fnv(mut state: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        state ^= u128::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Collects every `.rs` / `.toml` file under `dir`, recursively.
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // The only build products live in the workspace-root
+            // `target/`, which sits outside `crates/` and `src/`; still,
+            // skip any nested one defensively.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs" || e == "toml") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("cargo sets this"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/cache sits two levels under the workspace root")
+        .to_path_buf();
+
+    let mut files = Vec::new();
+    for dir in ["crates", "src"] {
+        let dir = root.join(dir);
+        collect(&dir, &mut files);
+        println!("cargo:rerun-if-changed={}", dir.display());
+    }
+    files.push(root.join("Cargo.toml"));
+    // Sort by the workspace-relative path so the digest does not depend
+    // on where the tree is checked out or on directory read order.
+    files.sort_by_key(|p| p.strip_prefix(&root).unwrap_or(p).to_path_buf());
+
+    let mut state = FNV_OFFSET;
+    for path in &files {
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let body = std::fs::read(path).unwrap_or_default();
+        state = fnv(state, rel.to_string_lossy().as_bytes());
+        state = fnv(state, &[0xff]);
+        state = fnv(state, &body);
+        state = fnv(state, &[0xfe]);
+        println!("cargo:rerun-if-changed={}", path.display());
+    }
+    println!("cargo:rustc-env=DCTCP_CODE_FINGERPRINT={state:032x}");
+}

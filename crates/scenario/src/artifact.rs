@@ -10,6 +10,11 @@ use std::fmt::Write as _;
 
 use crate::{ScenarioError, ScenarioKind};
 
+/// Schema tag written into (and required from) every artifact file.
+/// Also part of every cache key, so bumping it orphans all cached
+/// results along with all committed artifacts.
+pub const ARTIFACT_SCHEMA: &str = "dctcp-repro/v1";
+
 /// One (marking, flows, seed) cell of the scenario matrix with its
 /// measured metrics, in the kind's canonical metric order.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +58,7 @@ impl Artifact {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"dctcp-repro/v1\",\n");
+        let _ = writeln!(out, "  \"schema\": \"{ARTIFACT_SCHEMA}\",");
         let _ = writeln!(out, "  \"scenario\": \"{}\",", self.scenario);
         let _ = writeln!(out, "  \"kind\": \"{}\",", self.kind.name());
         out.push_str("  \"points\": [\n");
@@ -91,9 +96,9 @@ impl Artifact {
             msg,
         };
         let schema = string_field(src, "schema").ok_or_else(|| bad("missing schema".into()))?;
-        if schema != "dctcp-repro/v1" {
+        if schema != ARTIFACT_SCHEMA {
             return Err(bad(format!(
-                "schema is `{schema}`, expected `dctcp-repro/v1`"
+                "schema is `{schema}`, expected `{ARTIFACT_SCHEMA}`"
             )));
         }
         let scenario =

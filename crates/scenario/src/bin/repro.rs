@@ -1,22 +1,35 @@
 //! Scenario-matrix reproduction runner.
 //!
 //! ```text
-//! repro [--threads N] [--out DIR] (--all SCENARIO_DIR | FILE.scn ...)
+//! repro [--threads N] [--out DIR] [--cache DIR | --no-cache]
+//!       (--all SCENARIO_DIR | FILE.scn ...)
 //! ```
 //!
 //! Runs each scenario's full matrix (markings × flows × seeds) through
 //! the parallel driver and writes one `dctcp-repro/v1` JSON artifact
 //! per scenario to `DIR` (default `artifacts/repro`). Deterministic:
 //! the same tree produces byte-identical artifacts at any `--threads`.
+//!
+//! Execution is incremental: each cell's result is memoized in a
+//! content-addressed cache (default `artifacts/cache`, see
+//! `dctcp-cache`) keyed on the resolved cell configuration and the
+//! workspace code fingerprint, so a warm run re-simulates only cells
+//! whose inputs changed — and still renders byte-identical artifacts.
+//! `--no-cache` forces a full re-simulation without reading or writing
+//! the cache. The final stdout line,
+//! `repro: cache H hits, M misses`, is machine-readable (ci.sh greps
+//! it to assert the warm CI pass was served from the cache).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dctcp_scenario::{list_scenarios, run_scenario, ScenarioSpec};
+use dctcp_cache::Cache;
+use dctcp_scenario::{list_scenarios, run_scenario_cached, CacheStats, ScenarioSpec};
 
 struct Args {
     threads: usize,
     out: PathBuf,
+    cache: Option<PathBuf>,
     scenarios: Vec<PathBuf>,
 }
 
@@ -24,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         threads: 0,
         out: PathBuf::from("artifacts/repro"),
+        cache: Some(PathBuf::from("artifacts/cache")),
         scenarios: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -34,6 +48,10 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
             }
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--cache" => {
+                args.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a value")?));
+            }
+            "--no-cache" => args.cache = None,
             "--all" => {
                 let dir = PathBuf::from(it.next().ok_or("--all needs a directory")?);
                 let found = list_scenarios(&dir).map_err(|e| e.to_string())?;
@@ -44,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: repro [--threads N] [--out DIR] \
+                            [--cache DIR | --no-cache] \
                             (--all SCENARIO_DIR | FILE.scn ...)"
                     .into())
             }
@@ -61,7 +80,9 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     std::fs::create_dir_all(&args.out)
         .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    let cache = args.cache.as_ref().map(Cache::new);
 
+    let mut total = CacheStats::default();
     for path in &args.scenarios {
         let spec = ScenarioSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!(
@@ -77,11 +98,23 @@ fn run() -> Result<(), String> {
             },
             spec.num_points(),
         );
-        let artifact = run_scenario(&spec, args.threads).map_err(|e| e.to_string())?;
+        let (artifact, stats) =
+            run_scenario_cached(&spec, args.threads, cache.as_ref()).map_err(|e| e.to_string())?;
+        total.hits += stats.hits;
+        total.misses += stats.misses;
         let out_path = args.out.join(format!("{}.json", spec.name));
         std::fs::write(&out_path, artifact.render())
             .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
-        eprintln!("repro:   -> {}", out_path.display());
+        eprintln!(
+            "repro:   -> {} ({} cached, {} simulated)",
+            out_path.display(),
+            stats.hits,
+            stats.misses,
+        );
+    }
+    match &cache {
+        Some(_) => println!("repro: cache {} hits, {} misses", total.hits, total.misses),
+        None => println!("repro: cache disabled"),
     }
     Ok(())
 }

@@ -8,7 +8,10 @@
 //!
 //! * `repro` runs a scenario's matrix in parallel (bit-identical for
 //!   any thread count) and writes one `dctcp-repro/v1` JSON artifact
-//!   per scenario.
+//!   per scenario. Execution is incremental: finished cells are
+//!   memoized in a content-addressed cache (`dctcp-cache`), so a warm
+//!   run over unchanged scenarios and unchanged code re-simulates
+//!   nothing yet renders byte-identical artifacts.
 //! * `repro_check` re-parses the scenario, loads the artifact and
 //!   verifies every envelope, failing CI when a change pushes the
 //!   simulated system outside the paper's claims.
@@ -27,10 +30,10 @@ pub mod parse;
 mod runner;
 mod spec;
 
-pub use artifact::{Artifact, Point};
+pub use artifact::{Artifact, Point, ARTIFACT_SCHEMA};
 pub use envelope::{check_artifact, ExpectCheck, Expectation, Violation};
 pub use error::ScenarioError;
-pub use runner::run_scenario;
+pub use runner::{run_scenario, run_scenario_cached, CacheStats};
 pub use spec::{
     DumbbellSpec, FaultSpec, RunSpec, ScenarioKind, ScenarioSpec, TestbedSpec, TopologySpec,
     MAX_FLOWS,

@@ -1,9 +1,17 @@
 //! Executes a scenario's matrix and assembles the artifact.
 //!
-//! The matrix (markings × flow counts × seeds) fans out through
-//! [`dctcp_parallel::par_try_map`], so artifacts are bit-identical for
-//! any thread count; each cell is one deterministic simulation.
+//! The executor is *incremental*: each (marking, flows, seed) cell is a
+//! fully deterministic simulation, so its result is memoized in an
+//! optional [`dctcp_cache::Cache`] under a content address derived from
+//! the resolved cell configuration and the workspace code fingerprint
+//! (see [`cell_key`] internals). A run first partitions the matrix into
+//! cache hits and misses, then fans only the misses out through
+//! [`dctcp_parallel::par_try_map`] in cost-balanced chunks. Results are
+//! reassembled by cell index, so artifacts are bit-identical for any
+//! thread count *and* any hit/miss split — a warm run re-renders the
+//! exact bytes of the cold run that populated the cache.
 
+use dctcp_cache::{Cache, CacheKey, KeyBuilder};
 use dctcp_parallel::par_try_map;
 use dctcp_sim::{FaultPlan, SimTime};
 use dctcp_stats::oscillation;
@@ -11,7 +19,7 @@ use dctcp_workloads::{
     run_query_rounds_with_threads, LongLivedScenario, QueryWorkload, TestbedConfig,
 };
 
-use crate::artifact::{Artifact, Point};
+use crate::artifact::{Artifact, Point, ARTIFACT_SCHEMA};
 use crate::spec::{DumbbellSpec, ScenarioKind, ScenarioSpec, TestbedSpec};
 use crate::ScenarioError;
 
@@ -24,15 +32,48 @@ struct Cell {
     seed: u64,
 }
 
+/// Cache traffic counters for one scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Cells served from the cache without simulating.
+    pub hits: usize,
+    /// Cells that had to be simulated (and were then stored).
+    pub misses: usize,
+}
+
+/// Work units per worker thread: enough chunks that one expensive cell
+/// cannot serialize the tail of the sweep, few enough that per-item
+/// dispatch stays negligible.
+const CHUNKS_PER_THREAD: usize = 4;
+
 /// Runs every matrix point of a scenario across `threads` workers and
 /// returns the artifact. `threads = 0` means
-/// [`dctcp_parallel::available_threads`].
+/// [`dctcp_parallel::available_threads`]. Equivalent to
+/// [`run_scenario_cached`] with no cache.
 ///
 /// # Errors
 ///
 /// Returns [`ScenarioError::Run`] wrapping the first (lowest-indexed)
 /// failing cell's simulator error.
 pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<Artifact, ScenarioError> {
+    run_scenario_cached(spec, threads, None).map(|(artifact, _)| artifact)
+}
+
+/// [`run_scenario`] with an optional content-addressed result cache:
+/// cached cells are fetched instead of simulated, missing cells are
+/// simulated and stored. Cache writes are best-effort (a failed write
+/// only costs a future re-run); corrupt or mismatched entries read as
+/// misses and are recomputed and repaired.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Run`] wrapping the first (lowest-indexed)
+/// failing cell's simulator error.
+pub fn run_scenario_cached(
+    spec: &ScenarioSpec,
+    threads: usize,
+    cache: Option<&Cache>,
+) -> Result<(Artifact, CacheStats), ScenarioError> {
     let threads = if threads == 0 {
         dctcp_parallel::available_threads()
     } else {
@@ -59,40 +100,176 @@ pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<Artifact, Sce
         }
     }
 
-    let points = par_try_map(
-        cells,
-        threads,
-        |_idx, cell| -> Result<Point, ScenarioError> {
-            let run_err = |msg: String| ScenarioError::Run {
-                scenario: spec.name.clone(),
-                msg: format!(
-                    "({}, N={}, seed {}): {msg}",
-                    cell.label, cell.flows, cell.seed
-                ),
-            };
-            let metrics = match (spec.kind, &spec.topology) {
-                (ScenarioKind::LongLived, crate::spec::TopologySpec::Dumbbell(d)) => {
-                    run_long_lived_cell(spec, d, &cell).map_err(|e| run_err(e.to_string()))?
-                }
-                (_, crate::spec::TopologySpec::Testbed(t)) => {
-                    run_query_cell(spec, t, &cell).map_err(|e| run_err(e.to_string()))?
-                }
-                _ => return Err(run_err("kind/topology mismatch".into())),
-            };
-            Ok(Point {
-                marking: cell.label,
-                flows: cell.flows,
-                seed: cell.seed,
-                metrics,
-            })
-        },
-    )?;
+    // Partition into hits (resolved immediately) and misses (simulated
+    // below). Hit metrics must carry exactly the kind's metric names —
+    // anything else is treated as corruption and recomputed.
+    let fingerprint = dctcp_cache::code_fingerprint();
+    let mut points: Vec<Option<Point>> = cells.iter().map(|_| None).collect();
+    let mut stats = CacheStats::default();
+    let mut misses: Vec<(usize, Cell, Option<CacheKey>)> = Vec::new();
+    for (idx, cell) in cells.into_iter().enumerate() {
+        let key = cache.map(|_| cell_key(spec, &cell, fingerprint));
+        let hit = cache
+            .zip(key)
+            .and_then(|(c, k)| c.get(k))
+            .filter(|metrics| metric_names_match(spec.kind, metrics));
+        match hit {
+            Some(metrics) => {
+                stats.hits += 1;
+                points[idx] = Some(Point {
+                    marking: cell.label,
+                    flows: cell.flows,
+                    seed: cell.seed,
+                    metrics,
+                });
+            }
+            None => misses.push((idx, cell, key)),
+        }
+    }
+    stats.misses = misses.len();
 
-    Ok(Artifact {
+    let chunks = chunk_by_cost(misses, threads, |(_, cell, _)| cell_cost(spec, cell));
+    let computed = par_try_map(chunks, threads, |_chunk_idx, chunk| {
+        let mut out = Vec::with_capacity(chunk.len());
+        for (idx, cell, key) in chunk {
+            // Stop at the first failure so the error reported for the
+            // whole run is the lowest-indexed failing cell's, exactly as
+            // with one-cell-per-item dispatch.
+            let metrics = run_cell(spec, &cell)?;
+            out.push((idx, cell, key, metrics));
+        }
+        Ok::<_, ScenarioError>(out)
+    })?;
+    for (idx, cell, key, metrics) in computed.into_iter().flatten() {
+        if let (Some(cache), Some(key)) = (cache, key) {
+            let _ = cache.put(key, &metrics);
+        }
+        points[idx] = Some(Point {
+            marking: cell.label,
+            flows: cell.flows,
+            seed: cell.seed,
+            metrics,
+        });
+    }
+
+    let points = points
+        .into_iter()
+        .map(|p| p.expect("every cell is either a hit or a computed miss"))
+        .collect();
+    Ok((
+        Artifact {
+            scenario: spec.name.clone(),
+            kind: spec.kind,
+            points,
+        },
+        stats,
+    ))
+}
+
+/// The content address of one cell: a digest over the artifact schema,
+/// the workspace code fingerprint, and every resolved input the
+/// simulation depends on. The marking *label* is deliberately excluded —
+/// it is presentation (the artifact's `marking` column comes from the
+/// scenario file at render time), so renaming a label reuses cached
+/// results while touching any semantic knob moves the key.
+fn cell_key(spec: &ScenarioSpec, cell: &Cell, fingerprint: &str) -> CacheKey {
+    let mut kb = KeyBuilder::new();
+    kb.field("schema", ARTIFACT_SCHEMA)
+        .field("code", fingerprint)
+        .field("kind", spec.kind.name())
+        // Debug renderings are exhaustive over fields, so a config struct
+        // gaining a knob automatically widens the key material.
+        .field("topology", &format!("{:?}", spec.topology))
+        .field("tcp", &format!("{:?}", spec.tcp))
+        .field("marking", &format!("{:?}", cell.scheme))
+        .field("flows", &cell.flows.to_string())
+        .field("seed", &cell.seed.to_string());
+    match spec.kind {
+        ScenarioKind::LongLived => {
+            kb.field("warmup_ns", &spec.run.warmup.as_nanos().to_string())
+                .field("duration_ns", &spec.run.duration.as_nanos().to_string())
+                .field("trace_ns", &spec.run.trace_interval.as_nanos().to_string())
+                .field("stagger_ns", &spec.run.stagger.as_nanos().to_string())
+                .field("faults", &format!("{:?}", spec.faults));
+        }
+        ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
+            kb.field("rounds", &spec.run.rounds.to_string())
+                .field("bytes", &spec.run.bytes.to_string());
+        }
+    }
+    kb.finish()
+}
+
+/// Whether cached metrics carry exactly the kind's metric names, in
+/// artifact order.
+fn metric_names_match(kind: ScenarioKind, metrics: &[(String, f64)]) -> bool {
+    let expected = kind.metrics();
+    metrics.len() == expected.len() && metrics.iter().zip(expected).all(|((name, _), e)| name == e)
+}
+
+/// Estimated relative cost of simulating one cell, for chunk sizing:
+/// simulated wall-time for long-lived runs, transferred bytes for query
+/// runs. Only ratios matter.
+fn cell_cost(spec: &ScenarioSpec, cell: &Cell) -> u64 {
+    match spec.kind {
+        ScenarioKind::LongLived => {
+            (spec.run.warmup.as_nanos() + spec.run.duration.as_nanos()).max(1)
+        }
+        // Incast sends `bytes` per responder; partition-aggregate splits
+        // `bytes` across responders.
+        ScenarioKind::Incast => {
+            (u64::from(spec.run.rounds) * spec.run.bytes * u64::from(cell.flows)).max(1)
+        }
+        ScenarioKind::PartitionAggregate => (u64::from(spec.run.rounds) * spec.run.bytes).max(1),
+    }
+}
+
+/// Groups consecutive jobs into work units of roughly equal summed cost,
+/// about [`CHUNKS_PER_THREAD`] units per worker. Order is preserved and
+/// results are reassembled by cell index, so chunking can never affect
+/// artifact bytes — only how evenly the pool is loaded.
+fn chunk_by_cost<T>(jobs: Vec<T>, threads: usize, cost: impl Fn(&T) -> u64) -> Vec<Vec<T>> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let target_chunks = (threads.max(1) * CHUNKS_PER_THREAD).min(jobs.len());
+    let total: u64 = jobs.iter().map(&cost).sum();
+    let per_chunk = (total / target_chunks as u64).max(1);
+    let mut chunks = Vec::with_capacity(target_chunks);
+    let mut current: Vec<T> = Vec::new();
+    let mut acc = 0u64;
+    for job in jobs {
+        acc += cost(&job);
+        current.push(job);
+        if acc >= per_chunk {
+            chunks.push(std::mem::take(&mut current));
+            acc = 0;
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Simulates one cell and returns its metric rows in artifact order.
+fn run_cell(spec: &ScenarioSpec, cell: &Cell) -> Result<Vec<(String, f64)>, ScenarioError> {
+    let run_err = |msg: String| ScenarioError::Run {
         scenario: spec.name.clone(),
-        kind: spec.kind,
-        points,
-    })
+        msg: format!(
+            "({}, N={}, seed {}): {msg}",
+            cell.label, cell.flows, cell.seed
+        ),
+    };
+    match (spec.kind, &spec.topology) {
+        (ScenarioKind::LongLived, crate::spec::TopologySpec::Dumbbell(d)) => {
+            run_long_lived_cell(spec, d, cell).map_err(|e| run_err(e.to_string()))
+        }
+        (_, crate::spec::TopologySpec::Testbed(t)) => {
+            run_query_cell(spec, t, cell).map_err(|e| run_err(e.to_string()))
+        }
+        _ => Err(run_err("kind/topology mismatch".into())),
+    }
 }
 
 fn run_long_lived_cell(
@@ -242,6 +419,51 @@ k = 20 pkts
         .unwrap()
     }
 
+    /// A two-cell variant (two markings) for hit/miss partition tests.
+    fn two_cell_spec() -> ScenarioSpec {
+        ScenarioSpec::parse(
+            "\
+[scenario]
+name = tiny2
+kind = long_lived
+
+[topology]
+bottleneck = 1 Gbps
+
+[run]
+flows = 2
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+
+[marking \"dt\"]
+scheme = dt-dctcp
+k1 = 15 pkts
+k2 = 25 pkts
+",
+        )
+        .unwrap()
+    }
+
+    fn tmp_cache(tag: &str) -> dctcp_cache::Cache {
+        let dir = std::env::temp_dir().join(format!("dctcp-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dctcp_cache::Cache::new(dir)
+    }
+
+    fn first_cell(spec: &ScenarioSpec) -> Cell {
+        Cell {
+            label: spec.markings[0].0.clone(),
+            scheme: spec.markings[0].1,
+            flows: spec.run.flows[0],
+            seed: 1,
+        }
+    }
+
     #[test]
     fn long_lived_artifact_has_every_metric() {
         let a = run_scenario(&tiny_spec(), 2).unwrap();
@@ -260,5 +482,104 @@ k = 20 pkts
         let a = run_scenario(&tiny_spec(), 1).unwrap();
         let b = run_scenario(&tiny_spec(), 4).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_edits_move_the_cell_key() {
+        let spec = tiny_spec();
+        let cell = first_cell(&spec);
+        let base = cell_key(&spec, &cell, "fp");
+
+        // Semantic edits each move the key...
+        let mut longer = spec.clone();
+        longer.run.duration = dctcp_sim::SimDuration::from_millis(16);
+        assert_ne!(base, cell_key(&longer, &cell, "fp"));
+
+        let mut sharper = cell.clone();
+        sharper.scheme = dctcp_core::MarkingScheme::dctcp_packets(21);
+        assert_ne!(base, cell_key(&spec, &sharper, "fp"));
+
+        let mut wider = cell.clone();
+        wider.flows = 3;
+        assert_ne!(base, cell_key(&spec, &wider, "fp"));
+
+        // ...but a pure label rename does not: the label is presentation,
+        // applied at artifact render time.
+        let mut renamed = cell.clone();
+        renamed.label = "renamed".into();
+        assert_eq!(base, cell_key(&spec, &renamed, "fp"));
+    }
+
+    #[test]
+    fn code_fingerprint_moves_the_cell_key() {
+        let spec = tiny_spec();
+        let cell = first_cell(&spec);
+        assert_ne!(
+            cell_key(&spec, &cell, "build-a"),
+            cell_key(&spec, &cell, "build-b")
+        );
+    }
+
+    #[test]
+    fn cold_then_warm_is_hit_only_and_byte_identical() {
+        let spec = two_cell_spec();
+        let cache = tmp_cache("warm");
+
+        let (cold, s) = run_scenario_cached(&spec, 2, Some(&cache)).unwrap();
+        assert_eq!((s.hits, s.misses), (0, 2));
+
+        // Warm runs re-simulate nothing and render the exact same bytes,
+        // at any thread count.
+        for threads in [1, 2, 4] {
+            let (warm, s) = run_scenario_cached(&spec, threads, Some(&cache)).unwrap();
+            assert_eq!((s.hits, s.misses), (2, 0), "threads={threads}");
+            assert_eq!(warm.render(), cold.render(), "threads={threads}");
+        }
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_entry_falls_back_to_recompute_and_repairs() {
+        let spec = two_cell_spec();
+        let cache = tmp_cache("corrupt");
+        let (cold, _) = run_scenario_cached(&spec, 2, Some(&cache)).unwrap();
+
+        // Truncate one of the two entries.
+        let mut entries: Vec<_> = std::fs::read_dir(cache.root())
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        assert_eq!(entries.len(), 2);
+        let victim = &entries[0];
+        let body = std::fs::read_to_string(victim).unwrap();
+        std::fs::write(victim, &body[..body.len() / 3]).unwrap();
+
+        let (warm, s) = run_scenario_cached(&spec, 2, Some(&cache)).unwrap();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(warm.render(), cold.render());
+
+        // The recompute rewrote the entry: a second warm run is all hits.
+        let (_, s) = run_scenario_cached(&spec, 2, Some(&cache)).unwrap();
+        assert_eq!((s.hits, s.misses), (2, 0));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn chunking_preserves_order_and_items() {
+        let jobs: Vec<u64> = (0..23).collect();
+        for threads in [1, 2, 4, 16] {
+            let chunks = chunk_by_cost(jobs.clone(), threads, |&j| 1 + j % 3);
+            let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
+            assert_eq!(flat, jobs, "threads={threads}");
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+            assert!(chunks.len() <= jobs.len());
+        }
+        assert!(chunk_by_cost(Vec::<u64>::new(), 4, |_| 1).is_empty());
+        // A single dominant job cannot drag unrelated work into its
+        // chunk once the accumulator trips.
+        let chunks = chunk_by_cost(vec![100u64, 1, 1, 1], 2, |&j| j);
+        assert_eq!(chunks[0], vec![100]);
     }
 }

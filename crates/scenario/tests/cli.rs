@@ -129,6 +129,55 @@ fn repro_then_check_pass_and_fail_on_envelopes() {
 }
 
 #[test]
+fn warm_repro_is_served_from_cache_and_byte_identical() {
+    let dir = unique_dir("warm");
+    let scn = dir.join("scenarios");
+    std::fs::create_dir_all(&scn).unwrap();
+    std::fs::write(scn.join("cli_smoke.scn"), PASSING_SCN).unwrap();
+    let args = &[
+        "--all",
+        "scenarios",
+        "--out",
+        "artifacts",
+        "--cache",
+        "cache",
+    ];
+
+    // Cold: every cell simulates and populates the cache.
+    let out = run_bin(env!("CARGO_BIN_EXE_repro"), args, &dir);
+    assert!(
+        out.status.success(),
+        "cold repro failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache 0 hits, 2 misses"), "{stdout}");
+    let artifact = dir.join("artifacts/cli_smoke.json");
+    let cold = std::fs::read(&artifact).unwrap();
+
+    // Warm: zero cells re-simulate, artifact bytes are identical.
+    let out = run_bin(env!("CARGO_BIN_EXE_repro"), args, &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache 2 hits, 0 misses"), "{stdout}");
+    assert_eq!(std::fs::read(&artifact).unwrap(), cold);
+
+    // --no-cache bypasses the (populated) cache entirely and still
+    // reproduces the same bytes.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro"),
+        &["--all", "scenarios", "--out", "artifacts", "--no-cache"],
+        &dir,
+    );
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache disabled"), "{stdout}");
+    assert_eq!(std::fs::read(&artifact).unwrap(), cold);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn repro_rejects_bad_scenarios_with_line_numbers() {
     let dir = unique_dir("bad");
     let scn = dir.join("scenarios");

@@ -26,6 +26,12 @@
 //! Timer cancellation is O(1): [`EventQueue::cancel_timer`] records a
 //! tombstone and the pop path drops the stale entry inside the queue,
 //! so cancelled retransmit timers are never dispatched to an agent.
+//! Tombstones are additionally reaped in bulk: when they come to
+//! dominate the queue ([`COMPACT_MIN`] onward), a compaction sweep
+//! drops every cancelled entry from both levels and empties the
+//! tombstone set, so cancel-heavy workloads (arm/disarm retransmit
+//! timers per ACK) do not drag dead entries through the overflow heap,
+//! the migration path and the wheel before finally discarding them.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -96,6 +102,10 @@ const NUM_BUCKETS: usize = 1 << BUCKET_BITS;
 const WIDTH_SHIFT: u32 = 11;
 /// Occupancy bitmap words (one bit per bucket).
 const BITMAP_WORDS: usize = NUM_BUCKETS / 64;
+/// Tombstone count below which compaction is never attempted: a full
+/// sweep touches every bucket, so it must amortize over enough reaped
+/// entries to beat the pop path's one-hashset-probe-per-event cost.
+const COMPACT_MIN: usize = 256;
 
 /// Identity-strength hasher for [`TimerToken`]s, which are sequential
 /// `u64`s: one multiply by a 64-bit odd constant spreads the low bits
@@ -174,12 +184,52 @@ impl EventQueue {
         self.insert(ScheduledEvent { at, seq, kind });
     }
 
-    /// Marks an armed timer as dead. O(1); the entry itself is reaped by
-    /// the pop path, never reaching dispatch. Cancelling a token that
-    /// already fired (or was never armed through this queue) leaves a
-    /// tombstone that is simply never consumed.
+    /// Marks an armed timer as dead. Amortized O(1); the entry itself is
+    /// reaped by the pop path, by overflow migration, or by a bulk
+    /// compaction sweep once tombstones dominate the queue — it never
+    /// reaches dispatch. Cancelling a token that already fired (or was
+    /// never armed through this queue) leaves a tombstone that the next
+    /// compaction discards.
     pub(crate) fn cancel_timer(&mut self, token: TimerToken) {
         self.cancelled.insert(token);
+        if self.cancelled.len() >= COMPACT_MIN && self.cancelled.len() * 2 >= self.len {
+            self.compact();
+        }
+    }
+
+    /// Drops every cancelled entry from both levels and empties the
+    /// tombstone set.
+    ///
+    /// Clearing *unmatched* tombstones is sound because timer tokens are
+    /// issued by a single monotone counter (see `Context::set_timer`)
+    /// and cancellation always follows arming: a tombstone with no live
+    /// entry now belongs to a timer that already fired, and its token
+    /// can never be armed again.
+    fn compact(&mut self) {
+        let cancelled = &self.cancelled;
+        let is_dead = |e: &ScheduledEvent| matches!(&e.kind, EventKind::Timer { token, .. } if cancelled.contains(token));
+        let mut removed = 0;
+        for (slot, bucket) in self.wheel.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let before = bucket.len();
+            bucket.retain(|e| !is_dead(e));
+            removed += before - bucket.len();
+            if bucket.is_empty() {
+                self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+            }
+        }
+        self.wheel_len -= removed;
+        if !self.overflow.is_empty() {
+            let before = self.overflow.len();
+            let mut entries = std::mem::take(&mut self.overflow).into_vec();
+            entries.retain(|e| !is_dead(e));
+            removed += before - entries.len();
+            self.overflow = BinaryHeap::from(entries);
+        }
+        self.len -= removed;
+        self.cancelled.clear();
     }
 
     fn insert(&mut self, ev: ScheduledEvent) {
@@ -208,6 +258,13 @@ impl EventQueue {
             }
             let ev = self.overflow.pop().expect("peeked entry exists");
             self.len -= 1; // insert() re-adds it
+            if !self.cancelled.is_empty() {
+                if let EventKind::Timer { token, .. } = &ev.kind {
+                    if self.cancelled.remove(token) {
+                        continue; // reaped en route, never reaches the wheel
+                    }
+                }
+            }
             self.insert(ev);
         }
     }
@@ -267,7 +324,9 @@ impl EventQueue {
                 let head_at = self.overflow.peek().expect("len > 0 with empty wheel").at;
                 self.cursor = head_at.as_nanos() >> WIDTH_SHIFT;
                 self.migrate_overflow();
-                debug_assert!(self.wheel_len > 0);
+                // The wheel may still be empty if every migrated entry
+                // was a cancelled timer reaped en route; the next lap
+                // jumps again (or observes len == 0 and stops).
                 continue;
             }
             let Some(dist) = self.next_occupied_distance() else {
@@ -327,8 +386,8 @@ impl EventQueue {
     }
 
     /// Number of scheduled entries, in O(1). Cancelled timers count
-    /// until the pop path reaps them (matching the previous
-    /// implementation, where they sat in the heap until dispatch).
+    /// until reaped — by the pop path, by overflow migration, or by a
+    /// compaction sweep.
     pub(crate) fn len(&self) -> usize {
         self.len
     }
@@ -471,6 +530,64 @@ mod tests {
         let (at, k) = q.pop().unwrap();
         assert_eq!(at, SimTime::from_nanos(20_000_000));
         assert_eq!(k, timer(0, 8));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn compaction_reaps_tombstones_without_reordering() {
+        let mut q = EventQueue::new();
+        // Enough cancels to trip compaction (> COMPACT_MIN), spread over
+        // wheel buckets and the overflow level. Survivors are every
+        // fourth timer.
+        let n = 4 * COMPACT_MIN as u64;
+        for i in 0..n {
+            // ~3 per bucket near the cursor, plus a far overflow tail.
+            let at = if i % 5 == 4 { 10_000_000 + i } else { i * 700 };
+            q.schedule(SimTime::from_nanos(at), timer(0, i));
+        }
+        assert_eq!(q.len(), n as usize);
+        for i in 0..n {
+            if i % 4 != 0 {
+                q.cancel_timer(TimerToken(i));
+            }
+        }
+        // Compaction has already dropped the dead entries — no pops yet.
+        assert_eq!(q.len(), (n / 4) as usize);
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut expected: Vec<u64> = (0..n).step_by(4).collect();
+        expected.sort_by_key(|&i| {
+            if i % 5 == 4 {
+                (10_000_000 + i, i)
+            } else {
+                (i * 700, i)
+            }
+        });
+        assert_eq!(tokens, expected);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_discards_unmatched_tombstones_safely() {
+        let mut q = EventQueue::new();
+        // A flood of cancels for timers that already fired: compaction
+        // trips and clears the set without touching live state.
+        q.schedule(SimTime::from_nanos(1), timer(0, 0));
+        assert!(q.pop().is_some());
+        for t in 0..2 * COMPACT_MIN as u64 {
+            q.cancel_timer(TimerToken(t));
+        }
+        assert!(q.is_empty());
+        // Cancellation of freshly armed timers still works afterwards.
+        q.schedule(SimTime::from_nanos(10), timer(0, 10_000));
+        q.schedule(SimTime::from_nanos(20), timer(0, 10_001));
+        q.cancel_timer(TimerToken(10_000));
+        let (_, k) = q.pop().unwrap();
+        assert_eq!(k, timer(0, 10_001));
         assert!(q.pop().is_none());
     }
 
