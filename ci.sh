@@ -8,7 +8,8 @@
 #   ci.sh full    quick + workspace tests + rustdoc + trace-oracle
 #                 smoke + bench gate + scenario-matrix gate (run cold,
 #                 then warm from the result cache with byte-identity
-#                 asserted between the two)
+#                 asserted between the two) + supervision gate
+#                 (quarantine exit codes, kill -9 mid-matrix resume)
 #                 (the merge gate: everything the repo can check)
 #   ci.sh         same as full
 set -eu
@@ -103,5 +104,110 @@ case "$WARM_SUMMARY" in
         ;;
 esac
 diff -r "$REPRO_COLD" artifacts/repro
+
+echo "==> supervision gate (quarantine exit codes + kill -9 resume)"
+# Two smokes over the supervised executor. First: a matrix with one
+# panicking and one wedged (deadline-overrunning) cell must complete
+# *partially* — repro exits 3, the artifact carries a machine-readable
+# `failures` block, and repro_check accepts it with exit 3 (holds, with
+# quarantine skips). Second: a cold run SIGKILLed mid-matrix must
+# resume from the result cache with zero recomputation of completed
+# cells and render artifacts byte-identical to the uninterrupted cold
+# pass above.
+SUP_DIR="$(mktemp -d -t supervise.XXXXXX)"
+trap 'rm -f "$BENCH_SCRATCH"; rm -rf "$REPRO_COLD" "$SUP_DIR"' EXIT
+cat > "$SUP_DIR/broken.scn" <<'EOF'
+[scenario]
+name = broken
+kind = long_lived
+
+[topology]
+bottleneck = 1 Gbps
+
+[run]
+flows = 2
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking "ok"]
+scheme = dctcp
+k = 20 pkts
+
+[marking "boom"]
+scheme = dctcp
+k = 21 pkts
+
+[marking "wedge"]
+scheme = dctcp
+k = 22 pkts
+
+[limits]
+deadline = 2 s
+retries = 0
+inject_panic = boom:2:1
+inject_stall = wedge:2:1
+
+[expect "saturated"]
+check = metric_range
+metric = utilization
+marking = ok
+min = 0.8
+
+# Global (no marking selector), so it touches the quarantined cells and
+# must be SKIPped - that is what drives repro_check's exit code to 3.
+[expect "lossless"]
+check = metric_range
+metric = drops
+max = 0
+EOF
+REPRO_CODE=0
+cargo run --offline --release -q -p dctcp-scenario --bin repro -- \
+    --out "$SUP_DIR/art" --no-cache "$SUP_DIR/broken.scn" || REPRO_CODE=$?
+if [ "$REPRO_CODE" -ne 3 ]; then
+    echo "ci.sh: partial matrix must exit 3, got $REPRO_CODE" >&2
+    exit 1
+fi
+grep -q '"failures"' "$SUP_DIR/art/broken.json" || {
+    echo "ci.sh: partial artifact lacks a failures block" >&2
+    exit 1
+}
+CHECK_CODE=0
+cargo run --offline --release -q -p dctcp-scenario --bin repro_check -- \
+    --artifacts "$SUP_DIR/art" "$SUP_DIR/broken.scn" || CHECK_CODE=$?
+if [ "$CHECK_CODE" -ne 3 ]; then
+    echo "ci.sh: partial artifact must check with exit 3, got $CHECK_CODE" >&2
+    exit 1
+fi
+
+KILL_SCN="scenarios/fig05_oscillation.scn"
+cargo run --offline --release -q -p dctcp-scenario --bin repro -- \
+    --out "$SUP_DIR/resume" --cache "$SUP_DIR/cache" --threads 1 "$KILL_SCN" \
+    > /dev/null 2>&1 &
+REPRO_PID=$!
+TRIES=0
+while [ "$(find "$SUP_DIR/cache" -name '*.cell' 2>/dev/null | wc -l)" -eq 0 ]; do
+    if ! kill -0 "$REPRO_PID" 2>/dev/null; then
+        break # finished before the kill window - resume is then all-hit
+    fi
+    TRIES=$((TRIES + 1))
+    if [ "$TRIES" -gt 6000 ]; then
+        echo "ci.sh: no cell committed within the kill window" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+kill -9 "$REPRO_PID" 2>/dev/null || true
+wait "$REPRO_PID" 2>/dev/null || true
+RESUME_SUMMARY="$(cargo run --offline --release -q -p dctcp-scenario --bin repro -- \
+    --out "$SUP_DIR/resume" --cache "$SUP_DIR/cache" "$KILL_SCN")"
+echo "$RESUME_SUMMARY"
+case "$RESUME_SUMMARY" in
+    *"cache 0 hits"*)
+        echo "ci.sh: resume after kill -9 recomputed every cell: $RESUME_SUMMARY" >&2
+        exit 1
+        ;;
+esac
+diff "$SUP_DIR/resume/fig05_oscillation.json" artifacts/repro/fig05_oscillation.json
 
 echo "CI full gate passed."

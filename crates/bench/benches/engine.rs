@@ -233,6 +233,31 @@ fn measure_cache(r: &mut Runner) {
     r.metric("cache/hits", stats.hits as f64, "cells");
     r.metric("cache/misses", misses as f64, "cells");
     r.metric("cache/warm_rerun_speedup", speedup, "x");
+
+    // The supervised executor fronts the warm (all-hit) path too: key
+    // derivation, journal lookup and the hit partition all run before a
+    // single cell would simulate. Benchmark that path min-of-batches
+    // and, against a same-machine committed baseline, record the ratio —
+    // bench_check fails CI when supervision makes warm reruns more than
+    // 2% slower than the committed baseline.
+    r.bench(WARM_BENCH, || {
+        let (warm, stats) = dctcp_scenario::run_scenario_supervised(&spec, threads, Some(&cache));
+        assert_eq!(stats.misses, 0, "warm bench must stay hit-only");
+        assert!(warm.failures.is_empty());
+        warm.points.len()
+    });
+    let measured = r
+        .records()
+        .iter()
+        .find(|rec| rec.name == WARM_BENCH)
+        .map(|rec| rec.ns_per_iter as f64);
+    if let (Some(baseline), Some(measured)) = (committed_ns_per_iter(WARM_BENCH), measured) {
+        r.metric(
+            "scenario/warm/supervision_overhead",
+            measured / baseline,
+            "x",
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -254,6 +279,7 @@ fn committed_ns_per_iter(bench: &str) -> Option<f64> {
 }
 
 const FORWARD_BENCH: &str = "engine/forward/10k_packets_one_switch";
+const WARM_BENCH: &str = "scenario/warm/rerun_4cells";
 
 fn main() {
     let mut r = Runner::from_env();

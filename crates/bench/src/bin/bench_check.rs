@@ -32,8 +32,10 @@ fn field_values(body: &str, key: &str) -> Vec<Option<f64>> {
     out
 }
 
-/// Ceiling on `engine/forward/trace_overhead`: the forwarding hot path
-/// with tracing compiled in but disabled may cost at most 2% over the
+/// Ceiling on the committed overhead ratios: the forwarding hot path
+/// with tracing compiled in but disabled (`trace_overhead`), and the
+/// supervised executor's warm all-hit scenario path
+/// (`supervision_overhead`), may each cost at most 2% over the
 /// committed pre-run baseline.
 const TRACE_OVERHEAD_LIMIT: f64 = 1.02;
 
@@ -99,34 +101,47 @@ fn check(body: &str) -> Result<Verdict, String> {
     if !events.iter().any(|&e| e > 0.0) {
         return Err("no bench reports a positive events_per_sec".into());
     }
-    // The overhead metric is only emitted when the bench found a
+    // Overhead-ratio metrics are only emitted when the bench found a
     // committed baseline to compare against; absent is fine (first run).
-    // Present, it must sit inside the believable band: above the 1.02x
+    // Present, each must sit inside the believable band: above the 1.02x
     // ceiling is a regression, below the 0.95x noise floor the baseline
     // itself is suspect (a "0.90x" here once let real regressions hide
     // under a stale baseline).
     let mut overhead_note = String::new();
-    if let Some(ratio) = metric_value(body, "engine/forward/trace_overhead") {
+    for (metric, short, what) in [
+        (
+            "engine/forward/trace_overhead",
+            "trace_overhead",
+            "disabled-tracing overhead on engine/forward",
+        ),
+        (
+            "scenario/warm/supervision_overhead",
+            "supervision_overhead",
+            "supervised-executor overhead on the warm (all-hit) scenario path",
+        ),
+    ] {
+        let Some(ratio) = metric_value(body, metric) else {
+            continue;
+        };
         if ratio.is_nan() || ratio <= 0.0 {
-            return Err(format!("trace_overhead {ratio} is not a positive ratio"));
+            return Err(format!("{short} {ratio} is not a positive ratio"));
         }
         if ratio > TRACE_OVERHEAD_LIMIT {
             return Err(format!(
-                "disabled-tracing overhead {ratio:.4}x exceeds the {TRACE_OVERHEAD_LIMIT}x \
-                 ceiling on engine/forward"
+                "{what} {ratio:.4}x exceeds the {TRACE_OVERHEAD_LIMIT}x ceiling"
             ));
         }
         if ratio < TRACE_OVERHEAD_FLOOR {
             return Err(format!(
-                "trace_overhead {ratio:.4}x is below the {TRACE_OVERHEAD_FLOOR}x noise floor: \
+                "{short} {ratio:.4}x is below the {TRACE_OVERHEAD_FLOOR}x noise floor: \
                  the committed baseline no longer matches this machine/protocol, so the \
                  {TRACE_OVERHEAD_LIMIT}x ceiling is meaningless — re-baseline by committing a \
                  freshly generated BENCH_sim.json (min-of-3-batches)"
             ));
         }
-        overhead_note = format!(
-            ", trace_overhead {ratio:.3}x (band [{TRACE_OVERHEAD_FLOOR}, {TRACE_OVERHEAD_LIMIT}])"
-        );
+        overhead_note.push_str(&format!(
+            ", {short} {ratio:.3}x (band [{TRACE_OVERHEAD_FLOOR}, {TRACE_OVERHEAD_LIMIT}])"
+        ));
     }
     let mut warnings = Vec::new();
     // A "parallel" speedup measured on one worker is a tautology: warn
@@ -318,6 +333,31 @@ mod tests {
     fn missing_trace_overhead_is_not_an_error() {
         let msg = check(GOOD).unwrap().summary;
         assert!(!msg.contains("trace_overhead"));
+    }
+
+    fn with_supervision_overhead(ratio: &str) -> String {
+        GOOD.replace(
+            r#"{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}"#,
+            &format!(
+                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}},
+    {{"name": "scenario/warm/supervision_overhead", "value": {ratio}, "unit": "x"}}"#
+            ),
+        )
+    }
+
+    #[test]
+    fn supervision_overhead_shares_the_band() {
+        let msg = check(&with_supervision_overhead("1.010000"))
+            .unwrap()
+            .summary;
+        assert!(msg.contains("supervision_overhead 1.010x"), "{msg}");
+
+        let err = check(&with_supervision_overhead("1.050000")).unwrap_err();
+        assert!(err.contains("supervised-executor"), "{err}");
+        assert!(err.contains("exceeds"), "{err}");
+
+        let err = check(&with_supervision_overhead("0.800000")).unwrap_err();
+        assert!(err.contains("noise floor"), "{err}");
     }
 
     fn with_metrics(extra: &str) -> String {

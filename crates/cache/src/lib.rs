@@ -30,6 +30,10 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
+mod journal;
+
+pub use journal::{FailureRecord, Journal};
+
 /// On-disk entry schema tag; bump when the entry format changes (old
 /// entries then read as misses).
 pub const ENTRY_SCHEMA: &str = "dctcp-cache/v1";
@@ -80,6 +84,15 @@ impl CacheKey {
     /// The 32-character lowercase hex spelling.
     pub fn hex(&self) -> String {
         format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`CacheKey::hex`] spelling back into a key; `None`
+    /// for anything that is not exactly 32 hex characters.
+    pub fn from_hex(hex: &str) -> Option<CacheKey> {
+        if hex.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(CacheKey)
     }
 }
 

@@ -145,6 +145,79 @@ where
     par_map(items, threads, f).into_iter().collect()
 }
 
+/// A worker panic caught by [`run_isolated`] and carried as a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    /// The panic payload rendered as text (`&str` / `String` payloads
+    /// verbatim, anything else a fixed placeholder), so the message is a
+    /// deterministic function of the panic site.
+    pub message: String,
+}
+
+impl std::fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panicked: {}", self.message)
+    }
+}
+
+/// Runs `f` under [`std::panic::catch_unwind`], converting a panic into
+/// a typed [`CaughtPanic`] instead of unwinding into the caller.
+///
+/// This is the supervision primitive: one poisoned job must not take
+/// down its siblings or the driver. `f` is wrapped in
+/// [`AssertUnwindSafe`](std::panic::AssertUnwindSafe), which is sound
+/// for the fan-out drivers here because a failed job's partial state is
+/// discarded wholesale — nothing observes the interior of a job that
+/// panicked.
+///
+/// # Examples
+///
+/// ```
+/// let ok = dctcp_parallel::run_isolated(|| 2 + 2);
+/// assert_eq!(ok, Ok(4));
+///
+/// let err = dctcp_parallel::run_isolated(|| -> u32 { panic!("boom") });
+/// assert_eq!(err.unwrap_err().message, "boom");
+/// ```
+pub fn run_isolated<R, F: FnOnce() -> R>(f: F) -> Result<R, CaughtPanic> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        CaughtPanic { message }
+    })
+}
+
+/// [`par_map`] with per-item panic isolation: a job that panics yields
+/// `Err(CaughtPanic)` in its output slot while every other job runs to
+/// completion, instead of the first panic aborting the whole fan-out.
+///
+/// Results stay in input order, so which jobs failed — and with what
+/// message — is deterministic for deterministic jobs.
+///
+/// # Examples
+///
+/// ```
+/// let out = dctcp_parallel::par_map_isolated(vec![1u64, 0, 3], 2, |_i, x| {
+///     if x == 0 { panic!("zero") } else { x * 2 }
+/// });
+/// assert_eq!(out[0], Ok(2));
+/// assert_eq!(out[1].as_ref().unwrap_err().message, "zero");
+/// assert_eq!(out[2], Ok(6));
+/// ```
+pub fn par_map_isolated<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<R, CaughtPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map(items, threads, |i, item| run_isolated(|| f(i, item)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +325,59 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn isolated_panics_become_values_and_siblings_survive() {
+        let out = par_map_isolated((0..32u64).collect(), 4, |i, x| {
+            if x % 10 == 3 {
+                panic!("poisoned cell {i}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 3 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.message, format!("poisoned cell {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_serial_and_parallel_agree() {
+        let job = |i: usize, x: u64| {
+            if x == 5 {
+                panic!("five");
+            }
+            (i, x)
+        };
+        let items: Vec<u64> = (0..12).collect();
+        let serial = par_map_isolated(items.clone(), 1, job);
+        assert_eq!(par_map_isolated(items, 4, job), serial);
+    }
+
+    #[test]
+    fn run_isolated_renders_string_and_opaque_payloads() {
+        assert_eq!(
+            run_isolated(|| -> () { std::panic::panic_any(String::from("owned")) })
+                .unwrap_err()
+                .message,
+            "owned"
+        );
+        assert_eq!(
+            run_isolated(|| -> () { std::panic::panic_any(42u64) })
+                .unwrap_err()
+                .message,
+            "non-string panic payload"
+        );
+        assert_eq!(
+            run_isolated(|| -> () { panic!("formatted {}", 7) })
+                .unwrap_err()
+                .message,
+            "formatted 7"
+        );
     }
 }

@@ -40,7 +40,28 @@ impl Point {
     }
 }
 
-/// A full scenario result: every matrix point of one scenario.
+/// One quarantined (marking, flows, seed) cell: the matrix point that
+/// should be here, and why it is not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureCell {
+    /// Marking-scheme label from the scenario file.
+    pub marking: String,
+    /// Number of flows at the failed point.
+    pub flows: u32,
+    /// Workload seed at the failed point.
+    pub seed: u64,
+    /// Attempts consumed before quarantine (first try + retries).
+    pub attempts: u32,
+    /// Failure kind token (`panicked` / `deadline` / `failed` /
+    /// `non_deterministic`).
+    pub kind: String,
+    /// Human-readable failure message (deterministic: a function of the
+    /// scenario configuration and failure site, never of wall time).
+    pub msg: String,
+}
+
+/// A full scenario result: every matrix point of one scenario, plus the
+/// quarantine manifest for any points that could not be produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Artifact {
     /// Scenario name (matches the `.scn` file's `[scenario] name`).
@@ -50,6 +71,10 @@ pub struct Artifact {
     /// Matrix points in run order (marking-major, then flows, then
     /// seed).
     pub points: Vec<Point>,
+    /// Quarantined cells in run order. Empty for a complete run — and
+    /// rendered only when non-empty, so complete artifacts are
+    /// byte-identical to the pre-supervision schema.
+    pub failures: Vec<FailureCell>,
 }
 
 impl Artifact {
@@ -74,6 +99,28 @@ impl Artifact {
             }
             out.push('}');
             if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        if self.failures.is_empty() {
+            out.push_str("  ]\n}\n");
+            return out;
+        }
+        out.push_str("  ],\n  \"failures\": [\n");
+        for (i, c) in self.failures.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"error\": \"{}\", \"marking\": \"{}\", \"flows\": {}, \"seed\": {}, \
+                 \"attempts\": {}, \"msg\": \"{}\"}}",
+                json_safe(&c.kind),
+                c.marking,
+                c.flows,
+                c.seed,
+                c.attempts,
+                json_safe(&c.msg)
+            );
+            if i + 1 < self.failures.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -108,20 +155,23 @@ impl Artifact {
             .ok_or_else(|| bad(format!("unknown kind `{kind_name}`")))?;
 
         let mut points = Vec::new();
+        let mut failures = Vec::new();
         for line in src.lines() {
             let line = line.trim();
-            if !line.starts_with("{\"marking\"") {
-                continue;
+            if line.starts_with("{\"marking\"") {
+                points.push(parse_point(line, kind, path)?);
+            } else if line.starts_with("{\"error\"") {
+                failures.push(parse_failure(line, path)?);
             }
-            points.push(parse_point(line, kind, path)?);
         }
-        if points.is_empty() {
+        if points.is_empty() && failures.is_empty() {
             return Err(bad("artifact has no points".into()));
         }
         Ok(Artifact {
             scenario,
             kind,
             points,
+            failures,
         })
     }
 
@@ -136,6 +186,25 @@ impl Artifact {
             msg: e.to_string(),
         })?;
         Artifact::parse(&src, &path.display().to_string())
+    }
+
+    /// Whether every one of `expected` matrix cells is accounted for —
+    /// as a measured point or a quarantined failure. Anything else is a
+    /// stale artifact.
+    pub fn accounts_for(&self, expected: usize) -> bool {
+        self.points.len() + self.failures.len() == expected
+    }
+
+    /// Marking labels with at least one quarantined cell, in
+    /// first-appearance order.
+    pub fn quarantined_markings(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for f in &self.failures {
+            if !out.contains(&f.marking.as_str()) {
+                out.push(&f.marking);
+            }
+        }
+        out
     }
 
     /// Marking labels present, in first-appearance order.
@@ -200,6 +269,36 @@ fn parse_point(line: &str, kind: ScenarioKind, path: &str) -> Result<Point, Scen
     })
 }
 
+fn parse_failure(line: &str, path: &str) -> Result<FailureCell, ScenarioError> {
+    let bad = |msg: String| ScenarioError::BadArtifact {
+        path: path.to_string(),
+        msg: format!("{msg} in failure `{line}`"),
+    };
+    Ok(FailureCell {
+        kind: string_field(line, "error").ok_or_else(|| bad("missing error kind".into()))?,
+        marking: string_field(line, "marking").ok_or_else(|| bad("missing marking".into()))?,
+        flows: num_field(line, "flows").ok_or_else(|| bad("missing flows".into()))? as u32,
+        seed: num_field(line, "seed").ok_or_else(|| bad("missing seed".into()))? as u64,
+        attempts: num_field(line, "attempts").ok_or_else(|| bad("missing attempts".into()))? as u32,
+        msg: string_field(line, "msg").ok_or_else(|| bad("missing msg".into()))?,
+    })
+}
+
+/// Flattens a message into the subset of JSON-string-safe characters
+/// the scanner parser can read back without an escape grammar: quotes
+/// and backslashes are substituted, control characters become spaces.
+/// Lossy by design — failure messages are diagnostics, not data.
+fn json_safe(msg: &str) -> String {
+    msg.chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\\' => '/',
+            c if c.is_control() => ' ',
+            c => c,
+        })
+        .collect()
+}
+
 /// Scans for `"key": "value"` anywhere in `src` and returns the value.
 fn string_field(src: &str, key: &str) -> Option<String> {
     let rest = field_rest(src, key)?;
@@ -253,6 +352,18 @@ mod tests {
                     metrics: metrics(10.5),
                 },
             ],
+            failures: Vec::new(),
+        }
+    }
+
+    fn failure(marking: &str, kind: &str, msg: &str) -> FailureCell {
+        FailureCell {
+            marking: marking.into(),
+            flows: 4,
+            seed: 1,
+            attempts: 2,
+            kind: kind.into(),
+            msg: msg.into(),
         }
     }
 
@@ -299,5 +410,63 @@ mod tests {
     #[test]
     fn markings_in_first_appearance_order() {
         assert_eq!(sample().markings(), vec!["dctcp", "dt-dctcp"]);
+    }
+
+    #[test]
+    fn complete_artifacts_render_without_a_failures_block() {
+        // Byte-compat: the supervision schema must not change the bytes
+        // of a fully successful artifact.
+        assert!(!sample().render().contains("failures"));
+    }
+
+    #[test]
+    fn partial_artifacts_round_trip_their_quarantine_manifest() {
+        let mut a = sample();
+        a.failures = vec![
+            failure(
+                "dctcp",
+                "panicked",
+                "injected panic via [limits] inject_panic",
+            ),
+            failure(
+                "dt-dctcp",
+                "deadline",
+                "exceeded the 30.000s wall-clock deadline",
+            ),
+        ];
+        let rendered = a.render();
+        assert!(rendered.contains("\"failures\": ["));
+        let parsed = Artifact::parse(&rendered, "t.json").unwrap();
+        assert_eq!(parsed, a);
+        assert!(parsed.accounts_for(4));
+        assert!(!parsed.accounts_for(3));
+        assert_eq!(parsed.quarantined_markings(), vec!["dctcp", "dt-dctcp"]);
+    }
+
+    #[test]
+    fn all_failed_artifacts_still_parse() {
+        let a = Artifact {
+            scenario: "doomed".into(),
+            kind: ScenarioKind::LongLived,
+            points: Vec::new(),
+            failures: vec![failure("dctcp", "panicked", "boom")],
+        };
+        let parsed = Artifact::parse(&a.render(), "t.json").unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn hostile_failure_messages_cannot_break_the_grammar() {
+        let mut a = sample();
+        a.failures = vec![failure(
+            "dctcp",
+            "panicked",
+            "quote \" backslash \\ newline \n done",
+        )];
+        let parsed = Artifact::parse(&a.render(), "t.json").unwrap();
+        // Lossy but parseable: substituted characters, same structure.
+        assert_eq!(parsed.failures.len(), 1);
+        assert_eq!(parsed.failures[0].msg, "quote ' backslash / newline   done");
+        assert_eq!(parsed.points.len(), 2);
     }
 }

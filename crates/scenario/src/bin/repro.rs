@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! repro [--threads N] [--out DIR] [--cache DIR | --no-cache]
-//!       (--all SCENARIO_DIR | FILE.scn ...)
+//!       [--retries N] (--all SCENARIO_DIR | FILE.scn ...)
 //! ```
 //!
 //! Runs each scenario's full matrix (markings × flows × seeds) through
-//! the parallel driver and writes one `dctcp-repro/v1` JSON artifact
-//! per scenario to `DIR` (default `artifacts/repro`). Deterministic:
-//! the same tree produces byte-identical artifacts at any `--threads`.
+//! the supervised parallel driver and writes one `dctcp-repro/v1` JSON
+//! artifact per scenario to `DIR` (default `artifacts/repro`).
+//! Deterministic: the same tree produces byte-identical artifacts at
+//! any `--threads`.
 //!
 //! Execution is incremental: each cell's result is memoized in a
 //! content-addressed cache (default `artifacts/cache`, see
@@ -19,17 +20,30 @@
 //! the cache. The final stdout line,
 //! `repro: cache H hits, M misses`, is machine-readable (ci.sh greps
 //! it to assert the warm CI pass was served from the cache).
+//!
+//! Execution is *supervised*: a cell that panics, overruns its
+//! wall-clock deadline, or fails its simulation is quarantined into
+//! the artifact's `failures` block (and the cache's failure journal)
+//! instead of aborting the run — the rest of the matrix still
+//! completes, and the exit code says how much survived:
+//!
+//! * `0` — every cell of every scenario produced a point;
+//! * `3` — partial: some cells were quarantined, some succeeded;
+//! * `4` — failed: every cell was quarantined;
+//! * `1` — invocation or I/O error (bad flags, unreadable scenario,
+//!   unwritable artifact).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dctcp_cache::Cache;
-use dctcp_scenario::{list_scenarios, run_scenario_cached, CacheStats, ScenarioSpec};
+use dctcp_scenario::{list_scenarios, run_scenario_supervised, CacheStats, ScenarioSpec};
 
 struct Args {
     threads: usize,
     out: PathBuf,
     cache: Option<PathBuf>,
+    retries: Option<u32>,
     scenarios: Vec<PathBuf>,
 }
 
@@ -38,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         out: PathBuf::from("artifacts/repro"),
         cache: Some(PathBuf::from("artifacts/cache")),
+        retries: None,
         scenarios: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -52,6 +67,15 @@ fn parse_args() -> Result<Args, String> {
                 args.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a value")?));
             }
             "--no-cache" => args.cache = None,
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+                // Same cap as the `[limits]` parser.
+                if n > 8 {
+                    return Err(format!("--retries must be at most 8, got {n}"));
+                }
+                args.retries = Some(n);
+            }
             "--all" => {
                 let dir = PathBuf::from(it.next().ok_or("--all needs a directory")?);
                 let found = list_scenarios(&dir).map_err(|e| e.to_string())?;
@@ -62,7 +86,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: repro [--threads N] [--out DIR] \
-                            [--cache DIR | --no-cache] \
+                            [--cache DIR | --no-cache] [--retries N] \
                             (--all SCENARIO_DIR | FILE.scn ...)"
                     .into())
             }
@@ -76,15 +100,38 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
+/// How much of the matrix survived, across all scenarios.
+struct Outcome {
+    points: usize,
+    quarantined: usize,
+}
+
+impl Outcome {
+    fn exit_code(&self) -> ExitCode {
+        match (self.points, self.quarantined) {
+            (_, 0) => ExitCode::SUCCESS,
+            (0, _) => ExitCode::from(4),
+            _ => ExitCode::from(3),
+        }
+    }
+}
+
+fn run() -> Result<Outcome, String> {
     let args = parse_args()?;
     std::fs::create_dir_all(&args.out)
         .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
     let cache = args.cache.as_ref().map(Cache::new);
 
     let mut total = CacheStats::default();
+    let mut outcome = Outcome {
+        points: 0,
+        quarantined: 0,
+    };
     for path in &args.scenarios {
-        let spec = ScenarioSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut spec = ScenarioSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(r) = args.retries {
+            spec.limits.retries = r;
+        }
         eprintln!(
             "repro: {} ({}, {} markings x {} flow counts x {} seeds = {} points)",
             spec.name,
@@ -98,30 +145,53 @@ fn run() -> Result<(), String> {
             },
             spec.num_points(),
         );
-        let (artifact, stats) =
-            run_scenario_cached(&spec, args.threads, cache.as_ref()).map_err(|e| e.to_string())?;
+        let (artifact, stats) = run_scenario_supervised(&spec, args.threads, cache.as_ref());
         total.hits += stats.hits;
         total.misses += stats.misses;
+        total.retried += stats.retried;
+        total.quarantined += stats.quarantined;
+        total.replayed += stats.replayed;
+        outcome.points += artifact.points.len();
+        outcome.quarantined += artifact.failures.len();
         let out_path = args.out.join(format!("{}.json", spec.name));
         std::fs::write(&out_path, artifact.render())
             .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
         eprintln!(
-            "repro:   -> {} ({} cached, {} simulated)",
+            "repro:   -> {} ({} cached, {} simulated{})",
             out_path.display(),
             stats.hits,
             stats.misses,
+            match (stats.retried, stats.quarantined) {
+                (0, 0) => String::new(),
+                (r, q) => format!(", {r} retried, {q} quarantined"),
+            },
+        );
+        for f in &artifact.failures {
+            eprintln!(
+                "repro:   QUARANTINED ({}, N={}, seed {}) after {} attempt(s): {}",
+                f.marking, f.flows, f.seed, f.attempts, f.msg
+            );
+        }
+    }
+    if outcome.quarantined > 0 {
+        eprintln!(
+            "repro: {} of {} cells quarantined ({} replayed from the journal); \
+             artifacts carry a `failures` block",
+            outcome.quarantined,
+            outcome.points + outcome.quarantined,
+            total.replayed,
         );
     }
     match &cache {
         Some(_) => println!("repro: cache {} hits, {} misses", total.hits, total.misses),
         None => println!("repro: cache disabled"),
     }
-    Ok(())
+    Ok(outcome)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(outcome) => outcome.exit_code(),
         Err(msg) => {
             eprintln!("repro: {msg}");
             ExitCode::FAILURE

@@ -6,14 +6,21 @@
 //!
 //! For each scenario, loads `DIR/<name>.json` (default
 //! `artifacts/repro`), verifies it matches the scenario (schema, name,
-//! kind, complete matrix) and evaluates every `[expect]` envelope.
-//! Exits non-zero if any envelope is violated — the CI gate that keeps
-//! the simulated system inside the paper's claims.
+//! kind, every matrix cell accounted for as a point *or* a quarantined
+//! failure) and evaluates every `[expect]` envelope. Envelopes that
+//! touch a quarantined cell are reported as *skipped* — a failure to
+//! measure is never a pass. Exit codes:
+//!
+//! * `0` — every envelope evaluated and held;
+//! * `3` — every evaluated envelope held, but quarantined cells forced
+//!   skips (the reproduction is incomplete, not wrong);
+//! * `1` — at least one envelope violated, or an invocation/format
+//!   error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dctcp_scenario::{check_artifact, list_scenarios, Artifact, ScenarioSpec};
+use dctcp_scenario::{check_artifact_partial, list_scenarios, Artifact, ScenarioSpec};
 
 struct Args {
     artifacts: PathBuf,
@@ -54,8 +61,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Checks one scenario; returns the number of violated envelopes.
-fn check_scenario(spec: &ScenarioSpec, artifact: &Artifact) -> Result<usize, String> {
+/// Checks one scenario; returns (violated, skipped) envelope counts.
+fn check_scenario(spec: &ScenarioSpec, artifact: &Artifact) -> Result<(usize, usize), String> {
     if artifact.scenario != spec.name {
         return Err(format!(
             "artifact is for scenario `{}`, expected `{}`",
@@ -69,54 +76,74 @@ fn check_scenario(spec: &ScenarioSpec, artifact: &Artifact) -> Result<usize, Str
             spec.kind.name()
         ));
     }
-    if artifact.points.len() != spec.num_points() {
+    if !artifact.accounts_for(spec.num_points()) {
         return Err(format!(
-            "artifact has {} points, scenario defines {} — stale artifact? re-run repro",
+            "artifact accounts for {} of {} cells ({} points + {} failures) — \
+             stale artifact? re-run repro",
+            artifact.points.len() + artifact.failures.len(),
+            spec.num_points(),
             artifact.points.len(),
-            spec.num_points()
+            artifact.failures.len(),
         ));
     }
-    let violations = check_artifact(&spec.expectations, artifact);
+    for f in &artifact.failures {
+        eprintln!(
+            "repro_check:   QUARANTINED ({}, N={}, seed {}) after {} attempt(s): {}",
+            f.marking, f.flows, f.seed, f.attempts, f.msg
+        );
+    }
+    let report = check_artifact_partial(&spec.expectations, artifact);
+    for name in &report.skipped {
+        eprintln!("repro_check:   SKIP {name} — touches a quarantined cell");
+    }
     let mut violated: Vec<&str> = Vec::new();
-    for v in &violations {
+    for v in &report.violations {
         eprintln!("repro_check:   FAIL {v}");
         if !violated.contains(&v.expect.as_str()) {
             violated.push(&v.expect);
         }
     }
-    Ok(violated.len())
+    Ok((violated.len(), report.skipped.len()))
 }
 
-fn run() -> Result<usize, String> {
+fn run() -> Result<(usize, usize), String> {
     let args = parse_args()?;
     let mut total_violations = 0usize;
+    let mut total_skipped = 0usize;
     let mut total_expectations = 0usize;
     for path in &args.scenarios {
         let spec = ScenarioSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let artifact_path = args.artifacts.join(format!("{}.json", spec.name));
         let artifact = Artifact::load(&artifact_path).map_err(|e| e.to_string())?;
-        let n = check_scenario(&spec, &artifact)
+        let (violated, skipped) = check_scenario(&spec, &artifact)
             .map_err(|e| format!("{}: {e}", artifact_path.display()))?;
         total_expectations += spec.expectations.len();
-        total_violations += n;
+        total_violations += violated;
+        total_skipped += skipped;
         eprintln!(
-            "repro_check: {} — {}/{} envelopes hold",
+            "repro_check: {} — {}/{} envelopes hold{}",
             spec.name,
-            spec.expectations.len() - n,
+            spec.expectations.len() - violated - skipped,
             spec.expectations.len(),
+            if skipped > 0 {
+                format!(" ({skipped} skipped on quarantine)")
+            } else {
+                String::new()
+            },
         );
     }
     eprintln!(
         "repro_check: {total_expectations} envelopes over {} scenarios, \
-         {total_violations} violation(s)",
+         {total_violations} violation(s), {total_skipped} skipped",
         args.scenarios.len()
     );
-    Ok(total_violations)
+    Ok((total_violations, total_skipped))
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(0) => ExitCode::SUCCESS,
+        Ok((0, 0)) => ExitCode::SUCCESS,
+        Ok((0, _)) => ExitCode::from(3),
         Ok(_) => ExitCode::FAILURE,
         Err(msg) => {
             eprintln!("repro_check: {msg}");

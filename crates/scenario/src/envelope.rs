@@ -240,6 +240,52 @@ pub fn check_artifact(expectations: &[Expectation], artifact: &Artifact) -> Vec<
     out
 }
 
+/// The result of checking a possibly-partial artifact: violations from
+/// the expectations that could be evaluated, and the labels of those
+/// that were skipped because a marking they constrain was quarantined.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckReport {
+    /// Violated expectations, with context.
+    pub violations: Vec<Violation>,
+    /// Labels of expectations skipped over quarantined markings.
+    pub skipped: Vec<String>,
+}
+
+/// [`check_artifact`] for artifacts that may carry a quarantine
+/// manifest: expectations touching a quarantined marking are *skipped*
+/// (reported by label, not silently dropped) instead of failing over
+/// data the run could not produce; every other expectation is evaluated
+/// normally. With an empty `failures` block this is exactly
+/// [`check_artifact`].
+pub fn check_artifact_partial(expectations: &[Expectation], artifact: &Artifact) -> CheckReport {
+    let quarantined = artifact.quarantined_markings();
+    let mut report = CheckReport::default();
+    for e in expectations {
+        if touches_quarantined(&e.check, &quarantined) {
+            report.skipped.push(e.label.clone());
+        } else {
+            check_one(e, artifact, &mut report.violations);
+        }
+    }
+    report
+}
+
+/// Whether a check constrains any quarantined marking. A check with no
+/// marking selector constrains all of them.
+fn touches_quarantined(check: &ExpectCheck, quarantined: &[&str]) -> bool {
+    if quarantined.is_empty() {
+        return false;
+    }
+    let hit = |m: &str| quarantined.contains(&m);
+    match check {
+        ExpectCheck::MetricRange { marking, .. } => marking.as_deref().is_none_or(hit),
+        ExpectCheck::Ordered {
+            lesser, greater, ..
+        } => hit(lesser) || hit(greater),
+        ExpectCheck::MonotoneIncreasing { marking, .. } => hit(marking),
+    }
+}
+
 fn check_one(e: &Expectation, artifact: &Artifact, out: &mut Vec<Violation>) {
     let violation = |msg: String| Violation {
         expect: e.label.clone(),
@@ -373,6 +419,7 @@ mod tests {
             scenario: "t".into(),
             kind: ScenarioKind::LongLived,
             points,
+            failures: Vec::new(),
         }
     }
 
@@ -451,5 +498,67 @@ mod tests {
         assert!(check_artifact(std::slice::from_ref(&e), &ok).is_empty());
         let bad = artifact(vec![point("dc", 2, 10.0), point("dc", 4, 5.0)]);
         assert_eq!(check_artifact(&[e], &bad).len(), 1);
+    }
+
+    fn quarantine(a: &mut Artifact, marking: &str) {
+        a.failures.push(crate::artifact::FailureCell {
+            marking: marking.into(),
+            flows: 8,
+            seed: 1,
+            attempts: 2,
+            kind: "panicked".into(),
+            msg: "boom".into(),
+        });
+    }
+
+    #[test]
+    fn quarantined_markings_skip_their_expectations() {
+        let range_on = |marking: Option<&str>| Expectation {
+            label: format!("band-{}", marking.unwrap_or("all")),
+            check: ExpectCheck::MetricRange {
+                metric: "queue_std".into(),
+                marking: marking.map(String::from),
+                flows: None,
+                min: Some(0.0),
+                max: Some(100.0),
+            },
+        };
+        let ordered = Expectation {
+            label: "dt-below".into(),
+            check: ExpectCheck::Ordered {
+                metric: "queue_std".into(),
+                lesser: "dt".into(),
+                greater: "dc".into(),
+                from_flows: 0,
+            },
+        };
+        let expectations = vec![
+            range_on(Some("dc")),
+            range_on(Some("dt")),
+            range_on(None),
+            ordered,
+        ];
+
+        // Complete artifact: partial checking degenerates to the full
+        // checker — nothing skipped, same violations.
+        let complete = artifact(vec![point("dc", 2, 3.0), point("dt", 2, 1.0)]);
+        let r = check_artifact_partial(&expectations, &complete);
+        assert!(r.skipped.is_empty());
+        assert_eq!(r.violations, check_artifact(&expectations, &complete));
+
+        // Quarantine `dt`: its band, the unselective band, and the
+        // cross-marking ordering are skipped; `dc`'s band still runs.
+        let mut partial = artifact(vec![point("dc", 2, 3.0), point("dc", 8, 4.0)]);
+        quarantine(&mut partial, "dt");
+        let r = check_artifact_partial(&expectations, &partial);
+        assert_eq!(r.skipped, vec!["band-dt", "band-all", "dt-below"]);
+        assert!(r.violations.is_empty());
+
+        // A violation on the surviving marking is still caught.
+        let mut bad = artifact(vec![point("dc", 2, 999.0)]);
+        quarantine(&mut bad, "dt");
+        let r = check_artifact_partial(&expectations, &bad);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].expect, "band-dc");
     }
 }

@@ -11,10 +11,19 @@
 //!   per scenario. Execution is incremental: finished cells are
 //!   memoized in a content-addressed cache (`dctcp-cache`), so a warm
 //!   run over unchanged scenarios and unchanged code re-simulates
-//!   nothing yet renders byte-identical artifacts.
+//!   nothing yet renders byte-identical artifacts. Execution is also
+//!   *supervised* ([`run_scenario_supervised`]): cells run under panic
+//!   isolation, per-cell wall-clock deadlines and a bounded retry
+//!   budget (the `[limits]` section), and broken cells are quarantined
+//!   into the artifact's `failures` block instead of killing the run.
+//!   Because workers persist each finished cell immediately, a run
+//!   killed mid-matrix — even with `kill -9` — resumes from the cache
+//!   with zero recomputation.
 //! * `repro_check` re-parses the scenario, loads the artifact and
 //!   verifies every envelope, failing CI when a change pushes the
-//!   simulated system outside the paper's claims.
+//!   simulated system outside the paper's claims. Envelopes touching a
+//!   quarantined cell are reported as skipped, not passed
+//!   ([`check_artifact_partial`]).
 //!
 //! The scenario format is a deliberately small line-oriented
 //! `[section]` / `key = value` surface (see [`parse`]) with typed,
@@ -29,15 +38,19 @@ mod error;
 pub mod parse;
 mod runner;
 mod spec;
+mod supervise;
 
-pub use artifact::{Artifact, Point, ARTIFACT_SCHEMA};
-pub use envelope::{check_artifact, ExpectCheck, Expectation, Violation};
-pub use error::ScenarioError;
-pub use runner::{run_scenario, run_scenario_cached, CacheStats};
-pub use spec::{
-    DumbbellSpec, FaultSpec, RunSpec, ScenarioKind, ScenarioSpec, TestbedSpec, TopologySpec,
-    MAX_FLOWS,
+pub use artifact::{Artifact, FailureCell, Point, ARTIFACT_SCHEMA};
+pub use envelope::{
+    check_artifact, check_artifact_partial, CheckReport, ExpectCheck, Expectation, Violation,
 };
+pub use error::ScenarioError;
+pub use runner::{run_scenario, run_scenario_cached, run_scenario_supervised, CacheStats};
+pub use spec::{
+    DumbbellSpec, FaultSpec, InjectFault, InjectSpec, LimitsSpec, RunSpec, ScenarioKind,
+    ScenarioSpec, TestbedSpec, TopologySpec, DEFAULT_RETRIES, MAX_FLOWS,
+};
+pub use supervise::CellError;
 
 /// Lists the `.scn` files of a directory in name order (the repro
 /// matrix order).

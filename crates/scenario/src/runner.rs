@@ -1,26 +1,54 @@
-//! Executes a scenario's matrix and assembles the artifact.
+//! Executes a scenario's matrix under supervision and assembles the
+//! artifact.
 //!
 //! The executor is *incremental*: each (marking, flows, seed) cell is a
 //! fully deterministic simulation, so its result is memoized in an
 //! optional [`dctcp_cache::Cache`] under a content address derived from
 //! the resolved cell configuration and the workspace code fingerprint
 //! (see [`cell_key`] internals). A run first partitions the matrix into
-//! cache hits and misses, then fans only the misses out through
-//! [`dctcp_parallel::par_try_map`] in cost-balanced chunks. Results are
-//! reassembled by cell index, so artifacts are bit-identical for any
-//! thread count *and* any hit/miss split — a warm run re-renders the
-//! exact bytes of the cold run that populated the cache.
+//! cache hits, journal-replayed quarantines and misses, then fans only
+//! the misses out through [`dctcp_parallel::par_map`] one cell per work
+//! item. Results are reassembled by cell index, so artifacts are
+//! bit-identical for any thread count *and* any hit/miss split — a warm
+//! run re-renders the exact bytes of the cold run that populated the
+//! cache.
+//!
+//! The executor is also *supervised* — one broken cell cannot take the
+//! matrix down or wedge it:
+//!
+//! * every attempt runs under [`dctcp_parallel::run_isolated`], so a
+//!   panic becomes a typed [`CellError::Panicked`] value;
+//! * a watchdog thread fires each running cell's [`CancelToken`] at its
+//!   wall-clock deadline, which the simulator's cooperative
+//!   cancellation poll turns into [`CellError::DeadlineExceeded`];
+//! * failed attempts are retried up to the `[limits] retries` budget; a
+//!   success after a failure is verified bit-identical against a clean
+//!   re-run (anything else is [`CellError::NonDeterministic`]);
+//! * cells that exhaust the budget are quarantined into the artifact's
+//!   `failures` block and recorded in the cache directory's journal, so
+//!   a resumed run replays deterministic failures instead of repeating
+//!   them.
+//!
+//! Crash consistency: each cell's result is written to the cache (and
+//! each quarantine to the journal) *by the worker that produced it*,
+//! the moment it exists. A run killed mid-matrix — even with `kill -9`
+//! — resumes with every completed cell served from the cache.
+//!
+//! [`CancelToken`]: dctcp_sim::CancelToken
 
-use dctcp_cache::{Cache, CacheKey, KeyBuilder};
-use dctcp_parallel::par_try_map;
-use dctcp_sim::{FaultPlan, SimTime};
+use std::time::Duration;
+
+use dctcp_cache::{Cache, CacheKey, FailureRecord, Journal, KeyBuilder};
+use dctcp_parallel::{par_map, run_isolated};
+use dctcp_sim::{CancelToken, FaultPlan, SimError, SimTime};
 use dctcp_stats::oscillation;
 use dctcp_workloads::{
-    run_query_rounds_with_threads, LongLivedScenario, QueryWorkload, TestbedConfig,
+    run_query_rounds_supervised, LongLivedScenario, QueryWorkload, TestbedConfig,
 };
 
-use crate::artifact::{Artifact, Point, ARTIFACT_SCHEMA};
-use crate::spec::{DumbbellSpec, ScenarioKind, ScenarioSpec, TestbedSpec};
+use crate::artifact::{Artifact, FailureCell, Point, ARTIFACT_SCHEMA};
+use crate::spec::{DumbbellSpec, InjectFault, ScenarioKind, ScenarioSpec, TestbedSpec};
+use crate::supervise::{CellError, Watchdog};
 use crate::ScenarioError;
 
 /// One (marking, flows, seed) cell awaiting execution.
@@ -32,19 +60,27 @@ struct Cell {
     seed: u64,
 }
 
-/// Cache traffic counters for one scenario run.
+/// Cache and supervision traffic counters for one scenario run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Cells served from the cache without simulating.
     pub hits: usize,
-    /// Cells that had to be simulated (and were then stored).
+    /// Cells that had to be simulated (and, on success, stored).
     pub misses: usize,
+    /// Simulated cells that succeeded only after at least one retry.
+    pub retried: usize,
+    /// Cells carried in the artifact's `failures` block.
+    pub quarantined: usize,
+    /// Quarantined cells replayed from the failure journal instead of
+    /// being re-executed (always ≤ `quarantined`).
+    pub replayed: usize,
 }
 
-/// Work units per worker thread: enough chunks that one expensive cell
-/// cannot serialize the tail of the sweep, few enough that per-item
-/// dispatch stays negligible.
-const CHUNKS_PER_THREAD: usize = 4;
+/// One resolved matrix slot: a measured point or a quarantined failure.
+enum Slot {
+    Point(Point),
+    Failure(FailureCell),
+}
 
 /// Runs every matrix point of a scenario across `threads` workers and
 /// returns the artifact. `threads = 0` means
@@ -54,26 +90,50 @@ const CHUNKS_PER_THREAD: usize = 4;
 /// # Errors
 ///
 /// Returns [`ScenarioError::Run`] wrapping the first (lowest-indexed)
-/// failing cell's simulator error.
+/// failing cell's error.
 pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<Artifact, ScenarioError> {
     run_scenario_cached(spec, threads, None).map(|(artifact, _)| artifact)
 }
 
-/// [`run_scenario`] with an optional content-addressed result cache:
-/// cached cells are fetched instead of simulated, missing cells are
-/// simulated and stored. Cache writes are best-effort (a failed write
-/// only costs a future re-run); corrupt or mismatched entries read as
-/// misses and are recomputed and repaired.
+/// [`run_scenario_supervised`] for callers that want an all-or-nothing
+/// result: any quarantined cell is promoted to an error naming the
+/// first (lowest-indexed) failing cell.
 ///
 /// # Errors
 ///
 /// Returns [`ScenarioError::Run`] wrapping the first (lowest-indexed)
-/// failing cell's simulator error.
+/// failing cell's error.
 pub fn run_scenario_cached(
     spec: &ScenarioSpec,
     threads: usize,
     cache: Option<&Cache>,
 ) -> Result<(Artifact, CacheStats), ScenarioError> {
+    let (artifact, stats) = run_scenario_supervised(spec, threads, cache);
+    if let Some(f) = artifact.failures.first() {
+        return Err(ScenarioError::Run {
+            scenario: spec.name.clone(),
+            msg: format!("({}, N={}, seed {}): {}", f.marking, f.flows, f.seed, f.msg),
+        });
+    }
+    Ok((artifact, stats))
+}
+
+/// Runs a scenario's matrix under full supervision: an optional
+/// content-addressed result cache serves completed cells, a failure
+/// journal replays deterministic quarantines, and every miss executes
+/// under panic isolation, a wall-clock deadline and a bounded retry
+/// budget (see the module docs). This function never fails — broken
+/// cells land in the artifact's `failures` block and the remaining
+/// matrix still produces its points.
+///
+/// Cache and journal writes are best-effort (a failed write only costs
+/// a future re-run); corrupt or mismatched entries read as misses and
+/// are recomputed and repaired.
+pub fn run_scenario_supervised(
+    spec: &ScenarioSpec,
+    threads: usize,
+    cache: Option<&Cache>,
+) -> (Artifact, CacheStats) {
     let threads = if threads == 0 {
         dctcp_parallel::available_threads()
     } else {
@@ -100,11 +160,23 @@ pub fn run_scenario_cached(
         }
     }
 
-    // Partition into hits (resolved immediately) and misses (simulated
-    // below). Hit metrics must carry exactly the kind's metric names —
-    // anything else is treated as corruption and recomputed.
+    // The retry budget counts *attempts*: `retries = 1` means one run
+    // plus at most one retry.
+    let budget = spec.limits.retries + 1;
+    let journal = cache.map(|c| Journal::in_cache_root(c.root()));
+    let journaled = journal
+        .as_ref()
+        .map(Journal::load_failures)
+        .unwrap_or_default();
+
+    // Partition into hits and journal replays (both resolved
+    // immediately) and misses (executed below). Hit metrics must carry
+    // exactly the kind's metric names — anything else is treated as
+    // corruption and recomputed. A journaled failure is replayed only
+    // when it is deterministic *and* was recorded under at least the
+    // current attempt budget, so raising `retries` re-runs the cell.
     let fingerprint = dctcp_cache::code_fingerprint();
-    let mut points: Vec<Option<Point>> = cells.iter().map(|_| None).collect();
+    let mut slots: Vec<Option<Slot>> = cells.iter().map(|_| None).collect();
     let mut stats = CacheStats::default();
     let mut misses: Vec<(usize, Cell, Option<CacheKey>)> = Vec::new();
     for (idx, cell) in cells.into_iter().enumerate() {
@@ -113,57 +185,218 @@ pub fn run_scenario_cached(
             .zip(key)
             .and_then(|(c, k)| c.get(k))
             .filter(|metrics| metric_names_match(spec.kind, metrics));
-        match hit {
-            Some(metrics) => {
-                stats.hits += 1;
-                points[idx] = Some(Point {
+        if let Some(metrics) = hit {
+            stats.hits += 1;
+            slots[idx] = Some(Slot::Point(Point {
+                marking: cell.label,
+                flows: cell.flows,
+                seed: cell.seed,
+                metrics,
+            }));
+            continue;
+        }
+        if let Some(rec) = key.and_then(|k| journaled.get(&k)) {
+            if CellError::kind_is_deterministic(&rec.kind) && rec.attempts >= budget {
+                stats.quarantined += 1;
+                stats.replayed += 1;
+                slots[idx] = Some(Slot::Failure(FailureCell {
+                    marking: cell.label,
+                    flows: cell.flows,
+                    seed: cell.seed,
+                    attempts: rec.attempts,
+                    kind: rec.kind.clone(),
+                    msg: rec.msg.clone(),
+                }));
+                continue;
+            }
+        }
+        misses.push((idx, cell, key));
+    }
+    stats.misses = misses.len();
+
+    // One cell per work item: the pool's shared counter load-balances
+    // at cell granularity, and a wedged cell occupies exactly one
+    // worker until the watchdog cancels it. Workers persist their own
+    // results the moment they exist (crash consistency — see module
+    // docs), so completion order never matters.
+    let deadline = Duration::from_nanos(spec.cell_deadline().as_nanos());
+    let computed = if misses.is_empty() {
+        // Fully warm run: don't pay for the watchdog thread when there
+        // is nothing to supervise.
+        Vec::new()
+    } else {
+        let watchdog = Watchdog::start();
+        par_map(misses, threads, |_, (idx, cell, key)| {
+            let outcome = run_supervised_cell(
+                spec,
+                &cell,
+                key,
+                cache,
+                journal.as_ref(),
+                &watchdog,
+                deadline,
+                budget,
+            );
+            (idx, cell, outcome)
+        })
+    };
+    for (idx, cell, outcome) in computed {
+        match outcome {
+            Ok((metrics, attempts)) => {
+                if attempts > 1 {
+                    stats.retried += 1;
+                }
+                slots[idx] = Some(Slot::Point(Point {
                     marking: cell.label,
                     flows: cell.flows,
                     seed: cell.seed,
                     metrics,
-                });
+                }));
             }
-            None => misses.push((idx, cell, key)),
+            Err(e) => {
+                stats.quarantined += 1;
+                slots[idx] = Some(Slot::Failure(FailureCell {
+                    marking: cell.label,
+                    flows: cell.flows,
+                    seed: cell.seed,
+                    attempts: budget,
+                    kind: e.kind().into(),
+                    msg: e.to_string(),
+                }));
+            }
         }
     }
-    stats.misses = misses.len();
 
-    let chunks = chunk_by_cost(misses, threads, |(_, cell, _)| cell_cost(spec, cell));
-    let computed = par_try_map(chunks, threads, |_chunk_idx, chunk| {
-        let mut out = Vec::with_capacity(chunk.len());
-        for (idx, cell, key) in chunk {
-            // Stop at the first failure so the error reported for the
-            // whole run is the lowest-indexed failing cell's, exactly as
-            // with one-cell-per-item dispatch.
-            let metrics = run_cell(spec, &cell)?;
-            out.push((idx, cell, key, metrics));
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot.expect("every cell is a hit, a replayed failure, or a computed miss") {
+            Slot::Point(p) => points.push(p),
+            Slot::Failure(f) => failures.push(f),
         }
-        Ok::<_, ScenarioError>(out)
-    })?;
-    for (idx, cell, key, metrics) in computed.into_iter().flatten() {
-        if let (Some(cache), Some(key)) = (cache, key) {
-            let _ = cache.put(key, &metrics);
-        }
-        points[idx] = Some(Point {
-            marking: cell.label,
-            flows: cell.flows,
-            seed: cell.seed,
-            metrics,
-        });
     }
-
-    let points = points
-        .into_iter()
-        .map(|p| p.expect("every cell is either a hit or a computed miss"))
-        .collect();
-    Ok((
+    (
         Artifact {
             scenario: spec.name.clone(),
             kind: spec.kind,
             points,
+            failures,
         },
         stats,
-    ))
+    )
+}
+
+/// Executes one miss under supervision: up to `budget` attempts, each
+/// isolated and deadline-watched, with a bit-identical clean-run
+/// verification after any retried success. On success the metrics are
+/// stored in the cache; on quarantine the failure is journaled. Returns
+/// the metrics with the number of attempts consumed.
+#[allow(clippy::too_many_arguments)]
+fn run_supervised_cell(
+    spec: &ScenarioSpec,
+    cell: &Cell,
+    key: Option<CacheKey>,
+    cache: Option<&Cache>,
+    journal: Option<&Journal>,
+    watchdog: &Watchdog,
+    deadline: Duration,
+    budget: u32,
+) -> Result<(Vec<(String, f64)>, u32), CellError> {
+    let inject = spec
+        .limits
+        .injection_for(&cell.label, cell.flows, cell.seed);
+    let mut last = CellError::Failed {
+        msg: "cell was never attempted".into(),
+    };
+    let mut verdict = None;
+    for attempt in 0..budget {
+        if attempt > 0 && spec.limits.backoff > dctcp_sim::SimDuration::ZERO {
+            std::thread::sleep(Duration::from_nanos(spec.limits.backoff.as_nanos()) * attempt);
+        }
+        match run_attempt(spec, cell, inject, attempt, watchdog, deadline) {
+            Ok(metrics) => {
+                if attempt > 0 {
+                    // A success that needed a retry is only trusted if a
+                    // clean re-run (no injection) reproduces it bit for
+                    // bit — otherwise the cell's result depends on
+                    // something other than its inputs.
+                    match run_attempt(spec, cell, None, 0, watchdog, deadline) {
+                        Ok(clean) if clean == metrics => {}
+                        Ok(_) => {
+                            verdict = Some(CellError::NonDeterministic {
+                                msg: "retried success differs from a clean verification re-run"
+                                    .into(),
+                            });
+                            break;
+                        }
+                        Err(e) => {
+                            verdict = Some(CellError::NonDeterministic {
+                                msg: format!("clean verification re-run failed: {e}"),
+                            });
+                            break;
+                        }
+                    }
+                }
+                if let (Some(cache), Some(key)) = (cache, key) {
+                    let _ = cache.put(key, &metrics);
+                }
+                return Ok((metrics, attempt + 1));
+            }
+            Err(e) => last = e,
+        }
+    }
+    let error = verdict.unwrap_or(last);
+    if let (Some(journal), Some(key)) = (journal, key) {
+        let _ = journal.append_failure(&FailureRecord {
+            key,
+            attempts: budget,
+            kind: error.kind().into(),
+            msg: error.to_string(),
+        });
+    }
+    Err(error)
+}
+
+/// One isolated, deadline-supervised execution of a cell, with any
+/// configured `[limits]` fault injection applied first.
+fn run_attempt(
+    spec: &ScenarioSpec,
+    cell: &Cell,
+    inject: Option<InjectFault>,
+    attempt: u32,
+    watchdog: &Watchdog,
+    deadline: Duration,
+) -> Result<Vec<(String, f64)>, CellError> {
+    let token = CancelToken::new();
+    let _guard = watchdog.register(deadline, token.clone());
+    let sim_token = token.clone();
+    let outcome = run_isolated(move || -> Result<Vec<(String, f64)>, SimError> {
+        match inject {
+            Some(InjectFault::Panic) => panic!("injected panic via [limits] inject_panic"),
+            Some(InjectFault::Flaky) if attempt == 0 => {
+                panic!("injected first-attempt failure via [limits] inject_flaky")
+            }
+            Some(InjectFault::Stall) => {
+                // A wedged cell: burn wall-clock, never events, until
+                // the watchdog fires — exactly what a livelocked
+                // simulation looks like from the supervisor's seat.
+                while !sim_token.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return Err(SimError::Cancelled { at: SimTime::ZERO });
+            }
+            _ => {}
+        }
+        run_cell_raw(spec, cell, Some(sim_token))
+    });
+    match outcome {
+        Err(panic) => Err(CellError::Panicked { msg: panic.message }),
+        Ok(Err(SimError::Cancelled { .. })) => Err(CellError::DeadlineExceeded {
+            deadline: spec.cell_deadline(),
+        }),
+        Ok(Err(e)) => Err(CellError::Failed { msg: e.to_string() }),
+        Ok(Ok(metrics)) => Ok(metrics),
+    }
 }
 
 /// The content address of one cell: a digest over the artifact schema,
@@ -183,7 +416,16 @@ fn cell_key(spec: &ScenarioSpec, cell: &Cell, fingerprint: &str) -> CacheKey {
         .field("tcp", &format!("{:?}", spec.tcp))
         .field("marking", &format!("{:?}", cell.scheme))
         .field("flows", &cell.flows.to_string())
-        .field("seed", &cell.seed.to_string());
+        .field("seed", &cell.seed.to_string())
+        // A fault injection changes what the cell *does*, so it is key
+        // material even though the retry/deadline budgets (which only
+        // change how failures are handled) are not.
+        .field(
+            "inject",
+            spec.limits
+                .injection_for(&cell.label, cell.flows, cell.seed)
+                .map_or("none", InjectFault::name),
+        );
     match spec.kind {
         ScenarioKind::LongLived => {
             kb.field("warmup_ns", &spec.run.warmup.as_nanos().to_string())
@@ -207,68 +449,19 @@ fn metric_names_match(kind: ScenarioKind, metrics: &[(String, f64)]) -> bool {
     metrics.len() == expected.len() && metrics.iter().zip(expected).all(|((name, _), e)| name == e)
 }
 
-/// Estimated relative cost of simulating one cell, for chunk sizing:
-/// simulated wall-time for long-lived runs, transferred bytes for query
-/// runs. Only ratios matter.
-fn cell_cost(spec: &ScenarioSpec, cell: &Cell) -> u64 {
-    match spec.kind {
-        ScenarioKind::LongLived => {
-            (spec.run.warmup.as_nanos() + spec.run.duration.as_nanos()).max(1)
-        }
-        // Incast sends `bytes` per responder; partition-aggregate splits
-        // `bytes` across responders.
-        ScenarioKind::Incast => {
-            (u64::from(spec.run.rounds) * spec.run.bytes * u64::from(cell.flows)).max(1)
-        }
-        ScenarioKind::PartitionAggregate => (u64::from(spec.run.rounds) * spec.run.bytes).max(1),
-    }
-}
-
-/// Groups consecutive jobs into work units of roughly equal summed cost,
-/// about [`CHUNKS_PER_THREAD`] units per worker. Order is preserved and
-/// results are reassembled by cell index, so chunking can never affect
-/// artifact bytes — only how evenly the pool is loaded.
-fn chunk_by_cost<T>(jobs: Vec<T>, threads: usize, cost: impl Fn(&T) -> u64) -> Vec<Vec<T>> {
-    if jobs.is_empty() {
-        return Vec::new();
-    }
-    let target_chunks = (threads.max(1) * CHUNKS_PER_THREAD).min(jobs.len());
-    let total: u64 = jobs.iter().map(&cost).sum();
-    let per_chunk = (total / target_chunks as u64).max(1);
-    let mut chunks = Vec::with_capacity(target_chunks);
-    let mut current: Vec<T> = Vec::new();
-    let mut acc = 0u64;
-    for job in jobs {
-        acc += cost(&job);
-        current.push(job);
-        if acc >= per_chunk {
-            chunks.push(std::mem::take(&mut current));
-            acc = 0;
-        }
-    }
-    if !current.is_empty() {
-        chunks.push(current);
-    }
-    chunks
-}
-
-/// Simulates one cell and returns its metric rows in artifact order.
-fn run_cell(spec: &ScenarioSpec, cell: &Cell) -> Result<Vec<(String, f64)>, ScenarioError> {
-    let run_err = |msg: String| ScenarioError::Run {
-        scenario: spec.name.clone(),
-        msg: format!(
-            "({}, N={}, seed {}): {msg}",
-            cell.label, cell.flows, cell.seed
-        ),
-    };
+/// Simulates one cell (no supervision) and returns its metric rows in
+/// artifact order.
+fn run_cell_raw(
+    spec: &ScenarioSpec,
+    cell: &Cell,
+    cancel: Option<CancelToken>,
+) -> Result<Vec<(String, f64)>, SimError> {
     match (spec.kind, &spec.topology) {
         (ScenarioKind::LongLived, crate::spec::TopologySpec::Dumbbell(d)) => {
-            run_long_lived_cell(spec, d, cell).map_err(|e| run_err(e.to_string()))
+            run_long_lived_cell(spec, d, cell, cancel)
         }
-        (_, crate::spec::TopologySpec::Testbed(t)) => {
-            run_query_cell(spec, t, cell).map_err(|e| run_err(e.to_string()))
-        }
-        _ => Err(run_err("kind/topology mismatch".into())),
+        (_, crate::spec::TopologySpec::Testbed(t)) => run_query_cell(spec, t, cell, cancel),
+        _ => Err(SimError::InvalidConfig("kind/topology mismatch".into())),
     }
 }
 
@@ -276,6 +469,7 @@ fn run_long_lived_cell(
     spec: &ScenarioSpec,
     d: &DumbbellSpec,
     cell: &Cell,
+    cancel: Option<CancelToken>,
 ) -> Result<Vec<(String, f64)>, dctcp_sim::SimError> {
     let scenario = LongLivedScenario::builder()
         .flows(cell.flows)
@@ -290,7 +484,7 @@ fn run_long_lived_cell(
         .start_stagger(spec.run.stagger)
         .build()?;
     let faults = spec.faults;
-    let report = scenario.run_with_faults(|i| {
+    let report = scenario.run_supervised(cancel, |i| {
         let mut plan = FaultPlan::new();
         if let Some((from, until)) = faults.bleach {
             plan = plan.bleach_window(i.bottleneck, SimTime::ZERO + from, SimTime::ZERO + until);
@@ -337,6 +531,7 @@ fn run_query_cell(
     spec: &ScenarioSpec,
     t: &TestbedSpec,
     cell: &Cell,
+    cancel: Option<CancelToken>,
 ) -> Result<Vec<(String, f64)>, dctcp_sim::SimError> {
     let mut cfg = TestbedConfig::paper(cell.scheme);
     cfg.tcp = spec.tcp;
@@ -357,7 +552,7 @@ fn run_query_cell(
 
     // The outer matrix already saturates the worker pool; run the
     // rounds of one cell serially to keep the fan-out single-level.
-    let report = run_query_rounds_with_threads(&cfg, &wl, 1)?;
+    let report = run_query_rounds_supervised(&cfg, &wl, 1, cancel)?;
 
     let mut q = report.completions();
     let in_ms = |v: Option<f64>| v.map_or(0.0, |s| s * 1e3);
@@ -566,20 +761,153 @@ k2 = 25 pkts
         let _ = std::fs::remove_dir_all(cache.root());
     }
 
+    /// `two_cell_spec` with a `[limits]` section appended.
+    fn two_cell_spec_with(limits: &str) -> ScenarioSpec {
+        let base = "\
+[scenario]
+name = tiny2
+kind = long_lived
+
+[topology]
+bottleneck = 1 Gbps
+
+[run]
+flows = 2
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+
+[marking \"dt\"]
+scheme = dt-dctcp
+k1 = 15 pkts
+k2 = 25 pkts
+";
+        ScenarioSpec::parse(&format!("{base}\n[limits]\n{limits}")).unwrap()
+    }
+
     #[test]
-    fn chunking_preserves_order_and_items() {
-        let jobs: Vec<u64> = (0..23).collect();
-        for threads in [1, 2, 4, 16] {
-            let chunks = chunk_by_cost(jobs.clone(), threads, |&j| 1 + j % 3);
-            let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
-            assert_eq!(flat, jobs, "threads={threads}");
-            assert!(chunks.iter().all(|c| !c.is_empty()));
-            assert!(chunks.len() <= jobs.len());
-        }
-        assert!(chunk_by_cost(Vec::<u64>::new(), 4, |_| 1).is_empty());
-        // A single dominant job cannot drag unrelated work into its
-        // chunk once the accumulator trips.
-        let chunks = chunk_by_cost(vec![100u64, 1, 1, 1], 2, |&j| j);
-        assert_eq!(chunks[0], vec![100]);
+    fn injected_panics_are_quarantined_not_fatal() {
+        let spec = two_cell_spec_with("retries = 0\ninject_panic = dt:2:1\n");
+        let (a, s) = run_scenario_supervised(&spec, 2, None);
+        assert_eq!(a.points.len(), 1);
+        assert_eq!(a.failures.len(), 1);
+        let f = &a.failures[0];
+        assert_eq!((f.marking.as_str(), f.flows, f.seed), ("dt", 2, 1));
+        assert_eq!(f.kind, "panicked");
+        assert_eq!(f.attempts, 1);
+        assert!(f.msg.contains("injected panic"), "{}", f.msg);
+        assert_eq!((s.quarantined, s.retried, s.replayed), (1, 0, 0));
+
+        // The all-or-nothing API promotes the quarantine to an error
+        // naming the cell.
+        let err = run_scenario_cached(&spec, 2, None).unwrap_err().to_string();
+        assert!(err.contains("(dt, N=2, seed 1)"), "{err}");
+        assert!(err.contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn deadline_trips_quarantine_with_config_only_message() {
+        let spec = two_cell_spec_with("retries = 0\ndeadline = 50 ms\ninject_stall = dctcp:2:1\n");
+        let (a, s) = run_scenario_supervised(&spec, 2, None);
+        assert_eq!(a.points.len(), 1);
+        assert_eq!(a.failures.len(), 1);
+        let f = &a.failures[0];
+        assert_eq!(f.kind, "deadline");
+        // The message is derived from the configured deadline, never
+        // from measured wall time, so it is byte-stable across runs.
+        let expected = CellError::DeadlineExceeded {
+            deadline: spec.cell_deadline(),
+        };
+        assert_eq!(f.msg, expected.to_string());
+        assert_eq!(s.quarantined, 1);
+    }
+
+    #[test]
+    fn flaky_cells_retry_into_a_clean_artifact() {
+        // First attempt of the dt cell panics; the retry succeeds and is
+        // verified bit-identical against a clean run, so the artifact
+        // matches an injection-free run of the same matrix exactly.
+        let flaky = two_cell_spec_with("retries = 1\ninject_flaky = dt:2:1\n");
+        let (a, s) = run_scenario_supervised(&flaky, 2, None);
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+        assert_eq!((s.retried, s.quarantined), (1, 0));
+
+        let clean = run_scenario(&two_cell_spec(), 2).unwrap();
+        assert_eq!(a.render(), clean.render());
+    }
+
+    #[test]
+    fn flaky_cells_without_retry_budget_are_quarantined() {
+        let spec = two_cell_spec_with("retries = 0\ninject_flaky = dt:2:1\n");
+        let (a, s) = run_scenario_supervised(&spec, 2, None);
+        assert_eq!(a.failures.len(), 1);
+        assert_eq!(a.failures[0].kind, "panicked");
+        assert_eq!(s.quarantined, 1);
+    }
+
+    #[test]
+    fn journal_replays_deterministic_failures_on_resume() {
+        let spec = two_cell_spec_with("retries = 0\ninject_panic = dt:2:1\n");
+        let cache = tmp_cache("journal");
+
+        let (cold, s) = run_scenario_supervised(&spec, 2, Some(&cache));
+        assert_eq!((s.hits, s.misses, s.quarantined, s.replayed), (0, 2, 1, 0));
+
+        // The resume serves the good cell from the cache and the broken
+        // cell from the journal — nothing re-executes, bytes match.
+        let (warm, s) = run_scenario_supervised(&spec, 2, Some(&cache));
+        assert_eq!((s.hits, s.misses, s.quarantined, s.replayed), (1, 0, 1, 1));
+        assert_eq!(warm.render(), cold.render());
+
+        // Raising the retry budget invalidates the journaled record —
+        // the cell runs again (and, still panicking, is re-quarantined
+        // under the larger budget).
+        let bigger = two_cell_spec_with("retries = 2\ninject_panic = dt:2:1\n");
+        let (again, s) = run_scenario_supervised(&bigger, 2, Some(&cache));
+        assert_eq!((s.hits, s.misses, s.replayed), (1, 1, 0));
+        assert_eq!(again.failures[0].attempts, 3);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn deadline_failures_are_never_replayed() {
+        // A deadline miss depends on machine speed, so resumes re-run
+        // the cell instead of trusting the journal.
+        let spec = two_cell_spec_with("retries = 0\ndeadline = 50 ms\ninject_stall = dctcp:2:1\n");
+        let cache = tmp_cache("deadline");
+
+        let (cold, s) = run_scenario_supervised(&spec, 2, Some(&cache));
+        assert_eq!((s.misses, s.quarantined, s.replayed), (2, 1, 0));
+
+        let (warm, s) = run_scenario_supervised(&spec, 2, Some(&cache));
+        assert_eq!((s.hits, s.misses, s.replayed), (1, 1, 0));
+        assert_eq!(warm.render(), cold.render());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn injections_are_cell_key_material() {
+        let clean = two_cell_spec();
+        let spec = two_cell_spec_with("inject_panic = dctcp:2:1\n");
+        let injected = first_cell(&spec);
+        let untouched = Cell {
+            label: "dt".into(),
+            scheme: spec.markings[1].1,
+            ..injected.clone()
+        };
+        // The injected cell's key moves; the untouched cell still shares
+        // the clean spec's key (cache reuse is per cell, not per file).
+        assert_ne!(
+            cell_key(&clean, &injected, "fp"),
+            cell_key(&spec, &injected, "fp")
+        );
+        assert_eq!(
+            cell_key(&clean, &untouched, "fp"),
+            cell_key(&spec, &untouched, "fp")
+        );
     }
 }

@@ -118,6 +118,83 @@ pub enum TopologySpec {
     Testbed(TestbedSpec),
 }
 
+/// Which chaos fault an `inject_*` key plants in a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectFault {
+    /// The cell panics on every attempt (`inject_panic`).
+    Panic,
+    /// The cell hangs, burning wall-clock until its deadline cancels it
+    /// (`inject_stall`).
+    Stall,
+    /// The cell panics on its first attempt only, then succeeds
+    /// (`inject_flaky`) — the retry-determinism probe.
+    Flaky,
+}
+
+impl InjectFault {
+    /// Stable token used in cache-key material and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectFault::Panic => "panic",
+            InjectFault::Stall => "stall",
+            InjectFault::Flaky => "flaky",
+        }
+    }
+}
+
+/// One chaos injection: which fault, planted in which matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectSpec {
+    /// The planted fault.
+    pub fault: InjectFault,
+    /// Target marking label.
+    pub marking: String,
+    /// Target flow count.
+    pub flows: u32,
+    /// Target seed.
+    pub seed: u64,
+}
+
+/// Default bounded-retry budget: one retry after the first failure.
+pub const DEFAULT_RETRIES: u32 = 1;
+
+/// Supervision limits for cell execution (`[limits]` section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LimitsSpec {
+    /// Per-cell wall-clock deadline. `None` derives a default from the
+    /// simulated duration (see [`ScenarioSpec::cell_deadline`]).
+    pub deadline: Option<SimDuration>,
+    /// Retries after a failed first attempt (0 = fail immediately).
+    pub retries: u32,
+    /// Wall-clock pause before each retry (scaled by the attempt
+    /// number).
+    pub backoff: SimDuration,
+    /// Chaos injections, in file order.
+    pub inject: Vec<InjectSpec>,
+}
+
+impl Default for LimitsSpec {
+    fn default() -> LimitsSpec {
+        LimitsSpec {
+            deadline: None,
+            retries: DEFAULT_RETRIES,
+            backoff: SimDuration::ZERO,
+            inject: Vec::new(),
+        }
+    }
+}
+
+impl LimitsSpec {
+    /// The fault injected into cell `(marking, flows, seed)`, if any.
+    /// First matching injection wins.
+    pub fn injection_for(&self, marking: &str, flows: u32, seed: u64) -> Option<InjectFault> {
+        self.inject
+            .iter()
+            .find(|i| i.marking == marking && i.flows == flows && i.seed == seed)
+            .map(|i| i.fault)
+    }
+}
+
 /// Scripted faults on the bottleneck link (long-lived kind only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultSpec {
@@ -175,6 +252,8 @@ pub struct ScenarioSpec {
     pub markings: Vec<(String, MarkingScheme)>,
     /// Scripted faults.
     pub faults: FaultSpec,
+    /// Supervision limits and chaos injections.
+    pub limits: LimitsSpec,
     /// Regression-envelope expectations, in file order.
     pub expectations: Vec<Expectation>,
 }
@@ -195,6 +274,7 @@ impl ScenarioSpec {
                 "run",
                 "marking",
                 "faults",
+                "limits",
                 "expect",
             ];
             if !KNOWN.contains(&s.name.as_str()) {
@@ -240,6 +320,7 @@ impl ScenarioSpec {
         let run = parse_run(&doc, kind)?;
         let markings = parse_markings(&doc)?;
         let faults = parse_faults(&doc, kind)?;
+        let limits = parse_limits(&doc, &run, &markings)?;
         let expectations = crate::envelope::parse_expectations(&doc, kind, &markings)?;
 
         Ok(ScenarioSpec {
@@ -251,6 +332,7 @@ impl ScenarioSpec {
             run,
             markings,
             faults,
+            limits,
             expectations,
         })
     }
@@ -287,6 +369,29 @@ impl ScenarioSpec {
     /// Number of matrix points this scenario expands to.
     pub fn num_points(&self) -> usize {
         self.markings.len() * self.run.flows.len() * self.run.seeds.len()
+    }
+
+    /// The per-cell wall-clock deadline: the explicit `[limits]
+    /// deadline` if given, otherwise a budget derived from the
+    /// simulated duration (1000x real time per simulated second,
+    /// clamped to [30 s, 300 s]) so even a pathological cell cannot
+    /// wedge a matrix forever.
+    pub fn cell_deadline(&self) -> SimDuration {
+        if let Some(d) = self.limits.deadline {
+            return d;
+        }
+        let simulated_ns = match self.kind {
+            ScenarioKind::LongLived => self.run.warmup.as_nanos() + self.run.duration.as_nanos(),
+            // Query rounds have no fixed simulated duration; budget by
+            // round count instead (100 simulated ms per round).
+            ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
+                u64::from(self.run.rounds) * 100_000_000
+            }
+        };
+        let budget_ns = simulated_ns
+            .saturating_mul(1000)
+            .clamp(30_000_000_000, 300_000_000_000);
+        SimDuration::from_nanos(budget_ns)
     }
 }
 
@@ -359,8 +464,16 @@ fn parse_transport(doc: &Document) -> Result<TcpConfig, ScenarioError> {
     let mut g = 1.0 / 16.0;
     let mut rto_min = None;
     let mut ecn_fallback_after = None;
+    let mut delayed_ack = None;
+    let mut delack_timeout = None;
     if let Some(s) = doc.section("transport") {
-        s.reject_unknown_keys(&["g", "rto_min", "ecn_fallback_after"])?;
+        s.reject_unknown_keys(&[
+            "g",
+            "rto_min",
+            "ecn_fallback_after",
+            "delayed_ack",
+            "delack_timeout",
+        ])?;
         if let Some(e) = s.get("g") {
             g = parse_f64(e)?;
             if !(g > 0.0 && g <= 1.0) {
@@ -377,6 +490,12 @@ fn parse_transport(doc: &Document) -> Result<TcpConfig, ScenarioError> {
         if let Some(e) = s.get("ecn_fallback_after") {
             ecn_fallback_after = Some(parse_u32(e)?);
         }
+        if let Some(e) = s.get("delayed_ack") {
+            delayed_ack = Some(parse_u32(e)?);
+        }
+        if let Some(e) = s.get("delack_timeout") {
+            delack_timeout = Some(require_positive(parse_duration(e)?, e, "delack_timeout")?);
+        }
     }
     let mut cfg = TcpConfig::dctcp(g);
     if let Some(r) = rto_min {
@@ -384,6 +503,12 @@ fn parse_transport(doc: &Document) -> Result<TcpConfig, ScenarioError> {
     }
     if let Some(n) = ecn_fallback_after {
         cfg.ecn_fallback_after = Some(n);
+    }
+    if let Some(n) = delayed_ack {
+        cfg.delayed_ack = n;
+    }
+    if let Some(t) = delack_timeout {
+        cfg.delack_timeout = t;
     }
     cfg.validate().map_err(|e| ScenarioError::OutOfRange {
         line: doc.section("transport").map_or(0, |s| s.line),
@@ -612,6 +737,108 @@ fn parse_faults(doc: &Document, kind: ScenarioKind) -> Result<FaultSpec, Scenari
     Ok(spec)
 }
 
+/// Hard cap on the retry budget — past a handful of attempts a cell is
+/// not flaky, it is broken, and retrying only delays the quarantine.
+const MAX_RETRIES: u32 = 8;
+
+fn parse_limits(
+    doc: &Document,
+    run: &RunSpec,
+    markings: &[(String, MarkingScheme)],
+) -> Result<LimitsSpec, ScenarioError> {
+    let Some(s) = doc.section("limits") else {
+        return Ok(LimitsSpec::default());
+    };
+    s.reject_unknown_keys(&[
+        "deadline",
+        "retries",
+        "backoff",
+        "inject_panic",
+        "inject_stall",
+        "inject_flaky",
+    ])?;
+    let mut spec = LimitsSpec::default();
+    if let Some(e) = s.get("deadline") {
+        spec.deadline = Some(require_positive(parse_duration(e)?, e, "deadline")?);
+    }
+    if let Some(e) = s.get("retries") {
+        spec.retries = parse_u32(e)?;
+        if spec.retries > MAX_RETRIES {
+            return Err(ScenarioError::OutOfRange {
+                line: e.line,
+                key: "retries".into(),
+                msg: format!(
+                    "retries must be at most {MAX_RETRIES}, got {}",
+                    spec.retries
+                ),
+            });
+        }
+    }
+    if let Some(e) = s.get("backoff") {
+        spec.backoff = parse_duration(e)?;
+    }
+    for (key, fault) in [
+        ("inject_panic", InjectFault::Panic),
+        ("inject_stall", InjectFault::Stall),
+        ("inject_flaky", InjectFault::Flaky),
+    ] {
+        if let Some(e) = s.get(key) {
+            spec.inject
+                .push(parse_inject(e, key, fault, run, markings)?);
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses one `inject_* = marking:flows:seed` cell address, validating
+/// every component against the scenario's actual matrix so a typo
+/// cannot silently inject nothing.
+fn parse_inject(
+    e: &crate::parse::RawEntry,
+    key: &str,
+    fault: InjectFault,
+    run: &RunSpec,
+    markings: &[(String, MarkingScheme)],
+) -> Result<InjectSpec, ScenarioError> {
+    let bad = |msg: String| ScenarioError::BadValue {
+        line: e.line,
+        key: key.into(),
+        msg,
+    };
+    let parts: Vec<&str> = e.value.split(':').collect();
+    let [marking, flows, seed] = parts.as_slice() else {
+        return Err(bad(format!(
+            "expected `marking:flows:seed`, got `{}`",
+            e.value
+        )));
+    };
+    if !markings.iter().any(|(l, _)| l == marking) {
+        return Err(bad(format!(
+            "no [marking \"{marking}\"] section in this scenario"
+        )));
+    }
+    let flows: u32 = flows
+        .trim()
+        .parse()
+        .map_err(|_| bad(format!("bad flow count `{flows}`")))?;
+    if !run.flows.contains(&flows) {
+        return Err(bad(format!("flow count {flows} is not in the sweep")));
+    }
+    let seed: u64 = seed
+        .trim()
+        .parse()
+        .map_err(|_| bad(format!("bad seed `{seed}`")))?;
+    if !run.seeds.contains(&seed) {
+        return Err(bad(format!("seed {seed} is not in the seed list")));
+    }
+    Ok(InjectSpec {
+        fault,
+        marking: marking.to_string(),
+        flows,
+        seed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,6 +981,95 @@ k = 32 KB
     #[test]
     fn bad_transport_gain_is_out_of_range() {
         let src = format!("{MINIMAL}\n[transport]\ng = 1.5\n");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn transport_delayed_ack_knobs_parse() {
+        let src = format!("{MINIMAL}\n[transport]\ndelayed_ack = 8\ndelack_timeout = 2 ms\n");
+        let s = ScenarioSpec::parse(&src).unwrap();
+        assert_eq!(s.tcp.delayed_ack, 8);
+        assert_eq!(s.tcp.delack_timeout, SimDuration::from_millis(2));
+        // delayed_ack = 0 is rejected by TcpConfig validation.
+        let src = format!("{MINIMAL}\n[transport]\ndelayed_ack = 0\n");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn default_limits_without_a_section() {
+        let s = ScenarioSpec::parse(MINIMAL).unwrap();
+        assert_eq!(s.limits, LimitsSpec::default());
+        assert_eq!(s.limits.retries, DEFAULT_RETRIES);
+        // Derived deadline: 1000× the simulated span (default 20 ms
+        // warmup + 50 ms duration → 70 s of wall clock).
+        assert_eq!(s.cell_deadline(), SimDuration::from_secs(70));
+
+        // Sub-30 ms simulated spans clamp to the 30 s floor.
+        let tiny = ScenarioSpec::parse(
+            "\
+[scenario]
+name = t
+kind = long_lived
+
+[run]
+flows = 2
+warmup = 1 ms
+duration = 2 ms
+
+[marking \"dc\"]
+scheme = dctcp
+k = 40 pkts
+",
+        )
+        .unwrap();
+        assert_eq!(tiny.cell_deadline(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn limits_section_parses_deadline_retries_and_injections() {
+        let src = format!(
+            "{MINIMAL}\n[limits]\ndeadline = 90 s\nretries = 3\nbackoff = 10 ms\n\
+             inject_panic = dc:2:1\ninject_flaky = dc:4:1\n"
+        );
+        let s = ScenarioSpec::parse(&src).unwrap();
+        assert_eq!(s.limits.deadline, Some(SimDuration::from_secs(90)));
+        assert_eq!(s.cell_deadline(), SimDuration::from_secs(90));
+        assert_eq!(s.limits.retries, 3);
+        assert_eq!(s.limits.backoff, SimDuration::from_millis(10));
+        assert_eq!(s.limits.injection_for("dc", 2, 1), Some(InjectFault::Panic));
+        assert_eq!(s.limits.injection_for("dc", 4, 1), Some(InjectFault::Flaky));
+        assert_eq!(s.limits.injection_for("dc", 8, 1), None);
+    }
+
+    #[test]
+    fn injections_must_address_a_real_cell() {
+        for bad in [
+            "inject_panic = nosuch:2:1", // unknown marking
+            "inject_panic = dc:3:1",     // flows not in sweep
+            "inject_panic = dc:2:7",     // seed not in list
+            "inject_panic = dc:2",       // malformed triple
+            "inject_stall = dc:two:1",   // non-numeric flows
+        ] {
+            let src = format!("{MINIMAL}\n[limits]\n{bad}\n");
+            assert!(
+                matches!(
+                    ScenarioSpec::parse(&src).unwrap_err(),
+                    ScenarioError::BadValue { .. }
+                ),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_retry_budgets_are_rejected() {
+        let src = format!("{MINIMAL}\n[limits]\nretries = 50\n");
         assert!(matches!(
             ScenarioSpec::parse(&src).unwrap_err(),
             ScenarioError::OutOfRange { .. }

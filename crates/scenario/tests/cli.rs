@@ -197,6 +197,207 @@ fn repro_rejects_bad_scenarios_with_line_numbers() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Three-cell matrix with one healthy, one panicking and one wedged
+/// (deadline-overrunning) cell, plus one envelope scoped to the healthy
+/// marking and one global envelope.
+const PARTIAL_SCN: &str = "\
+[scenario]
+name = cli_partial
+kind = long_lived
+
+[topology]
+bottleneck = 1 Gbps
+
+[run]
+flows = 2
+warmup = 20 ms
+duration = 15 ms
+trace = 100 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+
+[marking \"boom\"]
+scheme = dctcp
+k = 21 pkts
+
+[marking \"wedge\"]
+scheme = dctcp
+k = 22 pkts
+
+[limits]
+deadline = 2 s
+retries = 0
+inject_panic = boom:2:1
+inject_stall = wedge:2:1
+
+[expect \"saturated\"]
+check = metric_range
+metric = utilization
+marking = dctcp
+min = 0.8
+
+[expect \"lossless\"]
+check = metric_range
+metric = drops
+max = 0
+";
+
+#[test]
+fn broken_cells_quarantine_into_a_partial_run() {
+    let dir = unique_dir("partial");
+    let scn = dir.join("scenarios");
+    std::fs::create_dir_all(&scn).unwrap();
+    std::fs::write(scn.join("cli_partial.scn"), PARTIAL_SCN).unwrap();
+
+    // The matrix completes despite the two broken cells: exit code 3
+    // (partial), healthy point present, both failures named.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro"),
+        &["--all", "scenarios", "--out", "artifacts"],
+        &dir,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("2 of 3 cells quarantined"), "{stderr}");
+    let body = std::fs::read_to_string(dir.join("artifacts/cli_partial.json")).unwrap();
+    assert!(body.contains("\"failures\""), "{body}");
+    assert!(
+        body.contains("\"error\": \"panicked\", \"marking\": \"boom\""),
+        "{body}"
+    );
+    assert!(
+        body.contains("\"error\": \"deadline\", \"marking\": \"wedge\""),
+        "{body}"
+    );
+    assert!(body.contains("\"marking\": \"dctcp\""), "{body}");
+
+    // repro_check accepts the partial artifact: the healthy marking's
+    // envelope is evaluated, the global one is skipped (not passed),
+    // and the whole run signals quarantine with exit code 3.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro_check"),
+        &["--all", "scenarios", "--artifacts", "artifacts"],
+        &dir,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("SKIP lossless"), "{stderr}");
+    assert!(stderr.contains("0 violation(s), 1 skipped"), "{stderr}");
+
+    // A matrix with *no* surviving cell exits 4, not 3. With
+    // `retries = 0` even the flaky (first-attempt-only) fault is fatal.
+    let dead = PARTIAL_SCN.replace(
+        "inject_panic = boom:2:1",
+        "inject_panic = boom:2:1\ninject_flaky = dctcp:2:1",
+    );
+    std::fs::write(scn.join("cli_partial.scn"), dead).unwrap();
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro"),
+        &["--all", "scenarios", "--out", "artifacts"],
+        &dir,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_mid_matrix_resumes_with_zero_recomputation() {
+    let dir = unique_dir("kill9");
+    let scn = dir.join("scenarios");
+    std::fs::create_dir_all(&scn).unwrap();
+    std::fs::write(
+        scn.join("cli_smoke.scn"),
+        PASSING_SCN.replace("flows = 2, 4", "flows = 2, 3, 4, 6"),
+    )
+    .unwrap();
+    let args = &[
+        "--all",
+        "scenarios",
+        "--out",
+        "artifacts",
+        "--cache",
+        "cache",
+        "--threads",
+        "1",
+    ];
+
+    // Start a sequential cold run and SIGKILL it as soon as at least
+    // one cell has been committed to the cache.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn repro");
+    let cache_dir = dir.join("cache");
+    let cells = |d: &Path| -> usize {
+        std::fs::read_dir(d).map_or(0, |rd| {
+            rd.flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == "cell"))
+                .count()
+        })
+    };
+    let start = std::time::Instant::now();
+    while cells(&cache_dir) == 0 && start.elapsed() < std::time::Duration::from_secs(60) {
+        if child.try_wait().expect("poll child").is_some() {
+            break; // finished before we could kill it — still a valid run
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    let committed = cells(&cache_dir);
+    assert!(committed >= 1, "no cell committed before the kill window");
+
+    // The resume serves every committed cell from the cache and only
+    // simulates the remainder — zero recomputation.
+    let out = run_bin(env!("CARGO_BIN_EXE_repro"), args, &dir);
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!("cache {committed} hits, {} misses", 4 - committed)),
+        "committed={committed}, {stdout}"
+    );
+    let resumed = std::fs::read(dir.join("artifacts/cli_smoke.json")).unwrap();
+
+    // A never-interrupted run against a fresh cache produces the exact
+    // same bytes.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_repro"),
+        &[
+            "--all",
+            "scenarios",
+            "--out",
+            "artifacts-clean",
+            "--cache",
+            "cache-clean",
+            "--threads",
+            "1",
+        ],
+        &dir,
+    );
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache 0 hits, 4 misses"), "{stdout}");
+    let clean = std::fs::read(dir.join("artifacts-clean/cli_smoke.json")).unwrap();
+    assert_eq!(resumed, clean, "resumed artifact must be byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn repro_check_flags_stale_artifacts() {
     let dir = unique_dir("stale");

@@ -1,0 +1,88 @@
+//! Cooperative cancellation of a running simulation.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a running
+//! simulation and an external supervisor (a wall-clock watchdog, a
+//! ctrl-c handler, a test harness). The simulator polls it at a coarse
+//! stride inside the event loop — see
+//! [`Simulator::set_cancel_token`](crate::Simulator::set_cancel_token) —
+//! and stops with [`SimError::Cancelled`](crate::SimError) once fired.
+//!
+//! Cancellation never fires on its own: a run with a token that is
+//! never cancelled is event-for-event identical to a run with no token
+//! at all, so determinism of completed runs is untouched.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way cancellation flag.
+///
+/// Cloning shares the flag; once [`CancelToken::cancel`] fires it stays
+/// fired for every clone.
+///
+/// # Examples
+///
+/// ```
+/// use dctcp_sim::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancel thread");
+        assert!(token.is_cancelled());
+    }
+}

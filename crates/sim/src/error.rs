@@ -61,6 +61,13 @@ pub enum SimError {
         /// The simulator clock when the budget ran out.
         at: SimTime,
     },
+    /// An external supervisor fired the run's
+    /// [`CancelToken`](crate::CancelToken) (wall-clock deadline,
+    /// shutdown request) and the event loop stopped cooperatively.
+    Cancelled {
+        /// The simulator clock when the cancellation was observed.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -87,6 +94,9 @@ impl fmt::Display for SimError {
             ),
             SimError::EventBudgetExhausted { budget, at } => {
                 write!(f, "event budget of {budget} exhausted at {at}")
+            }
+            SimError::Cancelled { at } => {
+                write!(f, "run cancelled by supervisor at {at}")
             }
         }
     }

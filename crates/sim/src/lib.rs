@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod cancel;
 mod error;
 mod event;
 mod fault;
@@ -63,6 +64,7 @@ mod simulator;
 mod time;
 mod topology;
 
+pub use cancel::CancelToken;
 pub use error::SimError;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use ids::{FlowId, LinkId, NodeId, TimerToken};

@@ -16,6 +16,12 @@ use crate::{
 /// same-instant burst is bounded by topology size, not millions.
 const DEFAULT_LIVELOCK_THRESHOLD: u64 = 1_000_000;
 
+/// Events dispatched between [`CancelToken`](crate::CancelToken) polls.
+/// Coarse enough that the atomic load vanishes against per-event work,
+/// fine enough that a fired token stops the run within microseconds of
+/// wall time.
+const CANCEL_CHECK_STRIDE: u64 = 4096;
+
 /// Drives a [`Network`] through time.
 ///
 /// The engine is single-threaded and fully deterministic: events at equal
@@ -49,6 +55,9 @@ pub struct Simulator {
     livelock_threshold: u64,
     /// Optional cap on events dispatched per `run_until` call.
     event_budget: Option<u64>,
+    /// Optional cooperative cancellation flag, polled every
+    /// [`CANCEL_CHECK_STRIDE`] events.
+    cancel_token: Option<crate::CancelToken>,
     /// Event recorder; disabled (one branch per record point) unless
     /// [`Simulator::enable_trace`] was called.
     tracer: Tracer,
@@ -70,6 +79,7 @@ impl Simulator {
             events_processed: 0,
             livelock_threshold: DEFAULT_LIVELOCK_THRESHOLD,
             event_budget: None,
+            cancel_token: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -145,6 +155,10 @@ impl Simulator {
     ///   (see [`Simulator::set_livelock_threshold`]).
     /// * [`SimError::EventBudgetExhausted`] if an event budget is set
     ///   and this call exceeds it (see [`Simulator::set_event_budget`]).
+    /// * [`SimError::Cancelled`] if a cancel token is installed and an
+    ///   external supervisor fired it (see
+    ///   [`Simulator::set_cancel_token`]). The poll is strided, so the
+    ///   stop lags the fire by at most a few thousand events.
     ///
     /// On error the simulation stops at the offending instant; state is
     /// consistent but the run should be treated as failed.
@@ -154,6 +168,11 @@ impl Simulator {
                 now: self.now,
                 requested: until,
             });
+        }
+        if let Some(token) = &self.cancel_token {
+            if token.is_cancelled() {
+                return Err(SimError::Cancelled { at: self.now });
+            }
         }
         self.start_agents();
         let mut dispatched_this_run: u64 = 0;
@@ -176,6 +195,13 @@ impl Simulator {
             if let Some(budget) = self.event_budget {
                 if dispatched_this_run > budget {
                     return Err(SimError::EventBudgetExhausted { budget, at });
+                }
+            }
+            if dispatched_this_run % CANCEL_CHECK_STRIDE == 0 {
+                if let Some(token) = &self.cancel_token {
+                    if token.is_cancelled() {
+                        return Err(SimError::Cancelled { at });
+                    }
                 }
             }
             self.now = at;
@@ -210,6 +236,15 @@ impl Simulator {
     /// the cap.
     pub fn set_event_budget(&mut self, budget: Option<u64>) {
         self.event_budget = budget;
+    }
+
+    /// Installs a cooperative cancellation token, polled every few
+    /// thousand dispatched events (and once on entry to each
+    /// [`Simulator::run_until`] call). A fired token makes the next poll
+    /// return [`SimError::Cancelled`]; a token that never fires leaves
+    /// the run event-for-event identical to one with no token.
+    pub fn set_cancel_token(&mut self, token: Option<crate::CancelToken>) {
+        self.cancel_token = token;
     }
 
     /// Schedules every event of a [`FaultPlan`] onto the simulation
@@ -1078,6 +1113,62 @@ mod tests {
         let mut sim = Simulator::new(b.build().unwrap());
         sim.set_event_budget(Some(500));
         sim.run_for(SimDuration::from_millis(1)).unwrap();
+    }
+
+    #[test]
+    fn fired_cancel_token_stops_a_run() {
+        // A pre-fired token stops the run before any event dispatches.
+        let mut sim = zero_loop_sim();
+        let token = crate::CancelToken::new();
+        sim.set_cancel_token(Some(token.clone()));
+        token.cancel();
+        let err = sim.run_for(SimDuration::from_millis(1)).unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { .. }), "{err:?}");
+        assert_eq!(sim.events_processed(), 0);
+
+        // A token fired mid-run stops within one poll stride.
+        let mut sim = zero_loop_sim();
+        let token = crate::CancelToken::new();
+        sim.set_cancel_token(Some(token.clone()));
+        token.cancel();
+        // Entry check already fired above; exercise the strided check by
+        // clearing and re-firing after entry is impossible from outside,
+        // so instead bound the dispatch count: a fired token must stop a
+        // zero-delay loop long before the livelock threshold.
+        let err = sim.run_for(SimDuration::from_millis(1)).unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { .. }), "{err:?}");
+        assert!(sim.events_processed() <= CANCEL_CHECK_STRIDE);
+    }
+
+    #[test]
+    fn unfired_cancel_token_changes_nothing() {
+        let run = |with_token: bool| {
+            let mut b = TopologyBuilder::new();
+            let h1 = b.host(
+                "h1",
+                Box::new(Pinger {
+                    peer: NodeId::from_index(1),
+                    count: 5,
+                    ack_times: Vec::new(),
+                }),
+            );
+            let h2 = b.host("h2", Box::new(Echo { received: 0 }));
+            b.link(
+                h1,
+                h2,
+                LinkSpec::gbps(1.0, 1),
+                QueueConfig::host_nic(),
+                QueueConfig::host_nic(),
+            )
+            .unwrap();
+            let mut sim = Simulator::new(b.build().unwrap());
+            if with_token {
+                sim.set_cancel_token(Some(crate::CancelToken::new()));
+            }
+            sim.run_for(SimDuration::from_millis(1)).unwrap();
+            sim.events_processed()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -128,7 +128,27 @@ impl LongLivedScenario {
         &self,
         plan: impl FnOnce(&LongLivedInstance) -> FaultPlan,
     ) -> Result<LongLivedReport, SimError> {
+        self.run_supervised(None, plan)
+    }
+
+    /// [`LongLivedScenario::run_with_faults`] under an optional
+    /// [`CancelToken`](dctcp_sim::CancelToken): a supervisor that fires
+    /// the token (e.g. a wall-clock watchdog) stops the run with
+    /// [`SimError::Cancelled`](SimError) at the next event-loop poll. An
+    /// unfired token leaves the run bit-identical to an unsupervised
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if instantiation, fault installation or the
+    /// run itself fails, including `Cancelled` for a fired token.
+    pub fn run_supervised(
+        &self,
+        cancel: Option<dctcp_sim::CancelToken>,
+        plan: impl FnOnce(&LongLivedInstance) -> FaultPlan,
+    ) -> Result<LongLivedReport, SimError> {
         let mut instance = self.instantiate()?;
+        instance.sim.set_cancel_token(cancel);
         let faults = plan(&instance);
         instance.sim.install_faults(&faults)?;
         let LongLivedInstance {
@@ -408,6 +428,30 @@ mod tests {
             faulted.goodput_bps,
             clean.goodput_bps
         );
+    }
+
+    #[test]
+    fn fired_token_cancels_a_supervised_run() {
+        let scenario = LongLivedScenario::builder()
+            .flows(2)
+            .bottleneck_gbps(1.0)
+            .marking(MarkingScheme::dctcp_packets(20))
+            .warmup_secs(0.02)
+            .duration_secs(0.04)
+            .build()
+            .unwrap();
+        let token = dctcp_sim::CancelToken::new();
+        token.cancel();
+        let err = scenario
+            .run_supervised(Some(token), |_| FaultPlan::new())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { .. }), "{err:?}");
+        // An unfired token changes nothing.
+        let clean = scenario.run();
+        let supervised = scenario
+            .run_supervised(Some(dctcp_sim::CancelToken::new()), |_| FaultPlan::new())
+            .unwrap();
+        assert_eq!(clean, supervised);
     }
 
     #[test]
