@@ -1,17 +1,48 @@
 //! Microbenchmarks of the discrete-event engine: packet forwarding
-//! throughput, timer churn, the parallel multi-seed sweep driver, and
-//! the content-addressed result cache's warm-rerun win.
+//! throughput and allocation pressure, timer churn, the intra-run
+//! sharded engine, the parallel multi-seed sweep driver, and the
+//! content-addressed result cache's warm-rerun win.
 //!
 //! Run with `--json BENCH_sim.json` to record the results (including
-//! events/sec and the measured parallel speedup) machine-readably.
+//! events/sec, allocs/event and the measured parallel speedups)
+//! machine-readably.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dctcp_bench::Runner;
 use dctcp_sim::{
-    Agent, Context, LinkSpec, Packet, QueueConfig, SimDuration, Simulator, TimerToken,
-    TopologyBuilder,
+    Agent, Context, LinkSpec, Network, Packet, QueueConfig, ShardedSimulator, SimDuration,
+    Simulator, TimerToken, TopologyBuilder,
 };
+
+/// Counts heap allocations so the forwarding workload can report
+/// `allocs_per_event` — the guard on the packet-slab/SoA-queue zero-alloc
+/// hot path. One relaxed increment per allocation; frees are not counted
+/// (the metric gates allocation pressure, not churn symmetry).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[derive(Debug)]
 struct Blaster {
@@ -113,6 +144,108 @@ fn build(count: u32) -> Simulator {
     Simulator::new(b.build().unwrap())
 }
 
+/// A sender with an intra-rack and a cross-rack destination, for the
+/// sharded-engine bench: most packets stay local (per-shard work), the
+/// rest cross a trunk (exercising the window mailboxes).
+#[derive(Debug)]
+struct RackBlaster {
+    local: dctcp_sim::NodeId,
+    remote: dctcp_sim::NodeId,
+    local_count: u32,
+    remote_count: u32,
+}
+
+impl Agent for RackBlaster {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..self.local_count {
+            let mut p = Packet::data(dctcp_sim::FlowId(1), ctx.node(), self.local, i as u64, 1460);
+            p.ecn = dctcp_sim::Ecn::Ect;
+            ctx.send(p);
+        }
+        for i in 0..self.remote_count {
+            let mut p = Packet::data(
+                dctcp_sim::FlowId(2),
+                ctx.node(),
+                self.remote,
+                i as u64,
+                1460,
+            );
+            p.ecn = dctcp_sim::Ecn::Ect;
+            ctx.send(p);
+        }
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Context<'_>) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Four racks (`src — sw — dst` at 10 Gb/s, 5 µs) whose switches form a
+/// ring of 200 µs trunks. The 40x delay gap makes the partitioner cut
+/// along the trunks — four domains, 200 µs lookahead — and each rack's
+/// sender keeps its shard busy between barriers with mostly-local
+/// traffic.
+fn build_multirack(local: u32, remote: u32) -> Network {
+    const RACKS: u32 = 4;
+    // Node indices are assigned in creation order: rack d holds
+    // src = 3d, dst = 3d + 1, sw = 3d + 2.
+    let dst_of = |d: u32| dctcp_sim::NodeId::from_index((3 * (d % RACKS) + 1) as usize);
+    let mut b = TopologyBuilder::new();
+    let mut switches = Vec::new();
+    for d in 0..RACKS {
+        let src = b.host(
+            format!("src{d}"),
+            Box::new(RackBlaster {
+                local: dst_of(d),
+                remote: dst_of(d + 1),
+                local_count: local,
+                remote_count: remote,
+            }),
+        );
+        let dst = b.host(
+            format!("dst{d}"),
+            Box::new(Blaster {
+                peer: src,
+                count: 0,
+            }),
+        );
+        let sw = b.switch(format!("sw{d}"));
+        let rack_spec = LinkSpec::gbps(10.0, 5);
+        b.link(
+            src,
+            sw,
+            rack_spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        b.link(
+            sw,
+            dst,
+            rack_spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+        switches.push(sw);
+    }
+    let trunk_spec = LinkSpec::gbps(10.0, 200);
+    for d in 0..RACKS as usize {
+        b.link(
+            switches[d],
+            switches[(d + 1) % RACKS as usize],
+            trunk_spec,
+            QueueConfig::host_nic(),
+            QueueConfig::host_nic(),
+        )
+        .unwrap();
+    }
+    b.build().unwrap()
+}
+
 fn build_timer_churn(fires: u32) -> Simulator {
     let mut b = TopologyBuilder::new();
     let h1 = b.host(
@@ -150,10 +283,17 @@ fn sweep_job(seed: usize) -> (u64, u64) {
 }
 
 /// Times the multi-seed sweep serially and through `dctcp_parallel`,
-/// checks bit-identity, and records threads/speedup metrics.
+/// checks bit-identity, and records cores/threads/speedup metrics.
+///
+/// The sweep always runs with at least two workers so the parallel
+/// dispatch path is exercised even on a single-core machine; the
+/// recorded `cores` metric tells readers (and `bench_check`) whether
+/// the speedup is a scaling measurement or an oversubscription
+/// tautology.
 fn measure_parallel_sweep(r: &mut Runner) {
     const SEEDS: usize = 8;
-    let threads = dctcp_parallel::available_threads();
+    let cores = dctcp_parallel::available_threads();
+    let threads = cores.max(2);
     let jobs: Vec<usize> = (0..SEEDS).collect();
 
     let start = Instant::now();
@@ -170,8 +310,74 @@ fn measure_parallel_sweep(r: &mut Runner) {
     );
     let speedup = serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9);
     r.metric("sweep/multi_seed/seeds", SEEDS as f64, "runs");
+    r.metric("sweep/multi_seed/cores", cores as f64, "cores");
     r.metric("sweep/multi_seed/threads", threads as f64, "threads");
     r.metric("sweep/multi_seed/speedup", speedup, "x");
+}
+
+/// Runs the forwarding workload once outside the timed loop and records
+/// heap allocations per processed event. The packet slab and the SoA
+/// queue rings make the steady-state hot path allocation-free; what
+/// remains is one-time container growth, amortized over the run.
+fn measure_forward_allocs(r: &mut Runner, pkts: u32) {
+    let mut sim = build(pkts);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    sim.run_for(SimDuration::from_millis(100)).unwrap();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let events = sim.events_processed();
+    assert!(events > 0);
+    r.metric(
+        "engine/forward/allocs_per_event",
+        allocs as f64 / events as f64,
+        "allocs/event",
+    );
+}
+
+/// Times the four-rack workload serially and under four shards
+/// (min-of-3 each), asserts the runs are bit-identical, and records the
+/// shard count, the 4-shard speedup and the cores it was measured on.
+/// `bench_check` gates the speedup only when the machine actually has
+/// four cores to run the shards on.
+fn measure_sharded(r: &mut Runner) {
+    const LOCAL: u32 = 4_000;
+    const REMOTE: u32 = 500;
+    let run = |target: usize| {
+        let mut best = f64::INFINITY;
+        let mut fingerprint = (0u64, 0u64);
+        let mut shards = 0;
+        for _ in 0..3 {
+            let mut sim = ShardedSimulator::with_shards(build_multirack(LOCAL, REMOTE), target)
+                .expect("multi-rack topology partitions");
+            let start = Instant::now();
+            sim.run_for(SimDuration::from_millis(20)).unwrap();
+            best = best.min(start.elapsed().as_secs_f64());
+            fingerprint = (sim.events_processed(), sim.now().as_nanos());
+            shards = sim.shard_count();
+        }
+        (fingerprint, shards, best)
+    };
+    let (serial_fp, serial_shards, serial) = run(1);
+    let (sharded_fp, shards, sharded) = run(4);
+    assert_eq!(
+        serial_shards, 1,
+        "target 1 must fall back to the serial engine"
+    );
+    assert_eq!(shards, 4, "the four-rack ring must split into four shards");
+    assert_eq!(
+        serial_fp, sharded_fp,
+        "sharded run must be bit-identical to serial"
+    );
+    r.metric("engine/sharded/shards", shards as f64, "shards");
+    r.metric(
+        "engine/sharded/cores",
+        dctcp_parallel::available_threads() as f64,
+        "cores",
+    );
+    r.metric(
+        "engine/sharded/speedup_4shards",
+        serial / sharded.max(1e-9),
+        "x",
+    );
 }
 
 /// The scenario behind the cache measurement: a real (if small)
@@ -302,6 +508,7 @@ fn main() {
     if let (Some(baseline), Some(measured)) = (committed_ns_per_iter(FORWARD_BENCH), measured) {
         r.metric("engine/forward/trace_overhead", measured / baseline, "x");
     }
+    measure_forward_allocs(&mut r, PKTS);
     const FIRES: u32 = 20_000;
     r.bench_events("engine/timers/churn_set_cancel_20k", || {
         let mut sim = build_timer_churn(FIRES);
@@ -309,6 +516,7 @@ fn main() {
         assert!(sim.events_processed() >= FIRES as u64);
         sim.events_processed()
     });
+    measure_sharded(&mut r);
     measure_parallel_sweep(&mut r);
     measure_cache(&mut r);
     r.finish();

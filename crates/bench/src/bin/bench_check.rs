@@ -47,6 +47,20 @@ const TRACE_OVERHEAD_LIMIT: f64 = 1.02;
 /// anchored to anything. Treat it as a failure, not a pleasant surprise.
 const TRACE_OVERHEAD_FLOOR: f64 = 0.95;
 
+/// Ceiling on `engine/forward/allocs_per_event`. The packet slab and the
+/// SoA queue rings keep the steady-state forwarding path allocation-free;
+/// what the bench still sees is one-time container growth amortized over
+/// ~40k events (measured ~0.003). 0.05 leaves room for growth-pattern
+/// shifts while still catching any per-packet Box/Vec sneaking back in
+/// (that would read ≥ 1.0).
+const ALLOCS_PER_EVENT_LIMIT: f64 = 0.05;
+
+/// Floor on `engine/sharded/speedup_4shards` — but only on machines with
+/// at least four cores to run the four shards on. On smaller machines
+/// the window barriers serialize anyway and the number is a warning, not
+/// a gate.
+const SHARD_SPEEDUP_FLOOR: f64 = 1.5;
+
 /// Extracts a named metric's value from the report, if present.
 fn metric_value(body: &str, name: &str) -> Option<f64> {
     let needle = format!("\"name\": \"{name}\", \"value\": ");
@@ -143,6 +157,23 @@ fn check(body: &str) -> Result<Verdict, String> {
             ", {short} {ratio:.3}x (band [{TRACE_OVERHEAD_FLOOR}, {TRACE_OVERHEAD_LIMIT}])"
         ));
     }
+    // The zero-alloc hot-path guard: absent is fine (older report), but a
+    // present allocs/event above the ceiling means per-event heap traffic
+    // crept back into the forwarding loop.
+    let mut alloc_note = String::new();
+    if let Some(ape) = metric_value(body, "engine/forward/allocs_per_event") {
+        if ape.is_nan() || ape < 0.0 {
+            return Err(format!("allocs_per_event {ape} is not a ratio"));
+        }
+        if ape > ALLOCS_PER_EVENT_LIMIT {
+            return Err(format!(
+                "engine/forward/allocs_per_event {ape:.4} exceeds the \
+                 {ALLOCS_PER_EVENT_LIMIT} ceiling: the forwarding hot path is \
+                 allocating again"
+            ));
+        }
+        alloc_note = format!(", {ape:.4} allocs/event");
+    }
     let mut warnings = Vec::new();
     // A "parallel" speedup measured on one worker is a tautology: warn
     // so a committed single-thread baseline is not mistaken for a
@@ -153,6 +184,57 @@ fn check(body: &str) -> Result<Verdict, String> {
              a parallelism measurement (re-baseline on a multi-core machine)"
                 .into(),
         );
+    }
+    // The sweep now always dispatches on ≥ 2 workers; when the machine
+    // has only one core that is oversubscription, not scaling — say so.
+    if metric_value(body, "sweep/multi_seed/cores") == Some(1.0) {
+        warnings.push(
+            "sweep/multi_seed/* was measured on a single core; its speedup is \
+             oversubscription, not a scaling result"
+                .into(),
+        );
+    }
+    // Sharded-engine gate: the bench asserts bit-identity itself, so the
+    // report only carries the numbers. The speedup floor applies when the
+    // machine can actually run four shards concurrently; below that the
+    // number still gets recorded but only warns.
+    let mut shard_note = String::new();
+    if let Some(speedup) = metric_value(body, "engine/sharded/speedup_4shards") {
+        let shards = metric_value(body, "engine/sharded/shards");
+        let cores = metric_value(body, "engine/sharded/cores");
+        if speedup.is_nan() || speedup <= 0.0 {
+            return Err(format!(
+                "engine/sharded/speedup_4shards {speedup} is not a ratio"
+            ));
+        }
+        match shards {
+            Some(s) if s >= 2.0 => {}
+            _ => {
+                return Err(
+                    "engine/sharded/speedup_4shards needs engine/sharded/shards >= 2 \
+                     (the bench fell back to the serial engine)"
+                        .into(),
+                )
+            }
+        }
+        match cores {
+            None => return Err("engine/sharded/speedup_4shards needs engine/sharded/cores".into()),
+            Some(c) if c >= 4.0 && speedup < SHARD_SPEEDUP_FLOOR => {
+                return Err(format!(
+                    "engine/sharded/speedup_4shards {speedup:.2}x is below the \
+                     {SHARD_SPEEDUP_FLOOR}x floor on a {c:.0}-core machine"
+                ));
+            }
+            Some(c) if c < 4.0 => {
+                warnings.push(format!(
+                    "engine/sharded/speedup_4shards {speedup:.2}x was measured on \
+                     {c:.0} core(s); the {SHARD_SPEEDUP_FLOOR}x floor only applies \
+                     with >= 4 cores"
+                ));
+            }
+            Some(_) => {}
+        }
+        shard_note = format!(", 4-shard speedup {speedup:.2}x");
     }
     // Cache metrics travel as a trio; a report carrying only some of
     // them was produced by a mismatched harness.
@@ -188,10 +270,12 @@ fn check(body: &str) -> Result<Verdict, String> {
     };
     Ok(Verdict {
         summary: format!(
-            "{} benches ok, peak {:.0} events/sec{}{}",
+            "{} benches ok, peak {:.0} events/sec{}{}{}{}",
             ns.len(),
             events.iter().cloned().fold(0.0, f64::max),
             overhead_note,
+            alloc_note,
+            shard_note,
             cache_note
         ),
         warnings,
@@ -412,6 +496,82 @@ mod tests {
     #[test]
     fn missing_cache_metrics_are_not_an_error() {
         assert!(check(GOOD).is_ok());
+    }
+
+    #[test]
+    fn allocs_per_event_under_ceiling_passes() {
+        let v = check(&with_metrics(
+            r#"{"name": "engine/forward/allocs_per_event", "value": 0.003000, "unit": "allocs/event"}"#,
+        ))
+        .unwrap();
+        assert!(v.summary.contains("0.0030 allocs/event"), "{}", v.summary);
+    }
+
+    #[test]
+    fn allocs_per_event_over_ceiling_fails() {
+        let err = check(&with_metrics(
+            r#"{"name": "engine/forward/allocs_per_event", "value": 1.200000, "unit": "allocs/event"}"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("allocating again"), "{err}");
+    }
+
+    fn shard_trio(speedup: &str, shards: &str, cores: &str) -> String {
+        with_metrics(&format!(
+            r#"{{"name": "engine/sharded/shards", "value": {shards}, "unit": "shards"}},
+    {{"name": "engine/sharded/cores", "value": {cores}, "unit": "cores"}},
+    {{"name": "engine/sharded/speedup_4shards", "value": {speedup}, "unit": "x"}}"#
+        ))
+    }
+
+    #[test]
+    fn shard_speedup_passes_on_big_machine() {
+        let v = check(&shard_trio("2.100000", "4.000000", "8.000000")).unwrap();
+        assert!(v.summary.contains("4-shard speedup 2.10x"), "{}", v.summary);
+        assert!(v.warnings.is_empty());
+    }
+
+    #[test]
+    fn shard_speedup_below_floor_fails_with_enough_cores() {
+        let err = check(&shard_trio("1.100000", "4.000000", "8.000000")).unwrap_err();
+        assert!(err.contains("below the 1.5x floor"), "{err}");
+    }
+
+    #[test]
+    fn shard_speedup_below_floor_warns_on_small_machine() {
+        let v = check(&shard_trio("0.900000", "4.000000", "1.000000")).unwrap();
+        assert_eq!(v.warnings.len(), 1, "{:?}", v.warnings);
+        assert!(v.warnings[0].contains("1 core"), "{}", v.warnings[0]);
+    }
+
+    #[test]
+    fn shard_speedup_without_sharding_fails() {
+        let err = check(&shard_trio("1.000000", "1.000000", "8.000000")).unwrap_err();
+        assert!(err.contains("serial engine"), "{err}");
+    }
+
+    #[test]
+    fn shard_speedup_needs_cores_metric() {
+        let partial = with_metrics(
+            r#"{"name": "engine/sharded/shards", "value": 4.000000, "unit": "shards"},
+    {"name": "engine/sharded/speedup_4shards", "value": 2.000000, "unit": "x"}"#,
+        );
+        let err = check(&partial).unwrap_err();
+        assert!(err.contains("needs engine/sharded/cores"), "{err}");
+    }
+
+    #[test]
+    fn single_core_sweep_is_a_warning_not_an_error() {
+        let v = check(&with_metrics(
+            r#"{"name": "sweep/multi_seed/cores", "value": 1.000000, "unit": "cores"}"#,
+        ))
+        .unwrap();
+        assert_eq!(v.warnings.len(), 1);
+        assert!(
+            v.warnings[0].contains("oversubscription"),
+            "{}",
+            v.warnings[0]
+        );
     }
 
     #[test]

@@ -11,17 +11,45 @@
 //!   covering [`BUCKET_WIDTH_NS`] nanoseconds, spanning a sliding window
 //!   of ~1 ms ahead of the cursor. Scheduling is O(1) (append to the
 //!   deadline's bucket); popping scans an occupancy bitmap to the next
-//!   non-empty bucket and selects its earliest `(at, seq)` entry.
+//!   non-empty bucket and selects its earliest `(at, prio, seq)` entry.
 //!   Because the window is exactly one wheel revolution, a bucket never
 //!   mixes events from different laps.
 //! * **Level 1 — sorted overflow.** Deadlines beyond the window go to a
-//!   binary heap ordered by `(at, seq)` and migrate into the wheel as
-//!   the cursor advances toward them.
+//!   binary heap ordered by `(at, prio, seq)` and migrate into the wheel
+//!   as the cursor advances toward them.
 //!
-//! Determinism is preserved exactly as with the previous binary-heap
-//! implementation: every event carries a monotone sequence number and
-//! all ordering decisions compare `(at, seq)`, so same-instant events
-//! fire in scheduling order (FIFO) no matter which level they sat in.
+//! All ordering decisions compare the key `(at, prio, seq)` — a
+//! **content-derived** key that every engine (serial or sharded) can
+//! compute for the same logical event without global coordination:
+//!
+//! * `at` is the deadline;
+//! * `prio` is the *scheduling instant* (the clock value when the event
+//!   was scheduled);
+//! * `seq` packs the event's **origin** (the node whose local activity
+//!   caused the schedule — an agent callback, a transmitter on one of
+//!   the node's link ends, or the topology-wide fault pseudo-origin)
+//!   with a per-origin monotone counter:
+//!   `seq = origin << SEQ_COUNTER_BITS | counter`.
+//!
+//! For a serial run with a single origin this degenerates to the classic
+//! `(at, seq)` FIFO order: the clock never runs backwards, so `prio` is
+//! nondecreasing in the counter and same-instant events fire in
+//! scheduling order. With multiple origins, ties at equal `(at, sched)`
+//! break by origin index, then per-origin scheduling order — arbitrary
+//! but *reproducible from the event's content alone*. That is what makes
+//! sharded execution bit-identical: each origin's schedule sequence
+//! happens entirely inside the shard that owns it, so the owning shard
+//! assigns exactly the counters the serial engine would have, and a
+//! cross-shard arrival ships its full key through the window mailbox
+//! ([`EventQueue::insert_keyed`]) to sort in the destination shard
+//! precisely where the serial engine would have dispatched it —
+//! regardless of mailbox drain order.
+//!
+//! The queue also owns the in-flight **packet slab**: arrival events
+//! carry a `u32` slot into a recycled [`Packet`] arena instead of an
+//! inline packet, which keeps [`ScheduledEvent`] small (cheaper bucket
+//! scans and `swap_remove` moves on the hot path) and makes the
+//! steady-state forwarding path allocation-free.
 //!
 //! Timer cancellation is O(1): [`EventQueue::cancel_timer`] records a
 //! tombstone and the pop path drops the stale entry inside the queue,
@@ -51,8 +79,10 @@ pub(crate) enum EventKind {
         end: usize,
     },
     /// A packet fully arrived at a node (after serialization and
-    /// propagation).
-    Arrival { node: NodeId, packet: Packet },
+    /// propagation). The packet itself lives in the queue's slab; `slot`
+    /// is claimed with [`EventQueue::alloc_packet`] and redeemed exactly
+    /// once with [`EventQueue::take_packet`] at dispatch.
+    Arrival { node: NodeId, slot: u32 },
     /// An agent timer fires.
     Timer { node: NodeId, token: TimerToken },
     /// A scheduled fault fires (see [`crate::FaultPlan`]).
@@ -62,15 +92,29 @@ pub(crate) enum EventKind {
 #[derive(Debug)]
 struct ScheduledEvent {
     at: SimTime,
-    /// Monotone tie-breaker so same-instant events fire in scheduling
-    /// order (FIFO), keeping runs deterministic.
+    /// Scheduling-instant priority: the clock value (in nanoseconds) at
+    /// the moment the event was scheduled. Monotone over a run, so among
+    /// equal deadlines earlier-scheduled events fire first.
+    prio: u64,
+    /// Content-derived tie-breaker: `origin << SEQ_COUNTER_BITS |
+    /// counter`, where `origin` identifies the node whose activity
+    /// scheduled the event and `counter` is that origin's monotone
+    /// schedule count. Identical in serial and sharded runs (see the
+    /// module docs), which is what makes sharding bit-identical.
     seq: u64,
     kind: EventKind,
 }
 
+impl ScheduledEvent {
+    #[inline]
+    fn key(&self) -> (SimTime, u64, u64) {
+        (self.at, self.prio, self.seq)
+    }
+}
+
 impl PartialEq for ScheduledEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 
@@ -79,10 +123,7 @@ impl Eq for ScheduledEvent {}
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -106,6 +147,11 @@ const BITMAP_WORDS: usize = NUM_BUCKETS / 64;
 /// sweep touches every bucket, so it must amortize over enough reaped
 /// entries to beat the pop path's one-hashset-probe-per-event cost.
 const COMPACT_MIN: usize = 256;
+/// Bits of `seq` reserved for the per-origin counter; the origin index
+/// occupies the bits above. 2^40 ≈ 1.1e12 schedules per origin and
+/// 2^24 ≈ 16.7M origins — both far beyond any realistic run, enforced
+/// by debug assertions in [`EventQueue::next_seq`].
+pub(crate) const SEQ_COUNTER_BITS: u32 = 40;
 
 /// Identity-strength hasher for [`TimerToken`]s, which are sequential
 /// `u64`s: one multiply by a 64-bit odd constant spreads the low bits
@@ -151,10 +197,23 @@ pub(crate) struct EventQueue {
     /// Live entries across both levels (including not-yet-reaped
     /// cancelled timers, as with the previous heap implementation).
     len: usize,
-    next_seq: u64,
+    /// Per-origin schedule counters, indexed by origin id (node index,
+    /// or the fault pseudo-origin one past the last node). Grown on
+    /// demand; each entry is the number of events that origin has
+    /// scheduled so far, which — combined with the origin id — forms the
+    /// content-derived `seq` tie-breaker.
+    origin_seq: Vec<u64>,
     /// Tombstones for cancelled timers; matching entries are dropped by
     /// the pop path instead of being dispatched.
     cancelled: TokenSet,
+    /// In-flight packet slab: [`EventKind::Arrival`] events index into
+    /// this arena instead of carrying the packet inline. Arrivals are
+    /// never cancelled, so every allocated slot is redeemed exactly once
+    /// and the freelist fully recycles — the arena stops growing once it
+    /// covers the peak in-flight population.
+    packets: Vec<Packet>,
+    /// LIFO freelist of reusable `packets` slots.
+    free: Vec<u32>,
 }
 
 impl Default for EventQueue {
@@ -172,16 +231,82 @@ impl EventQueue {
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             len: 0,
-            next_seq: 0,
+            origin_seq: Vec::new(),
             cancelled: TokenSet::default(),
+            packets: Vec::new(),
+            free: Vec::new(),
         }
     }
 
-    /// Schedules `kind` to fire at `at`. O(1).
-    pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.insert(ScheduledEvent { at, seq, kind });
+    /// Parks an in-flight packet in the slab and returns its slot, for
+    /// embedding in an [`EventKind::Arrival`]. O(1), allocation-free once
+    /// the arena covers the peak in-flight population.
+    #[inline]
+    pub(crate) fn alloc_packet(&mut self, pkt: Packet) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.packets[slot as usize] = pkt;
+            slot
+        } else {
+            self.packets.push(pkt);
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    /// Redeems an arrival's slab slot, recycling it. Each slot must be
+    /// taken exactly once, at dispatch.
+    #[inline]
+    pub(crate) fn take_packet(&mut self, slot: u32) -> Packet {
+        self.free.push(slot);
+        self.packets[slot as usize]
+    }
+
+    /// Draws the next content-derived `seq` for `origin`: the origin id
+    /// packed with that origin's monotone schedule count. Serial and
+    /// sharded engines draw identical sequences for the same origin
+    /// (all of an origin's schedules happen in the shard that owns it),
+    /// so the value is a globally consistent tie-breaker. O(1) amortized.
+    #[inline]
+    pub(crate) fn next_seq(&mut self, origin: u32) -> u64 {
+        debug_assert!(
+            u64::from(origin) < 1 << (64 - SEQ_COUNTER_BITS),
+            "origin id overflow"
+        );
+        let i = origin as usize;
+        if i >= self.origin_seq.len() {
+            self.origin_seq.resize(i + 1, 0);
+        }
+        let counter = self.origin_seq[i];
+        self.origin_seq[i] = counter + 1;
+        debug_assert!(
+            counter < 1 << SEQ_COUNTER_BITS,
+            "per-origin counter overflow"
+        );
+        (u64::from(origin) << SEQ_COUNTER_BITS) | counter
+    }
+
+    /// Schedules `kind` to fire at `at`; `sched` is the current clock
+    /// value (the scheduling instant, which orders same-deadline events)
+    /// and `origin` the node whose activity caused the schedule. O(1).
+    #[inline]
+    pub(crate) fn schedule(&mut self, at: SimTime, sched: SimTime, origin: u32, kind: EventKind) {
+        let seq = self.next_seq(origin);
+        self.insert_keyed(at, sched, seq, kind);
+    }
+
+    /// Inserts an event under an explicit, already-drawn key — the
+    /// cross-shard injection path. The sending shard draws `seq` from
+    /// the origin's counter ([`EventQueue::next_seq`]) and ships it with
+    /// the packet, so the event sorts here exactly where the serial
+    /// engine would have dispatched it, independent of mailbox drain
+    /// order. Does not touch the origin counters.
+    #[inline]
+    pub(crate) fn insert_keyed(&mut self, at: SimTime, sched: SimTime, seq: u64, kind: EventKind) {
+        self.insert(ScheduledEvent {
+            at,
+            prio: sched.as_nanos(),
+            seq,
+            kind,
+        });
     }
 
     /// Marks an armed timer as dead. Amortized O(1); the entry itself is
@@ -232,6 +357,7 @@ impl EventQueue {
         self.cancelled.clear();
     }
 
+    #[inline]
     fn insert(&mut self, ev: ScheduledEvent) {
         self.len += 1;
         // The simulator never schedules into the past, so the bucket
@@ -249,7 +375,10 @@ impl EventQueue {
     }
 
     /// Moves every overflow entry whose deadline now falls inside the
-    /// wheel window onto the wheel.
+    /// wheel window onto the wheel. Kept out of line: the hot pop path
+    /// calls it only when the overflow level is non-empty, which steady
+    /// forwarding (all deadlines within a few RTTs) never hits.
+    #[inline(never)]
     fn migrate_overflow(&mut self) {
         let horizon = self.cursor + NUM_BUCKETS as u64;
         while let Some(head) = self.overflow.peek() {
@@ -271,6 +400,7 @@ impl EventQueue {
 
     /// Circular distance from the cursor's slot to the next occupied
     /// slot, if any.
+    #[inline]
     fn next_occupied_distance(&self) -> Option<u64> {
         if self.wheel_len == 0 {
             return None;
@@ -297,28 +427,33 @@ impl EventQueue {
         None
     }
 
-    /// Index of the earliest `(at, seq)` entry in `bucket`.
+    /// Index of the earliest `(at, prio, seq)` entry in `bucket`.
+    #[inline]
     fn bucket_min(bucket: &[ScheduledEvent]) -> usize {
         let mut best = 0;
         for (i, e) in bucket.iter().enumerate().skip(1) {
-            let b = &bucket[best];
-            if (e.at, e.seq) < (b.at, b.seq) {
+            if e.key() < bucket[best].key() {
                 best = i;
             }
         }
         best
     }
 
-    /// Removes and returns the earliest event whose deadline is at or
+    /// Removes and returns the earliest event — deadline, the `(prio,
+    /// seq)` tail of its key (used to rank same-instant trace records
+    /// when merging shard logs), and payload — whose deadline is at or
     /// before `until`; `None` leaves the queue untouched apart from
     /// cursor advancement over empty buckets. Cancelled timers are
     /// reaped here without being returned.
-    pub(crate) fn pop_before(&mut self, until: SimTime) -> Option<(SimTime, EventKind)> {
+    pub(crate) fn pop_before(&mut self, until: SimTime) -> Option<(SimTime, u64, u64, EventKind)> {
         loop {
             if self.len == 0 {
                 return None;
             }
-            self.migrate_overflow();
+            let overflow_live = !self.overflow.is_empty();
+            if overflow_live {
+                self.migrate_overflow();
+            }
             if self.wheel_len == 0 {
                 // Jump the window to the overflow's earliest bucket.
                 let head_at = self.overflow.peek().expect("len > 0 with empty wheel").at;
@@ -336,7 +471,7 @@ impl EventQueue {
             let slot = (self.cursor as usize) & (NUM_BUCKETS - 1);
             // Advancing the cursor widens the window; anything that just
             // slid into it must be considered before this bucket drains.
-            if dist > 0 {
+            if dist > 0 && overflow_live && !self.overflow.is_empty() {
                 self.migrate_overflow();
             }
             let bucket = &mut self.wheel[slot];
@@ -351,12 +486,14 @@ impl EventQueue {
             }
             self.wheel_len -= 1;
             self.len -= 1;
-            if let EventKind::Timer { token, .. } = &ev.kind {
-                if self.cancelled.remove(token) {
-                    continue; // reaped without dispatch
+            if !self.cancelled.is_empty() {
+                if let EventKind::Timer { token, .. } = &ev.kind {
+                    if self.cancelled.remove(token) {
+                        continue; // reaped without dispatch
+                    }
                 }
             }
-            return Some((ev.at, ev.kind));
+            return Some((ev.at, ev.prio, ev.seq, ev.kind));
         }
     }
 
@@ -364,11 +501,13 @@ impl EventQueue {
     #[cfg(test)]
     pub(crate) fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         self.pop_before(SimTime::from_nanos(u64::MAX))
+            .map(|(at, _, _, kind)| (at, kind))
     }
 
     /// Deadline of the earliest scheduled event (including cancelled
-    /// timers not yet reaped).
-    #[cfg(test)]
+    /// timers not yet reaped). Used by the sharded driver to compute the
+    /// global window bound; a not-yet-reaped cancelled timer only makes
+    /// the bound conservative (an empty window), never wrong.
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
         if self.len == 0 {
             return None;
@@ -395,6 +534,14 @@ impl EventQueue {
     pub(crate) fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// [`EventQueue::schedule`] with the scheduling instant pinned to
+    /// zero and a single origin, for ordering tests that predate those
+    /// parameters: the key then degenerates to `(at, counter)`.
+    #[cfg(test)]
+    pub(crate) fn schedule_t0(&mut self, at: SimTime, kind: EventKind) {
+        self.schedule(at, SimTime::ZERO, 0, kind);
+    }
 }
 
 #[cfg(test)]
@@ -412,9 +559,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(30), timer(0, 0));
-        q.schedule(SimTime::from_nanos(10), timer(0, 1));
-        q.schedule(SimTime::from_nanos(20), timer(0, 2));
+        q.schedule_t0(SimTime::from_nanos(30), timer(0, 0));
+        q.schedule_t0(SimTime::from_nanos(10), timer(0, 1));
+        q.schedule_t0(SimTime::from_nanos(20), timer(0, 2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(t, _)| t.as_nanos())
             .collect();
@@ -425,7 +572,7 @@ mod tests {
     fn equal_times_fire_fifo() {
         let mut q = EventQueue::new();
         for i in 0..10 {
-            q.schedule(SimTime::from_nanos(5), timer(0, i));
+            q.schedule_t0(SimTime::from_nanos(5), timer(0, i));
         }
         let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, k)| match k {
@@ -444,15 +591,15 @@ mod tests {
         let far = SimTime::from_nanos(50_000_000);
         let mut q = EventQueue::new();
         for i in 0..4 {
-            q.schedule(far, timer(0, i));
+            q.schedule_t0(far, timer(0, i));
         }
         // Drain an early event so the cursor advances, then add more
         // same-instant events (these go straight onto the wheel once the
         // window covers them).
-        q.schedule(SimTime::from_nanos(1), timer(0, 100));
+        q.schedule_t0(SimTime::from_nanos(1), timer(0, 100));
         assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(1));
         for i in 4..8 {
-            q.schedule(far, timer(0, i));
+            q.schedule_t0(far, timer(0, i));
         }
         let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, k)| match k {
@@ -467,7 +614,7 @@ mod tests {
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.schedule(SimTime::from_nanos(7), timer(0, 0));
+        q.schedule_t0(SimTime::from_nanos(7), timer(0, 0));
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
         assert_eq!(q.len(), 1);
         q.pop();
@@ -477,14 +624,14 @@ mod tests {
     #[test]
     fn pop_before_respects_the_horizon() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(100), timer(0, 0));
-        q.schedule(SimTime::from_nanos(200), timer(0, 1));
+        q.schedule_t0(SimTime::from_nanos(100), timer(0, 0));
+        q.schedule_t0(SimTime::from_nanos(200), timer(0, 1));
         assert_eq!(q.pop_before(SimTime::from_nanos(50)), None);
         assert_eq!(q.len(), 2);
-        let (at, _) = q.pop_before(SimTime::from_nanos(150)).unwrap();
+        let (at, ..) = q.pop_before(SimTime::from_nanos(150)).unwrap();
         assert_eq!(at, SimTime::from_nanos(100));
         assert_eq!(q.pop_before(SimTime::from_nanos(150)), None);
-        let (at, _) = q.pop_before(SimTime::from_nanos(10_000)).unwrap();
+        let (at, ..) = q.pop_before(SimTime::from_nanos(10_000)).unwrap();
         assert_eq!(at, SimTime::from_nanos(200));
         assert!(q.is_empty());
     }
@@ -492,9 +639,9 @@ mod tests {
     #[test]
     fn cancelled_timer_is_reaped_not_returned() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(10), timer(0, 0));
-        q.schedule(SimTime::from_nanos(20), timer(0, 1));
-        q.schedule(SimTime::from_nanos(30), timer(0, 2));
+        q.schedule_t0(SimTime::from_nanos(10), timer(0, 0));
+        q.schedule_t0(SimTime::from_nanos(20), timer(0, 1));
+        q.schedule_t0(SimTime::from_nanos(30), timer(0, 2));
         q.cancel_timer(TimerToken(1));
         let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, k)| match k {
@@ -509,13 +656,13 @@ mod tests {
     #[test]
     fn cancel_of_unknown_or_fired_token_is_inert() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(10), timer(0, 0));
+        q.schedule_t0(SimTime::from_nanos(10), timer(0, 0));
         assert!(q.pop().is_some());
         // Cancelling after the fact (or a token never armed) must not
         // disturb later events.
         q.cancel_timer(TimerToken(0));
         q.cancel_timer(TimerToken(999));
-        q.schedule(SimTime::from_nanos(20), timer(0, 1));
+        q.schedule_t0(SimTime::from_nanos(20), timer(0, 1));
         let (_, k) = q.pop().unwrap();
         assert_eq!(k, timer(0, 1));
     }
@@ -524,9 +671,9 @@ mod tests {
     fn cancelled_far_timer_never_surfaces_across_migration() {
         let mut q = EventQueue::new();
         // Deadline far beyond the wheel window: lives in overflow.
-        q.schedule(SimTime::from_nanos(10_000_000), timer(0, 7));
+        q.schedule_t0(SimTime::from_nanos(10_000_000), timer(0, 7));
         q.cancel_timer(TimerToken(7));
-        q.schedule(SimTime::from_nanos(20_000_000), timer(0, 8));
+        q.schedule_t0(SimTime::from_nanos(20_000_000), timer(0, 8));
         let (at, k) = q.pop().unwrap();
         assert_eq!(at, SimTime::from_nanos(20_000_000));
         assert_eq!(k, timer(0, 8));
@@ -543,7 +690,7 @@ mod tests {
         for i in 0..n {
             // ~3 per bucket near the cursor, plus a far overflow tail.
             let at = if i % 5 == 4 { 10_000_000 + i } else { i * 700 };
-            q.schedule(SimTime::from_nanos(at), timer(0, i));
+            q.schedule_t0(SimTime::from_nanos(at), timer(0, i));
         }
         assert_eq!(q.len(), n as usize);
         for i in 0..n {
@@ -576,26 +723,57 @@ mod tests {
         let mut q = EventQueue::new();
         // A flood of cancels for timers that already fired: compaction
         // trips and clears the set without touching live state.
-        q.schedule(SimTime::from_nanos(1), timer(0, 0));
+        q.schedule_t0(SimTime::from_nanos(1), timer(0, 0));
         assert!(q.pop().is_some());
         for t in 0..2 * COMPACT_MIN as u64 {
             q.cancel_timer(TimerToken(t));
         }
         assert!(q.is_empty());
         // Cancellation of freshly armed timers still works afterwards.
-        q.schedule(SimTime::from_nanos(10), timer(0, 10_000));
-        q.schedule(SimTime::from_nanos(20), timer(0, 10_001));
+        q.schedule_t0(SimTime::from_nanos(10), timer(0, 10_000));
+        q.schedule_t0(SimTime::from_nanos(20), timer(0, 10_001));
         q.cancel_timer(TimerToken(10_000));
         let (_, k) = q.pop().unwrap();
         assert_eq!(k, timer(0, 10_001));
         assert!(q.pop().is_none());
     }
 
-    /// The pre-calendar-queue implementation, kept as the ordering
-    /// oracle for the differential test below.
+    /// A reference entry deliberately ordered by the *old* `(at, seq)`
+    /// key, so the differential test proves the production `(at, prio,
+    /// seq)` key preserves the classic FIFO order whenever the
+    /// scheduling instant is monotone (i.e. for every serial run).
+    struct RefEvent {
+        at: SimTime,
+        seq: u64,
+        kind: EventKind,
+    }
+
+    impl PartialEq for RefEvent {
+        fn eq(&self, other: &Self) -> bool {
+            (self.at, self.seq) == (other.at, other.seq)
+        }
+    }
+
+    impl Eq for RefEvent {}
+
+    impl Ord for RefEvent {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    impl PartialOrd for RefEvent {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// The pre-calendar-queue implementation (a plain `(at, seq)` binary
+    /// heap), kept as the ordering oracle for the differential test
+    /// below.
     #[derive(Default)]
     struct ReferenceQueue {
-        heap: BinaryHeap<ScheduledEvent>,
+        heap: BinaryHeap<RefEvent>,
         next_seq: u64,
         cancelled: std::collections::HashSet<TimerToken>,
     }
@@ -604,7 +782,7 @@ mod tests {
         fn schedule(&mut self, at: SimTime, kind: EventKind) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.heap.push(ScheduledEvent { at, seq, kind });
+            self.heap.push(RefEvent { at, seq, kind });
         }
 
         fn cancel_timer(&mut self, token: TimerToken) {
@@ -653,7 +831,13 @@ mod tests {
                         next_token += 1;
                         armed.push(token);
                         let at = SimTime::from_nanos(at);
-                        cal.schedule(at, timer(0, token));
+                        // The calendar queue runs with the real (monotone)
+                        // scheduling instant and a single origin, so its
+                        // counter is the global insertion order; the oracle
+                        // orders by the old (at, seq) key. Equality of the
+                        // two pop sequences proves the (at, prio, seq) key
+                        // preserves serial FIFO order.
+                        cal.schedule(at, SimTime::from_nanos(clock), 0, timer(0, token));
                         oracle.schedule(at, timer(0, token));
                     }
                     6 => {
@@ -684,5 +868,124 @@ mod tests {
             }
             assert!(popped > 100, "degenerate interleaving (seed {seed})");
         }
+    }
+
+    fn drain_tokens(q: &mut EventQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token.0,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Ties at equal `(at, sched)` break by origin index, then each
+    /// origin's own scheduling order — derived from the event's content,
+    /// so serial and sharded engines agree without coordination.
+    #[test]
+    fn equal_instant_ties_order_by_origin_then_counter() {
+        let mut q = EventQueue::new();
+        let at = SimTime::from_nanos(500);
+        let sched = SimTime::from_nanos(100);
+        q.schedule(at, sched, 2, timer(0, 20));
+        q.schedule(at, sched, 1, timer(0, 10));
+        q.schedule(at, sched, 2, timer(0, 21));
+        q.schedule(at, sched, 1, timer(0, 11));
+        assert_eq!(drain_tokens(&mut q), vec![10, 11, 20, 21]);
+    }
+
+    /// A cross-shard injection carries the key its origin drew in the
+    /// *sending* queue; the receiving queue sorts it purely by that key,
+    /// so the mailbox drain order is irrelevant — even when two
+    /// injections and a local event tie on `(at, sched)`.
+    #[test]
+    fn keyed_injection_is_independent_of_drain_order() {
+        // Sending shard: origin 3 draws two consecutive keys.
+        let mut tx = EventQueue::new();
+        let first = tx.next_seq(3);
+        let second = tx.next_seq(3);
+        assert!(first < second);
+        // Receiving shard: a local event from origin 5 at the same
+        // instant, then the injections delivered in *reversed* order.
+        let mut q = EventQueue::new();
+        let at = SimTime::from_nanos(500);
+        let sched = SimTime::from_nanos(100);
+        q.schedule(at, sched, 5, timer(0, 50));
+        q.insert_keyed(at, sched, second, timer(0, 31));
+        q.insert_keyed(at, sched, first, timer(0, 30));
+        // Origin 3 sorts before origin 5; within origin 3, draw order.
+        assert_eq!(drain_tokens(&mut q), vec![30, 31, 50]);
+    }
+
+    /// The scheduling instant dominates the origin tie-break: an
+    /// injection scheduled from an *earlier* instant sorts ahead of a
+    /// local event scheduled later, so windows replay exactly as a
+    /// serial run would have interleaved them.
+    #[test]
+    fn scheduling_instant_dominates_origin() {
+        let mut tx = EventQueue::new();
+        let key = tx.next_seq(9);
+        let mut q = EventQueue::new();
+        let at = SimTime::from_nanos(900);
+        q.schedule(at, SimTime::from_nanos(800), 0, timer(0, 1));
+        q.insert_keyed(at, SimTime::from_nanos(200), key, timer(0, 2));
+        assert_eq!(drain_tokens(&mut q), vec![2, 1]);
+    }
+
+    /// Per-origin counters are independent: interleaved draws from two
+    /// origins each count 0, 1, 2, … — the property that lets a shard
+    /// reproduce exactly the serial engine's counters for the origins it
+    /// owns while other shards count theirs.
+    #[test]
+    fn origin_counters_are_independent() {
+        let mut q = EventQueue::new();
+        let a0 = q.next_seq(1);
+        let b0 = q.next_seq(7);
+        let a1 = q.next_seq(1);
+        let b1 = q.next_seq(7);
+        assert_eq!(a0, 1 << SEQ_COUNTER_BITS);
+        assert_eq!(a1, (1 << SEQ_COUNTER_BITS) | 1);
+        assert_eq!(b0, 7 << SEQ_COUNTER_BITS);
+        assert_eq!(b1, (7 << SEQ_COUNTER_BITS) | 1);
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore]
+    fn probe_schedule_pop() {
+        let mut q = EventQueue::new();
+        let kind = EventKind::TxComplete {
+            link: LinkId::from_index(0),
+            end: 0,
+        };
+        // Steady state: ~4 events in flight, spaced ~1.2us like the
+        // forward bench.
+        let mut t = 0u64;
+        for i in 0..4 {
+            q.schedule(
+                SimTime::from_nanos(1180 * i),
+                SimTime::ZERO,
+                0,
+                kind.clone(),
+            );
+        }
+        let n = 4_000_000u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            let (at, _, _, k) = q.pop_before(SimTime::from_nanos(u64::MAX)).unwrap();
+            t = at.as_nanos();
+            q.schedule(SimTime::from_nanos(t + 4 * 1180), at, 0, k);
+        }
+        let dt = start.elapsed().as_nanos() as u64;
+        println!(
+            "schedule+pop pair: {:.1} ns (clock {})",
+            dt as f64 / n as f64,
+            t
+        );
     }
 }

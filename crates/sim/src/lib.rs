@@ -12,8 +12,12 @@
 //!   exact; ties break FIFO, so every run is deterministic.
 //! * **Exact queue statistics** — queue occupancy is integrated between
 //!   events ([`dctcp_stats::TimeWeighted`]), not sampled.
-//! * **Single-threaded** — at the paper's scale (hundreds of flows, one
-//!   bottleneck) determinism and reproducibility beat parallelism.
+//! * **Deterministic at any parallelism** — the serial [`Simulator`] is
+//!   the reference; [`ShardedSimulator`] partitions multi-domain
+//!   topologies along high-delay links and runs the domains on worker
+//!   threads under conservative time windows, producing *bit-identical*
+//!   traces and statistics at every shard count (see
+//!   [`ShardedSimulator`] for the lookahead and ordering argument).
 //!
 //! # Examples
 //!
@@ -60,6 +64,7 @@ mod link;
 mod node;
 mod packet;
 mod queue;
+mod shard;
 mod simulator;
 mod time;
 mod topology;
@@ -74,6 +79,7 @@ pub use packet::{Ecn, Packet, PacketKind, HEADER_BYTES};
 pub use queue::{
     Capacity, LossModel, Offer, OutputQueue, QueueConfig, QueueCounters, QueueReport, ReorderModel,
 };
+pub use shard::ShardedSimulator;
 pub use simulator::Simulator;
 pub use time::{SimDuration, SimTime};
 pub use topology::{Network, TopologyBuilder};

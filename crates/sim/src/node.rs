@@ -17,7 +17,13 @@ use crate::{NodeId, Packet, SimDuration, SimTime, TimerToken};
 /// `as_any`/`as_any_mut` allow the experiment harness to downcast agents
 /// back to their concrete type after a run to harvest per-flow
 /// statistics.
-pub trait Agent: fmt::Debug + Any {
+///
+/// Agents must be `Send`: the sharded engine
+/// ([`ShardedSimulator`](crate::ShardedSimulator)) moves each shard —
+/// including its hosts' agents — onto a worker thread. Agents are never
+/// shared between threads (`Sync` is not required) and each is only ever
+/// called from the single thread driving its shard.
+pub trait Agent: fmt::Debug + Any + Send {
     /// Called once at simulation start (time zero).
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let _ = ctx;

@@ -327,10 +327,13 @@ pub enum Offer {
 /// paper's `K = 40 packets` refers to.
 #[derive(Debug)]
 pub struct OutputQueue {
-    /// Queued packets with their enqueue instants (for sojourn-based
-    /// AQM), kept in one buffer so hot-path pushes and pops touch a
-    /// single allocation.
-    fifo: VecDeque<(Packet, SimTime)>,
+    /// Queued packets, struct-of-arrays with `enq_at`: the hot path
+    /// (offer/pop) only streams `Packet`s, while the enqueue instants —
+    /// touched once per packet for sojourn-based AQM — live in their own
+    /// dense ring. Both rings always have identical length and order.
+    pkts: VecDeque<Packet>,
+    /// Enqueue instant of each queued packet, parallel to `pkts`.
+    enq_at: VecDeque<SimTime>,
     len_bytes: u64,
     capacity: Capacity,
     policy: Box<dyn MarkingPolicy>,
@@ -384,7 +387,8 @@ impl OutputQueue {
             Capacity::Unbounded => 256,
         };
         Ok(OutputQueue {
-            fifo: VecDeque::with_capacity(presize),
+            pkts: VecDeque::with_capacity(presize),
+            enq_at: VecDeque::with_capacity(presize),
             len_bytes: 0,
             capacity: config.capacity,
             policy: config.scheme.build()?,
@@ -413,6 +417,19 @@ impl OutputQueue {
         self.scheme
     }
 
+    /// Reconstructs the configuration this queue was built from, so an
+    /// identical pristine queue can be created (sharded runs replicate
+    /// the topology per shard).
+    pub(crate) fn config(&self) -> QueueConfig {
+        QueueConfig {
+            capacity: self.capacity,
+            scheme: self.scheme,
+            trace_interval: self.trace_interval,
+            loss: self.loss,
+            reorder: self.reorder,
+        }
+    }
+
     /// The buffer limit.
     pub fn capacity(&self) -> Capacity {
         self.capacity
@@ -429,7 +446,7 @@ impl OutputQueue {
 
     /// Current occupancy in packets (excluding the in-service packet).
     pub fn len_pkts(&self) -> u32 {
-        self.fifo.len() as u32
+        self.pkts.len() as u32
     }
 
     /// Current occupancy in wire bytes.
@@ -439,7 +456,7 @@ impl OutputQueue {
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.fifo.is_empty()
+        self.pkts.is_empty()
     }
 
     /// Offers an arriving packet to the queue at time `now`.
@@ -536,7 +553,8 @@ impl OutputQueue {
                 }
                 self.len_bytes += pkt.wire_bytes() as u64;
                 let (flow, wire) = (pkt.flow.0, pkt.wire_bytes());
-                self.fifo.push_back((pkt, now));
+                self.pkts.push_back(pkt);
+                self.enq_at.push_back(now);
                 self.counters.enqueued += 1;
                 self.maybe_displace();
                 self.record_occupancy(now);
@@ -566,7 +584,9 @@ impl OutputQueue {
     pub fn pop_traced(&mut self, now: SimTime, tracer: &mut Tracer) -> Option<Packet> {
         let t = now.as_nanos();
         loop {
-            let (mut pkt, enq) = self.fifo.pop_front()?;
+            let mut pkt = self.pkts.pop_front()?;
+            // Rings move in lockstep; the fallback never fires.
+            let enq = self.enq_at.pop_front().unwrap_or(now);
             self.len_bytes -= pkt.wire_bytes() as u64;
             self.counters.dequeued += 1;
             if !self.policy_is_droptail {
@@ -642,9 +662,9 @@ impl OutputQueue {
 
     /// Current sojourn time of the head packet, if any (diagnostics).
     pub fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
-        self.fifo
+        self.enq_at
             .front()
-            .map(|&(_, t)| now.saturating_duration_since(t))
+            .map(|&t| now.saturating_duration_since(t))
     }
 
     /// Snapshot of counters and occupancy statistics as of `now`.
@@ -696,19 +716,20 @@ impl OutputQueue {
     fn maybe_displace(&mut self) {
         let Some(model) = self.reorder else { return };
         // Need at least one packet ahead of the new tail to jump over.
-        if self.fifo.len() < 2 || self.reorder_rng.next_f64() >= model.prob {
+        if self.pkts.len() < 2 || self.reorder_rng.next_f64() >= model.prob {
             return;
         }
-        let max_jump = (model.depth as usize).min(self.fifo.len() - 1);
+        let max_jump = (model.depth as usize).min(self.pkts.len() - 1);
         let jump = 1 + (self.reorder_rng.next_u64() as usize) % max_jump;
-        let from = self.fifo.len() - 1;
+        let from = self.pkts.len() - 1;
         let to = from - jump;
         // The packet and its enqueue instant move together, so sojourn
         // accounting stays attached to the right packet.
-        let Some(entry) = self.fifo.remove(from) else {
+        let (Some(pkt), Some(enq)) = (self.pkts.remove(from), self.enq_at.remove(from)) else {
             return;
         };
-        self.fifo.insert(to, entry);
+        self.pkts.insert(to, pkt);
+        self.enq_at.insert(to, enq);
     }
 
     fn record_occupancy(&mut self, now: SimTime) {
@@ -721,7 +742,7 @@ impl OutputQueue {
                 Some(last) => now.saturating_duration_since(last) >= interval,
             };
             if due {
-                trace.push(t, self.fifo.len() as f64);
+                trace.push(t, self.pkts.len() as f64);
                 self.last_trace_at = Some(now);
             }
         }

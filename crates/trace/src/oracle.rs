@@ -467,7 +467,11 @@ mod tests {
     }
 
     fn ev(t_ns: u64, kind: TraceKind) -> TraceEvent {
-        TraceEvent { t_ns, kind }
+        TraceEvent {
+            t_ns,
+            ord: (0, 0),
+            kind,
+        }
     }
 
     fn info(queue: u32, cap: u32, threshold: MarkThreshold) -> TraceEvent {

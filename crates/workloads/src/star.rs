@@ -3,8 +3,8 @@
 
 use dctcp_core::MarkingScheme;
 use dctcp_sim::{
-    Capacity, FaultPlan, FlowId, LinkId, NodeId, QueueConfig, SimDuration, SimError, SimTime,
-    Simulator, TopologyBuilder,
+    Capacity, FaultPlan, FlowId, LinkId, NodeId, QueueConfig, ShardedSimulator, SimDuration,
+    SimError, SimTime, TopologyBuilder,
 };
 use dctcp_stats::{TimeSeries, TimeWeightedSummary, Welford};
 use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
@@ -34,12 +34,13 @@ pub struct LongLivedScenarioBuilder {
 
 /// An instantiated long-lived scenario: the simulator plus the node and
 /// link handles a harness needs to drive it manually — e.g. to
-/// [`install_faults`](Simulator::install_faults) before running, or to
-/// interleave runs with mid-experiment inspection.
+/// [`install_faults`](ShardedSimulator::install_faults) before running,
+/// or to interleave runs with mid-experiment inspection.
 #[derive(Debug)]
 pub struct LongLivedInstance {
-    /// The ready-to-run simulator (no warm-up performed).
-    pub sim: Simulator,
+    /// The ready-to-run simulator (no warm-up performed). Honours
+    /// `DCTCP_SIM_SHARDS`; results are bit-identical at any shard count.
+    pub sim: ShardedSimulator,
     /// The receiver host aggregating all flows.
     pub rx: NodeId,
     /// The bottleneck link (switch → receiver).
@@ -241,7 +242,7 @@ impl LongLivedScenario {
         qcfg.trace_interval = self.trace_interval;
         let bottleneck = b.link(sw, rx, spec, qcfg, QueueConfig::host_nic())?;
         Ok(LongLivedInstance {
-            sim: Simulator::new(b.build()?),
+            sim: ShardedSimulator::new(b.build()?)?,
             rx,
             bottleneck,
             switch: sw,

@@ -91,10 +91,10 @@ fn chaos_tcp() -> TcpConfig {
 }
 
 /// Queue-level packet conservation: everything that entered either left
-/// or is still waiting.
-fn assert_queue_conserved(sim: &Simulator, link: LinkId, from: NodeId) {
-    let c = sim.queue_report(link, from).counters;
-    let waiting = u64::from(sim.queue_len_pkts(link, from));
+/// or is still waiting. Takes the report pieces rather than a simulator
+/// so both `Simulator` and `ShardedSimulator` runs can use it.
+fn assert_queue_conserved(c: dt_dctcp::sim::QueueCounters, waiting: u32) {
+    let waiting = u64::from(waiting);
     assert_eq!(
         c.enqueued,
         c.dequeued + waiting,
@@ -132,7 +132,10 @@ fn run_dumbbell_chaos(seed: u64, horizon: SimDuration) -> Fingerprint {
     let trace_digest = assert_oracle_clean(&log, &format!("chaos seed {seed}"));
     // Whatever the faults did, the run must have settled: either the
     // transfer finished or the sender gave up with a typed error.
-    assert_queue_conserved(&d.sim, d.bottleneck, d.sw);
+    assert_queue_conserved(
+        d.sim.queue_report(d.bottleneck, d.sw).counters,
+        d.sim.queue_len_pkts(d.bottleneck, d.sw),
+    );
     let rx_host: &TransportHost = d.sim.agent(d.rx).unwrap();
     let bytes_received = rx_host
         .receiver(FlowId(1))
@@ -204,7 +207,10 @@ fn star_bottleneck_flap_conserves_and_recovers() {
         end_bytes > mid_bytes + MB,
         "no recovery after flap: {mid_bytes} -> {end_bytes}"
     );
-    assert_queue_conserved(&sim, bottleneck, switch);
+    assert_queue_conserved(
+        sim.queue_report(bottleneck, switch).counters,
+        sim.queue_len_pkts(bottleneck, switch),
+    );
     let log = sim.take_trace();
     assert_oracle_clean(&log, "star flap");
     assert!(
@@ -229,7 +235,10 @@ fn bursty_loss_transfer_completes() {
         s.stats().fast_retransmits + s.stats().timeouts > 0,
         "bursty loss must have forced recoveries"
     );
-    assert_queue_conserved(&d.sim, d.bottleneck, d.sw);
+    assert_queue_conserved(
+        d.sim.queue_report(d.bottleneck, d.sw).counters,
+        d.sim.queue_len_pkts(d.bottleneck, d.sw),
+    );
 }
 
 #[test]
@@ -244,7 +253,10 @@ fn reordering_transfer_completes() {
     let tx_host: &TransportHost = d.sim.agent(d.tx).unwrap();
     let s = tx_host.sender(FlowId(1)).unwrap();
     assert!(s.is_complete(), "1 MB must survive bounded reordering");
-    assert_queue_conserved(&d.sim, d.bottleneck, d.sw);
+    assert_queue_conserved(
+        d.sim.queue_report(d.bottleneck, d.sw).counters,
+        d.sim.queue_len_pkts(d.bottleneck, d.sw),
+    );
     let rx_host: &TransportHost = d.sim.agent(d.rx).unwrap();
     assert_eq!(
         rx_host.receiver(FlowId(1)).unwrap().bytes_received(),
