@@ -214,18 +214,20 @@ diff "$SUP_DIR/resume/fig05_oscillation.json" artifacts/repro/fig05_oscillation.
 
 echo "==> shard-parity gate (serial vs sharded artifact diff)"
 # The intra-run sharded engine must be bit-identical to the serial
-# reference on a real committed scenario, scripted faults included.
-# Every run starts without a cache so each cell actually simulates
-# under the requested DCTCP_SIM_SHARDS; the rendered artifacts must
-# then diff clean byte for byte across 1, 2 and 4 shards.
-PARITY_SCN="scenarios/fault_recovery.scn"
+# reference on real committed scenarios — a faulted dumbbell (scripted
+# faults included) and an ECMP'd fat-tree collective. Every run starts
+# without a cache so each cell actually simulates under the requested
+# DCTCP_SIM_SHARDS; the rendered artifacts must then diff clean byte
+# for byte across 1, 2 and 4 shards.
 PARITY_DIR="$(mktemp -d -t shard_parity.XXXXXX)"
 trap 'rm -f "$BENCH_SCRATCH"; rm -rf "$REPRO_COLD" "$SUP_DIR" "$PARITY_DIR"' EXIT
-for SHARDS in 1 2 4; do
-    DCTCP_SIM_SHARDS="$SHARDS" cargo run --offline --release -q -p dctcp-scenario --bin repro -- \
-        --out "$PARITY_DIR/s$SHARDS" --no-cache "$PARITY_SCN"
+for PARITY_NAME in fault_recovery fattree_incast; do
+    for SHARDS in 1 2 4; do
+        DCTCP_SIM_SHARDS="$SHARDS" cargo run --offline --release -q -p dctcp-scenario --bin repro -- \
+            --out "$PARITY_DIR/s$SHARDS" --no-cache "scenarios/$PARITY_NAME.scn"
+    done
+    diff "$PARITY_DIR/s1/$PARITY_NAME.json" "$PARITY_DIR/s2/$PARITY_NAME.json"
+    diff "$PARITY_DIR/s1/$PARITY_NAME.json" "$PARITY_DIR/s4/$PARITY_NAME.json"
 done
-diff "$PARITY_DIR/s1/fault_recovery.json" "$PARITY_DIR/s2/fault_recovery.json"
-diff "$PARITY_DIR/s1/fault_recovery.json" "$PARITY_DIR/s4/fault_recovery.json"
 
 echo "CI full gate passed."

@@ -12,10 +12,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dctcp_bench::Runner;
+use dctcp_core::MarkingScheme;
 use dctcp_sim::{
-    Agent, Context, LinkSpec, Network, Packet, QueueConfig, ShardedSimulator, SimDuration,
-    Simulator, TimerToken, TopologyBuilder,
+    Agent, Capacity, Context, FatTree, FatTreeNet, LinkSpec, Network, NodeId, Packet, QueueConfig,
+    ShardedSimulator, SimDuration, SimTime, Simulator, TierSpec, TimerToken, TopologyBuilder,
 };
+use dctcp_tcp::{ScheduledFlow, TcpConfig, TransportHost};
+use dctcp_workloads::CollectivePattern;
 
 /// Counts heap allocations so the forwarding workload can report
 /// `allocs_per_event` — the guard on the packet-slab/SoA-queue zero-alloc
@@ -380,6 +383,82 @@ fn measure_sharded(r: &mut Runner) {
     );
 }
 
+/// Builds the k = 4 fat-tree (16 hosts, 1 Gb/s tiers, DCTCP switch
+/// queues) with a full 16-host ring allreduce of 16 KB chunks
+/// pre-scheduled on its `TransportHost`s — the fabric analogue of the
+/// forwarding bench, exercising ECMP next-hop lookups, multi-queue
+/// switches and the transport hot path together.
+fn build_fattree_allreduce() -> FatTreeNet {
+    const HOSTS: u32 = 16;
+    let steps = CollectivePattern::RingAllreduce
+        .transfers(HOSTS, 16 * 1024, 0, 1)
+        .expect("valid allreduce");
+    let mut per_host: Vec<Vec<ScheduledFlow>> = vec![Vec::new(); HOSTS as usize];
+    let mut next = 1u64;
+    for (s, step) in steps.iter().enumerate() {
+        for &(src, dst, bytes) in step {
+            per_host[src as usize].push(ScheduledFlow {
+                flow: dctcp_sim::FlowId(next),
+                dst: NodeId::from_index(dst as usize),
+                bytes: Some(bytes),
+                at: SimTime::ZERO + SimDuration::from_millis(1) * s as u64,
+                cfg: TcpConfig::dctcp(1.0 / 16.0),
+            });
+            next += 1;
+        }
+    }
+    let q = QueueConfig::switch(Capacity::Packets(100), MarkingScheme::dctcp_packets(20));
+    FatTree::new(4, 2)
+        .with_tiers(
+            TierSpec::new(LinkSpec::gbps(1.0, 5), q),
+            TierSpec::new(LinkSpec::gbps(1.0, 10), q),
+            TierSpec::new(LinkSpec::gbps(1.0, 20), q),
+        )
+        .ecmp_seed(7)
+        .build(|i| {
+            let mut host = TransportHost::new(TcpConfig::dctcp(1.0 / 16.0));
+            for sf in per_host[i].drain(..) {
+                host.schedule(sf);
+            }
+            Box::new(host)
+        })
+        .expect("valid fat-tree")
+}
+
+/// Times the fat-tree allreduce (min-of-batches, events/sec recorded).
+/// Before the timed loop the same workload runs twice with tracing on —
+/// serial and under the default shard split — and the merged trace
+/// digests must be bit-identical, so the number below is anchored to a
+/// digest-verified run, not just "some packets moved".
+fn measure_fattree(r: &mut Runner) {
+    const RUN: SimDuration = SimDuration::from_millis(40);
+    let traced = |target: usize| {
+        let mut sim =
+            ShardedSimulator::with_shards(build_fattree_allreduce().network, target).unwrap();
+        sim.enable_trace(dctcp_sim::TraceConfig::all());
+        sim.run_for(RUN).unwrap();
+        let digest = sim.take_trace().digest();
+        (digest, sim.events_processed())
+    };
+    let (serial_digest, serial_events) = traced(1);
+    let (sharded_digest, sharded_events) = traced(4);
+    assert_eq!(
+        (serial_digest, serial_events),
+        (sharded_digest, sharded_events),
+        "fat-tree allreduce must be bit-identical serial vs sharded"
+    );
+    r.bench_events(FATTREE_BENCH, || {
+        let mut sim = ShardedSimulator::new(build_fattree_allreduce().network).unwrap();
+        sim.run_for(RUN).unwrap();
+        assert_eq!(
+            sim.events_processed(),
+            serial_events,
+            "timed fat-tree run diverged from the digest-verified reference"
+        );
+        sim.events_processed()
+    });
+}
+
 /// The scenario behind the cache measurement: a real (if small)
 /// long-lived matrix of 2 markings × 2 flow counts = 4 cells.
 const CACHE_BENCH_SCN: &str = "\
@@ -485,6 +564,7 @@ fn committed_ns_per_iter(bench: &str) -> Option<f64> {
 }
 
 const FORWARD_BENCH: &str = "engine/forward/10k_packets_one_switch";
+const FATTREE_BENCH: &str = "engine/fattree/k4_allreduce_16kb";
 const WARM_BENCH: &str = "scenario/warm/rerun_4cells";
 
 fn main() {
@@ -517,6 +597,7 @@ fn main() {
         sim.events_processed()
     });
     measure_sharded(&mut r);
+    measure_fattree(&mut r);
     measure_parallel_sweep(&mut r);
     measure_cache(&mut r);
     r.finish();

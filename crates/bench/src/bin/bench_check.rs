@@ -55,6 +55,14 @@ const TRACE_OVERHEAD_FLOOR: f64 = 0.95;
 /// (that would read ≥ 1.0).
 const ALLOCS_PER_EVENT_LIMIT: f64 = 0.05;
 
+/// Floor on the fat-tree allreduce bench's events/sec. The workload
+/// pushes a 16-host ring allreduce through ECMP'd multi-queue switches
+/// with full DCTCP transport, and even a slow CI machine clears a few
+/// million events/sec; a committed report under 200k events/sec means
+/// the fabric hot path picked up something pathological (per-packet
+/// allocation, quadratic routing lookups), not machine noise.
+const FATTREE_EVENTS_FLOOR: f64 = 200_000.0;
+
 /// Floor on `engine/sharded/speedup_4shards` — but only on machines with
 /// at least four cores to run the four shards on. On smaller machines
 /// the window barriers serialize anyway and the number is a warning, not
@@ -66,6 +74,16 @@ fn metric_value(body: &str, name: &str) -> Option<f64> {
     let needle = format!("\"name\": \"{name}\", \"value\": ");
     let rest = &body[body.find(&needle)? + needle.len()..];
     rest[..rest.find([',', '}'])?].trim().parse().ok()
+}
+
+/// Extracts a named bench record's events/sec, if the bench is present
+/// and reported a rate.
+fn bench_events_per_sec(body: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\", ");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    let rate = "\"events_per_sec\": ";
+    let rest = &rest[rest.find(rate)? + rate.len()..];
+    rest[..rest.find([',', '}', '\n'])?].trim().parse().ok()
 }
 
 /// A passing report's one-line summary plus any non-fatal warnings.
@@ -174,6 +192,20 @@ fn check(body: &str) -> Result<Verdict, String> {
         }
         alloc_note = format!(", {ape:.4} allocs/event");
     }
+    // Fat-tree fabric gate: the bench asserts digest-verified serial vs
+    // sharded bit-identity itself; the committed rate just has to clear
+    // the (deliberately conservative) pathology floor.
+    let mut fattree_note = String::new();
+    if let Some(rate) = bench_events_per_sec(body, "engine/fattree/k4_allreduce_16kb") {
+        if rate < FATTREE_EVENTS_FLOOR {
+            return Err(format!(
+                "engine/fattree/k4_allreduce_16kb {rate:.0} events/sec is below the \
+                 {FATTREE_EVENTS_FLOOR:.0} floor: the fabric hot path regressed \
+                 far beyond machine noise"
+            ));
+        }
+        fattree_note = format!(", fat-tree {:.1}M events/sec", rate / 1e6);
+    }
     let mut warnings = Vec::new();
     // A "parallel" speedup measured on one worker is a tautology: warn
     // so a committed single-thread baseline is not mistaken for a
@@ -270,12 +302,13 @@ fn check(body: &str) -> Result<Verdict, String> {
     };
     Ok(Verdict {
         summary: format!(
-            "{} benches ok, peak {:.0} events/sec{}{}{}{}",
+            "{} benches ok, peak {:.0} events/sec{}{}{}{}{}",
             ns.len(),
             events.iter().cloned().fold(0.0, f64::max),
             overhead_note,
             alloc_note,
             shard_note,
+            fattree_note,
             cache_note
         ),
         warnings,
@@ -558,6 +591,38 @@ mod tests {
         );
         let err = check(&partial).unwrap_err();
         assert!(err.contains("needs engine/sharded/cores"), "{err}");
+    }
+
+    fn with_fattree_bench(rate: &str) -> String {
+        GOOD.replace(
+            r#"{"name": "other", "ns_per_iter": 10, "iters": 3, "events_per_sec": null}"#,
+            &format!(
+                r#"{{"name": "other", "ns_per_iter": 10, "iters": 3, "events_per_sec": null}},
+    {{"name": "engine/fattree/k4_allreduce_16kb", "ns_per_iter": 4000000, "iters": 8, "events_per_sec": {rate}}}"#
+            ),
+        )
+    }
+
+    #[test]
+    fn fattree_rate_above_floor_passes() {
+        let v = check(&with_fattree_bench("2400000.0")).unwrap();
+        assert!(
+            v.summary.contains("fat-tree 2.4M events/sec"),
+            "{}",
+            v.summary
+        );
+    }
+
+    #[test]
+    fn fattree_rate_below_floor_fails() {
+        let err = check(&with_fattree_bench("150000.0")).unwrap_err();
+        assert!(err.contains("below the 200000 floor"), "{err}");
+    }
+
+    #[test]
+    fn missing_fattree_bench_is_not_an_error() {
+        let v = check(GOOD).unwrap();
+        assert!(!v.summary.contains("fat-tree"), "{}", v.summary);
     }
 
     #[test]

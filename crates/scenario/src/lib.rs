@@ -47,8 +47,9 @@ pub use envelope::{
 pub use error::ScenarioError;
 pub use runner::{run_scenario, run_scenario_cached, run_scenario_supervised, CacheStats};
 pub use spec::{
-    DumbbellSpec, FaultSpec, InjectFault, InjectSpec, LimitsSpec, RunSpec, ScenarioKind,
-    ScenarioSpec, TestbedSpec, TopologySpec, DEFAULT_RETRIES, MAX_FLOWS,
+    CollectiveWorkloadSpec, DumbbellSpec, FatTreeSpec, FaultSpec, InjectFault, InjectSpec,
+    LimitsSpec, RunSpec, ScenarioKind, ScenarioSpec, TestbedSpec, TopologySpec, DEFAULT_RETRIES,
+    MAX_FLOWS,
 };
 pub use supervise::CellError;
 

@@ -191,13 +191,23 @@ fn parse_header(inner: &str, line: usize) -> Result<(String, Option<String>), Sc
     let inner = inner.trim();
     match inner.find('"') {
         None => {
-            if inner.is_empty() || !is_ident(inner) {
+            // `[name]` or the unquoted-label form `[name label]`
+            // (shorthand for `[name "label"]`, used by fixed vocabulary
+            // labels like `[topology fat_tree]`).
+            let mut words = inner.split_whitespace();
+            let name = words.next().unwrap_or_default();
+            let label = words.next();
+            if name.is_empty()
+                || !is_ident(name)
+                || label.is_some_and(|l| !is_ident(l))
+                || words.next().is_some()
+            {
                 return Err(ScenarioError::Syntax {
                     line,
                     msg: format!("bad section name `{inner}`"),
                 });
             }
-            Ok((inner.to_string(), None))
+            Ok((name.to_string(), label.map(String::from)))
         }
         Some(q) => {
             let name = inner[..q].trim();
@@ -526,8 +536,25 @@ mod tests {
     fn rejects_malformed_lines() {
         assert!(Document::parse("[run\n").is_err());
         assert!(Document::parse("[run]\nnot a pair\n").is_err());
-        assert!(Document::parse("[ru n]\n").is_err());
+        assert!(Document::parse("[to po logy]\n").is_err());
+        assert!(Document::parse("[topology fat/tree]\n").is_err());
         assert!(Document::parse("[run \"x]\n").is_err());
+    }
+
+    #[test]
+    fn unquoted_labels_equal_quoted_labels() {
+        let bare = Document::parse("[topology fat_tree]\nk = 4\n").unwrap();
+        let quoted = Document::parse("[topology \"fat_tree\"]\nk = 4\n").unwrap();
+        assert_eq!(bare.sections[0].name, "topology");
+        assert_eq!(bare.sections[0].label.as_deref(), Some("fat_tree"));
+        assert_eq!(bare.sections[0].entries, quoted.sections[0].entries);
+        assert_eq!(bare.sections[0].label, quoted.sections[0].label);
+        // The two spellings are the *same* section: declaring both is a
+        // duplicate.
+        assert!(matches!(
+            Document::parse("[topology fat_tree]\n[topology \"fat_tree\"]\n").unwrap_err(),
+            ScenarioError::DuplicateSection { .. }
+        ));
     }
 
     #[test]

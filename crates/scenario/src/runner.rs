@@ -43,11 +43,14 @@ use dctcp_parallel::{par_map, run_isolated};
 use dctcp_sim::{CancelToken, FaultPlan, SimError, SimTime};
 use dctcp_stats::oscillation;
 use dctcp_workloads::{
-    run_query_rounds_supervised, LongLivedScenario, QueryWorkload, TestbedConfig,
+    run_collective, run_query_rounds_supervised, CollectiveConfig, LongLivedScenario,
+    QueryWorkload, TestbedConfig,
 };
 
 use crate::artifact::{Artifact, FailureCell, Point, ARTIFACT_SCHEMA};
-use crate::spec::{DumbbellSpec, InjectFault, ScenarioKind, ScenarioSpec, TestbedSpec};
+use crate::spec::{
+    DumbbellSpec, FatTreeSpec, InjectFault, ScenarioKind, ScenarioSpec, TestbedSpec,
+};
 use crate::supervise::{CellError, Watchdog};
 use crate::ScenarioError;
 
@@ -139,7 +142,7 @@ pub fn run_scenario_supervised(
     } else {
         threads
     };
-    let seeds: &[u64] = if spec.kind.is_query() {
+    let seeds: &[u64] = if spec.kind.sweeps_seeds() {
         &spec.run.seeds
     } else {
         // Long-lived runs are seed-free (fully deterministic); pin the
@@ -438,6 +441,13 @@ fn cell_key(spec: &ScenarioSpec, cell: &Cell, fingerprint: &str) -> CacheKey {
             kb.field("rounds", &spec.run.rounds.to_string())
                 .field("bytes", &spec.run.bytes.to_string());
         }
+        // The fat-tree topology (k, tiers, ecmp_seed) is already key
+        // material via the `topology` Debug field above; the workload
+        // shape (pattern, chunk, phase gap, horizon) joins it here.
+        ScenarioKind::Collective => {
+            kb.field("bytes", &spec.run.bytes.to_string())
+                .field("workload", &format!("{:?}", spec.workload));
+        }
     }
     kb.finish()
 }
@@ -460,9 +470,65 @@ fn run_cell_raw(
         (ScenarioKind::LongLived, crate::spec::TopologySpec::Dumbbell(d)) => {
             run_long_lived_cell(spec, d, cell, cancel)
         }
-        (_, crate::spec::TopologySpec::Testbed(t)) => run_query_cell(spec, t, cell, cancel),
+        (ScenarioKind::Collective, crate::spec::TopologySpec::FatTree(f)) => {
+            run_collective_cell(spec, f, cell, cancel)
+        }
+        (ScenarioKind::Incast | ScenarioKind::PartitionAggregate, t) => match t {
+            crate::spec::TopologySpec::Testbed(t) => run_query_cell(spec, t, cell, cancel),
+            _ => Err(SimError::InvalidConfig("kind/topology mismatch".into())),
+        },
         _ => Err(SimError::InvalidConfig("kind/topology mismatch".into())),
     }
+}
+
+fn run_collective_cell(
+    spec: &ScenarioSpec,
+    f: &FatTreeSpec,
+    cell: &Cell,
+    cancel: Option<CancelToken>,
+) -> Result<Vec<(String, f64)>, dctcp_sim::SimError> {
+    let w = spec.workload.ok_or_else(|| {
+        SimError::InvalidConfig("collective scenario lacks a [workload collective] section".into())
+    })?;
+    let cfg = CollectiveConfig {
+        k: f.k,
+        hosts_per_edge: f.hosts_per_edge,
+        pattern: w.pattern,
+        participants: cell.flows,
+        bytes_per_flow: spec.run.bytes,
+        chunk: w.chunk,
+        phase_gap: w.phase_gap,
+        horizon: w.horizon,
+        seed: cell.seed,
+        marking: cell.scheme,
+        tcp: spec.tcp,
+        host_gbps: f.host_bps as f64 / 1e9,
+        agg_gbps: f.agg_bps as f64 / 1e9,
+        core_gbps: f.core_bps as f64 / 1e9,
+        delay_us: f.delay.as_nanos() / 1000,
+        buffer: f.buffer,
+        ecmp_seed: f.ecmp_seed,
+    };
+    let report = run_collective(&cfg, cancel)?;
+    // An unfinished collective would poison every downstream envelope
+    // with sentinel values; surface it as a cell failure instead (the
+    // horizon is configuration, so the message is byte-stable).
+    let completion = report.completion.ok_or_else(|| {
+        SimError::InvalidConfig(format!(
+            "collective did not complete within the {:?} horizon",
+            w.horizon
+        ))
+    })?;
+    Ok(vec![
+        ("completion_ms".into(), completion * 1e3),
+        ("goodput_mbps".into(), report.goodput_bps / 1e6),
+        ("queue_mean".into(), report.core_queue.mean),
+        ("queue_std".into(), report.core_queue.std),
+        ("queue_max".into(), report.core_queue.max),
+        ("marks".into(), report.marks as f64),
+        ("drops".into(), report.drops as f64),
+        ("timeouts".into(), report.timeouts as f64),
+    ])
 }
 
 fn run_long_lived_cell(
@@ -703,6 +769,92 @@ k2 = 25 pkts
         let mut renamed = cell.clone();
         renamed.label = "renamed".into();
         assert_eq!(base, cell_key(&spec, &renamed, "fp"));
+    }
+
+    /// The cheapest collective matrix: one incast cell on a k=4 fabric.
+    fn collective_spec() -> ScenarioSpec {
+        ScenarioSpec::parse(
+            "\
+[scenario]
+name = ctiny
+kind = collective
+
+[topology fat_tree]
+k = 4
+hosts_per_edge = 2
+ecmp_seed = 3
+
+[workload collective]
+pattern = incast
+horizon = 200 ms
+
+[run]
+flows = 8
+bytes_per_flow = 32 KB
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn collective_artifact_has_every_metric_and_is_thread_invariant() {
+        let a = run_scenario(&collective_spec(), 1).unwrap();
+        assert_eq!(a.points.len(), 1);
+        let p = &a.points[0];
+        for name in ScenarioKind::Collective.metrics() {
+            let v = p.metric(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(v.is_finite(), "{name} = {v}");
+        }
+        assert!(p.metric("completion_ms").unwrap() > 0.0);
+        assert!(p.metric("goodput_mbps").unwrap() > 0.0);
+        let b = run_scenario(&collective_spec(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fat_tree_topology_and_workload_edits_move_the_cell_key() {
+        let spec = collective_spec();
+        let cell = first_cell(&spec);
+        let base = cell_key(&spec, &cell, "fp");
+
+        // Editing the [topology fat_tree] section moves the key...
+        let mut wider = spec.clone();
+        match &mut wider.topology {
+            crate::spec::TopologySpec::FatTree(f) => f.k = 6,
+            other => panic!("wrong topology: {other:?}"),
+        }
+        assert_ne!(base, cell_key(&wider, &cell, "fp"));
+
+        // ...as does the routing configuration (the ECMP seed)...
+        let mut rerouted = spec.clone();
+        match &mut rerouted.topology {
+            crate::spec::TopologySpec::FatTree(f) => f.ecmp_seed = 4,
+            other => panic!("wrong topology: {other:?}"),
+        }
+        assert_ne!(base, cell_key(&rerouted, &cell, "fp"));
+
+        // ...and every [workload collective] knob.
+        let mut repatterned = spec.clone();
+        repatterned.workload.as_mut().unwrap().pattern =
+            dctcp_workloads::CollectivePattern::RingAllreduce;
+        assert_ne!(base, cell_key(&repatterned, &cell, "fp"));
+
+        let mut rechunked = spec.clone();
+        rechunked.workload.as_mut().unwrap().chunk = 4096;
+        assert_ne!(base, cell_key(&rechunked, &cell, "fp"));
+
+        let mut resized = spec.clone();
+        resized.run.bytes = 64 * 1024;
+        assert_ne!(base, cell_key(&resized, &cell, "fp"));
+
+        // A seed is a distinct cell, not the same key.
+        let mut reseeded = cell.clone();
+        reseeded.seed = 2;
+        assert_ne!(base, cell_key(&spec, &reseeded, "fp"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use dctcp_core::MarkingScheme;
 use dctcp_sim::{Capacity, SimDuration};
 use dctcp_tcp::TcpConfig;
+use dctcp_workloads::CollectivePattern;
 
 use crate::parse::{
     parse_bytes, parse_capacity, parse_duration, parse_f64, parse_level, parse_list_u32,
@@ -23,6 +24,9 @@ pub enum ScenarioKind {
     Incast,
     /// Partition-aggregate queries on the Fig. 13 testbed (Fig. 15).
     PartitionAggregate,
+    /// Collective communication (allreduce/permutation/incast phases)
+    /// on a k-ary fat-tree with deterministic ECMP.
+    Collective,
 }
 
 impl ScenarioKind {
@@ -32,6 +36,7 @@ impl ScenarioKind {
             ScenarioKind::LongLived => "long_lived",
             ScenarioKind::Incast => "incast",
             ScenarioKind::PartitionAggregate => "partition_aggregate",
+            ScenarioKind::Collective => "collective",
         }
     }
 
@@ -41,6 +46,7 @@ impl ScenarioKind {
             "long_lived" => Some(ScenarioKind::LongLived),
             "incast" => Some(ScenarioKind::Incast),
             "partition_aggregate" => Some(ScenarioKind::PartitionAggregate),
+            "collective" => Some(ScenarioKind::Collective),
             _ => None,
         }
     }
@@ -51,6 +57,12 @@ impl ScenarioKind {
             self,
             ScenarioKind::Incast | ScenarioKind::PartitionAggregate
         )
+    }
+
+    /// Whether the matrix sweeps the `[run] seeds` list (one cell per
+    /// seed). Long-lived runs are seed-free and pin seed 1.
+    pub fn sweeps_seeds(&self) -> bool {
+        self.is_query() || matches!(self, ScenarioKind::Collective)
     }
 
     /// The point metrics artifacts of this kind carry, in artifact
@@ -81,6 +93,19 @@ impl ScenarioKind {
                 "rounds_completed",
                 "drops",
             ],
+            // queue_* metrics are the busiest core-link port's
+            // time-weighted occupancy — the oscillation probe the paper's
+            // comparison cares about at fabric scale.
+            ScenarioKind::Collective => &[
+                "completion_ms",
+                "goodput_mbps",
+                "queue_mean",
+                "queue_std",
+                "queue_max",
+                "marks",
+                "drops",
+                "timeouts",
+            ],
         }
     }
 }
@@ -109,6 +134,50 @@ pub struct TestbedSpec {
     pub link_delay: SimDuration,
 }
 
+/// k-ary fat-tree parameters for [`ScenarioKind::Collective`]
+/// (`[topology fat_tree]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatTreeSpec {
+    /// Fat-tree arity (even, 4..=16).
+    pub k: u32,
+    /// Hosts under each edge switch.
+    pub hosts_per_edge: u32,
+    /// Host↔edge link rate, bits/second.
+    pub host_bps: u64,
+    /// Edge↔aggregation link rate, bits/second.
+    pub agg_bps: u64,
+    /// Aggregation↔core link rate, bits/second.
+    pub core_bps: u64,
+    /// Host-tier one-way propagation delay (aggregation tier runs at
+    /// 2×, core tier at 4×).
+    pub delay: SimDuration,
+    /// Switch queue capacity at every tier.
+    pub buffer: Capacity,
+    /// Seed baked into the deterministic ECMP hash.
+    pub ecmp_seed: u64,
+}
+
+impl FatTreeSpec {
+    /// Number of hosts this fabric wires up.
+    pub fn num_hosts(&self) -> u32 {
+        self.k * (self.k / 2) * self.hosts_per_edge
+    }
+}
+
+/// The collective workload shape (`[workload collective]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveWorkloadSpec {
+    /// Communication pattern.
+    pub pattern: CollectivePattern,
+    /// Per-transfer message override for the allreduce patterns
+    /// (0 = automatic).
+    pub chunk: u64,
+    /// Gap between consecutive bulk-synchronous step starts.
+    pub phase_gap: SimDuration,
+    /// Simulated-time budget per cell.
+    pub horizon: SimDuration,
+}
+
 /// Topology, by kind.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TopologySpec {
@@ -116,6 +185,8 @@ pub enum TopologySpec {
     Dumbbell(DumbbellSpec),
     /// Fig. 13 testbed.
     Testbed(TestbedSpec),
+    /// k-ary fat-tree (collective kind).
+    FatTree(FatTreeSpec),
 }
 
 /// Which chaos fault an `inject_*` key plants in a cell.
@@ -248,6 +319,9 @@ pub struct ScenarioSpec {
     pub tcp: TcpConfig,
     /// Run control.
     pub run: RunSpec,
+    /// Collective workload shape (`Some` exactly for
+    /// [`ScenarioKind::Collective`]).
+    pub workload: Option<CollectiveWorkloadSpec>,
     /// Labeled marking schemes under test, in file order.
     pub markings: Vec<(String, MarkingScheme)>,
     /// Scripted faults.
@@ -272,6 +346,7 @@ impl ScenarioSpec {
                 "topology",
                 "transport",
                 "run",
+                "workload",
                 "marking",
                 "faults",
                 "limits",
@@ -305,11 +380,15 @@ impl ScenarioSpec {
             "long_lived" => ScenarioKind::LongLived,
             "incast" => ScenarioKind::Incast,
             "partition_aggregate" => ScenarioKind::PartitionAggregate,
+            "collective" => ScenarioKind::Collective,
             other => {
                 return Err(ScenarioError::BadValue {
                     line: kind_entry.line,
                     key: "kind".into(),
-                    msg: format!("unknown kind `{other}` (long_lived/incast/partition_aggregate)"),
+                    msg: format!(
+                        "unknown kind `{other}` \
+                         (long_lived/incast/partition_aggregate/collective)"
+                    ),
                 })
             }
         };
@@ -318,6 +397,26 @@ impl ScenarioSpec {
         let topology = parse_topology(&doc, kind)?;
         let tcp = parse_transport(&doc)?;
         let run = parse_run(&doc, kind)?;
+        let workload = parse_workload(&doc, kind)?;
+        if let TopologySpec::FatTree(ft) = &topology {
+            // The flow sweep is the participant sweep: every count must
+            // fit on the fabric (and a collective needs two ranks).
+            let flows_entry = doc.section("run").and_then(|s| s.get("flows"));
+            for &n in &run.flows {
+                if n < 2 || n > ft.num_hosts() {
+                    return Err(ScenarioError::OutOfRange {
+                        line: flows_entry.map_or(0, |e| e.line),
+                        key: "flows".into(),
+                        msg: format!(
+                            "collective participants must be in 2..={} \
+                             (k={} fat-tree hosts), got {n}",
+                            ft.num_hosts(),
+                            ft.k
+                        ),
+                    });
+                }
+            }
+        }
         let markings = parse_markings(&doc)?;
         let faults = parse_faults(&doc, kind)?;
         let limits = parse_limits(&doc, &run, &markings)?;
@@ -330,6 +429,7 @@ impl ScenarioSpec {
             topology,
             tcp,
             run,
+            workload,
             markings,
             faults,
             limits,
@@ -354,7 +454,7 @@ impl ScenarioSpec {
     pub fn dumbbell(&self) -> Option<&DumbbellSpec> {
         match &self.topology {
             TopologySpec::Dumbbell(d) => Some(d),
-            TopologySpec::Testbed(_) => None,
+            _ => None,
         }
     }
 
@@ -362,7 +462,15 @@ impl ScenarioSpec {
     pub fn testbed(&self) -> Option<&TestbedSpec> {
         match &self.topology {
             TopologySpec::Testbed(t) => Some(t),
-            TopologySpec::Dumbbell(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The fat-tree topology (collective kind).
+    pub fn fat_tree(&self) -> Option<&FatTreeSpec> {
+        match &self.topology {
+            TopologySpec::FatTree(f) => Some(f),
+            _ => None,
         }
     }
 
@@ -387,6 +495,8 @@ impl ScenarioSpec {
             ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
                 u64::from(self.run.rounds) * 100_000_000
             }
+            // A collective cell simulates at most its workload horizon.
+            ScenarioKind::Collective => self.workload.map_or(100_000_000, |w| w.horizon.as_nanos()),
         };
         let budget_ns = simulated_ns
             .saturating_mul(1000)
@@ -396,6 +506,102 @@ impl ScenarioSpec {
 }
 
 fn parse_topology(doc: &Document, kind: ScenarioKind) -> Result<TopologySpec, ScenarioError> {
+    // The collective kind labels its topology section (`[topology
+    // fat_tree]`); every other kind uses a bare `[topology]`. A label
+    // mismatch is an error, never a silently ignored section.
+    for s in doc.sections_named("topology") {
+        match (&s.label, kind) {
+            (None, ScenarioKind::Collective) => {
+                return Err(ScenarioError::Syntax {
+                    line: s.line,
+                    msg: "collective scenarios take `[topology fat_tree]`".into(),
+                });
+            }
+            (Some(l), ScenarioKind::Collective) if l != "fat_tree" => {
+                return Err(ScenarioError::Syntax {
+                    line: s.line,
+                    msg: format!("unknown topology `{l}` (collective scenarios use fat_tree)"),
+                });
+            }
+            (Some(l), k) if k != ScenarioKind::Collective => {
+                return Err(ScenarioError::Syntax {
+                    line: s.line,
+                    msg: format!(
+                        "`[topology {l}]` is only valid for collective scenarios; \
+                         {} scenarios take a bare [topology]",
+                        k.name()
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    if kind == ScenarioKind::Collective {
+        let mut spec = FatTreeSpec {
+            k: 4,
+            hosts_per_edge: 2,
+            host_bps: 1_000_000_000,
+            agg_bps: 1_000_000_000,
+            core_bps: 1_000_000_000,
+            delay: SimDuration::from_micros(5),
+            buffer: Capacity::Packets(100),
+            ecmp_seed: 1,
+        };
+        if let Some(s) = doc
+            .sections_named("topology")
+            .find(|s| s.label.as_deref() == Some("fat_tree"))
+        {
+            s.reject_unknown_keys(&[
+                "k",
+                "hosts_per_edge",
+                "host",
+                "agg",
+                "core",
+                "delay",
+                "buffer",
+                "ecmp_seed",
+            ])?;
+            if let Some(e) = s.get("k") {
+                spec.k = parse_u32(e)?;
+                if spec.k < 4 || spec.k > 16 || spec.k % 2 != 0 {
+                    return Err(ScenarioError::OutOfRange {
+                        line: e.line,
+                        key: "k".into(),
+                        msg: format!("fat-tree arity must be even and in 4..=16, got {}", spec.k),
+                    });
+                }
+            }
+            if let Some(e) = s.get("hosts_per_edge") {
+                spec.hosts_per_edge = parse_u32(e)?;
+                if spec.hosts_per_edge == 0 {
+                    return Err(ScenarioError::OutOfRange {
+                        line: e.line,
+                        key: "hosts_per_edge".into(),
+                        msg: "must be positive".into(),
+                    });
+                }
+            }
+            if let Some(e) = s.get("host") {
+                spec.host_bps = parse_rate_bps(e)?;
+            }
+            if let Some(e) = s.get("agg") {
+                spec.agg_bps = parse_rate_bps(e)?;
+            }
+            if let Some(e) = s.get("core") {
+                spec.core_bps = parse_rate_bps(e)?;
+            }
+            if let Some(e) = s.get("delay") {
+                spec.delay = require_positive(parse_duration(e)?, e, "delay")?;
+            }
+            if let Some(e) = s.get("buffer") {
+                spec.buffer = parse_capacity(e)?;
+            }
+            if let Some(e) = s.get("ecmp_seed") {
+                spec.ecmp_seed = crate::parse::parse_u64(e)?;
+            }
+        }
+        return Ok(TopologySpec::FatTree(spec));
+    }
     let section = doc.section("topology");
     match kind {
         ScenarioKind::LongLived => {
@@ -418,7 +624,9 @@ fn parse_topology(doc: &Document, kind: ScenarioKind) -> Result<TopologySpec, Sc
             }
             Ok(TopologySpec::Dumbbell(spec))
         }
-        ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
+        // Collective returned above; the remaining kinds are the
+        // Fig. 13 testbed.
+        _ => {
             let mut spec = TestbedSpec {
                 link_bps: 1_000_000_000,
                 bottleneck_buffer: Capacity::Bytes(128 * 1024),
@@ -526,6 +734,8 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
         ScenarioKind::LongLived => {
             s.reject_unknown_keys(&["flows", "warmup", "duration", "trace", "stagger"])?
         }
+        // `flows` doubles as the participant sweep for collectives.
+        ScenarioKind::Collective => s.reject_unknown_keys(&["flows", "bytes_per_flow", "seeds"])?,
         _ => {
             s.reject_unknown_keys(&["flows", "rounds", "bytes_per_flow", "total_bytes", "seeds"])?
         }
@@ -560,6 +770,21 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
         seeds: vec![1],
     };
     match kind {
+        ScenarioKind::Collective => {
+            if let Some(e) = s.get("bytes_per_flow") {
+                run.bytes = parse_bytes(e)?;
+            }
+            if let Some(e) = s.get("seeds") {
+                run.seeds = parse_list_u64(e)?;
+                if run.seeds.is_empty() {
+                    return Err(ScenarioError::BadValue {
+                        line: e.line,
+                        key: "seeds".into(),
+                        msg: "at least one seed required".into(),
+                    });
+                }
+            }
+        }
         ScenarioKind::LongLived => {
             if let Some(e) = s.get("warmup") {
                 run.warmup = parse_duration(e)?;
@@ -616,6 +841,64 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
         }
     }
     Ok(run)
+}
+
+/// Parses `[workload collective]`: required for the collective kind,
+/// rejected for every other kind.
+fn parse_workload(
+    doc: &Document,
+    kind: ScenarioKind,
+) -> Result<Option<CollectiveWorkloadSpec>, ScenarioError> {
+    let section = doc.sections_named("workload").next();
+    if kind != ScenarioKind::Collective {
+        if let Some(s) = section {
+            return Err(ScenarioError::Syntax {
+                line: s.line,
+                msg: format!(
+                    "[workload] sections are only valid for collective scenarios, not {}",
+                    kind.name()
+                ),
+            });
+        }
+        return Ok(None);
+    }
+    let s = section.ok_or(ScenarioError::MissingSection {
+        section: "workload collective".into(),
+    })?;
+    if s.label.as_deref() != Some("collective") {
+        return Err(ScenarioError::Syntax {
+            line: s.line,
+            msg: "collective scenarios take `[workload collective]`".into(),
+        });
+    }
+    s.reject_unknown_keys(&["pattern", "chunk", "phase_gap", "horizon"])?;
+    let pattern_entry = s.require("pattern")?;
+    let pattern =
+        CollectivePattern::from_name(&pattern_entry.value).ok_or(ScenarioError::BadValue {
+            line: pattern_entry.line,
+            key: "pattern".into(),
+            msg: format!(
+                "unknown pattern `{}` \
+                 (ring_allreduce/tree_allreduce/permutation/incast)",
+                pattern_entry.value
+            ),
+        })?;
+    let mut spec = CollectiveWorkloadSpec {
+        pattern,
+        chunk: 0,
+        phase_gap: SimDuration::from_millis(1),
+        horizon: SimDuration::from_millis(400),
+    };
+    if let Some(e) = s.get("chunk") {
+        spec.chunk = parse_bytes(e)?;
+    }
+    if let Some(e) = s.get("phase_gap") {
+        spec.phase_gap = parse_duration(e)?;
+    }
+    if let Some(e) = s.get("horizon") {
+        spec.horizon = require_positive(parse_duration(e)?, e, "horizon")?;
+    }
+    Ok(Some(spec))
 }
 
 fn parse_markings(doc: &Document) -> Result<Vec<(String, MarkingScheme)>, ScenarioError> {
@@ -719,7 +1002,7 @@ fn parse_faults(doc: &Document, kind: ScenarioKind) -> Result<FaultSpec, Scenari
     let Some(s) = doc.section("faults") else {
         return Ok(FaultSpec::default());
     };
-    if kind.is_query() {
+    if kind != ScenarioKind::LongLived {
         return Err(ScenarioError::BadValue {
             line: s.line,
             key: "faults".into(),
@@ -1065,6 +1348,138 @@ k = 40 pkts
                 "{bad}"
             );
         }
+    }
+
+    const COLLECTIVE: &str = "\
+[scenario]
+name = c
+kind = collective
+
+[topology fat_tree]
+k = 4
+hosts_per_edge = 2
+core = 1 Gbps
+ecmp_seed = 7
+
+[workload collective]
+pattern = ring_allreduce
+phase_gap = 500 us
+horizon = 200 ms
+
+[run]
+flows = 8, 16
+bytes_per_flow = 32 KB
+seeds = 1, 2
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+";
+
+    #[test]
+    fn collective_scenario_parses_fat_tree_and_workload() {
+        let s = ScenarioSpec::parse(COLLECTIVE).unwrap();
+        assert_eq!(s.kind, ScenarioKind::Collective);
+        assert!(s.kind.sweeps_seeds());
+        let ft = s.fat_tree().unwrap();
+        assert_eq!((ft.k, ft.hosts_per_edge, ft.ecmp_seed), (4, 2, 7));
+        assert_eq!(ft.num_hosts(), 16);
+        assert_eq!(ft.core_bps, 1_000_000_000);
+        let w = s.workload.unwrap();
+        assert_eq!(w.pattern, CollectivePattern::RingAllreduce);
+        assert_eq!(w.phase_gap, SimDuration::from_micros(500));
+        assert_eq!(w.horizon, SimDuration::from_millis(200));
+        assert_eq!(s.run.bytes, 32 * 1024);
+        assert_eq!(s.run.seeds, vec![1, 2]);
+        // markings × participants × seeds
+        assert_eq!(s.num_points(), 4);
+        // The cell deadline derives from the workload horizon (200 ms
+        // × 1000, clamped to the 300 s ceiling).
+        assert_eq!(s.cell_deadline(), SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn collective_requires_a_workload_section() {
+        let src = COLLECTIVE.replace(
+            "[workload collective]\npattern = ring_allreduce\n",
+            "[workload collective]\n",
+        );
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::MissingKey { .. }
+        ));
+        let src: String = COLLECTIVE
+            .lines()
+            .filter(|l| {
+                !(l.starts_with("[workload")
+                    || l.starts_with("pattern")
+                    || l.starts_with("phase_gap")
+                    || l.starts_with("horizon"))
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::MissingSection { .. }
+        ));
+    }
+
+    #[test]
+    fn collective_invalid_parameters_are_typed_errors() {
+        for (from, to) in [
+            ("k = 4", "k = 5"),                           // odd arity
+            ("k = 4", "k = 18"),                          // arity over 16
+            ("hosts_per_edge = 2", "hosts_per_edge = 0"), // zero hosts
+            ("flows = 8, 16", "flows = 8, 17"),           // over the 16 hosts
+            ("flows = 8, 16", "flows = 1"),               // below 2 ranks
+            ("horizon = 200 ms", "horizon = 0 s"),        // empty budget
+            (
+                "pattern = ring_allreduce",
+                "pattern = all_to_some", // unknown pattern
+            ),
+        ] {
+            let src = COLLECTIVE.replace(from, to);
+            assert_ne!(src, COLLECTIVE, "{from}");
+            let err = ScenarioSpec::parse(&src).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ScenarioError::OutOfRange { .. } | ScenarioError::BadValue { .. }
+                ),
+                "{from} -> {to}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_and_workload_labels_must_match_the_kind() {
+        // Collective with a bare [topology] is an error...
+        let src = COLLECTIVE.replace("[topology fat_tree]", "[topology]");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::Syntax { .. }
+        ));
+        // ...as is a labeled topology on a long-lived scenario...
+        let src = MINIMAL.replace("[run]", "[topology fat_tree]\nk = 4\n\n[run]");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::Syntax { .. }
+        ));
+        // ...and a workload section outside the collective kind.
+        let src = format!("{MINIMAL}\n[workload collective]\npattern = incast\n");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn faults_rejected_on_collective_kind() {
+        let src = format!("{COLLECTIVE}\n[faults]\nbleach = 1 ms .. 2 ms\n");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::BadValue { .. }
+        ));
     }
 
     #[test]

@@ -82,6 +82,6 @@ pub use queue::{
 pub use shard::ShardedSimulator;
 pub use simulator::Simulator;
 pub use time::{SimDuration, SimTime};
-pub use topology::{Network, TopologyBuilder};
+pub use topology::{FatTree, FatTreeIds, FatTreeNet, Network, Routes, TierSpec, TopologyBuilder};
 
 pub use dctcp_trace::{TraceConfig, TraceKind, TraceLog, TraceScope, Tracer};

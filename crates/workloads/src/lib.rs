@@ -33,6 +33,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod buildup;
+mod collective;
 mod convergence;
 pub mod experiments;
 mod star;
@@ -40,6 +41,9 @@ mod table;
 mod testbed;
 
 pub use buildup::{run_buildup, run_buildup_traced, BuildupConfig, BuildupReport};
+pub use collective::{
+    run_collective, CollectiveConfig, CollectivePattern, CollectiveReport, Transfer,
+};
 pub use convergence::{run_convergence, ConvergenceConfig, ConvergenceReport};
 pub use experiments::Scale;
 pub use star::{LongLivedInstance, LongLivedReport, LongLivedScenario, LongLivedScenarioBuilder};
