@@ -3,15 +3,19 @@
 # every step runs with --offline on a bare Rust toolchain.
 #
 # Tiers:
-#   ci.sh quick   fmt + clippy + release build + tier-1 tests
-#                 (the PR gate: minutes, catches most breakage)
-#   ci.sh full    quick + workspace tests + rustdoc + trace-oracle
-#                 smoke + bench gate + scenario-matrix gate (run cold,
-#                 then warm from the result cache with byte-identity
-#                 asserted between the two) + supervision gate
-#                 (quarantine exit codes, kill -9 mid-matrix resume)
-#                 + shard-parity gate (serial vs sharded engine must
-#                 render byte-identical artifacts)
+#   ci.sh quick   fmt + clippy + release build + tier-1 tests + fluid
+#                 model tests (the PR gate: minutes, catches most
+#                 breakage)
+#   ci.sh full    quick + zero-dependency guard (Cargo.lock must be
+#                 workspace-only) + workspace tests + rustdoc +
+#                 trace-oracle smoke + bench gate + scenario-matrix
+#                 gate (run cold, then warm from the result cache with
+#                 byte-identity asserted between the two) + fluid-xval
+#                 gate (DDE model vs packet anchors within committed
+#                 relative-error bands) + supervision gate (quarantine
+#                 exit codes, kill -9 mid-matrix resume) + shard-parity
+#                 gate (serial vs sharded engine must render
+#                 byte-identical artifacts)
 #                 (the merge gate: everything the repo can check)
 #   ci.sh         same as full
 set -eu
@@ -39,9 +43,33 @@ cargo build --offline --release
 echo "==> cargo test (tier-1: root package)"
 cargo test --offline -q
 
+echo "==> cargo test (fluid model unit + property tests)"
+# The DDE integrator is pure math with no simulator dependency, so its
+# full test suite (equilibrium fixed points, step-response determinism,
+# damping ordering) is cheap enough for the PR gate.
+cargo test --offline -q -p dctcp-fluid
+
 if [ "$TIER" = "quick" ]; then
     echo "CI quick gate passed."
     exit 0
+fi
+
+echo "==> zero-dependency guard (Cargo.lock is workspace-only)"
+# The workspace promises --offline builds on a bare toolchain; every
+# package in Cargo.lock must therefore be a workspace member. The
+# moment a third-party crate (or a stale lockfile entry) appears, this
+# diff names it.
+LOCKED="$(sed -n 's/^name = "\(.*\)"$/\1/p' Cargo.lock | sort)"
+MEMBERS="$(for m in Cargo.toml crates/*/Cargo.toml; do
+    awk '/^\[/{p = ($0 == "[package]")} p && sub(/^name = "/, ""){sub(/"$/, ""); print}' "$m"
+done | sort)"
+if [ "$LOCKED" != "$MEMBERS" ]; then
+    echo "ci.sh: Cargo.lock is not workspace-only; lockfile vs members:" >&2
+    printf '%s\n' "$LOCKED" > /tmp/ci_locked.$$
+    printf '%s\n' "$MEMBERS" > /tmp/ci_members.$$
+    diff /tmp/ci_locked.$$ /tmp/ci_members.$$ >&2 || true
+    rm -f /tmp/ci_locked.$$ /tmp/ci_members.$$
+    exit 1
 fi
 
 echo "==> cargo test (workspace)"
@@ -106,6 +134,20 @@ case "$WARM_SUMMARY" in
         ;;
 esac
 diff -r "$REPRO_COLD" artifacts/repro
+
+echo "==> fluid-xval gate (DDE model vs packet anchors)"
+# Cross-validates the fluid-model artifacts the scenario gate just
+# produced against the packet anchors at shared operating points: each
+# committed [xval] band must hold within its relative-error budget.
+# Passing this is what licenses the fluid_scaleout extrapolation to
+# N = 10^4..10^6. The plain-text comparison report lands in
+# artifacts/fluid_xval_report.txt for CI to upload on failure. Any
+# nonzero exit fails the gate — on committed scenarios even "skipped
+# because an anchor cell is quarantined" (exit 3) means something
+# upstream already broke.
+cargo run --offline --release -q -p dctcp-scenario --bin fluid_check -- \
+    --artifacts artifacts/repro --report artifacts/fluid_xval_report.txt \
+    --all scenarios/
 
 echo "==> supervision gate (quarantine exit codes + kill -9 resume)"
 # Two smokes over the supervised executor. First: a matrix with one

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the discrete-event engine: packet forwarding
 //! throughput and allocation pressure, timer churn, the intra-run
-//! sharded engine, the parallel multi-seed sweep driver, and the
-//! content-addressed result cache's warm-rerun win.
+//! sharded engine, the parallel multi-seed sweep driver, the
+//! content-addressed result cache's warm-rerun win, and the DDE fluid
+//! sweep's points/sec rate at scale-out flow counts.
 //!
 //! Run with `--json BENCH_sim.json` to record the results (including
 //! events/sec, allocs/event and the measured parallel speedups)
@@ -13,6 +14,7 @@ use std::time::Instant;
 
 use dctcp_bench::Runner;
 use dctcp_core::MarkingScheme;
+use dctcp_fluid::{sweep, FluidMarking, FluidParams, FluidRunConfig};
 use dctcp_sim::{
     Agent, Capacity, Context, FatTree, FatTreeNet, LinkSpec, Network, NodeId, Packet, QueueConfig,
     ShardedSimulator, SimDuration, SimTime, Simulator, TierSpec, TimerToken, TopologyBuilder,
@@ -546,6 +548,46 @@ fn measure_cache(r: &mut Runner) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Times the DDE fluid sweep at the `fluid_scaleout` operating point
+/// (400 Tb/s aggregate bottleneck, 100 µs RTT, K = 160k packets) over
+/// the full `N = 10¹ … 10⁶` log grid, min-of-batches, and records the
+/// sweep rate in points/sec. One point integrates 50 ms of model time
+/// at a 1 µs step (50k RK4 steps through the delay history ring), so
+/// the rate gates the integrator hot path: `bench_check` fails CI when
+/// a committed report drops below its floor.
+fn measure_fluid_sweep(r: &mut Runner) {
+    let base = FluidParams {
+        capacity_pps: 400e12 / (8.0 * 1500.0),
+        flows: 1.0, // overwritten per sweep point
+        rtt: 100e-6,
+        g: 1.0 / 16.0,
+        marking: FluidMarking::Relay { k: 160_000.0 },
+        w_init: 1.0,
+        alpha_init: 0.0,
+        q_init: 0.0,
+    };
+    let flows = sweep::log_flows(1, 6, 1);
+    let cfg = FluidRunConfig {
+        dt: 1e-6,
+        duration: 0.05,
+        transient: 0.02,
+        sample_every: 20,
+    };
+    r.bench(FLUID_BENCH, || {
+        let points = sweep::sweep(&base, &flows, &cfg).expect("valid sweep point");
+        let top = points.last().expect("non-empty sweep");
+        assert!(
+            top.utilization > 0.85 && top.osc_amplitude > 0.0,
+            "N = 10^6 must saturate the fabric and oscillate"
+        );
+        points.len()
+    });
+    if let Some(rec) = r.records().iter().find(|rec| rec.name == FLUID_BENCH) {
+        let points_per_sec = flows.len() as f64 * 1e9 / rec.ns_per_iter as f64;
+        r.metric("fluid/sweep_1e6", points_per_sec, "points/sec");
+    }
+}
+
 /// Reads the ns/iter a previous run committed for `bench` from the JSON
 /// report at the `--json` path — it must be read before
 /// [`Runner::finish`] overwrites the file with this run's numbers.
@@ -566,6 +608,7 @@ fn committed_ns_per_iter(bench: &str) -> Option<f64> {
 const FORWARD_BENCH: &str = "engine/forward/10k_packets_one_switch";
 const FATTREE_BENCH: &str = "engine/fattree/k4_allreduce_16kb";
 const WARM_BENCH: &str = "scenario/warm/rerun_4cells";
+const FLUID_BENCH: &str = "fluid/sweep_1e6/six_decades";
 
 fn main() {
     let mut r = Runner::from_env();
@@ -598,6 +641,7 @@ fn main() {
     });
     measure_sharded(&mut r);
     measure_fattree(&mut r);
+    measure_fluid_sweep(&mut r);
     measure_parallel_sweep(&mut r);
     measure_cache(&mut r);
     r.finish();

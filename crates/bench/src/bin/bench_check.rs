@@ -63,6 +63,15 @@ const ALLOCS_PER_EVENT_LIMIT: f64 = 0.05;
 /// allocation, quadratic routing lookups), not machine noise.
 const FATTREE_EVENTS_FLOOR: f64 = 200_000.0;
 
+/// Floor on `fluid/sweep_1e6` (points/sec): the DDE integrator sweeps
+/// the full `N = 10¹…10⁶` grid at the scale-out operating point, one
+/// point being 50k RK4 steps through the delay history ring. Even a
+/// slow single-core CI machine clears ~100 points/sec (measured 107);
+/// a committed report under 20 points/sec means the integrator hot
+/// path regressed by multiples (per-step allocation, history-ring
+/// scans), not machine noise.
+const FLUID_SWEEP_FLOOR: f64 = 20.0;
+
 /// Floor on `engine/sharded/speedup_4shards` — but only on machines with
 /// at least four cores to run the four shards on. On smaller machines
 /// the window barriers serialize anyway and the number is a warning, not
@@ -206,6 +215,23 @@ fn check(body: &str) -> Result<Verdict, String> {
         }
         fattree_note = format!(", fat-tree {:.1}M events/sec", rate / 1e6);
     }
+    // Fluid-sweep gate: the bench asserts the top of the sweep saturates
+    // and oscillates itself; the committed rate just has to clear the
+    // pathology floor.
+    let mut fluid_note = String::new();
+    if let Some(rate) = metric_value(body, "fluid/sweep_1e6") {
+        if rate.is_nan() || rate <= 0.0 {
+            return Err(format!("fluid/sweep_1e6 {rate} is not a positive rate"));
+        }
+        if rate < FLUID_SWEEP_FLOOR {
+            return Err(format!(
+                "fluid/sweep_1e6 {rate:.0} points/sec is below the \
+                 {FLUID_SWEEP_FLOOR:.0} floor: the DDE integrator hot path \
+                 regressed far beyond machine noise"
+            ));
+        }
+        fluid_note = format!(", fluid sweep {rate:.0} points/sec");
+    }
     let mut warnings = Vec::new();
     // A "parallel" speedup measured on one worker is a tautology: warn
     // so a committed single-thread baseline is not mistaken for a
@@ -302,13 +328,14 @@ fn check(body: &str) -> Result<Verdict, String> {
     };
     Ok(Verdict {
         summary: format!(
-            "{} benches ok, peak {:.0} events/sec{}{}{}{}{}",
+            "{} benches ok, peak {:.0} events/sec{}{}{}{}{}{}",
             ns.len(),
             events.iter().cloned().fold(0.0, f64::max),
             overhead_note,
             alloc_note,
             shard_note,
             fattree_note,
+            fluid_note,
             cache_note
         ),
         warnings,
@@ -617,6 +644,44 @@ mod tests {
     fn fattree_rate_below_floor_fails() {
         let err = check(&with_fattree_bench("150000.0")).unwrap_err();
         assert!(err.contains("below the 200000 floor"), "{err}");
+    }
+
+    #[test]
+    fn fluid_sweep_above_floor_passes() {
+        let v = check(&with_metrics(
+            r#"{"name": "fluid/sweep_1e6", "value": 4100.000000, "unit": "points/sec"}"#,
+        ))
+        .unwrap();
+        assert!(
+            v.summary.contains("fluid sweep 4100 points/sec"),
+            "{}",
+            v.summary
+        );
+    }
+
+    #[test]
+    fn fluid_sweep_below_floor_fails() {
+        let err = check(&with_metrics(
+            r#"{"name": "fluid/sweep_1e6", "value": 12.000000, "unit": "points/sec"}"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("below the 20 floor"), "{err}");
+        assert!(err.contains("DDE integrator"), "{err}");
+    }
+
+    #[test]
+    fn fluid_sweep_rejects_non_positive_rate() {
+        let err = check(&with_metrics(
+            r#"{"name": "fluid/sweep_1e6", "value": 0.000000, "unit": "points/sec"}"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("not a positive rate"), "{err}");
+    }
+
+    #[test]
+    fn missing_fluid_sweep_is_not_an_error() {
+        let v = check(GOOD).unwrap();
+        assert!(!v.summary.contains("fluid sweep"), "{}", v.summary);
     }
 
     #[test]

@@ -56,6 +56,19 @@ impl PlantParams {
         self
     }
 
+    /// Linearizes at a delay-differential operating point: a standing
+    /// queue of `q_star` packets stretches every lag term from `R0` to
+    /// the effective round-trip `R* = R0 + q*/C`, which is the delay the
+    /// DDE fluid model (`dctcp_fluid::DdeModel`) actually feeds back.
+    /// Feed the closed-form fixed-point queue from
+    /// `dctcp_fluid::equilibrium` to analyze the loop the scale-out
+    /// sweeps integrate; with `q_star = 0` this is the paper's original
+    /// `R0` plant.
+    pub fn at_operating_point(mut self, q_star: f64) -> Self {
+        self.rtt += q_star.max(0.0) / self.capacity_pps;
+        self
+    }
+
     /// Checks parameters for positivity.
     ///
     /// # Errors
@@ -216,6 +229,27 @@ mod tests {
         let m150 = cross_mag(150.0);
         assert!(m10 < m55, "left shift: {m10} !< {m55}");
         assert!(m150 < m55, "recession past the peak: {m150} !< {m55}");
+    }
+
+    #[test]
+    fn operating_point_queue_stretches_the_delay() {
+        let p = params(40.0);
+        let shifted = p.at_operating_point(40.0);
+        // 40 packets over 833,333 pkt/s adds 48 µs of queueing delay.
+        assert!((shifted.rtt - (p.rtt + 40.0 / p.capacity_pps)).abs() < 1e-15);
+        // Zero (or clamped negative) queue leaves the plant unchanged.
+        assert_eq!(p.at_operating_point(0.0), p);
+        assert_eq!(p.at_operating_point(-5.0), p);
+        // A longer loop delay slows the predicted dynamics: the phase
+        // lag at a fixed frequency grows.
+        let w = 1e3;
+        let base_phase = p.g_of_jw(w).im.atan2(p.g_of_jw(w).re);
+        let q = p.at_operating_point(200.0);
+        let shifted_phase = q.g_of_jw(w).im.atan2(q.g_of_jw(w).re);
+        assert!(
+            shifted_phase < base_phase,
+            "{shifted_phase} !< {base_phase}"
+        );
     }
 
     #[test]

@@ -12,6 +12,16 @@
 //! measure limit-cycle amplitude and period — the quantities the
 //! describing-function analysis in `dctcp-control` predicts.
 //!
+//! [`DdeModel`] extends the system to a full delay-differential form:
+//! the queue-induced round-trip `R(t) = R0 + q(t)/C` enters the rate
+//! terms, and the multiplicative decrease is driven by the *lagged*
+//! window and marked fraction `W(t−τ)·α(t−τ)`, read from a full-state
+//! history ring with deterministic linear interpolation. That is what
+//! makes the model trustworthy far beyond the packet engine's flow
+//! counts — see [`sweep`](crate::sweep::sweep) for the `N = 10¹ … 10⁶`
+//! driver and [`equilibrium`] for the closed-form fixed points it is
+//! validated against.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,10 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod dde;
 mod marking;
 mod metrics;
 mod model;
+pub mod sweep;
 
+pub use dde::{equilibrium, DdeEquilibrium, DdeModel};
 pub use marking::FluidMarking;
 pub use metrics::{oscillation_metrics, OscillationMetrics};
 pub use model::{FluidModel, FluidParams, FluidSolution};
+pub use sweep::{FluidRunConfig, SweepPoint};

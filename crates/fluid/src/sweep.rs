@@ -1,0 +1,288 @@
+//! Flow-count sweep driver over the DDE model.
+//!
+//! Evaluates the delay-differential model at a grid of flow counts —
+//! `N = 10¹ … 10⁶` is microseconds per point in release builds — and
+//! reduces each trajectory to the scalar metrics the paper's figures
+//! plot: oscillation amplitude and frequency, mean queue, and the
+//! utilization threshold. These are the numbers the `kind = fluid`
+//! scenario surface feeds through the envelope machinery, and the
+//! cross-validation gate compares against packet-level anchors.
+
+use dctcp_core::ParamError;
+
+use crate::dde::DdeModel;
+use crate::metrics::oscillation_metrics;
+use crate::model::FluidParams;
+
+/// Integration window for one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidRunConfig {
+    /// Integrator step in seconds.
+    pub dt: f64,
+    /// Total integrated time in seconds.
+    pub duration: f64,
+    /// Leading transient excluded from all metrics, in seconds.
+    pub transient: f64,
+    /// Record every `sample_every`-th step (metric resolution).
+    pub sample_every: usize,
+}
+
+impl FluidRunConfig {
+    /// Validates the window: positive step, transient inside duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for non-positive times, `transient >=
+    /// duration`, or a zero sampling stride.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !(self.dt > 0.0 && self.duration > 0.0) {
+            return Err(ParamError::new("dt and duration must be positive"));
+        }
+        if !(self.transient >= 0.0 && self.transient < self.duration) {
+            return Err(ParamError::new("transient must be in [0, duration)"));
+        }
+        if self.sample_every == 0 {
+            return Err(ParamError::new("sample_every must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Scalar metrics of one `(params, flows)` operating point, measured
+/// over the post-transient window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Flow count this point was evaluated at.
+    pub flows: f64,
+    /// Mean queue in packets.
+    pub queue_mean: f64,
+    /// Queue standard deviation in packets.
+    pub queue_std: f64,
+    /// Maximum queue in packets.
+    pub queue_max: f64,
+    /// Half the peak-to-peak queue excursion, in packets.
+    pub osc_amplitude: f64,
+    /// Limit-cycle frequency in Hz (`0` when no cycle is detected).
+    pub osc_freq_hz: f64,
+    /// Limit-cycle count over the measurement window (`0` when no cycle
+    /// is detected); directly comparable to the packet engine's
+    /// `osc_cycles` when the windows match.
+    pub osc_cycles: f64,
+    /// Mean per-flow window in packets.
+    pub w_mean: f64,
+    /// Mean marked-fraction estimate.
+    pub alpha_mean: f64,
+    /// Time-averaged marking input `σ` (duty cycle of the marking law).
+    pub marking_duty: f64,
+    /// Served fraction of capacity over the window, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Integrates the DDE at one operating point and reduces the trajectory
+/// to a [`SweepPoint`].
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `params` or `cfg` fail validation.
+pub fn evaluate(params: &FluidParams, cfg: &FluidRunConfig) -> Result<SweepPoint, ParamError> {
+    cfg.validate()?;
+    let mut model = DdeModel::new(*params)?;
+    let sol = model.run_sampled(cfg.duration, cfg.dt, cfg.sample_every);
+
+    let q_tail = sol.q.window(cfg.transient, cfg.duration);
+    let w_tail = sol.w.window(cfg.transient, cfg.duration);
+    let a_tail = sol.alpha.window(cfg.transient, cfg.duration);
+    let p_tail = sol.p.window(cfg.transient, cfg.duration);
+
+    let osc = oscillation_metrics(&q_tail);
+    let qs = q_tail.summary();
+    let window = cfg.duration - cfg.transient;
+    let (osc_freq_hz, osc_cycles) = match osc.period {
+        Some(p) if p > 0.0 => (1.0 / p, window / p),
+        _ => (0.0, 0.0),
+    };
+
+    // Served fraction of capacity: the bottleneck runs at line rate
+    // whenever the queue is backlogged, and at the arrival rate
+    // N·W/R(q) (capped at C) when it is empty.
+    let mut util_sum = 0.0;
+    let mut samples = 0u64;
+    for ((_, q), (_, w)) in q_tail.iter().zip(w_tail.iter()) {
+        let served = if q > 0.0 {
+            1.0
+        } else {
+            let r = params.rtt + q / params.capacity_pps;
+            (params.flows * w / r / params.capacity_pps).min(1.0)
+        };
+        util_sum += served;
+        samples += 1;
+    }
+    let utilization = if samples == 0 {
+        0.0
+    } else {
+        util_sum / samples as f64
+    };
+
+    Ok(SweepPoint {
+        flows: params.flows,
+        queue_mean: osc.mean,
+        queue_std: osc.std,
+        queue_max: qs.max,
+        osc_amplitude: osc.amplitude,
+        osc_freq_hz,
+        osc_cycles,
+        w_mean: w_tail.summary().mean,
+        alpha_mean: a_tail.summary().mean,
+        marking_duty: p_tail.summary().mean,
+        utilization,
+    })
+}
+
+/// Evaluates `base` at each flow count in `flow_counts`.
+///
+/// # Errors
+///
+/// Returns the first [`ParamError`] any point produces.
+pub fn sweep(
+    base: &FluidParams,
+    flow_counts: &[f64],
+    cfg: &FluidRunConfig,
+) -> Result<Vec<SweepPoint>, ParamError> {
+    let mut out = Vec::with_capacity(flow_counts.len());
+    for &n in flow_counts {
+        let mut params = *base;
+        params.flows = n;
+        out.push(evaluate(&params, cfg)?);
+    }
+    Ok(out)
+}
+
+/// A deterministic log-spaced flow grid: `per_decade` points per decade
+/// from `10^lo` to `10^hi` inclusive, rounded to whole flows and
+/// deduplicated.
+pub fn log_flows(lo: u32, hi: u32, per_decade: u32) -> Vec<f64> {
+    assert!(lo <= hi && per_decade >= 1);
+    let mut out: Vec<f64> = Vec::new();
+    for i in 0..=(hi - lo) * per_decade {
+        let exp = f64::from(lo) + f64::from(i) / f64::from(per_decade);
+        let n = 10f64.powf(exp).round();
+        if out.last() != Some(&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// The smallest swept flow count whose utilization reaches `target`
+/// (e.g. `0.99` for the paper's 100%-utilization threshold), or `None`
+/// when no point does.
+pub fn utilization_threshold(points: &[SweepPoint], target: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.utilization >= target)
+        .map(|p| p.flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FluidMarking;
+
+    fn cfg() -> FluidRunConfig {
+        FluidRunConfig {
+            dt: 2e-6,
+            duration: 0.2,
+            transient: 0.1,
+            sample_every: 5,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg().validate().is_ok());
+        let mut c = cfg();
+        c.transient = 0.2;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.dt = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.sample_every = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn evaluate_produces_finite_metrics() {
+        let p = FluidParams::paper_defaults(20.0, FluidMarking::Relay { k: 40.0 });
+        let pt = evaluate(&p, &cfg()).unwrap();
+        assert!(pt.queue_mean.is_finite() && pt.queue_mean > 0.0);
+        assert!(pt.osc_amplitude >= 0.0);
+        assert!((0.0..=1.0).contains(&pt.utilization));
+        assert!((0.0..=1.0).contains(&pt.marking_duty));
+        assert!(pt.w_mean > 0.0);
+    }
+
+    #[test]
+    fn frequency_and_cycles_are_consistent() {
+        let p = FluidParams::paper_defaults(10.0, FluidMarking::Relay { k: 40.0 });
+        let c = cfg();
+        let pt = evaluate(&p, &c).unwrap();
+        assert!(pt.osc_freq_hz > 0.0, "N = 10 limit-cycles");
+        let window = c.duration - c.transient;
+        assert!((pt.osc_cycles - pt.osc_freq_hz * window).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_grid_is_deduplicated_and_monotone() {
+        let grid = log_flows(1, 6, 3);
+        assert_eq!(grid.first(), Some(&10.0));
+        assert_eq!(grid.last(), Some(&1_000_000.0));
+        for w in grid.windows(2) {
+            assert!(w[1] > w[0], "{w:?}");
+        }
+        // Single decade, one point per decade: the endpoints.
+        assert_eq!(log_flows(2, 3, 1), vec![100.0, 1000.0]);
+    }
+
+    #[test]
+    fn sweep_covers_six_decades() {
+        let p = FluidParams::paper_defaults(10.0, FluidMarking::Relay { k: 40.0 });
+        let c = FluidRunConfig {
+            dt: 5e-6,
+            duration: 0.05,
+            transient: 0.025,
+            sample_every: 10,
+        };
+        let grid = log_flows(1, 6, 1);
+        let pts = sweep(&p, &grid, &c).unwrap();
+        assert_eq!(pts.len(), 6);
+        for pt in &pts {
+            assert!(pt.queue_mean.is_finite(), "N = {}", pt.flows);
+            assert!(pt.utilization.is_finite());
+        }
+        // Saturated large-N points pin the queue at 2N − C·R0: the mean
+        // queue grows monotonically beyond saturation.
+        assert!(pts[5].queue_mean > pts[4].queue_mean);
+        assert!(pts[5].utilization > 0.99);
+    }
+
+    #[test]
+    fn utilization_threshold_finds_first_crossing() {
+        let mk = |flows: f64, utilization: f64| SweepPoint {
+            flows,
+            queue_mean: 0.0,
+            queue_std: 0.0,
+            queue_max: 0.0,
+            osc_amplitude: 0.0,
+            osc_freq_hz: 0.0,
+            osc_cycles: 0.0,
+            w_mean: 0.0,
+            alpha_mean: 0.0,
+            marking_duty: 0.0,
+            utilization,
+        };
+        let pts = vec![mk(10.0, 0.8), mk(100.0, 0.995), mk(1000.0, 1.0)];
+        assert_eq!(utilization_threshold(&pts, 0.99), Some(100.0));
+        assert_eq!(utilization_threshold(&pts, 2.0), None);
+    }
+}

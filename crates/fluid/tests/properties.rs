@@ -1,6 +1,8 @@
-//! Seeded randomized tests of the fluid integrator.
+//! Seeded randomized tests of the fluid integrators (ODE and DDE).
 
-use dctcp_fluid::{oscillation_metrics, FluidMarking, FluidModel, FluidParams};
+use dctcp_fluid::{
+    equilibrium, oscillation_metrics, DdeModel, FluidMarking, FluidModel, FluidParams,
+};
 use dctcp_rng::Pcg32;
 use dctcp_stats::TimeSeries;
 
@@ -73,6 +75,79 @@ fn additive_increase_is_exact_without_marking() {
         let (_, w_end) = sol.w.last().unwrap();
         let expected = p.w_init + dur / rtt;
         assert!((w_end - expected).abs() < 1e-2, "{w_end} vs {expected}");
+    }
+}
+
+/// DDE equilibrium: the steady-state marking duty matches the
+/// closed-form fixed point σ* = √(2/W*) across randomized operating
+/// points in the unsaturated regime.
+#[test]
+fn dde_duty_matches_equilibrium_closed_form() {
+    let mut rng = Pcg32::seed_from_u64(0xD1_0001);
+    for _ in 0..12 {
+        let n = rng.range_f64(5.0, 40.0);
+        let k = rng.range_f64(20.0, 60.0);
+        let p = params(n, 300e-6, FluidMarking::Relay { k });
+        let eq = equilibrium(&p);
+        assert!(!eq.saturated, "regime drifted: N = {n}, K = {k}");
+        let mut m = DdeModel::new(p).unwrap();
+        let sol = m.run_sampled(0.4, 1e-6, 10);
+        let duty = sol.p.window(0.2, 0.4).summary().mean;
+        assert!(
+            (duty - eq.marking_duty).abs() / eq.marking_duty < 0.25,
+            "N = {n}, K = {k}: duty {duty} vs closed form {}",
+            eq.marking_duty
+        );
+    }
+}
+
+/// DDE step-response determinism: the same step size reproduces the
+/// trajectory bit-for-bit, and refining the step moves the mean queue
+/// only marginally — across randomized step sizes that do *not* divide
+/// the delay (exercising the history interpolation).
+#[test]
+fn dde_is_deterministic_across_step_sizes() {
+    let mut rng = Pcg32::seed_from_u64(0xD1_0002);
+    for _ in 0..8 {
+        let n = rng.range_f64(5.0, 40.0);
+        let dt = rng.range_f64(0.7, 2.9) * 1e-6;
+        let p = params(n, 300e-6, FluidMarking::Relay { k: 40.0 });
+        let run = |dt: f64| DdeModel::new(p).unwrap().run_sampled(0.1, dt, 50);
+        let (a, b) = (run(dt), run(dt));
+        assert_eq!(a.q.values(), b.q.values(), "same dt must be bit-identical");
+        assert_eq!(a.w.values(), b.w.values());
+        let fine = run(dt / 2.0);
+        let (am, fm) = (a.q.summary().mean, fine.q.summary().mean);
+        assert!(
+            (am - fm).abs() <= 0.25 * fm.abs().max(5.0),
+            "N = {n}, dt = {dt}: mean queue diverges under refinement: {am} vs {fm}"
+        );
+    }
+}
+
+/// DDE differential test: DT-DCTCP's hysteresis never oscillates
+/// (materially) wider than DCTCP's relay across a randomized band of
+/// the oscillatory regime.
+#[test]
+fn dde_damping_ordering_holds_across_seeds() {
+    let mut rng = Pcg32::seed_from_u64(0xD0_0001);
+    for _ in 0..12 {
+        let n = rng.range_f64(48.0, 80.0);
+        let k = rng.range_f64(35.0, 45.0);
+        let run = |marking: FluidMarking| -> f64 {
+            let mut m = DdeModel::new(params(n, 300e-6, marking)).unwrap();
+            let sol = m.run_sampled(0.3, 1e-6, 10);
+            sol.q.window(0.15, 0.3).summary().std
+        };
+        let relay_std = run(FluidMarking::Relay { k });
+        let hyst_std = run(FluidMarking::Hysteresis {
+            k1: k - 10.0,
+            k2: k + 10.0,
+        });
+        assert!(
+            hyst_std <= relay_std * 1.05,
+            "N = {n}, K = {k}: hysteresis std {hyst_std} above relay {relay_std}"
+        );
     }
 }
 

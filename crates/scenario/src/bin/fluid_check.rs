@@ -1,0 +1,178 @@
+//! Cross-validation gate: fluid-model artifacts against packet anchors.
+//!
+//! ```text
+//! fluid_check [--artifacts DIR] [--report FILE] (--all SCENARIO_DIR | FILE.scn ...)
+//! ```
+//!
+//! For each *fluid* scenario that declares `[xval]` sections, loads its
+//! own artifact and every referenced packet anchor artifact from the
+//! artifacts directory (default `artifacts/repro`) and evaluates the
+//! committed relative-error bands. Scenarios of other kinds (or fluid
+//! scenarios without `[xval]` sections) are listed as having nothing to
+//! check and do not affect the verdict. A plain-text report of every
+//! comparison is written to `--report` (default
+//! `artifacts/fluid_xval_report.txt`) for CI to upload on failure.
+//!
+//! Exit codes:
+//!
+//! * `0` — every band evaluated and held;
+//! * `3` — every evaluated band held, but quarantined anchor cells
+//!   forced skips (the cross-validation is incomplete, not wrong);
+//! * `1` — at least one band violated, a stale artifact, or an
+//!   invocation error.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dctcp_scenario::{check_xval, list_scenarios, Artifact, ScenarioKind, ScenarioSpec};
+
+struct Args {
+    artifacts: PathBuf,
+    report: PathBuf,
+    scenarios: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        artifacts: PathBuf::from("artifacts/repro"),
+        report: PathBuf::from("artifacts/fluid_xval_report.txt"),
+        scenarios: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--artifacts" => {
+                args.artifacts = PathBuf::from(it.next().ok_or("--artifacts needs a value")?)
+            }
+            "--report" => args.report = PathBuf::from(it.next().ok_or("--report needs a value")?),
+            "--all" => {
+                let dir = PathBuf::from(it.next().ok_or("--all needs a directory")?);
+                let found = list_scenarios(&dir).map_err(|e| e.to_string())?;
+                if found.is_empty() {
+                    return Err(format!("no .scn files in {}", dir.display()));
+                }
+                args.scenarios.extend(found);
+            }
+            "--help" | "-h" => {
+                return Err("usage: fluid_check [--artifacts DIR] [--report FILE] \
+                            (--all SCENARIO_DIR | FILE.scn ...)"
+                    .into())
+            }
+            other if !other.starts_with('-') => args.scenarios.push(PathBuf::from(other)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.scenarios.is_empty() {
+        return Err("no scenarios given (try `--all scenarios/`)".into());
+    }
+    Ok(args)
+}
+
+/// Loads an artifact once per scenario name, caching across `[xval]`
+/// sections and scenarios (several bands typically share one anchor).
+fn load_cached<'a>(
+    cache: &'a mut BTreeMap<String, Artifact>,
+    dir: &Path,
+    name: &str,
+) -> Result<&'a Artifact, String> {
+    if !cache.contains_key(name) {
+        let path = dir.join(format!("{name}.json"));
+        let artifact = Artifact::load(&path).map_err(|e| e.to_string())?;
+        if artifact.scenario != name {
+            return Err(format!(
+                "{}: artifact is for scenario `{}`, expected `{name}`",
+                path.display(),
+                artifact.scenario
+            ));
+        }
+        cache.insert(name.to_string(), artifact);
+    }
+    Ok(&cache[name])
+}
+
+fn run() -> Result<(usize, usize), String> {
+    let args = parse_args()?;
+    let mut artifacts: BTreeMap<String, Artifact> = BTreeMap::new();
+    let mut report_text = String::new();
+    let mut total_bands = 0usize;
+    let mut total_violations = 0usize;
+    let mut total_skipped = 0usize;
+
+    for path in &args.scenarios {
+        let spec = ScenarioSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if spec.kind != ScenarioKind::Fluid || spec.xvals.is_empty() {
+            continue;
+        }
+        let _ = writeln!(report_text, "scenario {}", spec.name);
+        // Load the fluid artifact first (cheap clone keeps the borrow
+        // checker out of the anchor lookups below).
+        let fluid = load_cached(&mut artifacts, &args.artifacts, &spec.name)
+            .map_err(|e| format!("{}: {e}", spec.name))?
+            .clone();
+        for x in &spec.xvals {
+            total_bands += 1;
+            let packet = load_cached(&mut artifacts, &args.artifacts, &x.packet_scenario)
+                .map_err(|e| format!("{}: xval \"{}\": {e}", spec.name, x.label))?;
+            let r = check_xval(x, &fluid, packet)
+                .map_err(|e| format!("{}: xval \"{}\": {e}", spec.name, x.label))?;
+            for msg in &r.skipped {
+                eprintln!("fluid_check:   SKIP {msg}");
+                let _ = writeln!(report_text, "  SKIP {msg}");
+            }
+            for v in &r.violations {
+                eprintln!("fluid_check:   FAIL {v}");
+                let _ = writeln!(report_text, "  FAIL {v}");
+            }
+            if r.violations.is_empty() && r.skipped.is_empty() {
+                let _ = writeln!(
+                    report_text,
+                    "  OK   xval \"{}\": {} vs {}:{} within {} at {} flow count(s)",
+                    x.label,
+                    x.metric,
+                    x.packet_scenario,
+                    x.packet_metric,
+                    x.max_rel_err,
+                    r.compared
+                );
+            }
+            total_violations += r.violations.len();
+            total_skipped += r.skipped.len();
+        }
+        eprintln!(
+            "fluid_check: {} — {} band(s) against {} anchor artifact(s)",
+            spec.name,
+            spec.xvals.len(),
+            artifacts.len().saturating_sub(1),
+        );
+    }
+
+    let _ = writeln!(
+        report_text,
+        "total: {total_bands} band(s), {total_violations} violation(s), {total_skipped} skipped"
+    );
+    if let Some(parent) = args.report.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&args.report, &report_text)
+        .map_err(|e| format!("{}: {e}", args.report.display()))?;
+    eprintln!(
+        "fluid_check: {total_bands} band(s), {total_violations} violation(s), \
+         {total_skipped} skipped — report at {}",
+        args.report.display()
+    );
+    Ok((total_violations, total_skipped))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok((0, 0)) => ExitCode::SUCCESS,
+        Ok((0, _)) => ExitCode::from(3),
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("fluid_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

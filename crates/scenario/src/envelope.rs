@@ -56,6 +56,25 @@ pub enum ExpectCheck {
         /// tolerates small dips).
         min_ratio: f64,
     },
+    /// `lesser`'s metric divided by `greater`'s must stay within a
+    /// band at each selected flow count (seed-averaged). This pins a
+    /// *damping ratio* — e.g. DT-DCTCP's oscillation amplitude at no
+    /// more than 70% of DCTCP's at N = 10⁶ — where `ordered` can only
+    /// pin the sign of the difference.
+    Ratio {
+        /// Metric name.
+        metric: String,
+        /// Marking label in the numerator.
+        lesser: String,
+        /// Marking label in the denominator.
+        greater: String,
+        /// Restrict to these flow counts (default: all of `lesser`'s).
+        flows: Option<Vec<u32>>,
+        /// Maximum allowed `lesser / greater`.
+        max_ratio: f64,
+        /// Minimum allowed `lesser / greater`, if any.
+        min_ratio: Option<f64>,
+    },
 }
 
 /// One labeled expectation from a scenario file.
@@ -210,13 +229,63 @@ pub fn parse_expectations(
                     min_ratio,
                 }
             }
+            "ratio" => {
+                s.reject_unknown_keys(&[
+                    "check",
+                    "metric",
+                    "lesser",
+                    "greater",
+                    "flows",
+                    "max_ratio",
+                    "min_ratio",
+                ])?;
+                let lesser_e = s.require("lesser")?;
+                let greater_e = s.require("greater")?;
+                let lesser = known_marking(&lesser_e.value, lesser_e.line)?;
+                let greater = known_marking(&greater_e.value, greater_e.line)?;
+                if lesser == greater {
+                    return Err(ScenarioError::BadValue {
+                        line: greater_e.line,
+                        key: "greater".into(),
+                        msg: "lesser and greater must differ".into(),
+                    });
+                }
+                let flows = s.get("flows").map(parse_list_u32).transpose()?;
+                let max_e = s.require("max_ratio")?;
+                let max_ratio = parse_f64(max_e)?;
+                if !(max_ratio.is_finite() && max_ratio > 0.0) {
+                    return Err(ScenarioError::OutOfRange {
+                        line: max_e.line,
+                        key: "max_ratio".into(),
+                        msg: "max_ratio must be a positive number".into(),
+                    });
+                }
+                let min_ratio = s.get("min_ratio").map(parse_f64).transpose()?;
+                if let Some(lo) = min_ratio {
+                    if !(lo.is_finite() && lo >= 0.0 && lo < max_ratio) {
+                        return Err(ScenarioError::OutOfRange {
+                            line: s.get("min_ratio").map_or(s.line, |e| e.line),
+                            key: "min_ratio".into(),
+                            msg: format!("min_ratio must be in [0, {max_ratio})"),
+                        });
+                    }
+                }
+                ExpectCheck::Ratio {
+                    metric,
+                    lesser,
+                    greater,
+                    flows,
+                    max_ratio,
+                    min_ratio,
+                }
+            }
             other => {
                 return Err(ScenarioError::BadValue {
                     line: check_entry.line,
                     key: "check".into(),
                     msg: format!(
                         "unknown check `{other}` \
-                         (metric_range/ordered/monotone_increasing)"
+                         (metric_range/ordered/monotone_increasing/ratio)"
                     ),
                 })
             }
@@ -283,6 +352,9 @@ fn touches_quarantined(check: &ExpectCheck, quarantined: &[&str]) -> bool {
             lesser, greater, ..
         } => hit(lesser) || hit(greater),
         ExpectCheck::MonotoneIncreasing { marking, .. } => hit(marking),
+        ExpectCheck::Ratio {
+            lesser, greater, ..
+        } => hit(lesser) || hit(greater),
     }
 }
 
@@ -397,6 +469,51 @@ fn check_one(e: &Expectation, artifact: &Artifact, out: &mut Vec<Violation>) {
                 }
             }
         }
+        ExpectCheck::Ratio {
+            metric,
+            lesser,
+            greater,
+            flows,
+            max_ratio,
+            min_ratio,
+        } => {
+            let counts: Vec<u32> = artifact
+                .flow_counts(lesser)
+                .into_iter()
+                .filter(|n| flows.as_ref().is_none_or(|f| f.contains(n)))
+                .collect();
+            if counts.is_empty() {
+                out.push(violation(format!(
+                    "no `{lesser}` points matched the flow selector"
+                )));
+                return;
+            }
+            for n in counts {
+                let (Some(lo), Some(hi)) = (
+                    artifact.metric(lesser, n, metric),
+                    artifact.metric(greater, n, metric),
+                ) else {
+                    out.push(violation(format!(
+                        "missing {metric} for `{lesser}` or `{greater}` at N={n}"
+                    )));
+                    continue;
+                };
+                if hi == 0.0 {
+                    out.push(violation(format!(
+                        "{metric}: {greater} is 0 at N={n}, ratio undefined"
+                    )));
+                    continue;
+                }
+                let ratio = lo / hi;
+                if ratio > *max_ratio || min_ratio.is_some_and(|m| ratio < m) {
+                    out.push(violation(format!(
+                        "{metric}: {lesser}/{greater} = {lo:.6}/{hi:.6} = {ratio:.4} at N={n} \
+                         outside [{}, {max_ratio}]",
+                        min_ratio.map_or("0".into(), |v| format!("{v}")),
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -498,6 +615,60 @@ mod tests {
         assert!(check_artifact(std::slice::from_ref(&e), &ok).is_empty());
         let bad = artifact(vec![point("dc", 2, 10.0), point("dc", 4, 5.0)]);
         assert_eq!(check_artifact(&[e], &bad).len(), 1);
+    }
+
+    #[test]
+    fn ratio_pins_the_damping_band() {
+        let e = Expectation {
+            label: "damping".into(),
+            check: ExpectCheck::Ratio {
+                metric: "queue_std".into(),
+                lesser: "dt".into(),
+                greater: "dc".into(),
+                flows: Some(vec![8]),
+                max_ratio: 0.8,
+                min_ratio: Some(0.2),
+            },
+        };
+        // N=2 is outside the selector, so its inverted ratio is ignored.
+        let ok = artifact(vec![
+            point("dt", 2, 9.0),
+            point("dc", 2, 1.0),
+            point("dt", 8, 5.0),
+            point("dc", 8, 10.0),
+        ]);
+        assert!(check_artifact(std::slice::from_ref(&e), &ok).is_empty());
+        // Ratio above the band.
+        let high = artifact(vec![point("dt", 8, 9.0), point("dc", 8, 10.0)]);
+        let v = check_artifact(std::slice::from_ref(&e), &high);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("0.9000"), "{}", v[0].msg);
+        // Ratio below the band (suspiciously strong damping is also a
+        // drift worth flagging).
+        let low = artifact(vec![point("dt", 8, 1.0), point("dc", 8, 10.0)]);
+        assert_eq!(check_artifact(std::slice::from_ref(&e), &low).len(), 1);
+        // Zero denominator is a violation, never a pass.
+        let zero = artifact(vec![point("dt", 8, 1.0), point("dc", 8, 0.0)]);
+        assert_eq!(check_artifact(&[e], &zero).len(), 1);
+    }
+
+    #[test]
+    fn ratio_with_no_matching_points_is_a_violation() {
+        let e = Expectation {
+            label: "damping".into(),
+            check: ExpectCheck::Ratio {
+                metric: "queue_std".into(),
+                lesser: "dt".into(),
+                greater: "dc".into(),
+                flows: None,
+                max_ratio: 1.0,
+                min_ratio: None,
+            },
+        };
+        assert_eq!(
+            check_artifact(&[e], &artifact(vec![point("dc", 2, 3.0)])).len(),
+            1
+        );
     }
 
     fn quarantine(a: &mut Artifact, marking: &str) {

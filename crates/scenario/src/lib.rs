@@ -39,6 +39,7 @@ pub mod parse;
 mod runner;
 mod spec;
 mod supervise;
+mod xval;
 
 pub use artifact::{Artifact, FailureCell, Point, ARTIFACT_SCHEMA};
 pub use envelope::{
@@ -49,9 +50,10 @@ pub use runner::{run_scenario, run_scenario_cached, run_scenario_supervised, Cac
 pub use spec::{
     CollectiveWorkloadSpec, DumbbellSpec, FatTreeSpec, FaultSpec, InjectFault, InjectSpec,
     LimitsSpec, RunSpec, ScenarioKind, ScenarioSpec, TestbedSpec, TopologySpec, DEFAULT_RETRIES,
-    MAX_FLOWS,
+    MAX_FLOWS, MAX_FLUID_FLOWS,
 };
 pub use supervise::CellError;
+pub use xval::{check_xval, XvalReport, XvalSpec, XvalViolation};
 
 /// Lists the `.scn` files of a directory in name order (the repro
 /// matrix order).

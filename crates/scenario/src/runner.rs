@@ -448,6 +448,12 @@ fn cell_key(spec: &ScenarioSpec, cell: &Cell, fingerprint: &str) -> CacheKey {
             kb.field("bytes", &spec.run.bytes.to_string())
                 .field("workload", &format!("{:?}", spec.workload));
         }
+        ScenarioKind::Fluid => {
+            kb.field("warmup_ns", &spec.run.warmup.as_nanos().to_string())
+                .field("duration_ns", &spec.run.duration.as_nanos().to_string())
+                .field("dt_ns", &spec.run.dt.as_nanos().to_string())
+                .field("trace_ns", &spec.run.trace_interval.as_nanos().to_string());
+        }
     }
     kb.finish()
 }
@@ -472,6 +478,9 @@ fn run_cell_raw(
         }
         (ScenarioKind::Collective, crate::spec::TopologySpec::FatTree(f)) => {
             run_collective_cell(spec, f, cell, cancel)
+        }
+        (ScenarioKind::Fluid, crate::spec::TopologySpec::Dumbbell(d)) => {
+            run_fluid_cell(spec, d, cell)
         }
         (ScenarioKind::Incast | ScenarioKind::PartitionAggregate, t) => match t {
             crate::spec::TopologySpec::Testbed(t) => run_query_cell(spec, t, cell, cancel),
@@ -590,6 +599,83 @@ fn run_long_lived_cell(
         ("alpha_mean".into(), finite(report.alpha.mean())),
         ("utilization".into(), report.utilization(d.bottleneck_bps)),
         ("goodput_gbps".into(), report.goodput_bps / 1e9),
+    ])
+}
+
+/// Integrates one fluid-model cell: the DDE at the cell's operating
+/// point, reduced to the kind's metric rows. Milliseconds of wall clock
+/// per cell, so cooperative cancellation is not threaded through — the
+/// cell finishes long before any watchdog deadline.
+fn run_fluid_cell(
+    spec: &ScenarioSpec,
+    d: &DumbbellSpec,
+    cell: &Cell,
+) -> Result<Vec<(String, f64)>, dctcp_sim::SimError> {
+    use dctcp_core::QueueLevel;
+    use dctcp_fluid::{FluidMarking, FluidParams, FluidRunConfig};
+
+    // The parser already restricts fluid markings to packet-denominated
+    // dctcp / dt-dctcp; this re-check keeps programmatic callers honest.
+    let marking = match cell.scheme {
+        dctcp_core::MarkingScheme::Dctcp {
+            k: QueueLevel::Packets(k),
+        } => FluidMarking::Relay { k: f64::from(k) },
+        dctcp_core::MarkingScheme::DtDctcp {
+            k1: QueueLevel::Packets(k1),
+            k2: QueueLevel::Packets(k2),
+        } => FluidMarking::Hysteresis {
+            k1: f64::from(k1),
+            k2: f64::from(k2),
+        },
+        _ => {
+            return Err(SimError::InvalidConfig(
+                "fluid cells support only packet-denominated dctcp / dt-dctcp markings".into(),
+            ))
+        }
+    };
+    let g = match spec.tcp.cc {
+        dctcp_tcp::CongestionControl::Dctcp { g }
+        | dctcp_tcp::CongestionControl::D2tcp { g, .. } => g,
+        _ => {
+            return Err(SimError::InvalidConfig(
+                "fluid cells model DCTCP dynamics and need a dctcp [tcp] config".into(),
+            ))
+        }
+    };
+    let params = FluidParams {
+        // Packet-denominated capacity at the paper's 1500 B MTU, the
+        // same conversion `PlantParams::from_link` uses.
+        capacity_pps: d.bottleneck_bps as f64 / (8.0 * 1500.0),
+        flows: f64::from(cell.flows),
+        rtt: d.rtt.as_secs_f64(),
+        g,
+        marking,
+        w_init: 1.0,
+        alpha_init: 0.0,
+        q_init: 0.0,
+    };
+    let dt = spec.run.dt.as_secs_f64();
+    let cfg = FluidRunConfig {
+        dt,
+        duration: (spec.run.warmup + spec.run.duration).as_secs_f64(),
+        transient: spec.run.warmup.as_secs_f64(),
+        sample_every: (spec.run.trace_interval.as_secs_f64() / dt)
+            .round()
+            .max(1.0) as usize,
+    };
+    let point = dctcp_fluid::sweep::evaluate(&params, &cfg)
+        .map_err(|e| SimError::InvalidConfig(format!("fluid cell: {e}")))?;
+    Ok(vec![
+        ("queue_mean".into(), finite(point.queue_mean)),
+        ("queue_std".into(), finite(point.queue_std)),
+        ("queue_max".into(), finite(point.queue_max)),
+        ("osc_amplitude".into(), finite(point.osc_amplitude)),
+        ("osc_freq_hz".into(), finite(point.osc_freq_hz)),
+        ("osc_cycles".into(), finite(point.osc_cycles)),
+        ("w_mean".into(), finite(point.w_mean)),
+        ("alpha_mean".into(), finite(point.alpha_mean)),
+        ("marking_duty".into(), finite(point.marking_duty)),
+        ("utilization".into(), finite(point.utilization)),
     ])
 }
 
@@ -855,6 +941,95 @@ k = 20 pkts
         let mut reseeded = cell.clone();
         reseeded.seed = 2;
         assert_ne!(base, cell_key(&spec, &reseeded, "fp"));
+    }
+
+    /// A two-marking fluid matrix at the paper's oscillatory operating
+    /// point — integrates in milliseconds.
+    fn fluid_spec() -> ScenarioSpec {
+        ScenarioSpec::parse(
+            "\
+[scenario]
+name = ftiny
+kind = fluid
+
+[topology]
+bottleneck = 10 Gbps
+rtt = 300 us
+
+[run]
+flows = 8, 64
+warmup = 20 ms
+duration = 30 ms
+dt = 1 us
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 40 pkts
+
+[marking \"dt\"]
+scheme = dt-dctcp
+k1 = 30 pkts
+k2 = 50 pkts
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fluid_artifact_has_every_metric_and_is_thread_invariant() {
+        let a = run_scenario(&fluid_spec(), 1).unwrap();
+        assert_eq!(a.points.len(), 4);
+        for p in &a.points {
+            for name in ScenarioKind::Fluid.metrics() {
+                let v = p.metric(name).unwrap_or_else(|| panic!("missing {name}"));
+                assert!(v.is_finite(), "{name} = {v}");
+            }
+        }
+        // The oscillatory regime leaves its signature: a limit cycle at
+        // N = 64 with near-full utilization, damped under hysteresis.
+        let std_dc = a.metric("dctcp", 64, "queue_std").unwrap();
+        let std_dt = a.metric("dt", 64, "queue_std").unwrap();
+        assert!(std_dt < std_dc, "{std_dt} !< {std_dc}");
+        assert!(a.metric("dctcp", 64, "utilization").unwrap() > 0.95);
+        assert!(a.metric("dctcp", 64, "osc_cycles").unwrap() >= 1.0);
+
+        let b = run_scenario(&fluid_spec(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fluid_run_edits_move_the_cell_key() {
+        let spec = fluid_spec();
+        let cell = first_cell(&spec);
+        let base = cell_key(&spec, &cell, "fp");
+
+        let mut finer = spec.clone();
+        finer.run.dt = dctcp_sim::SimDuration::from_nanos(500);
+        assert_ne!(base, cell_key(&finer, &cell, "fp"));
+
+        let mut longer = spec.clone();
+        longer.run.duration = dctcp_sim::SimDuration::from_millis(40);
+        assert_ne!(base, cell_key(&longer, &cell, "fp"));
+
+        let mut wider = cell.clone();
+        wider.flows = 100_000;
+        assert_ne!(base, cell_key(&spec, &wider, "fp"));
+    }
+
+    #[test]
+    fn fluid_cells_reject_non_dctcp_inputs() {
+        // Byte-denominated thresholds and non-DCTCP congestion control
+        // are parser-unreachable but must still fail cleanly for
+        // programmatic callers.
+        let spec = fluid_spec();
+        let mut cell = first_cell(&spec);
+        cell.scheme = dctcp_core::MarkingScheme::dctcp_bytes(60_000);
+        assert!(run_cell_raw(&spec, &cell, None).is_err());
+
+        let mut reno = spec.clone();
+        reno.tcp.cc = dctcp_tcp::CongestionControl::Reno;
+        let cell = first_cell(&reno);
+        assert!(run_cell_raw(&reno, &cell, None).is_err());
     }
 
     #[test]

@@ -15,6 +15,12 @@ use crate::{Expectation, ScenarioError};
 /// `flows = 1000000` from turning the CI gate into an oven.
 pub const MAX_FLOWS: u32 = 512;
 
+/// Upper bound on fluid-kind flow counts. The DDE integrator's cost is
+/// independent of `N`, so fluid sweeps may extrapolate far beyond the
+/// packet engine's [`MAX_FLOWS`] — this cap only guards against
+/// numerically absurd inputs.
+pub const MAX_FLUID_FLOWS: u32 = 1_000_000;
+
 /// Which workload family a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScenarioKind {
@@ -27,6 +33,11 @@ pub enum ScenarioKind {
     /// Collective communication (allreduce/permutation/incast phases)
     /// on a k-ary fat-tree with deterministic ECMP.
     Collective,
+    /// Delay-differential fluid-model sweep on the dumbbell operating
+    /// point — no packets, so flow counts may reach
+    /// [`MAX_FLUID_FLOWS`]. Cross-validated against packet anchors via
+    /// `[xval]` sections and the `fluid_check` binary.
+    Fluid,
 }
 
 impl ScenarioKind {
@@ -37,6 +48,7 @@ impl ScenarioKind {
             ScenarioKind::Incast => "incast",
             ScenarioKind::PartitionAggregate => "partition_aggregate",
             ScenarioKind::Collective => "collective",
+            ScenarioKind::Fluid => "fluid",
         }
     }
 
@@ -47,6 +59,7 @@ impl ScenarioKind {
             "incast" => Some(ScenarioKind::Incast),
             "partition_aggregate" => Some(ScenarioKind::PartitionAggregate),
             "collective" => Some(ScenarioKind::Collective),
+            "fluid" => Some(ScenarioKind::Fluid),
             _ => None,
         }
     }
@@ -105,6 +118,22 @@ impl ScenarioKind {
                 "marks",
                 "drops",
                 "timeouts",
+            ],
+            // One DDE trajectory per (marking, N): the scalar reductions
+            // `dctcp_fluid::sweep::evaluate` produces, in its field
+            // order, so fluid artifacts compare cell-for-cell against
+            // packet anchors that share metric names.
+            ScenarioKind::Fluid => &[
+                "queue_mean",
+                "queue_std",
+                "queue_max",
+                "osc_amplitude",
+                "osc_freq_hz",
+                "osc_cycles",
+                "w_mean",
+                "alpha_mean",
+                "marking_duty",
+                "utilization",
             ],
         }
     }
@@ -291,8 +320,13 @@ pub struct RunSpec {
     pub warmup: SimDuration,
     /// Measurement window (long-lived).
     pub duration: SimDuration,
-    /// Queue-trace sample spacing for oscillation metrics (long-lived).
+    /// Queue-trace sample spacing for oscillation metrics (long-lived;
+    /// for fluid runs this is the metric sampling stride, default =
+    /// `dt`).
     pub trace_interval: SimDuration,
+    /// DDE integrator step (fluid kind only; must not exceed the
+    /// topology RTT).
+    pub dt: SimDuration,
     /// Per-flow start stagger (long-lived).
     pub stagger: SimDuration,
     /// Rounds per point (query kinds).
@@ -330,6 +364,9 @@ pub struct ScenarioSpec {
     pub limits: LimitsSpec,
     /// Regression-envelope expectations, in file order.
     pub expectations: Vec<Expectation>,
+    /// Cross-validation envelopes against packet anchors (fluid kind
+    /// only), in file order.
+    pub xvals: Vec<crate::xval::XvalSpec>,
 }
 
 impl ScenarioSpec {
@@ -351,6 +388,7 @@ impl ScenarioSpec {
                 "faults",
                 "limits",
                 "expect",
+                "xval",
             ];
             if !KNOWN.contains(&s.name.as_str()) {
                 return Err(ScenarioError::UnknownSection {
@@ -381,13 +419,14 @@ impl ScenarioSpec {
             "incast" => ScenarioKind::Incast,
             "partition_aggregate" => ScenarioKind::PartitionAggregate,
             "collective" => ScenarioKind::Collective,
+            "fluid" => ScenarioKind::Fluid,
             other => {
                 return Err(ScenarioError::BadValue {
                     line: kind_entry.line,
                     key: "kind".into(),
                     msg: format!(
                         "unknown kind `{other}` \
-                         (long_lived/incast/partition_aggregate/collective)"
+                         (long_lived/incast/partition_aggregate/collective/fluid)"
                     ),
                 })
             }
@@ -418,9 +457,13 @@ impl ScenarioSpec {
             }
         }
         let markings = parse_markings(&doc)?;
+        if kind == ScenarioKind::Fluid {
+            validate_fluid_spec(&doc, &topology, &run, &markings)?;
+        }
         let faults = parse_faults(&doc, kind)?;
         let limits = parse_limits(&doc, &run, &markings)?;
         let expectations = crate::envelope::parse_expectations(&doc, kind, &markings)?;
+        let xvals = crate::xval::parse_xvals(&doc, kind, &run, &markings)?;
 
         Ok(ScenarioSpec {
             name,
@@ -434,6 +477,7 @@ impl ScenarioSpec {
             faults,
             limits,
             expectations,
+            xvals,
         })
     }
 
@@ -489,7 +533,11 @@ impl ScenarioSpec {
             return d;
         }
         let simulated_ns = match self.kind {
-            ScenarioKind::LongLived => self.run.warmup.as_nanos() + self.run.duration.as_nanos(),
+            // A fluid cell integrates its simulated span in milliseconds
+            // of wall clock; the shared budget is already generous.
+            ScenarioKind::LongLived | ScenarioKind::Fluid => {
+                self.run.warmup.as_nanos() + self.run.duration.as_nanos()
+            }
             // Query rounds have no fixed simulated duration; budget by
             // round count instead (100 simulated ms per round).
             ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
@@ -604,7 +652,10 @@ fn parse_topology(doc: &Document, kind: ScenarioKind) -> Result<TopologySpec, Sc
     }
     let section = doc.section("topology");
     match kind {
-        ScenarioKind::LongLived => {
+        // The fluid kind integrates the same dumbbell operating point
+        // the long-lived packet runs measure, so the two share a
+        // topology surface (and defaults) by construction.
+        ScenarioKind::LongLived | ScenarioKind::Fluid => {
             let mut spec = DumbbellSpec {
                 bottleneck_bps: 10_000_000_000,
                 rtt: SimDuration::from_micros(300),
@@ -651,6 +702,69 @@ fn parse_topology(doc: &Document, kind: ScenarioKind) -> Result<TopologySpec, Sc
             Ok(TopologySpec::Testbed(spec))
         }
     }
+}
+
+/// Fluid-kind cross-field validation: the integrator step must resolve
+/// the feedback delay, the sampling stride must not undersample the
+/// step, and every marking must have a continuous-domain analogue
+/// (packet-denominated relay or hysteresis — the laws
+/// `dctcp_fluid::FluidMarking` models).
+fn validate_fluid_spec(
+    doc: &Document,
+    topology: &TopologySpec,
+    run: &RunSpec,
+    markings: &[(String, MarkingScheme)],
+) -> Result<(), ScenarioError> {
+    let TopologySpec::Dumbbell(d) = topology else {
+        unreachable!("fluid scenarios always parse a dumbbell topology");
+    };
+    let run_section = doc.section("run");
+    let key_line = |key: &str| run_section.map_or(0, |s| s.get(key).map_or(s.line, |e| e.line));
+    if run.dt > d.rtt {
+        return Err(ScenarioError::OutOfRange {
+            line: key_line("dt"),
+            key: "dt".into(),
+            msg: format!(
+                "integrator step must not exceed the {} ns rtt, got {} ns",
+                d.rtt.as_nanos(),
+                run.dt.as_nanos()
+            ),
+        });
+    }
+    if run.trace_interval < run.dt {
+        return Err(ScenarioError::OutOfRange {
+            line: key_line("trace"),
+            key: "trace".into(),
+            msg: "trace stride must be at least the integrator step `dt`".into(),
+        });
+    }
+    for s in doc.sections_named("marking") {
+        let Some((_, scheme)) = markings
+            .iter()
+            .find(|(l, _)| Some(l.as_str()) == s.label.as_deref())
+        else {
+            continue;
+        };
+        let supported = matches!(
+            scheme,
+            MarkingScheme::Dctcp {
+                k: dctcp_core::QueueLevel::Packets(_)
+            } | MarkingScheme::DtDctcp {
+                k1: dctcp_core::QueueLevel::Packets(_),
+                k2: dctcp_core::QueueLevel::Packets(_),
+            }
+        );
+        if !supported {
+            return Err(ScenarioError::BadValue {
+                line: s.line,
+                key: format!("marking \"{}\"", s.label.as_deref().unwrap_or("")),
+                msg: "fluid scenarios support only dctcp / dt-dctcp markings \
+                      with packet-denominated thresholds"
+                    .into(),
+            });
+        }
+    }
+    Ok(())
 }
 
 fn require_positive(
@@ -734,6 +848,9 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
         ScenarioKind::LongLived => {
             s.reject_unknown_keys(&["flows", "warmup", "duration", "trace", "stagger"])?
         }
+        ScenarioKind::Fluid => {
+            s.reject_unknown_keys(&["flows", "warmup", "duration", "trace", "dt"])?
+        }
         // `flows` doubles as the participant sweep for collectives.
         ScenarioKind::Collective => s.reject_unknown_keys(&["flows", "bytes_per_flow", "seeds"])?,
         _ => {
@@ -749,12 +866,18 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
             msg: "at least one flow count required".into(),
         });
     }
+    // The packet engine's cap guards CI wall-clock; the DDE's cost does
+    // not grow with N, so fluid sweeps may extrapolate to 10^6 flows.
+    let max_flows = match kind {
+        ScenarioKind::Fluid => MAX_FLUID_FLOWS,
+        _ => MAX_FLOWS,
+    };
     for &n in &flows {
-        if n == 0 || n > MAX_FLOWS {
+        if n == 0 || n > max_flows {
             return Err(ScenarioError::OutOfRange {
                 line: flows_entry.line,
                 key: "flows".into(),
-                msg: format!("flow counts must be in 1..={MAX_FLOWS}, got {n}"),
+                msg: format!("flow counts must be in 1..={max_flows}, got {n}"),
             });
         }
     }
@@ -764,6 +887,7 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
         warmup: SimDuration::from_millis(20),
         duration: SimDuration::from_millis(50),
         trace_interval: SimDuration::from_micros(50),
+        dt: SimDuration::from_micros(1),
         stagger: SimDuration::ZERO,
         rounds: 3,
         bytes: 64 * 1024,
@@ -797,6 +921,24 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
             }
             if let Some(e) = s.get("stagger") {
                 run.stagger = parse_duration(e)?;
+            }
+        }
+        ScenarioKind::Fluid => {
+            if let Some(e) = s.get("warmup") {
+                run.warmup = parse_duration(e)?;
+            }
+            if let Some(e) = s.get("duration") {
+                run.duration = require_positive(parse_duration(e)?, e, "duration")?;
+            }
+            if let Some(e) = s.get("dt") {
+                run.dt = require_positive(parse_duration(e)?, e, "dt")?;
+            }
+            // Default metric sampling: every integration step — the DDE
+            // trajectory is cheap and amplitude metrics want the full
+            // resolution.
+            run.trace_interval = run.dt;
+            if let Some(e) = s.get("trace") {
+                run.trace_interval = require_positive(parse_duration(e)?, e, "trace")?;
             }
         }
         ScenarioKind::Incast | ScenarioKind::PartitionAggregate => {
@@ -1488,6 +1630,130 @@ k = 20 pkts
         assert!(matches!(
             ScenarioSpec::parse(&src).unwrap_err(),
             ScenarioError::OutOfRange { .. }
+        ));
+    }
+
+    const FLUID: &str = "\
+[scenario]
+name = f
+kind = fluid
+
+[run]
+flows = 8, 100000
+warmup = 20 ms
+duration = 30 ms
+dt = 2 us
+
+[marking \"dc\"]
+scheme = dctcp
+k = 40 pkts
+";
+
+    #[test]
+    fn fluid_kind_parses_with_dumbbell_defaults() {
+        let s = ScenarioSpec::parse(FLUID).unwrap();
+        assert_eq!(s.kind, ScenarioKind::Fluid);
+        // Shares the long-lived dumbbell defaults and takes flow counts
+        // far past the packet engine's cap.
+        let d = s.dumbbell().unwrap();
+        assert_eq!(d.bottleneck_bps, 10_000_000_000);
+        assert_eq!(s.run.flows, vec![8, 100_000]);
+        assert_eq!(s.run.dt, dctcp_sim::SimDuration::from_micros(2));
+        // Trace (the metric sampling stride) defaults to the step.
+        assert_eq!(s.run.trace_interval, s.run.dt);
+        // Fluid cells are seed-free: one cell per (marking, flows).
+        assert_eq!(s.num_points(), 2);
+        assert!(s.xvals.is_empty());
+    }
+
+    #[test]
+    fn fluid_rejects_flow_counts_past_its_own_cap() {
+        let src = FLUID.replace("flows = 8, 100000", "flows = 8, 1000001");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn fluid_rejects_steps_coarser_than_the_rtt() {
+        let src = FLUID.replace("dt = 2 us", "dt = 500 us");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { key, .. } if key == "dt"
+        ));
+        let src = FLUID.replace("dt = 2 us", "dt = 2 us\ntrace = 1 us");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { key, .. } if key == "trace"
+        ));
+    }
+
+    #[test]
+    fn fluid_rejects_unsupported_markings() {
+        // Byte-denominated thresholds have no packet-fluid meaning.
+        let src = FLUID.replace("k = 40 pkts", "k = 60 KB");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::BadValue { .. }
+        ));
+        // Non-DCTCP AQMs are not modeled by the DDE.
+        let src = FLUID.replace(
+            "scheme = dctcp\nk = 40 pkts",
+            "scheme = red\nmin = 10 pkts\nmax = 50 pkts\np_max = 0.1",
+        );
+        assert!(ScenarioSpec::parse(&src).is_err());
+    }
+
+    #[test]
+    fn xval_sections_parse_and_validate() {
+        let src = format!(
+            "{FLUID}
+[xval \"amp\"]
+packet = fig05_oscillation
+marking = dc
+metric = osc_amplitude
+flows = 8
+max_rel_err = 0.5
+"
+        );
+        let s = ScenarioSpec::parse(&src).unwrap();
+        assert_eq!(s.xvals.len(), 1);
+        let x = &s.xvals[0];
+        assert_eq!(x.packet_scenario, "fig05_oscillation");
+        // Defaults mirror the fluid-side selections.
+        assert_eq!(x.packet_metric, "osc_amplitude");
+        assert_eq!(x.packet_marking, "dc");
+        assert_eq!(x.flows, vec![8]);
+
+        // Flow counts outside the sweep, unknown metrics and unknown
+        // markings are all caught at parse time.
+        for (from, to) in [
+            ("flows = 8\nmax", "flows = 16\nmax"),
+            ("metric = osc_amplitude", "metric = nonsense"),
+            ("marking = dc", "marking = nonsense"),
+            ("max_rel_err = 0.5", "max_rel_err = -1"),
+        ] {
+            let broken = src.replace(from, to);
+            assert!(ScenarioSpec::parse(&broken).is_err(), "{from} -> {to}");
+        }
+    }
+
+    #[test]
+    fn xval_sections_are_fluid_only() {
+        let src = format!(
+            "{MINIMAL}
+[xval \"amp\"]
+packet = other
+marking = dc
+metric = queue_std
+flows = 2
+max_rel_err = 0.5
+"
+        );
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::Syntax { .. }
         ));
     }
 }

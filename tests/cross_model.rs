@@ -4,7 +4,9 @@
 
 use dt_dctcp::control::{critical_gain, AnalysisGrid, HysteresisDf, PlantParams, RelayDf};
 use dt_dctcp::core::MarkingScheme;
-use dt_dctcp::fluid::{oscillation_metrics, FluidMarking, FluidModel, FluidParams};
+use dt_dctcp::fluid::{
+    equilibrium, oscillation_metrics, DdeModel, FluidMarking, FluidModel, FluidParams,
+};
 use dt_dctcp::workloads::LongLivedScenario;
 
 const RTT: f64 = 300e-6;
@@ -117,5 +119,47 @@ fn limit_cycle_frequency_is_consistent() {
         "DF frequency {:.0} rad/s vs fluid {:.0} rad/s (ratio {ratio:.2})",
         lc.frequency,
         fluid_w
+    );
+}
+
+/// The DDE model and the queue-corrected plant linearization agree: the
+/// closed-form equilibrium queue feeds `PlantParams::at_operating_point`,
+/// and the DF limit-cycle frequency predicted by that plant brackets the
+/// frequency the DDE integrator actually produces.
+#[test]
+fn dde_limit_cycle_matches_queue_corrected_linearization() {
+    let n = 70.0;
+    let mut params = FluidParams::paper_defaults(n, FluidMarking::Relay { k: 40.0 });
+    params.rtt = RTT;
+
+    // DDE-domain measurement.
+    let sol = DdeModel::new(params).unwrap().run_sampled(0.3, 1e-6, 10);
+    let metrics = oscillation_metrics(&sol.q.window(0.15, 0.3));
+    let dde_period = metrics.period.expect("DDE limit cycle exists");
+    let dde_w = 2.0 * std::f64::consts::PI / dde_period;
+
+    // Frequency-domain prediction at the DDE operating point: the
+    // equilibrium queue stretches every lag term to R* = R0 + q*/C.
+    let eq = equilibrium(&params);
+    assert!(!eq.saturated);
+    let mut plant = PlantParams::paper_defaults(n);
+    plant.rtt = RTT;
+    let plant = plant.at_operating_point(eq.q);
+    assert!(plant.rtt > RTT, "operating point must stretch the delay");
+
+    let grid = AnalysisGrid::default();
+    let relay = RelayDf::new(40.0).unwrap();
+    let critical = critical_gain(&plant, &relay, &grid).expect("finite");
+    let report = dt_dctcp::control::analyze(&plant.with_gain(critical * 1.05), &relay, &grid);
+    let lc = report
+        .limit_cycle
+        .expect("limit cycle at supercritical gain");
+
+    let ratio = lc.frequency / dde_w;
+    assert!(
+        (0.1..=10.0).contains(&ratio),
+        "queue-corrected DF frequency {:.0} rad/s vs DDE {:.0} rad/s (ratio {ratio:.2})",
+        lc.frequency,
+        dde_w
     );
 }
