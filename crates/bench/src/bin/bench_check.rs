@@ -78,6 +78,27 @@ const FLUID_SWEEP_FLOOR: f64 = 20.0;
 /// a gate.
 const SHARD_SPEEDUP_FLOOR: f64 = 1.5;
 
+/// Floor on `engine/churn/flows_per_sec`: the open-loop churn workload
+/// (16 sources at load 0.8 over a 10 Gb/s bottleneck, web-search sizes)
+/// through slab-recycled senders. A committed report under 100k
+/// flows/sec means per-flow state stopped recycling (allocation or
+/// teardown crept into the open/close path), not machine noise.
+const CHURN_FLOWS_FLOOR: f64 = 100_000.0;
+
+/// Ceiling on `engine/churn/allocs_per_flow`, measured on a cold run so
+/// one-time slab/sketch growth is included. Recycled flow state costs
+/// zero steady-state allocations; 2.0 absorbs the amortized cold-start
+/// growth while still catching a per-flow Box/Vec (which adds several
+/// allocations per open/close, not a fraction).
+const ALLOCS_PER_FLOW_LIMIT: f64 = 2.0;
+
+/// Floor on `sweep/multi_seed/speedup`. The harness only emits the
+/// metric when the machine has >= 2 cores to actually time scaling on
+/// (single-core reports carry no speedup and the floor is skipped); a
+/// present speedup below even this modest bar means the parallel sweep
+/// driver is losing to its own dispatch overhead.
+const SWEEP_SPEEDUP_FLOOR: f64 = 1.2;
+
 /// Extracts a named metric's value from the report, if present.
 fn metric_value(body: &str, name: &str) -> Option<f64> {
     let needle = format!("\"name\": \"{name}\", \"value\": ");
@@ -232,6 +253,37 @@ fn check(body: &str) -> Result<Verdict, String> {
         }
         fluid_note = format!(", fluid sweep {rate:.0} points/sec");
     }
+    // The churn gate: flows/sec through the slab-recycled open/close
+    // path, and heap allocations per flow measured on a cold run.
+    let mut churn_note = String::new();
+    if let Some(rate) = metric_value(body, "engine/churn/flows_per_sec") {
+        if rate.is_nan() || rate <= 0.0 {
+            return Err(format!(
+                "engine/churn/flows_per_sec {rate} is not a positive rate"
+            ));
+        }
+        if rate < CHURN_FLOWS_FLOOR {
+            return Err(format!(
+                "engine/churn/flows_per_sec {rate:.0} is below the \
+                 {CHURN_FLOWS_FLOOR:.0} floor: per-flow open/close stopped \
+                 recycling state"
+            ));
+        }
+        churn_note = format!(", churn {:.0}k flows/sec", rate / 1e3);
+    }
+    if let Some(apf) = metric_value(body, "engine/churn/allocs_per_flow") {
+        if apf.is_nan() || apf < 0.0 {
+            return Err(format!("allocs_per_flow {apf} is not a ratio"));
+        }
+        if apf > ALLOCS_PER_FLOW_LIMIT {
+            return Err(format!(
+                "engine/churn/allocs_per_flow {apf:.3} exceeds the \
+                 {ALLOCS_PER_FLOW_LIMIT} ceiling: the flow open/close path is \
+                 allocating per flow again"
+            ));
+        }
+        churn_note.push_str(&format!(", {apf:.3} allocs/flow"));
+    }
     let mut warnings = Vec::new();
     // A "parallel" speedup measured on one worker is a tautology: warn
     // so a committed single-thread baseline is not mistaken for a
@@ -243,14 +295,37 @@ fn check(body: &str) -> Result<Verdict, String> {
                 .into(),
         );
     }
-    // The sweep now always dispatches on ≥ 2 workers; when the machine
-    // has only one core that is oversubscription, not scaling — say so.
-    if metric_value(body, "sweep/multi_seed/cores") == Some(1.0) {
-        warnings.push(
-            "sweep/multi_seed/* was measured on a single core; its speedup is \
-             oversubscription, not a scaling result"
-                .into(),
-        );
+    // The parallel-sweep speedup: the harness emits it only when the
+    // machine has >= 2 cores to time scaling on. Absent means a
+    // single-core machine — the floor is skipped entirely, no warning.
+    // Present, it must be a real scaling measurement that clears the
+    // floor; a speedup carried by a single-core report is a stale
+    // baseline and fails outright (0.78x once sat in a committed report
+    // as a warning).
+    let mut sweep_note = String::new();
+    if let Some(speedup) = metric_value(body, "sweep/multi_seed/speedup") {
+        if speedup.is_nan() || speedup <= 0.0 {
+            return Err(format!("sweep/multi_seed/speedup {speedup} is not a ratio"));
+        }
+        match metric_value(body, "sweep/multi_seed/cores") {
+            None => return Err("sweep/multi_seed/speedup needs sweep/multi_seed/cores".into()),
+            Some(c) if c < 2.0 => {
+                return Err(format!(
+                    "sweep/multi_seed/speedup {speedup:.2}x was measured on {c:.0} \
+                     core(s): oversubscription, not scaling — re-baseline on a \
+                     multi-core machine (the harness records no speedup on one core)"
+                ));
+            }
+            Some(_) if speedup < SWEEP_SPEEDUP_FLOOR => {
+                return Err(format!(
+                    "sweep/multi_seed/speedup {speedup:.2}x is below the \
+                     {SWEEP_SPEEDUP_FLOOR}x floor: the parallel sweep driver is \
+                     losing to its own dispatch overhead"
+                ));
+            }
+            Some(_) => {}
+        }
+        sweep_note = format!(", multi-seed sweep {speedup:.2}x");
     }
     // Sharded-engine gate: the bench asserts bit-identity itself, so the
     // report only carries the numbers. The speedup floor applies when the
@@ -328,14 +403,16 @@ fn check(body: &str) -> Result<Verdict, String> {
     };
     Ok(Verdict {
         summary: format!(
-            "{} benches ok, peak {:.0} events/sec{}{}{}{}{}{}",
+            "{} benches ok, peak {:.0} events/sec{}{}{}{}{}{}{}{}",
             ns.len(),
             events.iter().cloned().fold(0.0, f64::max),
             overhead_note,
             alloc_note,
             shard_note,
+            sweep_note,
             fattree_note,
             fluid_note,
+            churn_note,
             cache_note
         ),
         warnings,
@@ -380,7 +457,8 @@ mod tests {
     {"name": "other", "ns_per_iter": 10, "iters": 3, "events_per_sec": null}
   ],
   "metrics": [
-    {"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}
+    {"name": "sweep/multi_seed/cores", "value": 4.000000, "unit": "cores"},
+    {"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}
   ]
 }
 "#;
@@ -434,9 +512,9 @@ mod tests {
 
     fn with_overhead(ratio: &str) -> String {
         GOOD.replace(
-            r#"{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}"#,
+            r#"{"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}"#,
             &format!(
-                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}},
+                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}},
     {{"name": "engine/forward/trace_overhead", "value": {ratio}, "unit": "x"}}"#
             ),
         )
@@ -481,9 +559,9 @@ mod tests {
 
     fn with_supervision_overhead(ratio: &str) -> String {
         GOOD.replace(
-            r#"{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}"#,
+            r#"{"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}"#,
             &format!(
-                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}},
+                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}},
     {{"name": "scenario/warm/supervision_overhead", "value": {ratio}, "unit": "x"}}"#
             ),
         )
@@ -506,9 +584,9 @@ mod tests {
 
     fn with_metrics(extra: &str) -> String {
         GOOD.replace(
-            r#"{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}"#,
+            r#"{"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}"#,
             &format!(
-                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.000000, "unit": "x"}},
+                r#"{{"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}},
     {extra}"#
             ),
         )
@@ -690,18 +768,111 @@ mod tests {
         assert!(!v.summary.contains("fat-tree"), "{}", v.summary);
     }
 
+    /// GOOD with the sweep metrics stripped — the report a single-core
+    /// machine now produces (the harness emits no speedup there).
+    fn without_sweep() -> String {
+        GOOD.replace(
+            r#"    {"name": "sweep/multi_seed/cores", "value": 4.000000, "unit": "cores"},
+    {"name": "sweep/multi_seed/speedup", "value": 1.600000, "unit": "x"}"#,
+            "",
+        )
+    }
+
     #[test]
-    fn single_core_sweep_is_a_warning_not_an_error() {
+    fn absent_sweep_speedup_skips_floor_silently() {
+        let v = check(&without_sweep()).unwrap();
+        assert!(v.warnings.is_empty(), "{:?}", v.warnings);
+        assert!(!v.summary.contains("multi-seed"), "{}", v.summary);
+    }
+
+    #[test]
+    fn sweep_speedup_above_floor_is_noted() {
+        let v = check(GOOD).unwrap();
+        assert!(
+            v.summary.contains("multi-seed sweep 1.60x"),
+            "{}",
+            v.summary
+        );
+        assert!(v.warnings.is_empty(), "{:?}", v.warnings);
+    }
+
+    #[test]
+    fn sweep_speedup_below_floor_fails() {
+        let bad = GOOD.replace(
+            r#""value": 1.600000, "unit": "x"#,
+            r#""value": 1.050000, "unit": "x"#,
+        );
+        let err = check(&bad).unwrap_err();
+        assert!(err.contains("below the 1.2x floor"), "{err}");
+    }
+
+    #[test]
+    fn sweep_speedup_on_single_core_is_an_error() {
+        // The exact symptom that motivated the gate: a 0.78x "speedup"
+        // from a 1-core container sat in a committed baseline as a
+        // warning. A stale report like that must now fail outright.
+        let bad = GOOD.replace(
+            r#""value": 4.000000, "unit": "cores"#,
+            r#""value": 1.000000, "unit": "cores"#,
+        );
+        let err = check(&bad).unwrap_err();
+        assert!(err.contains("oversubscription"), "{err}");
+        assert!(err.contains("re-baseline"), "{err}");
+    }
+
+    #[test]
+    fn sweep_speedup_needs_cores_metric() {
+        let bad = GOOD.replace(
+            r#"    {"name": "sweep/multi_seed/cores", "value": 4.000000, "unit": "cores"},
+"#,
+            "",
+        );
+        let err = check(&bad).unwrap_err();
+        assert!(err.contains("needs sweep/multi_seed/cores"), "{err}");
+    }
+
+    #[test]
+    fn churn_rate_above_floor_passes() {
         let v = check(&with_metrics(
-            r#"{"name": "sweep/multi_seed/cores", "value": 1.000000, "unit": "cores"}"#,
+            r#"{"name": "engine/churn/flows_per_sec", "value": 125000.000000, "unit": "flows/sec"}"#,
         ))
         .unwrap();
-        assert_eq!(v.warnings.len(), 1);
-        assert!(
-            v.warnings[0].contains("oversubscription"),
-            "{}",
-            v.warnings[0]
-        );
+        assert!(v.summary.contains("churn 125k flows/sec"), "{}", v.summary);
+    }
+
+    #[test]
+    fn churn_rate_below_floor_fails() {
+        let err = check(&with_metrics(
+            r#"{"name": "engine/churn/flows_per_sec", "value": 40000.000000, "unit": "flows/sec"}"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("below the 100000 floor"), "{err}");
+        assert!(err.contains("recycling"), "{err}");
+    }
+
+    #[test]
+    fn allocs_per_flow_under_ceiling_passes() {
+        let v = check(&with_metrics(
+            r#"{"name": "engine/churn/allocs_per_flow", "value": 1.100000, "unit": "allocs/flow"}"#,
+        ))
+        .unwrap();
+        assert!(v.summary.contains("1.100 allocs/flow"), "{}", v.summary);
+    }
+
+    #[test]
+    fn allocs_per_flow_over_ceiling_fails() {
+        let err = check(&with_metrics(
+            r#"{"name": "engine/churn/allocs_per_flow", "value": 5.000000, "unit": "allocs/flow"}"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+        assert!(err.contains("allocating per flow"), "{err}");
+    }
+
+    #[test]
+    fn missing_churn_metrics_are_not_an_error() {
+        let v = check(GOOD).unwrap();
+        assert!(!v.summary.contains("churn"), "{}", v.summary);
     }
 
     #[test]

@@ -43,7 +43,7 @@ use dctcp_parallel::{par_map, run_isolated};
 use dctcp_sim::{CancelToken, FaultPlan, SimError, SimTime};
 use dctcp_stats::oscillation;
 use dctcp_workloads::{
-    run_collective, run_query_rounds_supervised, CollectiveConfig, LongLivedScenario,
+    run_collective, run_query_rounds_supervised, CollectiveConfig, FctScenario, LongLivedScenario,
     QueryWorkload, TestbedConfig,
 };
 
@@ -454,6 +454,14 @@ fn cell_key(spec: &ScenarioSpec, cell: &Cell, fingerprint: &str) -> CacheKey {
                 .field("dt_ns", &spec.run.dt.as_nanos().to_string())
                 .field("trace_ns", &spec.run.trace_interval.as_nanos().to_string());
         }
+        // The churn workload (load, size CDF, racks, slab, class
+        // bounds, deadlines, drain) joins the windows as key material
+        // via its exhaustive Debug rendering.
+        ScenarioKind::Fct => {
+            kb.field("warmup_ns", &spec.run.warmup.as_nanos().to_string())
+                .field("duration_ns", &spec.run.duration.as_nanos().to_string())
+                .field("workload", &format!("{:?}", spec.fct));
+        }
     }
     kb.finish()
 }
@@ -481,6 +489,9 @@ fn run_cell_raw(
         }
         (ScenarioKind::Fluid, crate::spec::TopologySpec::Dumbbell(d)) => {
             run_fluid_cell(spec, d, cell)
+        }
+        (ScenarioKind::Fct, crate::spec::TopologySpec::Dumbbell(d)) => {
+            run_fct_cell(spec, d, cell, cancel)
         }
         (ScenarioKind::Incast | ScenarioKind::PartitionAggregate, t) => match t {
             crate::spec::TopologySpec::Testbed(t) => run_query_cell(spec, t, cell, cancel),
@@ -676,6 +687,77 @@ fn run_fluid_cell(
         ("alpha_mean".into(), finite(point.alpha_mean)),
         ("marking_duty".into(), finite(point.marking_duty)),
         ("utilization".into(), finite(point.utilization)),
+    ])
+}
+
+/// Runs one open-loop churn cell: `cell.flows` churn sources split
+/// evenly over the workload's racks, each rack bottlenecked into its
+/// sink by the marking under test, reduced to per-size-class FCT tails
+/// plus the open-loop conservation counters.
+fn run_fct_cell(
+    spec: &ScenarioSpec,
+    d: &DumbbellSpec,
+    cell: &Cell,
+    cancel: Option<CancelToken>,
+) -> Result<Vec<(String, f64)>, dctcp_sim::SimError> {
+    let w = spec.fct.as_ref().ok_or_else(|| {
+        SimError::InvalidConfig("fct scenario lacks a [workload fct] section".into())
+    })?;
+    // The parser enforces both; re-checked for programmatic callers.
+    if w.racks == 0 || cell.flows % w.racks != 0 || cell.flows < w.racks {
+        return Err(SimError::InvalidConfig(format!(
+            "fct source count {} is not a positive multiple of racks = {}",
+            cell.flows, w.racks
+        )));
+    }
+    let sizes = dctcp_workloads::sizes::by_name(&w.size_dist).ok_or_else(|| {
+        SimError::InvalidConfig(format!("unknown size distribution `{}`", w.size_dist))
+    })?;
+    let mut builder = FctScenario::builder()
+        .racks(w.racks)
+        .sources_per_rack(cell.flows / w.racks)
+        .bottleneck_gbps(d.bottleneck_bps as f64 / 1e9)
+        .rtt_us(d.rtt.as_secs_f64() * 1e6)
+        .load(w.load)
+        .marking(cell.scheme)
+        .tcp(spec.tcp)
+        .buffer(d.buffer)
+        .sizes(sizes)
+        .class_bounds([w.short_bytes, w.long_bytes])
+        .slots(w.slots)
+        .seed(cell.seed)
+        .warmup_secs(spec.run.warmup.as_secs_f64())
+        .duration_secs(spec.run.duration.as_secs_f64())
+        .drain_secs(w.drain.as_secs_f64());
+    if let Some(slack) = w.deadline_slack {
+        builder = builder.deadline_slack(slack);
+    }
+    let report = builder
+        .build()?
+        .run_supervised(cancel, |_| FaultPlan::new())?;
+
+    // An empty size class renders its quantiles as 0 rather than
+    // omitting the row — artifacts always carry the kind's full metric
+    // set, and an envelope pinning an empty class fails loudly on the
+    // zero instead of silently matching nothing.
+    let fct = |class: usize, q: f64| finite(report.fct_ms(class, q).unwrap_or(0.0));
+    Ok(vec![
+        ("fct_short_p50_ms".into(), fct(0, 0.50)),
+        ("fct_short_p99_ms".into(), fct(0, 0.99)),
+        ("fct_short_p999_ms".into(), fct(0, 0.999)),
+        ("fct_mid_p50_ms".into(), fct(1, 0.50)),
+        ("fct_mid_p99_ms".into(), fct(1, 0.99)),
+        ("fct_mid_p999_ms".into(), fct(1, 0.999)),
+        ("fct_long_p50_ms".into(), fct(2, 0.50)),
+        ("fct_long_p99_ms".into(), fct(2, 0.99)),
+        ("fct_long_p999_ms".into(), fct(2, 0.999)),
+        ("goodput_gbps".into(), finite(report.goodput_bps / 1e9)),
+        (
+            "deadline_miss_rate".into(),
+            finite(report.deadline_miss_rate()),
+        ),
+        ("flows_started".into(), report.started as f64),
+        ("flows_completed".into(), report.completed as f64),
     ])
 }
 
@@ -1014,6 +1096,96 @@ k2 = 50 pkts
         let mut wider = cell.clone();
         wider.flows = 100_000;
         assert_ne!(base, cell_key(&spec, &wider, "fp"));
+    }
+
+    /// The cheapest churn matrix: 8 sources over 2 racks at 1 Gb/s,
+    /// ~10 ms of measured arrivals.
+    fn fct_spec() -> ScenarioSpec {
+        ScenarioSpec::parse(
+            "\
+[scenario]
+name = fcttiny
+kind = fct
+
+[topology]
+bottleneck = 1 Gbps
+rtt = 100 us
+
+[run]
+flows = 8
+warmup = 2 ms
+duration = 10 ms
+seeds = 1
+
+[workload fct]
+load = 0.5
+racks = 2
+slots = 512
+drain = 50 ms
+
+[marking \"dctcp\"]
+scheme = dctcp
+k = 20 pkts
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fct_artifact_has_every_metric_and_is_thread_invariant() {
+        let a = run_scenario(&fct_spec(), 1).unwrap();
+        assert_eq!(a.points.len(), 1);
+        let p = &a.points[0];
+        for name in ScenarioKind::Fct.metrics() {
+            let v = p.metric(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(v.is_finite(), "{name} = {v}");
+        }
+        assert!(p.metric("flows_completed").unwrap() > 100.0);
+        assert!(p.metric("fct_short_p99_ms").unwrap() >= p.metric("fct_short_p50_ms").unwrap());
+        assert!(p.metric("goodput_gbps").unwrap() > 0.0);
+        // Deadlines are off, so the miss rate is exactly zero.
+        assert_eq!(p.metric("deadline_miss_rate").unwrap(), 0.0);
+        let b = run_scenario(&fct_spec(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fct_workload_edits_move_the_cell_key() {
+        let spec = fct_spec();
+        let cell = first_cell(&spec);
+        let base = cell_key(&spec, &cell, "fp");
+
+        let mut hotter = spec.clone();
+        hotter.fct.as_mut().unwrap().load = 0.7;
+        assert_ne!(base, cell_key(&hotter, &cell, "fp"));
+
+        let mut heavier = spec.clone();
+        heavier.fct.as_mut().unwrap().size_dist = "data_mining".into();
+        assert_ne!(base, cell_key(&heavier, &cell, "fp"));
+
+        let mut longer = spec.clone();
+        longer.run.duration = dctcp_sim::SimDuration::from_millis(20);
+        assert_ne!(base, cell_key(&longer, &cell, "fp"));
+
+        let mut deadlined = spec.clone();
+        deadlined.fct.as_mut().unwrap().deadline_slack = Some(2.0);
+        assert_ne!(base, cell_key(&deadlined, &cell, "fp"));
+
+        let mut reseeded = cell.clone();
+        reseeded.seed = 2;
+        assert_ne!(base, cell_key(&spec, &reseeded, "fp"));
+    }
+
+    #[test]
+    fn fct_cells_reject_uneven_source_splits() {
+        let spec = fct_spec();
+        let mut cell = first_cell(&spec);
+        cell.flows = 7;
+        assert!(run_cell_raw(&spec, &cell, None).is_err());
+        let mut sectionless = spec;
+        sectionless.fct = None;
+        let cell = first_cell(&sectionless);
+        assert!(run_cell_raw(&sectionless, &cell, None).is_err());
     }
 
     #[test]

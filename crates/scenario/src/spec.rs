@@ -38,6 +38,13 @@ pub enum ScenarioKind {
     /// [`MAX_FLUID_FLOWS`]. Cross-validated against packet anchors via
     /// `[xval]` sections and the `fluid_check` binary.
     Fluid,
+    /// Open-loop heavy-traffic flow churn: Poisson arrivals at a
+    /// configured fraction of the rack bottlenecks with empirical
+    /// flow sizes (`[workload fct]`), reporting per-size-class
+    /// flow-completion-time tails from mergeable quantile sketches.
+    /// The `flows` sweep is the churn-source count, split evenly over
+    /// the workload's racks.
+    Fct,
 }
 
 impl ScenarioKind {
@@ -49,6 +56,7 @@ impl ScenarioKind {
             ScenarioKind::PartitionAggregate => "partition_aggregate",
             ScenarioKind::Collective => "collective",
             ScenarioKind::Fluid => "fluid",
+            ScenarioKind::Fct => "fct",
         }
     }
 
@@ -60,6 +68,7 @@ impl ScenarioKind {
             "partition_aggregate" => Some(ScenarioKind::PartitionAggregate),
             "collective" => Some(ScenarioKind::Collective),
             "fluid" => Some(ScenarioKind::Fluid),
+            "fct" => Some(ScenarioKind::Fct),
             _ => None,
         }
     }
@@ -75,7 +84,7 @@ impl ScenarioKind {
     /// Whether the matrix sweeps the `[run] seeds` list (one cell per
     /// seed). Long-lived runs are seed-free and pin seed 1.
     pub fn sweeps_seeds(&self) -> bool {
-        self.is_query() || matches!(self, ScenarioKind::Collective)
+        self.is_query() || matches!(self, ScenarioKind::Collective | ScenarioKind::Fct)
     }
 
     /// The point metrics artifacts of this kind carry, in artifact
@@ -134,6 +143,25 @@ impl ScenarioKind {
                 "alpha_mean",
                 "marking_duty",
                 "utilization",
+            ],
+            // FCT quantiles per size class (short/mid/long by the
+            // workload's class bounds, milliseconds) from the merged
+            // sketches, plus the open-loop conservation counters the
+            // million-flow envelopes pin.
+            ScenarioKind::Fct => &[
+                "fct_short_p50_ms",
+                "fct_short_p99_ms",
+                "fct_short_p999_ms",
+                "fct_mid_p50_ms",
+                "fct_mid_p99_ms",
+                "fct_mid_p999_ms",
+                "fct_long_p50_ms",
+                "fct_long_p99_ms",
+                "fct_long_p999_ms",
+                "goodput_gbps",
+                "deadline_miss_rate",
+                "flows_started",
+                "flows_completed",
             ],
         }
     }
@@ -205,6 +233,30 @@ pub struct CollectiveWorkloadSpec {
     pub phase_gap: SimDuration,
     /// Simulated-time budget per cell.
     pub horizon: SimDuration,
+}
+
+/// The open-loop churn workload shape (`[workload fct]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FctWorkloadSpec {
+    /// Offered load as a fraction of each rack bottleneck, in (0, 1).
+    pub load: f64,
+    /// Named flow-size distribution
+    /// (see [`dctcp_workloads::sizes::by_name`]).
+    pub size_dist: String,
+    /// Racks; the `flows` sweep is split evenly over them.
+    pub racks: u32,
+    /// Per-source concurrent-flow slab size.
+    pub slots: u32,
+    /// Upper byte bound of the short size class.
+    pub short_bytes: u64,
+    /// Upper byte bound of the mid size class.
+    pub long_bytes: u64,
+    /// Mean deadline slack multiplier (enables per-flow deadlines and
+    /// the D²TCP urgency law when `[transport] cc = d2tcp`).
+    pub deadline_slack: Option<f64>,
+    /// Drain period after arrivals stop, letting in-flight flows finish
+    /// so their completion times are recorded.
+    pub drain: SimDuration,
 }
 
 /// Topology, by kind.
@@ -356,6 +408,8 @@ pub struct ScenarioSpec {
     /// Collective workload shape (`Some` exactly for
     /// [`ScenarioKind::Collective`]).
     pub workload: Option<CollectiveWorkloadSpec>,
+    /// Churn workload shape (`Some` exactly for [`ScenarioKind::Fct`]).
+    pub fct: Option<FctWorkloadSpec>,
     /// Labeled marking schemes under test, in file order.
     pub markings: Vec<(String, MarkingScheme)>,
     /// Scripted faults.
@@ -420,13 +474,14 @@ impl ScenarioSpec {
             "partition_aggregate" => ScenarioKind::PartitionAggregate,
             "collective" => ScenarioKind::Collective,
             "fluid" => ScenarioKind::Fluid,
+            "fct" => ScenarioKind::Fct,
             other => {
                 return Err(ScenarioError::BadValue {
                     line: kind_entry.line,
                     key: "kind".into(),
                     msg: format!(
                         "unknown kind `{other}` \
-                         (long_lived/incast/partition_aggregate/collective/fluid)"
+                         (long_lived/incast/partition_aggregate/collective/fluid/fct)"
                     ),
                 })
             }
@@ -437,6 +492,25 @@ impl ScenarioSpec {
         let tcp = parse_transport(&doc)?;
         let run = parse_run(&doc, kind)?;
         let workload = parse_workload(&doc, kind)?;
+        let fct = parse_fct_workload(&doc, kind)?;
+        if let Some(w) = &fct {
+            // The flow sweep is the churn-source sweep: every count must
+            // split evenly into the workload's racks.
+            let flows_entry = doc.section("run").and_then(|s| s.get("flows"));
+            for &n in &run.flows {
+                if n % w.racks != 0 || n < w.racks {
+                    return Err(ScenarioError::OutOfRange {
+                        line: flows_entry.map_or(0, |e| e.line),
+                        key: "flows".into(),
+                        msg: format!(
+                            "fct source counts must be positive multiples of \
+                             racks = {}, got {n}",
+                            w.racks
+                        ),
+                    });
+                }
+            }
+        }
         if let TopologySpec::FatTree(ft) = &topology {
             // The flow sweep is the participant sweep: every count must
             // fit on the fabric (and a collective needs two ranks).
@@ -473,6 +547,7 @@ impl ScenarioSpec {
             tcp,
             run,
             workload,
+            fct,
             markings,
             faults,
             limits,
@@ -545,6 +620,12 @@ impl ScenarioSpec {
             }
             // A collective cell simulates at most its workload horizon.
             ScenarioKind::Collective => self.workload.map_or(100_000_000, |w| w.horizon.as_nanos()),
+            // An fct cell simulates warmup + measured window + drain.
+            ScenarioKind::Fct => {
+                self.run.warmup.as_nanos()
+                    + self.run.duration.as_nanos()
+                    + self.fct.as_ref().map_or(0, |w| w.drain.as_nanos())
+            }
         };
         let budget_ns = simulated_ns
             .saturating_mul(1000)
@@ -654,8 +735,10 @@ fn parse_topology(doc: &Document, kind: ScenarioKind) -> Result<TopologySpec, Sc
     match kind {
         // The fluid kind integrates the same dumbbell operating point
         // the long-lived packet runs measure, so the two share a
-        // topology surface (and defaults) by construction.
-        ScenarioKind::LongLived | ScenarioKind::Fluid => {
+        // topology surface (and defaults) by construction; the fct
+        // kind reuses it per rack (every rack bottleneck gets these
+        // parameters).
+        ScenarioKind::LongLived | ScenarioKind::Fluid | ScenarioKind::Fct => {
             let mut spec = DumbbellSpec {
                 bottleneck_bps: 10_000_000_000,
                 rtt: SimDuration::from_micros(300),
@@ -784,6 +867,7 @@ fn require_positive(
 
 fn parse_transport(doc: &Document) -> Result<TcpConfig, ScenarioError> {
     let mut g = 1.0 / 16.0;
+    let mut d2tcp = false;
     let mut rto_min = None;
     let mut ecn_fallback_after = None;
     let mut delayed_ack = None;
@@ -791,11 +875,25 @@ fn parse_transport(doc: &Document) -> Result<TcpConfig, ScenarioError> {
     if let Some(s) = doc.section("transport") {
         s.reject_unknown_keys(&[
             "g",
+            "cc",
             "rto_min",
             "ecn_fallback_after",
             "delayed_ack",
             "delack_timeout",
         ])?;
+        if let Some(e) = s.get("cc") {
+            match e.value.as_str() {
+                "dctcp" => {}
+                "d2tcp" => d2tcp = true,
+                other => {
+                    return Err(ScenarioError::BadValue {
+                        line: e.line,
+                        key: "cc".into(),
+                        msg: format!("unknown congestion control `{other}` (dctcp/d2tcp)"),
+                    })
+                }
+            }
+        }
         if let Some(e) = s.get("g") {
             g = parse_f64(e)?;
             if !(g > 0.0 && g <= 1.0) {
@@ -819,7 +917,13 @@ fn parse_transport(doc: &Document) -> Result<TcpConfig, ScenarioError> {
             delack_timeout = Some(require_positive(parse_duration(e)?, e, "delack_timeout")?);
         }
     }
-    let mut cfg = TcpConfig::dctcp(g);
+    // The baseline D²TCP urgency is the plain-DCTCP d = 1; churn
+    // sources re-derive d per flow from each deadline's slack.
+    let mut cfg = if d2tcp {
+        TcpConfig::d2tcp(g, 1.0)
+    } else {
+        TcpConfig::dctcp(g)
+    };
     if let Some(r) = rto_min {
         cfg.rto_min = r;
     }
@@ -853,6 +957,8 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
         }
         // `flows` doubles as the participant sweep for collectives.
         ScenarioKind::Collective => s.reject_unknown_keys(&["flows", "bytes_per_flow", "seeds"])?,
+        // ...and as the churn-source sweep for fct.
+        ScenarioKind::Fct => s.reject_unknown_keys(&["flows", "warmup", "duration", "seeds"])?,
         _ => {
             s.reject_unknown_keys(&["flows", "rounds", "bytes_per_flow", "total_bytes", "seeds"])?
         }
@@ -921,6 +1027,28 @@ fn parse_run(doc: &Document, kind: ScenarioKind) -> Result<RunSpec, ScenarioErro
             }
             if let Some(e) = s.get("stagger") {
                 run.stagger = parse_duration(e)?;
+            }
+        }
+        ScenarioKind::Fct => {
+            // Churn reaches a statistical steady state within a few
+            // mean FCTs; the default warmup is shorter than the
+            // long-lived transient window.
+            run.warmup = SimDuration::from_millis(10);
+            if let Some(e) = s.get("warmup") {
+                run.warmup = parse_duration(e)?;
+            }
+            if let Some(e) = s.get("duration") {
+                run.duration = require_positive(parse_duration(e)?, e, "duration")?;
+            }
+            if let Some(e) = s.get("seeds") {
+                run.seeds = parse_list_u64(e)?;
+                if run.seeds.is_empty() {
+                    return Err(ScenarioError::BadValue {
+                        line: e.line,
+                        key: "seeds".into(),
+                        msg: "at least one seed required".into(),
+                    });
+                }
             }
         }
         ScenarioKind::Fluid => {
@@ -992,12 +1120,16 @@ fn parse_workload(
     kind: ScenarioKind,
 ) -> Result<Option<CollectiveWorkloadSpec>, ScenarioError> {
     let section = doc.sections_named("workload").next();
+    if kind == ScenarioKind::Fct {
+        // `[workload fct]` is owned by `parse_fct_workload`.
+        return Ok(None);
+    }
     if kind != ScenarioKind::Collective {
         if let Some(s) = section {
             return Err(ScenarioError::Syntax {
                 line: s.line,
                 msg: format!(
-                    "[workload] sections are only valid for collective scenarios, not {}",
+                    "[workload] sections are only valid for collective and fct scenarios, not {}",
                     kind.name()
                 ),
             });
@@ -1039,6 +1171,114 @@ fn parse_workload(
     }
     if let Some(e) = s.get("horizon") {
         spec.horizon = require_positive(parse_duration(e)?, e, "horizon")?;
+    }
+    Ok(Some(spec))
+}
+
+/// Parses `[workload fct]`: required for the fct kind; sections on
+/// other kinds are rejected by [`parse_workload`].
+fn parse_fct_workload(
+    doc: &Document,
+    kind: ScenarioKind,
+) -> Result<Option<FctWorkloadSpec>, ScenarioError> {
+    if kind != ScenarioKind::Fct {
+        return Ok(None);
+    }
+    let s = doc
+        .sections_named("workload")
+        .next()
+        .ok_or(ScenarioError::MissingSection {
+            section: "workload fct".into(),
+        })?;
+    if s.label.as_deref() != Some("fct") {
+        return Err(ScenarioError::Syntax {
+            line: s.line,
+            msg: "fct scenarios take `[workload fct]`".into(),
+        });
+    }
+    s.reject_unknown_keys(&[
+        "load",
+        "size_dist",
+        "racks",
+        "slots",
+        "short_bytes",
+        "long_bytes",
+        "deadline_slack",
+        "drain",
+    ])?;
+    let load_entry = s.require("load")?;
+    let load = parse_f64(load_entry)?;
+    if !(load > 0.0 && load < 1.0) {
+        return Err(ScenarioError::OutOfRange {
+            line: load_entry.line,
+            key: "load".into(),
+            msg: format!("offered load must be in (0, 1), got {load}"),
+        });
+    }
+    let mut spec = FctWorkloadSpec {
+        load,
+        size_dist: "web_search".into(),
+        racks: 2,
+        slots: 4096,
+        short_bytes: 10_000,
+        long_bytes: 100_000,
+        deadline_slack: None,
+        drain: SimDuration::from_millis(100),
+    };
+    if let Some(e) = s.get("size_dist") {
+        if dctcp_workloads::sizes::by_name(&e.value).is_none() {
+            return Err(ScenarioError::BadValue {
+                line: e.line,
+                key: "size_dist".into(),
+                msg: format!(
+                    "unknown size distribution `{}` (web_search/data_mining)",
+                    e.value
+                ),
+            });
+        }
+        spec.size_dist = e.value.clone();
+    }
+    for (key, field) in [("racks", &mut spec.racks), ("slots", &mut spec.slots)] {
+        if let Some(e) = s.get(key) {
+            *field = parse_u32(e)?;
+            if *field == 0 {
+                return Err(ScenarioError::OutOfRange {
+                    line: e.line,
+                    key: key.into(),
+                    msg: "must be positive".into(),
+                });
+            }
+        }
+    }
+    if let Some(e) = s.get("short_bytes") {
+        spec.short_bytes = parse_bytes(e)?;
+    }
+    if let Some(e) = s.get("long_bytes") {
+        spec.long_bytes = parse_bytes(e)?;
+    }
+    if spec.short_bytes == 0 || spec.short_bytes >= spec.long_bytes {
+        return Err(ScenarioError::OutOfRange {
+            line: s.line,
+            key: "short_bytes".into(),
+            msg: format!(
+                "size classes need 0 < short_bytes < long_bytes, got {} / {}",
+                spec.short_bytes, spec.long_bytes
+            ),
+        });
+    }
+    if let Some(e) = s.get("deadline_slack") {
+        let slack = parse_f64(e)?;
+        if !(slack.is_finite() && slack > 0.0) {
+            return Err(ScenarioError::OutOfRange {
+                line: e.line,
+                key: "deadline_slack".into(),
+                msg: "deadline slack must be a positive number".into(),
+            });
+        }
+        spec.deadline_slack = Some(slack);
+    }
+    if let Some(e) = s.get("drain") {
+        spec.drain = parse_duration(e)?;
     }
     Ok(Some(spec))
 }
@@ -1737,6 +1977,144 @@ max_rel_err = 0.5
             let broken = src.replace(from, to);
             assert!(ScenarioSpec::parse(&broken).is_err(), "{from} -> {to}");
         }
+    }
+
+    const FCT: &str = "\
+[scenario]
+name = churn
+kind = fct
+
+[topology]
+bottleneck = 10 Gbps
+rtt = 100 us
+
+[run]
+flows = 8
+warmup = 5 ms
+duration = 20 ms
+seeds = 1, 2
+
+[workload fct]
+load = 0.8
+size_dist = web_search
+racks = 2
+slots = 1024
+drain = 50 ms
+
+[marking \"dc\"]
+scheme = dctcp
+k = 40 pkts
+";
+
+    #[test]
+    fn fct_scenario_parses_workload_and_defaults() {
+        let s = ScenarioSpec::parse(FCT).unwrap();
+        assert_eq!(s.kind, ScenarioKind::Fct);
+        assert!(s.kind.sweeps_seeds());
+        let w = s.fct.as_ref().unwrap();
+        assert_eq!((w.racks, w.slots), (2, 1024));
+        assert!((w.load - 0.8).abs() < 1e-12);
+        assert_eq!(w.size_dist, "web_search");
+        assert_eq!((w.short_bytes, w.long_bytes), (10_000, 100_000));
+        assert_eq!(w.drain, SimDuration::from_millis(50));
+        assert_eq!(w.deadline_slack, None);
+        assert!(s.workload.is_none());
+        assert_eq!(s.run.warmup, SimDuration::from_millis(5));
+        assert_eq!(s.run.seeds, vec![1, 2]);
+        assert_eq!(s.num_points(), 2);
+        // The dumbbell surface is shared with long-lived scenarios.
+        assert_eq!(s.dumbbell().unwrap().rtt, SimDuration::from_micros(100));
+        // Derived deadline: (5 + 20 + 50) ms of simulated time × 1000.
+        assert_eq!(s.cell_deadline(), SimDuration::from_secs(75));
+    }
+
+    #[test]
+    fn fct_invalid_parameters_are_typed_errors() {
+        for (from, to) in [
+            ("load = 0.8", "load = 1.2"),                     // not a fraction
+            ("load = 0.8", "load = 0"),                       // idle
+            ("size_dist = web_search", "size_dist = pareto"), // unknown CDF
+            ("racks = 2", "racks = 0"),                       // no racks
+            ("slots = 1024", "slots = 0"),                    // empty slab
+            ("flows = 8", "flows = 7"),                       // not a multiple of racks
+            ("flows = 8", "flows = 0"),                       // empty sweep point
+        ] {
+            let src = FCT.replace(from, to);
+            assert_ne!(src, FCT, "{from}");
+            let err = ScenarioSpec::parse(&src).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ScenarioError::OutOfRange { .. } | ScenarioError::BadValue { .. }
+                ),
+                "{from} -> {to}: {err}"
+            );
+        }
+        // Class bounds must stay ordered: short < long.
+        let src = FCT.replace("slots = 1024", "slots = 1024\nshort_bytes = 200 KB");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::OutOfRange { .. }
+        ));
+        // The workload section is required and must carry the fct label.
+        let src: String = FCT
+            .lines()
+            .filter(|l| {
+                !(l.starts_with("[workload")
+                    || l.starts_with("load")
+                    || l.starts_with("size_dist")
+                    || l.starts_with("racks")
+                    || l.starts_with("slots")
+                    || l.starts_with("drain"))
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::MissingSection { .. }
+        ));
+        let src = FCT.replace("[workload fct]", "[workload collective]");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn transport_cc_knob_selects_d2tcp() {
+        let src = FCT
+            .replace("[run]", "[transport]\ncc = d2tcp\n\n[run]")
+            .replace("drain = 50 ms", "drain = 50 ms\ndeadline_slack = 2.0");
+        let s = ScenarioSpec::parse(&src).unwrap();
+        assert!(matches!(
+            s.tcp.cc,
+            dctcp_tcp::CongestionControl::D2tcp { .. }
+        ));
+        assert_eq!(s.fct.as_ref().unwrap().deadline_slack, Some(2.0));
+        // Unknown schemes are named in the error.
+        let src = FCT.replace("[run]", "[transport]\ncc = cubic\n\n[run]");
+        assert!(matches!(
+            ScenarioSpec::parse(&src).unwrap_err(),
+            ScenarioError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn fct_expectations_validate_against_fct_metrics() {
+        let src = format!(
+            "{FCT}
+[expect \"tails\"]
+check = metric_range
+metric = fct_short_p99_ms
+min = 0
+"
+        );
+        assert!(ScenarioSpec::parse(&src).is_ok());
+        let broken = src.replace("metric = fct_short_p99_ms", "metric = queue_std");
+        assert!(matches!(
+            ScenarioSpec::parse(&broken).unwrap_err(),
+            ScenarioError::BadValue { .. }
+        ));
     }
 
     #[test]

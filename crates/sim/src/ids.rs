@@ -47,8 +47,65 @@ id_type!(
 /// Identifies one end-to-end transport flow. Allocated by the experiment
 /// harness; the simulator only uses it for dispatching packets to
 /// connections.
+///
+/// Harnesses that recycle per-flow state (see
+/// [`FlowTable`](crate::FlowTable)) pack a *generation tag* into the id
+/// with [`FlowId::tagged`], so a packet or timer from a previous
+/// incarnation of a recycled slot fails the generation check and is
+/// safely ignored instead of corrupting the new flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
+
+/// Bit width of the generation field in a tagged [`FlowId`].
+const GEN_BITS: u32 = 24;
+/// Bit width of the origin (source-host) field in a tagged [`FlowId`].
+const ORIGIN_BITS: u32 = 16;
+/// Bit width of the slot field in a tagged [`FlowId`].
+const SLOT_BITS: u32 = 24;
+
+impl FlowId {
+    /// Maximum generation value representable in a tagged id; recycling
+    /// past it wraps (equality checks stay deterministic, and 16 M
+    /// incarnations per slot is far beyond any committed run).
+    pub const MAX_GENERATION: u32 = (1 << GEN_BITS) - 1;
+    /// Maximum origin (source host) index in a tagged id.
+    pub const MAX_ORIGIN: u32 = (1 << ORIGIN_BITS) - 1;
+    /// Maximum slot index in a tagged id.
+    pub const MAX_SLOT: u32 = (1 << SLOT_BITS) - 1;
+
+    /// Packs `[generation:24 | origin:16 | slot:24]` into a flow id.
+    /// Each field is masked to its width; `origin` is the source host's
+    /// unique index, `slot`/`generation` come from the host's
+    /// [`FlowTable`](crate::FlowTable).
+    pub fn tagged(generation: u32, origin: u32, slot: u32) -> FlowId {
+        let g = (generation & Self::MAX_GENERATION) as u64;
+        let o = (origin & Self::MAX_ORIGIN) as u64;
+        let s = (slot & Self::MAX_SLOT) as u64;
+        FlowId((g << (ORIGIN_BITS + SLOT_BITS)) | (o << SLOT_BITS) | s)
+    }
+
+    /// The generation field of a tagged id.
+    pub fn generation(self) -> u32 {
+        ((self.0 >> (ORIGIN_BITS + SLOT_BITS)) as u32) & Self::MAX_GENERATION
+    }
+
+    /// The origin (source host) field of a tagged id.
+    pub fn origin(self) -> u32 {
+        ((self.0 >> SLOT_BITS) as u32) & Self::MAX_ORIGIN
+    }
+
+    /// The slot field of a tagged id.
+    pub fn slot(self) -> u32 {
+        (self.0 as u32) & Self::MAX_SLOT
+    }
+
+    /// The id with the generation field cleared: a stable key for "this
+    /// slot on this origin" across incarnations (receiver-side recycling
+    /// keys on this).
+    pub fn incarnation_key(self) -> u64 {
+        self.0 & ((1u64 << (ORIGIN_BITS + SLOT_BITS)) - 1)
+    }
+}
 
 impl fmt::Display for FlowId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -89,6 +146,36 @@ mod tests {
     fn index_roundtrip() {
         let n = NodeId::from_index(5);
         assert_eq!(n.index(), 5);
+    }
+
+    #[test]
+    fn tagged_flow_id_roundtrips() {
+        let f = FlowId::tagged(3, 7, 42);
+        assert_eq!(f.generation(), 3);
+        assert_eq!(f.origin(), 7);
+        assert_eq!(f.slot(), 42);
+        // Same slot+origin, next generation: different id, same key.
+        let g = FlowId::tagged(4, 7, 42);
+        assert_ne!(f, g);
+        assert_eq!(f.incarnation_key(), g.incarnation_key());
+        // Different slot: different key.
+        assert_ne!(
+            f.incarnation_key(),
+            FlowId::tagged(3, 7, 43).incarnation_key()
+        );
+    }
+
+    #[test]
+    fn tagged_flow_id_masks_at_field_limits() {
+        let f = FlowId::tagged(FlowId::MAX_GENERATION, FlowId::MAX_ORIGIN, FlowId::MAX_SLOT);
+        assert_eq!(f.generation(), FlowId::MAX_GENERATION);
+        assert_eq!(f.origin(), FlowId::MAX_ORIGIN);
+        assert_eq!(f.slot(), FlowId::MAX_SLOT);
+        // Overflow wraps instead of bleeding into neighbouring fields.
+        let w = FlowId::tagged(FlowId::MAX_GENERATION + 1, 5, 6);
+        assert_eq!(w.generation(), 0);
+        assert_eq!(w.origin(), 5);
+        assert_eq!(w.slot(), 6);
     }
 
     #[test]

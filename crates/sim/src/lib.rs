@@ -59,6 +59,7 @@ mod cancel;
 mod error;
 mod event;
 mod fault;
+mod flow_table;
 mod ids;
 mod link;
 mod node;
@@ -72,6 +73,7 @@ mod topology;
 pub use cancel::CancelToken;
 pub use error::SimError;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
+pub use flow_table::{FlowTable, FlowTableError};
 pub use ids::{FlowId, LinkId, NodeId, TimerToken};
 pub use link::LinkSpec;
 pub use node::{Agent, Context};

@@ -73,6 +73,11 @@ pub struct Packet {
     /// On ACKs: the `sent_at` of the data packet that triggered this
     /// acknowledgement, echoed back for RTT measurement.
     pub ts_echo: Option<SimTime>,
+    /// PSH: this data segment ends the application write (the flow's
+    /// final bytes). Receivers acknowledge it immediately rather than
+    /// holding it for the delayed-ACK timer, so a flow's completion
+    /// time is never inflated by an odd straggler segment.
+    pub push: bool,
 }
 
 impl Packet {
@@ -90,6 +95,7 @@ impl Packet {
             ece: false,
             sent_at: SimTime::ZERO,
             ts_echo: None,
+            push: false,
         }
     }
 
@@ -107,6 +113,7 @@ impl Packet {
             ece: false,
             sent_at: SimTime::ZERO,
             ts_echo: None,
+            push: false,
         }
     }
 
@@ -124,6 +131,7 @@ impl Packet {
             ece: false,
             sent_at: SimTime::ZERO,
             ts_echo: None,
+            push: false,
         }
     }
 

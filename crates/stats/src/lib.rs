@@ -9,6 +9,8 @@
 //! * [`TimeSeries`] — a `(time, value)` trace with resampling and windowing.
 //! * [`Quantiles`] / [`P2Quantile`] — exact and streaming quantile
 //!   estimation for completion-time tails.
+//! * [`QuantileSketch`] — mergeable log-binned quantile sketch with
+//!   bounded relative error, for million-flow FCT tails.
 //! * [`Histogram`] — fixed-width binning.
 //! * [`ThroughputMeter`] — byte counters over an observation window.
 //! * [`oscillation`] — mean-crossing cycle detection and peak-to-trough
@@ -37,6 +39,7 @@ mod histogram;
 mod oscillation;
 mod quantile;
 mod series;
+mod sketch;
 mod throughput;
 mod time_weighted;
 mod welford;
@@ -46,6 +49,7 @@ pub use histogram::Histogram;
 pub use oscillation::{oscillation, OscillationSummary};
 pub use quantile::{P2Quantile, Quantiles};
 pub use series::{SeriesSummary, TimeSeries};
+pub use sketch::{QuantileSketch, SKETCH_ALPHA};
 pub use throughput::ThroughputMeter;
 pub use time_weighted::{TimeWeighted, TimeWeightedSummary};
 pub use welford::Welford;

@@ -11,6 +11,11 @@
 //!   that keeps the sender's marked-fraction estimate faithful.
 //! * [`TransportHost`] — the simulator [`Agent`](dctcp_sim::Agent) that
 //!   multiplexes flows onto a host and routes packets and timers.
+//! * [`ChurnSource`] / [`ChurnSink`] — the open-loop heavy-traffic
+//!   harness: Poisson flow arrivals with empirical sizes ([`SizeCdf`]),
+//!   connection state recycled through a slab
+//!   ([`dctcp_sim::FlowTable`]), and flow-completion times streamed
+//!   into mergeable quantile sketches.
 //!
 //! The state machines are written against the [`Wire`] trait rather than
 //! the simulator directly, so they are unit-testable in isolation — see
@@ -50,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod churn;
 mod config;
 mod error;
 mod host;
@@ -61,6 +67,10 @@ mod stats;
 pub mod testing;
 mod wire;
 
+pub use churn::{
+    ChurnConfig, ChurnSink, ChurnSinkStats, ChurnSource, ChurnSourceStats, DeadlineConfig, SizeCdf,
+    SIZE_CLASSES,
+};
 pub use config::{CongestionControl, TcpConfig};
 pub use error::FlowError;
 pub use host::{ScheduledFlow, TransportHost};

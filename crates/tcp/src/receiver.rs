@@ -6,7 +6,8 @@ use dctcp_trace::TraceKind;
 use crate::{ReceiverStats, SeqRanges, TcpConfig, TimerKind, Wire};
 
 /// A TCP receiver: cumulative acknowledgements, out-of-order buffering,
-/// delayed ACKs, and the DCTCP CE-echo state machine.
+/// delayed ACKs (with immediate acknowledgement of PSH segments), and
+/// the DCTCP CE-echo state machine.
 ///
 /// DCTCP's receiver conveys the *exact* sequence of CE marks back to the
 /// sender despite delayed ACKs: whenever the CE state of arriving data
@@ -56,6 +57,26 @@ impl Receiver {
             delack_deadline: SimTime::ZERO,
             stats: ReceiverStats::default(),
         }
+    }
+
+    /// Resets this receiver in place for a fresh flow, reusing its
+    /// out-of-order buffer allocation — the recycle path of the churn
+    /// harness ([`ChurnSink`](crate::ChurnSink)). `cfg` must already be
+    /// validated (the sink validates its shared config once at
+    /// construction); any armed delayed-ACK timer must be
+    /// generation-guarded by the caller.
+    pub fn reset(&mut self, flow: FlowId, peer: NodeId, cfg: TcpConfig) {
+        self.cfg = cfg;
+        self.flow = flow;
+        self.peer = peer;
+        self.rcv_nxt = 0;
+        self.ooo.clear();
+        self.ce_state = false;
+        self.pending = 0;
+        self.last_ts = None;
+        self.delack_timer = TimerToken::NONE;
+        self.delack_deadline = SimTime::ZERO;
+        self.stats = ReceiverStats::default();
     }
 
     /// The flow id.
@@ -142,7 +163,7 @@ impl Receiver {
             force_ack = true;
         }
 
-        if force_ack || self.pending >= self.cfg.delayed_ack {
+        if force_ack || pkt.push || self.pending >= self.cfg.delayed_ack {
             self.send_ack(wire);
         } else if self.pending > 0 {
             self.arm_delack(wire);
@@ -292,6 +313,18 @@ mod tests {
         assert_eq!(acks.len(), 1);
         assert_eq!(acks[0].ack, 2 * MSS as u64);
         assert_eq!(r.stats().duplicate_segments, 1);
+    }
+
+    #[test]
+    fn push_segment_is_acked_immediately() {
+        let (mut r, mut w) = make();
+        let mut p = data(0, false);
+        p.push = true;
+        r.on_data(p, &mut w);
+        let acks = w.take_sent();
+        assert_eq!(acks.len(), 1, "PSH must not wait for the delack timer");
+        assert_eq!(acks[0].ack, MSS as u64);
+        assert!(w.pending_timer(TimerKind::DelAck).is_none());
     }
 
     #[test]

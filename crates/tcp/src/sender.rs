@@ -134,6 +134,61 @@ impl Sender {
         })
     }
 
+    /// Resets this sender in place for a fresh flow, reusing its
+    /// allocations — the recycle path of the churn harness
+    /// ([`ChurnSource`](crate::ChurnSource)). Semantically identical to
+    /// replacing `self` with `Sender::try_new(flow, dst, total, cfg)?`,
+    /// but allocation-free in steady state. Any armed timer must already
+    /// be cancelled or generation-guarded by the caller; tracing is
+    /// disabled (re-enable per incarnation if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] if `cfg` fails validation;
+    /// the sender then keeps its previous (quiescent) state.
+    pub fn reset(
+        &mut self,
+        flow: FlowId,
+        dst: NodeId,
+        total: Option<u64>,
+        cfg: TcpConfig,
+    ) -> Result<(), FlowError> {
+        cfg.validate()
+            .map_err(|reason| FlowError::InvalidConfig { flow, reason })?;
+        let g = match cfg.cc {
+            CongestionControl::Dctcp { g } | CongestionControl::D2tcp { g, .. } => g,
+            CongestionControl::Reno => 1.0, // unused
+        };
+        self.cfg = cfg;
+        self.flow = flow;
+        self.dst = dst;
+        self.total = total;
+        self.cwnd = cfg.init_cwnd;
+        self.ssthresh = cfg.max_cwnd;
+        self.snd_una = 0;
+        self.snd_nxt = 0;
+        self.dup_acks = 0;
+        self.recover = None;
+        self.rtt = crate::RttEstimator::new();
+        self.rto_backoff = 0;
+        self.consecutive_rtos = 0;
+        self.error = None;
+        self.ecn_active = cfg.ecn;
+        self.ece_seen = false;
+        self.loss_events_without_ece = 0;
+        self.rto_timer = TimerToken::NONE;
+        self.rto_deadline = SimTime::ZERO;
+        self.alpha =
+            AlphaEstimator::new(g).map_err(|reason| FlowError::InvalidConfig { flow, reason })?;
+        self.window_end = 0;
+        self.acked_window = 0;
+        self.marked_window = 0;
+        self.cwr_end = 0;
+        self.stats = SenderStats::default();
+        self.trace = None;
+        Ok(())
+    }
+
     /// Starts recording `(time, cwnd)` and `(time, alpha)` traces.
     pub fn enable_tracing(&mut self) {
         self.trace = Some(SenderTrace::default());
@@ -487,6 +542,10 @@ impl Sender {
         if self.ecn_active {
             pkt.ecn = Ecn::Ect;
         }
+        // PSH on the segment carrying the flow's final byte (finite
+        // transfers only): the receiver acknowledges it immediately
+        // instead of holding it for the delayed-ACK timer.
+        pkt.push = Some(pkt.end_seq()) == self.total;
         self.stats.segments_sent += 1;
         wire.send(pkt);
     }
@@ -582,6 +641,20 @@ mod tests {
     }
 
     #[test]
+    fn push_set_only_on_final_segment_of_finite_flow() {
+        let (mut s, mut w) = make(Some(2 * MSS as u64));
+        s.start(&mut w);
+        let sent = w.take_sent();
+        assert_eq!(sent.len(), 2);
+        assert!(!sent[0].push, "mid-flow segment must not carry PSH");
+        assert!(sent[1].push, "final segment must carry PSH");
+        // Infinite flows never emit PSH.
+        let (mut s, mut w) = make(None);
+        s.start(&mut w);
+        assert!(w.take_sent().iter().all(|p| !p.push));
+    }
+
+    #[test]
     fn slow_start_doubles_per_rtt() {
         let (mut s, mut w) = make(None);
         s.start(&mut w);
@@ -632,6 +705,71 @@ mod tests {
         // Post-completion acks are ignored.
         s.on_ack(ack(1500, false, &w), &mut w);
         assert!(w.take_sent().is_empty());
+    }
+
+    #[test]
+    fn reset_sender_matches_fresh_sender() {
+        // A recycled sender must be behaviourally indistinguishable from
+        // a freshly constructed one: drive both through the same ack
+        // script (with marks and an RTO) and compare every packet.
+        let script = |s: &mut Sender, w: &mut MockWire| -> Vec<Packet> {
+            let mut out = Vec::new();
+            s.start(w);
+            out.append(&mut w.take_sent());
+            w.advance(SimDuration::from_micros(80));
+            s.on_ack(ack(MSS as u64, true, w), w);
+            s.on_ack(ack(2 * MSS as u64, false, w), w);
+            out.append(&mut w.take_sent());
+            w.advance(SimDuration::from_millis(300));
+            s.on_rto(w);
+            out.append(&mut w.take_sent());
+            w.advance(SimDuration::from_micros(80));
+            let next = s.snd_una + MSS as u64;
+            s.on_ack(ack(next, true, w), w);
+            out.append(&mut w.take_sent());
+            out
+        };
+
+        let (mut fresh, mut wf) = make(Some(50_000));
+        let expected = script(&mut fresh, &mut wf);
+
+        // Dirty a sender with a complete unrelated flow, then reset it.
+        let mut recycled = Sender::new(FlowId(42), NodeId::from_index(3), Some(1500), cfg());
+        let mut wr = MockWire::new(NodeId::from_index(0));
+        recycled.start(&mut wr);
+        wr.advance(SimDuration::from_micros(30));
+        let mut done = Packet::ack(
+            FlowId(42),
+            NodeId::from_index(3),
+            NodeId::from_index(0),
+            1500,
+        );
+        done.ts_echo = Some(wr.now());
+        recycled.on_ack(done, &mut wr);
+        assert!(recycled.is_complete());
+        wr.take_sent();
+
+        recycled
+            .reset(FlowId(1), NodeId::from_index(9), Some(50_000), cfg())
+            .unwrap();
+        // Replay on a fresh wire so clocks align with the fresh run.
+        let mut wr = MockWire::new(NodeId::from_index(0));
+        let got = script(&mut recycled, &mut wr);
+
+        assert_eq!(expected, got);
+        assert!((fresh.cwnd() - recycled.cwnd()).abs() < 1e-12);
+        assert!((fresh.alpha() - recycled.alpha()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_rejects_invalid_config() {
+        let (mut s, _w) = make(Some(1000));
+        let mut bad = cfg();
+        bad.mss = 0;
+        let err = s
+            .reset(FlowId(7), NodeId::from_index(9), None, bad)
+            .unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig { flow, .. } if flow == FlowId(7)));
     }
 
     #[test]

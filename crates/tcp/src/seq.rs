@@ -33,6 +33,11 @@ impl SeqRanges {
         self.ranges.is_empty()
     }
 
+    /// Removes every range (flow-state recycling).
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
     /// Number of disjoint ranges held.
     pub fn len(&self) -> usize {
         self.ranges.len()

@@ -6,6 +6,9 @@
 //!   bottleneck (Figs. 1, 10, 11, 12).
 //! * [`build_testbed`]/[`run_query_rounds`] — the Fig. 13 testbed with
 //!   Incast and partition-aggregate query workloads (Figs. 14, 15).
+//! * [`FctScenario`] — open-loop heavy-traffic flow churn: Poisson
+//!   arrivals at a configured load with empirical sizes ([`sizes`]),
+//!   reporting per-size-class FCT tails from mergeable sketches.
 //!
 //! The [`experiments`] module exposes one driver per data figure; each
 //! returns a serializable result with [`Table`] renderings — the `fig*`
@@ -36,6 +39,8 @@ mod buildup;
 mod collective;
 mod convergence;
 pub mod experiments;
+mod fct;
+pub mod sizes;
 mod star;
 mod table;
 mod testbed;
@@ -46,6 +51,7 @@ pub use collective::{
 };
 pub use convergence::{run_convergence, ConvergenceConfig, ConvergenceReport};
 pub use experiments::Scale;
+pub use fct::{FctInstance, FctReport, FctScenario, FctScenarioBuilder};
 pub use star::{LongLivedInstance, LongLivedReport, LongLivedScenario, LongLivedScenarioBuilder};
 pub use table::Table;
 pub use testbed::{

@@ -1,0 +1,78 @@
+//! Empirical flow-size distributions for the FCT churn workload.
+//!
+//! The tables are piecewise-linear CDFs in the style of the web-search
+//! (DCTCP paper, Fig. 4) and data-mining (VL2) workloads that
+//! data-center transport papers conventionally replay: mostly
+//! mice with a heavy elephant tail. They are committed here as data so
+//! scenarios referencing `size_dist = web_search` are reproducible
+//! byte-for-byte.
+
+use dctcp_tcp::SizeCdf;
+
+/// Web-search-style distribution: median ~2 KB, 95th percentile
+/// ~20 KB, tail to 200 KB. Mean ≈ 6.4 KB.
+pub const WEB_SEARCH: &[(f64, u64)] = &[
+    (0.0, 500),
+    (0.5, 2_000),
+    (0.8, 6_000),
+    (0.95, 20_000),
+    (0.99, 50_000),
+    (1.0, 200_000),
+];
+
+/// Data-mining-style distribution: even more mice, much heavier tail
+/// (elephants to 10 MB). Mean ≈ 59 KB.
+pub const DATA_MINING: &[(f64, u64)] = &[
+    (0.0, 300),
+    (0.6, 1_000),
+    (0.9, 10_000),
+    (0.99, 1_000_000),
+    (1.0, 10_000_000),
+];
+
+/// Builds the web-search CDF (infallible: the table is validated by
+/// unit test).
+pub fn web_search() -> SizeCdf {
+    SizeCdf::new(WEB_SEARCH).expect("WEB_SEARCH table is valid")
+}
+
+/// Builds the data-mining CDF (infallible: the table is validated by
+/// unit test).
+pub fn data_mining() -> SizeCdf {
+    SizeCdf::new(DATA_MINING).expect("DATA_MINING table is valid")
+}
+
+/// Looks up a named size distribution (`web_search` or `data_mining`),
+/// as referenced from scenario files.
+pub fn by_name(name: &str) -> Option<SizeCdf> {
+    match name {
+        "web_search" => Some(web_search()),
+        "data_mining" => Some(data_mining()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_valid_cdfs() {
+        let web = web_search();
+        let mining = data_mining();
+        assert!(
+            (web.mean_bytes() - 6425.0).abs() < 1.0,
+            "{}",
+            web.mean_bytes()
+        );
+        assert!(mining.mean_bytes() > 50_000.0);
+        assert!(mining.mean_bytes() > web.mean_bytes());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("web_search"), Some(web_search()));
+        assert_eq!(by_name("data_mining"), Some(data_mining()));
+        assert_eq!(by_name("uniform"), None);
+    }
+}
